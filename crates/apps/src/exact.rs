@@ -1,0 +1,147 @@
+//! Exact sliding-window statistics (ground truth).
+//!
+//! A full window buffer — `O(n)` memory, the very thing the paper's
+//! algorithms avoid — used by tests and experiments to measure estimator
+//! error. Computes exact frequency moments, empirical entropy, and the
+//! window's multiset of values.
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+
+/// Exact statistics over the last `n` arrivals of a `u64`-valued stream.
+#[derive(Debug, Clone)]
+pub struct ExactWindow {
+    n: usize,
+    buf: VecDeque<u64>,
+    freqs: HashMap<u64, u64>,
+}
+
+impl ExactWindow {
+    /// Exact tracker over windows of the last `n ≥ 1` arrivals.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 1, "ExactWindow: window must be at least 1");
+        Self {
+            n,
+            buf: VecDeque::with_capacity(n + 1),
+            freqs: HashMap::new(),
+        }
+    }
+
+    /// Insert the next arrival.
+    pub fn insert(&mut self, value: u64) {
+        self.buf.push_back(value);
+        *self.freqs.entry(value).or_insert(0) += 1;
+        if self.buf.len() > self.n {
+            let gone = self.buf.pop_front().expect("nonempty");
+            let c = self.freqs.get_mut(&gone).expect("tracked");
+            *c -= 1;
+            if *c == 0 {
+                self.freqs.remove(&gone);
+            }
+        }
+    }
+
+    /// Number of active elements.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when no elements are active.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// The window's value-frequency table.
+    pub fn frequencies(&self) -> &HashMap<u64, u64> {
+        &self.freqs
+    }
+
+    /// Exact `k`-th frequency moment `F_k = Σ xᵢᵏ` of the window.
+    pub fn moment(&self, k: u32) -> f64 {
+        self.freqs
+            .values()
+            .map(|&x| (x as f64).powi(k as i32))
+            .sum()
+    }
+
+    /// Exact empirical entropy `H = −Σ (xᵢ/N) log₂(xᵢ/N)` of the window.
+    pub fn entropy(&self) -> f64 {
+        let total = self.buf.len() as f64;
+        if total == 0.0 {
+            return 0.0;
+        }
+        self.freqs
+            .values()
+            .map(|&x| {
+                let p = x as f64 / total;
+                -p * p.log2()
+            })
+            .sum()
+    }
+
+    /// Number of distinct values in the window (`F_0`).
+    pub fn distinct(&self) -> usize {
+        self.freqs.len()
+    }
+
+    /// Window contents, oldest first.
+    pub fn contents(&self) -> impl Iterator<Item = &u64> {
+        self.buf.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frequencies_track_expiry() {
+        let mut w = ExactWindow::new(3);
+        for v in [1, 1, 2, 3] {
+            w.insert(v);
+        }
+        // Window = [1, 2, 3].
+        assert_eq!(w.len(), 3);
+        assert_eq!(w.frequencies()[&1], 1);
+        assert_eq!(w.distinct(), 3);
+    }
+
+    #[test]
+    fn moments_match_hand_computation() {
+        let mut w = ExactWindow::new(10);
+        for v in [5, 5, 5, 9, 9, 2] {
+            w.insert(v);
+        }
+        // x = {5:3, 9:2, 2:1}; F1 = 6, F2 = 9+4+1 = 14, F3 = 27+8+1 = 36.
+        assert_eq!(w.moment(1), 6.0);
+        assert_eq!(w.moment(2), 14.0);
+        assert_eq!(w.moment(3), 36.0);
+    }
+
+    #[test]
+    fn entropy_of_uniform_window() {
+        let mut w = ExactWindow::new(4);
+        for v in [0, 1, 2, 3] {
+            w.insert(v);
+        }
+        assert!((w.entropy() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn entropy_of_constant_window_is_zero() {
+        let mut w = ExactWindow::new(8);
+        for _ in 0..20 {
+            w.insert(7);
+        }
+        assert_eq!(w.entropy(), 0.0);
+        assert_eq!(w.distinct(), 1);
+    }
+
+    #[test]
+    fn empty_window() {
+        let w = ExactWindow::new(5);
+        assert!(w.is_empty());
+        assert_eq!(w.entropy(), 0.0);
+        assert_eq!(w.moment(2), 0.0);
+    }
+}

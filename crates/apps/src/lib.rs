@@ -1,0 +1,42 @@
+//! Applications of sliding-window sampling — §5 of the paper.
+//!
+//! Theorem 5.1: *any* sampling-based streaming algorithm transfers to
+//! sliding windows by swapping its sampler for the paper's window samplers,
+//! preserving memory guarantees for sequence-based windows (and adding a
+//! `log n` factor for timestamp-based ones). This crate instantiates the
+//! transfer for the paper's three worked examples plus its biased-sampling
+//! remark:
+//!
+//! * [`moments`] — frequency moments `F_k = Σ xᵢᵏ` via the
+//!   Alon–Matias–Szegedy estimator (Corollary 5.2).
+//! * [`entropy`] — empirical entropy via the Chakrabarti–Cormode–McGregor
+//!   suffix-count estimator (Corollary 5.4).
+//! * [`triangles`] — triangle counting in graph edge streams à la Buriol
+//!   et al. (Corollary 5.3).
+//! * [`biased`] — step-biased sampling over multiple nested windows (§5,
+//!   last paragraph).
+//! * [`exact`] — exact (full-buffer) window statistics used as ground truth
+//!   by tests and experiments. *Not* a streaming algorithm: `O(n)` memory.
+//!
+//! The bridge between the samplers and the estimators is the
+//! [`swsample_core::track::SampleTracker`] hook: all three estimators need a
+//! statistic of the suffix following the sampled position (occurrence counts
+//! for AMS/CCM, watched edge pairs for Buriol), which a reservoir can
+//! maintain for free — reset on candidate replacement, folded per arrival.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod biased;
+pub mod entropy;
+pub mod exact;
+pub mod moments;
+pub mod triangles;
+pub mod ts_estimators;
+
+pub use biased::StepBiasedSampler;
+pub use entropy::EntropyEstimator;
+pub use exact::ExactWindow;
+pub use moments::MomentEstimator;
+pub use triangles::TriangleEstimator;
+pub use ts_estimators::{TsEntropyEstimator, TsMomentEstimator};

@@ -1,0 +1,196 @@
+//! Chain sampling (Babcock, Datar, Motwani — SODA'02) for sequence-based
+//! windows.
+//!
+//! Each of the `k` independent instances maintains the current sample plus a
+//! *chain of successors*: when element `i` is adopted as the sample, a
+//! successor index is drawn uniformly from the `n` positions after `i`; when
+//! that element arrives it is stored and given its own successor, and so on.
+//! When the sample expires, the next chain element takes over — so a sample
+//! is always available.
+//!
+//! The catch — the paper's central criticism — is that the chain length is a
+//! random variable: `O(1)` expected, `O(log n)` with high probability, but
+//! with **no deterministic bound**. Experiment E6 exhibits exactly this:
+//! `memory_words()` here has a growing maximum over the stream's life, while
+//! the paper's `SeqSamplerWr` has a hard ceiling.
+
+use rand::Rng;
+use std::collections::VecDeque;
+use swsample_core::{MemoryWords, Sample, WindowSampler};
+
+/// One chain: the current sample at the front, successors behind it.
+#[derive(Debug, Clone)]
+struct ChainInstance<T> {
+    /// `(element, successor index)` pairs in arrival order.
+    links: VecDeque<(Sample<T>, u64)>,
+}
+
+impl<T: Clone> ChainInstance<T> {
+    fn new() -> Self {
+        Self {
+            links: VecDeque::new(),
+        }
+    }
+
+    fn insert<R: Rng>(&mut self, rng: &mut R, value: &T, idx: u64, n: u64) {
+        let count = idx + 1;
+        // Adopt the arrival as the new sample with probability
+        // 1/min(count, n+1). During warm-up this is plain reservoir
+        // sampling. After warm-up the correct adoption probability is
+        // 1/(n+1), not 1/n: expiry promotion already feeds probability
+        // 1/n² to every window position (the expiring sample's successor is
+        // uniform over the new window), and solving
+        //   p + (1−p)/n² = (1−p)(1/n + 1/n²)
+        // for uniformity gives p = 1/(n+1). (With 1/n the newest elements
+        // are over-sampled by ≈1/n — the bias is measurable, and the test
+        // `uniform_over_window` below catches it.)
+        let adopt_denominator = count.min(n + 1);
+        if rng.gen_range(0..adopt_denominator) == 0 {
+            self.links.clear();
+            let succ = idx + 1 + rng.gen_range(0..n);
+            self.links
+                .push_back((Sample::new(value.clone(), idx, idx), succ));
+        } else if self.links.back().is_some_and(|(_, succ)| *succ == idx) {
+            // The awaited successor arrived: extend the chain.
+            let succ = idx + 1 + rng.gen_range(0..n);
+            self.links
+                .push_back((Sample::new(value.clone(), idx, idx), succ));
+        }
+        // Expire from the front; the next link becomes the sample.
+        let oldest_active = count.saturating_sub(n);
+        while self
+            .links
+            .front()
+            .is_some_and(|(s, _)| s.index() < oldest_active)
+        {
+            self.links.pop_front();
+        }
+    }
+
+    fn sample(&self) -> Option<&Sample<T>> {
+        self.links.front().map(|(s, _)| s)
+    }
+}
+
+impl<T> ChainInstance<T> {
+    fn words(&self) -> usize {
+        // Each link: value + index + ts + successor index.
+        self.links.len() * 4
+    }
+}
+
+/// `k` independent chain samplers over the last `n` arrivals — sampling with
+/// replacement, expected `O(k)` but randomized memory.
+#[derive(Debug, Clone)]
+pub struct ChainSampler<T, R> {
+    n: u64,
+    count: u64,
+    rng: R,
+    chains: Vec<ChainInstance<T>>,
+}
+
+impl<T: Clone, R: Rng> ChainSampler<T, R> {
+    /// Chain sampler for windows of the last `n ≥ 1` arrivals with `k ≥ 1`
+    /// independent samples.
+    pub fn new(n: u64, k: usize, rng: R) -> Self {
+        assert!(n >= 1 && k >= 1);
+        Self {
+            n,
+            count: 0,
+            rng,
+            chains: (0..k).map(|_| ChainInstance::new()).collect(),
+        }
+    }
+
+    /// Length of the longest successor chain (the randomized-memory culprit).
+    pub fn max_chain_len(&self) -> usize {
+        self.chains.iter().map(|c| c.links.len()).max().unwrap_or(0)
+    }
+}
+
+impl<T, R> MemoryWords for ChainSampler<T, R> {
+    fn memory_words(&self) -> usize {
+        self.chains.iter().map(ChainInstance::words).sum::<usize>() + 2
+    }
+}
+
+impl<T: Clone, R: Rng> WindowSampler<T> for ChainSampler<T, R> {
+    fn insert(&mut self, value: T) {
+        let idx = self.count;
+        for c in &mut self.chains {
+            c.insert(&mut self.rng, &value, idx, self.n);
+        }
+        self.count += 1;
+    }
+
+    fn sample(&mut self) -> Option<Sample<T>> {
+        self.chains[0].sample().cloned()
+    }
+
+    fn sample_k(&mut self) -> Option<Vec<Sample<T>>> {
+        self.chains.iter().map(|c| c.sample().cloned()).collect()
+    }
+
+    fn k(&self) -> usize {
+        self.chains.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use swsample_stats::chi_square_uniform_test;
+
+    #[test]
+    fn empty_returns_none() {
+        let mut s: ChainSampler<u64, _> = ChainSampler::new(10, 2, SmallRng::seed_from_u64(0));
+        assert!(s.sample().is_none());
+    }
+
+    #[test]
+    fn sample_always_in_window() {
+        let mut s = ChainSampler::new(9, 3, SmallRng::seed_from_u64(1));
+        for i in 0..400u64 {
+            s.insert(i);
+            for smp in s.sample_k().expect("nonempty") {
+                assert!(smp.index() + 9 > i, "expired sample {} at {i}", smp.index());
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_over_window() {
+        let n = 12u64;
+        let stop = 40u64;
+        let trials = 25_000u64;
+        let mut counts = vec![0u64; n as usize];
+        for t in 0..trials {
+            let mut s = ChainSampler::new(n, 1, SmallRng::seed_from_u64(10_000 + t));
+            for i in 0..stop {
+                s.insert(i);
+            }
+            counts[(s.sample().expect("nonempty").index() - (stop - n)) as usize] += 1;
+        }
+        let out = chi_square_uniform_test(&counts);
+        assert!(
+            out.p_value > 1e-4,
+            "chain sampling not uniform: p = {}",
+            out.p_value
+        );
+    }
+
+    #[test]
+    fn chain_length_fluctuates() {
+        // The chain is a random variable: over a long stream it must exceed
+        // 2 at some point (randomized bound) for window 64.
+        let mut s = ChainSampler::new(64, 1, SmallRng::seed_from_u64(5));
+        let mut max_len = 0;
+        for i in 0..20_000u64 {
+            s.insert(i);
+            max_len = max_len.max(s.max_chain_len());
+        }
+        assert!(max_len > 2, "chain never grew: {max_len}");
+    }
+}

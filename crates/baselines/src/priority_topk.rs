@@ -1,0 +1,205 @@
+//! Gemulla–Lehner top-k priority sampling (SIGMOD'08) — sampling *without
+//! replacement* from timestamp-based windows.
+//!
+//! Natural extension of BDM priority sampling: every element draws a
+//! priority in `(0,1)` and the sample is the `k` highest-priority active
+//! elements. An element must be stored as long as fewer than `k` later
+//! elements out-prioritize it (it could still enter the top-k once they
+//! expire). Expected memory is `O(k log n)` — but, as with all
+//! priority-based methods, only in expectation; the paper's Theorem 4.4
+//! achieves the same bound deterministically.
+
+use rand::Rng;
+use std::collections::VecDeque;
+use swsample_core::{MemoryWords, Sample, WindowSampler};
+
+/// Stored element: sample, priority, and how many later elements have a
+/// higher priority.
+#[derive(Debug, Clone)]
+struct Entry<T> {
+    sample: Sample<T>,
+    priority: f64,
+    dominated_by: usize,
+}
+
+/// Gemulla–Lehner without-replacement priority sampler over a timestamp
+/// window of width `t0`.
+#[derive(Debug, Clone)]
+pub struct PriorityTopK<T, R> {
+    t0: u64,
+    k: usize,
+    now: u64,
+    next_index: u64,
+    rng: R,
+    /// Arrival order; every entry has `dominated_by < k`.
+    entries: VecDeque<Entry<T>>,
+}
+
+impl<T: Clone, R: Rng> PriorityTopK<T, R> {
+    /// Sampler over windows of width `t0 ≥ 1` keeping the top `k ≥ 1`
+    /// priorities.
+    pub fn new(t0: u64, k: usize, rng: R) -> Self {
+        assert!(t0 >= 1 && k >= 1);
+        Self {
+            t0,
+            k,
+            now: 0,
+            next_index: 0,
+            rng,
+            entries: VecDeque::new(),
+        }
+    }
+
+    /// Number of stored elements (the randomized quantity).
+    pub fn stored(&self) -> usize {
+        self.entries.len()
+    }
+
+    fn expire(&mut self, now: u64) {
+        while self
+            .entries
+            .front()
+            .is_some_and(|e| now - e.sample.timestamp() >= self.t0)
+        {
+            self.entries.pop_front();
+        }
+    }
+}
+
+impl<T, R> MemoryWords for PriorityTopK<T, R> {
+    fn memory_words(&self) -> usize {
+        // value + index + ts + priority + counter per entry.
+        self.entries.len() * 5 + 4
+    }
+}
+
+impl<T: Clone, R: Rng> WindowSampler<T> for PriorityTopK<T, R> {
+    fn advance_time(&mut self, now: u64) {
+        assert!(now >= self.now, "PriorityTopK: clock moved backwards");
+        self.now = now;
+        self.expire(now);
+    }
+
+    fn insert(&mut self, value: T) {
+        let idx = self.next_index;
+        self.next_index += 1;
+        let priority: f64 = self.rng.gen_range(0.0..1.0);
+        let k = self.k;
+        for e in &mut self.entries {
+            if e.priority < priority {
+                e.dominated_by += 1;
+            }
+        }
+        self.entries.retain(|e| e.dominated_by < k);
+        self.entries.push_back(Entry {
+            sample: Sample::new(value, idx, self.now),
+            priority,
+            dominated_by: 0,
+        });
+    }
+
+    fn sample(&mut self) -> Option<Sample<T>> {
+        self.entries
+            .iter()
+            .max_by(|a, b| {
+                a.priority
+                    .partial_cmp(&b.priority)
+                    .expect("priorities are finite")
+            })
+            .map(|e| e.sample.clone())
+    }
+
+    fn sample_k(&mut self) -> Option<Vec<Sample<T>>> {
+        if self.entries.is_empty() {
+            return None;
+        }
+        let mut sorted: Vec<&Entry<T>> = self.entries.iter().collect();
+        sorted.sort_by(|a, b| b.priority.partial_cmp(&a.priority).expect("finite"));
+        Some(
+            sorted
+                .into_iter()
+                .take(self.k)
+                .map(|e| e.sample.clone())
+                .collect(),
+        )
+    }
+
+    fn k(&self) -> usize {
+        self.k
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use swsample_stats::chi_square_uniform_test;
+
+    fn drive(t0: u64, k: usize, ticks: u64, seed: u64) -> Option<Vec<Sample<u64>>> {
+        let mut s = PriorityTopK::new(t0, k, SmallRng::seed_from_u64(seed));
+        for tick in 0..ticks {
+            s.advance_time(tick);
+            s.insert(tick);
+        }
+        s.sample_k()
+    }
+
+    #[test]
+    fn empty_returns_none() {
+        let mut s: PriorityTopK<u64, _> = PriorityTopK::new(5, 2, SmallRng::seed_from_u64(0));
+        assert!(s.sample_k().is_none());
+    }
+
+    #[test]
+    fn k_distinct_active_samples() {
+        for seed in 0..50 {
+            let out = drive(12, 4, 40, seed).expect("nonempty");
+            assert_eq!(out.len(), 4);
+            let mut idx: Vec<u64> = out.iter().map(|s| s.index()).collect();
+            idx.sort_unstable();
+            for w in idx.windows(2) {
+                assert_ne!(w[0], w[1]);
+            }
+            for &i in &idx {
+                assert!(i >= 28, "expired sample {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn marginal_inclusion_uniform() {
+        let (t0, k, ticks) = (8u64, 2usize, 24u64);
+        let trials = 25_000u64;
+        let mut counts = vec![0u64; t0 as usize];
+        for t in 0..trials {
+            for s in drive(t0, k, ticks, 40_000 + t).expect("nonempty") {
+                counts[(s.index() - (ticks - t0)) as usize] += 1;
+            }
+        }
+        let out = chi_square_uniform_test(&counts);
+        assert!(
+            out.p_value > 1e-4,
+            "GL top-k marginals: p = {}",
+            out.p_value
+        );
+    }
+
+    #[test]
+    fn stored_is_randomized_but_not_tiny() {
+        let mut s = PriorityTopK::new(512, 3, SmallRng::seed_from_u64(5));
+        let mut max_stored = 0;
+        for tick in 0..10_000u64 {
+            s.advance_time(tick);
+            s.insert(tick);
+            max_stored = max_stored.max(s.stored());
+        }
+        assert!(max_stored >= 10, "stored stayed at {max_stored}");
+    }
+
+    #[test]
+    fn fewer_than_k_active_returns_all() {
+        let out = drive(3, 10, 30, 1).expect("nonempty");
+        assert_eq!(out.len(), 3);
+    }
+}

@@ -1,0 +1,101 @@
+//! Plain reservoir sampling over the *entire* stream (Vitter 1985) — no
+//! window, no expiry.
+//!
+//! This is the insertion-only method the paper's Question 1.2 measures
+//! against ("is sampling from sliding windows algorithmically harder than
+//! sampling from the entire stream?"); the throughput benchmark (E7) uses it
+//! as the per-element cost floor.
+
+use rand::Rng;
+use swsample_core::reservoir::ReservoirK;
+use swsample_core::{MemoryWords, Sample, WindowSampler};
+
+/// Whole-stream `k`-sample without replacement (the sliding window is the
+/// entire stream).
+#[derive(Debug, Clone)]
+pub struct StreamReservoir<T, R> {
+    inner: ReservoirK<T>,
+    rng: R,
+    next_index: u64,
+}
+
+impl<T: Clone, R: Rng> StreamReservoir<T, R> {
+    /// Reservoir of capacity `k ≥ 1`.
+    pub fn new(k: usize, rng: R) -> Self {
+        Self {
+            inner: ReservoirK::new(k),
+            rng,
+            next_index: 0,
+        }
+    }
+}
+
+impl<T, R> MemoryWords for StreamReservoir<T, R> {
+    fn memory_words(&self) -> usize {
+        self.inner.memory_words() + 1
+    }
+}
+
+impl<T: Clone, R: Rng> WindowSampler<T> for StreamReservoir<T, R> {
+    fn insert(&mut self, value: T) {
+        let idx = self.next_index;
+        self.next_index += 1;
+        self.inner.insert(&mut self.rng, value, idx, idx);
+    }
+
+    fn sample(&mut self) -> Option<Sample<T>> {
+        let entries = self.inner.entries();
+        if entries.is_empty() {
+            return None;
+        }
+        let j = self.rng.gen_range(0..entries.len());
+        Some(entries[j].clone())
+    }
+
+    fn sample_k(&mut self) -> Option<Vec<Sample<T>>> {
+        if self.inner.entries().is_empty() {
+            None
+        } else {
+            Some(self.inner.entries().to_vec())
+        }
+    }
+
+    fn k(&self) -> usize {
+        self.inner.capacity()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn holds_k_samples_from_whole_stream() {
+        let mut s = StreamReservoir::new(5, SmallRng::seed_from_u64(0));
+        for i in 0..1000u64 {
+            s.insert(i);
+        }
+        let out = s.sample_k().expect("nonempty");
+        assert_eq!(out.len(), 5);
+        // Samples may be arbitrarily old — that is the point of contrast
+        // with windowed samplers.
+        assert!(out.iter().all(|x| x.index() < 1000));
+    }
+
+    #[test]
+    fn memory_constant() {
+        let mut s = StreamReservoir::new(3, SmallRng::seed_from_u64(1));
+        for i in 0..10_000u64 {
+            s.insert(i);
+        }
+        assert!(s.memory_words() <= 3 * 3 + 3);
+    }
+
+    #[test]
+    fn empty_returns_none() {
+        let mut s: StreamReservoir<u64, _> = StreamReservoir::new(2, SmallRng::seed_from_u64(2));
+        assert!(s.sample().is_none());
+    }
+}

@@ -1,0 +1,84 @@
+//! Criterion bench for experiments E9/E10/E11 — the §5 applications: cost
+//! of streaming inserts (sampler + tracker) and of estimate queries for
+//! frequency moments, entropy, and triangle counting over sliding windows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use std::time::Duration;
+use swsample_apps::{EntropyEstimator, MomentEstimator, TriangleEstimator};
+use swsample_stream::EdgeStreamGen;
+
+fn bench_moments(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e9_moments");
+    group.throughput(Throughput::Elements(1));
+    for &s1 in &[16usize, 256] {
+        group.bench_with_input(BenchmarkId::new("insert_f2", s1), &s1, |b, &s1| {
+            let mut est = MomentEstimator::new(4096, 2, s1, 3, SmallRng::seed_from_u64(1));
+            let mut i = 0u64;
+            b.iter(|| {
+                est.insert(black_box(i % 100));
+                i += 1;
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("estimate_f2", s1), &s1, |b, &s1| {
+            let mut est = MomentEstimator::new(4096, 2, s1, 3, SmallRng::seed_from_u64(2));
+            for i in 0..8192u64 {
+                est.insert(i % 100);
+            }
+            b.iter(|| black_box(est.estimate()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_entropy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e11_entropy");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("insert_s128", |b| {
+        let mut est = EntropyEstimator::new(4096, 128, 3, SmallRng::seed_from_u64(3));
+        let mut i = 0u64;
+        b.iter(|| {
+            est.insert(black_box(i % 64));
+            i += 1;
+        });
+    });
+    group.bench_function("estimate_s128", |b| {
+        let mut est = EntropyEstimator::new(4096, 128, 3, SmallRng::seed_from_u64(4));
+        for i in 0..8192u64 {
+            est.insert(i % 64);
+        }
+        b.iter(|| black_box(est.estimate()));
+    });
+    group.finish();
+}
+
+fn bench_triangles(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e10_triangles");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("insert_1024est", |b| {
+        let mut gen = EdgeStreamGen::new(60, 0.35);
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut est = TriangleEstimator::new(800, 60, 1024, SmallRng::seed_from_u64(6), 7);
+        b.iter(|| {
+            let e = gen.next_edge(&mut rng);
+            est.insert(black_box(e));
+        });
+    });
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_moments, bench_entropy, bench_triangles
+}
+criterion_main!(benches);

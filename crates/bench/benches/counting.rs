@@ -1,0 +1,61 @@
+//! Criterion bench for the DGIM window counter (experiment E15's cost
+//! side): per-arrival insert cost across accuracy budgets, against the
+//! exact deque counter it replaces.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::collections::VecDeque;
+use std::hint::black_box;
+use std::time::Duration;
+use swsample_counting::WindowCounter;
+
+fn bench_insert(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dgim_insert");
+    group.throughput(Throughput::Elements(1));
+    for &r in &[2usize, 8, 32] {
+        group.bench_with_input(BenchmarkId::new("dgim", format!("r{r}")), &r, |b, &r| {
+            let mut counter = WindowCounter::new(4096, r);
+            let mut tick = 0u64;
+            let mut i = 0u64;
+            b.iter(|| {
+                if i.is_multiple_of(4) {
+                    tick += 1;
+                    counter.advance_time(tick);
+                }
+                counter.insert();
+                i += 1;
+                black_box(counter.estimate())
+            });
+        });
+    }
+    group.bench_function("exact_deque", |b| {
+        let mut deque: VecDeque<u64> = VecDeque::new();
+        let mut tick = 0u64;
+        let mut i = 0u64;
+        b.iter(|| {
+            if i.is_multiple_of(4) {
+                tick += 1;
+                while deque.front().is_some_and(|&ts| tick - ts >= 4096) {
+                    deque.pop_front();
+                }
+            }
+            deque.push_back(tick);
+            i += 1;
+            black_box(deque.len())
+        });
+    });
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_insert
+}
+criterion_main!(benches);

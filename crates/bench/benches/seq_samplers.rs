@@ -1,0 +1,80 @@
+//! Criterion bench for experiments E1/E2: per-element insert cost of the
+//! sequence-window samplers (Theorems 2.1 / 2.2) across window sizes and
+//! sample counts `k`, plus query cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use std::time::Duration;
+use swsample_core::seq::{SeqSamplerWor, SeqSamplerWr};
+use swsample_core::WindowSampler;
+
+fn bench_insert(c: &mut Criterion) {
+    let mut group = c.benchmark_group("seq_insert");
+    group.throughput(Throughput::Elements(1));
+    for &n in &[1024u64, 65_536] {
+        for &k in &[1usize, 8, 64] {
+            group.bench_with_input(
+                BenchmarkId::new("wr", format!("n{n}_k{k}")),
+                &(n, k),
+                |b, &(n, k)| {
+                    let mut s = SeqSamplerWr::new(n, k, SmallRng::seed_from_u64(1));
+                    let mut i = 0u64;
+                    b.iter(|| {
+                        s.insert(black_box(i));
+                        i += 1;
+                    });
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new("wor", format!("n{n}_k{k}")),
+                &(n, k),
+                |b, &(n, k)| {
+                    let mut s = SeqSamplerWor::new(n, k, SmallRng::seed_from_u64(2));
+                    let mut i = 0u64;
+                    b.iter(|| {
+                        s.insert(black_box(i));
+                        i += 1;
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_query(c: &mut Criterion) {
+    let mut group = c.benchmark_group("seq_query");
+    for &k in &[1usize, 8, 64] {
+        group.bench_with_input(BenchmarkId::new("wr_sample_k", k), &k, |b, &k| {
+            let mut s = SeqSamplerWr::new(4096, k, SmallRng::seed_from_u64(3));
+            for i in 0..10_000u64 {
+                s.insert(i);
+            }
+            b.iter(|| black_box(s.sample_k()));
+        });
+        group.bench_with_input(BenchmarkId::new("wor_sample_k", k), &k, |b, &k| {
+            let mut s = SeqSamplerWor::new(4096, k, SmallRng::seed_from_u64(4));
+            for i in 0..10_000u64 {
+                s.insert(i);
+            }
+            b.iter(|| black_box(s.sample_k()));
+        });
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_insert, bench_query
+}
+criterion_main!(benches);

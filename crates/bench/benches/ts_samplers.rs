@@ -1,0 +1,93 @@
+//! Criterion bench for experiments E3/E5: per-element cost of the
+//! timestamp-window samplers (Theorems 3.9 / 4.4) across window widths and
+//! `k`, on steady and bursty arrival schedules.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use std::time::Duration;
+use swsample_core::ts::{TsSamplerWor, TsSamplerWr};
+use swsample_core::WindowSampler;
+
+fn bench_insert(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ts_insert");
+    group.throughput(Throughput::Elements(1));
+    for &t0 in &[256u64, 4096] {
+        for &k in &[1usize, 8] {
+            group.bench_with_input(
+                BenchmarkId::new("wr", format!("t{t0}_k{k}")),
+                &(t0, k),
+                |b, &(t0, k)| {
+                    let mut s = TsSamplerWr::new(t0, k, SmallRng::seed_from_u64(1));
+                    let mut tick = 0u64;
+                    let mut i = 0u64;
+                    b.iter(|| {
+                        // 4 arrivals per tick.
+                        if i.is_multiple_of(4) {
+                            tick += 1;
+                            s.advance_time(tick);
+                        }
+                        s.insert(black_box(i));
+                        i += 1;
+                    });
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new("wor", format!("t{t0}_k{k}")),
+                &(t0, k),
+                |b, &(t0, k)| {
+                    let mut s = TsSamplerWor::new(t0, k, SmallRng::seed_from_u64(2));
+                    let mut tick = 0u64;
+                    let mut i = 0u64;
+                    b.iter(|| {
+                        if i.is_multiple_of(4) {
+                            tick += 1;
+                            s.advance_time(tick);
+                        }
+                        s.insert(black_box(i));
+                        i += 1;
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_query(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ts_query");
+    for &k in &[1usize, 8] {
+        group.bench_with_input(BenchmarkId::new("wr_sample_k", k), &k, |b, &k| {
+            let mut s = TsSamplerWr::new(512, k, SmallRng::seed_from_u64(3));
+            for tick in 0..2048u64 {
+                s.advance_time(tick);
+                s.insert(tick);
+            }
+            b.iter(|| black_box(s.sample_k()));
+        });
+        group.bench_with_input(BenchmarkId::new("wor_sample_k", k), &k, |b, &k| {
+            let mut s = TsSamplerWor::new(512, k, SmallRng::seed_from_u64(4));
+            for tick in 0..2048u64 {
+                s.advance_time(tick);
+                s.insert(tick);
+            }
+            b.iter(|| black_box(s.sample_k()));
+        });
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_insert, bench_query
+}
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! `experiments` — regenerate the paper's evaluation tables.
+//!
+//! ```text
+//! experiments           # run everything (E1–E14)
+//! experiments e4 e6     # run selected experiments
+//! experiments --list    # show the experiment index
+//! ```
+//!
+//! Every table corresponds to one row of the per-experiment index in
+//! `DESIGN.md`; `EXPERIMENTS.md` records expected-vs-measured.
+
+use swsample_bench::experiments;
+
+const INDEX: &[(&str, &str)] = &[
+    (
+        "e1",
+        "Theorem 2.1 — SEQ-WR: O(k) deterministic words, uniformity",
+    ),
+    (
+        "e2",
+        "Theorem 2.2 — SEQ-WOR: O(k) deterministic words, uniform inclusion",
+    ),
+    (
+        "e3",
+        "Theorem 3.9 — TS-WR: Θ(log n) words, bursty-stream uniformity",
+    ),
+    (
+        "e4",
+        "Lemma 3.10 — adversarial stream: randomized vs deterministic peaks",
+    ),
+    ("e5", "Theorem 4.4 — TS-WOR: O(k log n) deterministic words"),
+    ("e6", "deterministic vs randomized memory, all algorithms"),
+    (
+        "e7",
+        "per-element cost (coarse; see `cargo bench` for precise)",
+    ),
+    ("e8", "over-sampling failure probability vs occupancy model"),
+    (
+        "e9",
+        "Corollary 5.2 — frequency moments over sliding windows",
+    ),
+    (
+        "e10",
+        "Corollary 5.3 — triangle counting over sliding windows",
+    ),
+    ("e11", "Corollary 5.4 — entropy over sliding windows"),
+    ("e12", "§1.3.4 — independence of disjoint windows"),
+    ("e14", "§5 — step-biased sampling"),
+    ("e15", "DGIM window counter accuracy vs analytic bound"),
+    (
+        "e16",
+        "sample-based query layer: aggregates, quantiles, heavy hitters",
+    ),
+    (
+        "e17",
+        "Corollaries 5.2/5.4 on timestamp windows (DGIM-assisted)",
+    ),
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--list" || a == "-l") {
+        for (id, desc) in INDEX {
+            println!("{id:>4}  {desc}");
+        }
+        return;
+    }
+    let ids: Vec<String> = if args.is_empty() {
+        vec!["all".into()]
+    } else {
+        args
+    };
+    for id in &ids {
+        if !experiments::run(id) {
+            eprintln!("unknown experiment `{id}` — try --list");
+            std::process::exit(1);
+        }
+    }
+}

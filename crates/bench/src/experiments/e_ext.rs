@@ -1,0 +1,238 @@
+//! E15 / E16 / E17 — the extension subsystems: the DGIM window-size oracle,
+//! the sample-based query layer, and the timestamp-window versions of the
+//! §5 estimators (full-strength Corollaries 5.2 / 5.4).
+
+use crate::{f3, pct, table_header, table_row};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use swsample_apps::{ExactWindow, TsEntropyEstimator, TsMomentEstimator};
+use swsample_core::MemoryWords;
+use swsample_counting::WindowCounter;
+use swsample_query::{HeavyHitters, SeqAggregator, TsAggregator};
+use swsample_stats::OnlineMoments;
+
+/// E15: DGIM approximate counting — measured worst-case relative error vs
+/// the analytic bound `1/(2(r−1))`, and memory vs the exact counter.
+pub fn e15_dgim_counter() {
+    table_header(
+        "E15 — DGIM window counter (t0 = 256, bursty, 4000 ticks): worst rel-err vs bound",
+        &[
+            "r",
+            "bound 1/(2(r-1))",
+            "worst measured",
+            "mem (words)",
+            "exact mem (words)",
+        ],
+    );
+    for &r in &[2usize, 4, 8, 16, 32] {
+        let mut c = WindowCounter::new(256, r);
+        let mut rng = SmallRng::seed_from_u64(100 + r as u64);
+        let mut exact: std::collections::VecDeque<u64> = Default::default();
+        let mut worst = 0.0f64;
+        let mut peak_words = 0usize;
+        let mut peak_exact = 0usize;
+        for tick in 0..4000u64 {
+            c.advance_time(tick);
+            while exact.front().is_some_and(|&ts| tick - ts >= 256) {
+                exact.pop_front();
+            }
+            for _ in 0..rng.gen_range(0..8u64) {
+                c.insert();
+                exact.push_back(tick);
+            }
+            let truth = exact.len() as f64;
+            let bound = 1.0 / (2.0 * (r as f64 - 1.0));
+            if truth > 0.0 {
+                let abs_err = (c.estimate() as f64 - truth).abs();
+                worst = worst.max(abs_err / truth);
+                // The analytic guarantee: ε·truth plus one element of
+                // small-count slack (the bound is asymptotic in the count).
+                assert!(
+                    abs_err <= bound * truth + 1.0,
+                    "E15: DGIM error {abs_err} above bound at count {truth} (r = {r})"
+                );
+            }
+            peak_words = peak_words.max(c.memory_words());
+            peak_exact = peak_exact.max(exact.len());
+        }
+        let bound = 1.0 / (2.0 * (r as f64 - 1.0));
+        table_row(&[
+            r.to_string(),
+            pct(bound),
+            pct(worst),
+            peak_words.to_string(),
+            peak_exact.to_string(),
+        ]);
+    }
+}
+
+/// E16: the sample-based query layer — mean/sum/quantile/share and heavy
+/// hitters versus exact window answers.
+pub fn e16_query_layer() {
+    table_header(
+        "E16a — SeqAggregator (n = 2048, k = 64, Zipf-ish values, 40 seeds): bias check",
+        &["statistic", "exact", "mean estimate", "mean |rel-err|"],
+    );
+    let n = 2048u64;
+    let stream: Vec<u64> = (0..3 * n).map(|i| (i * 7919) % 1000).collect();
+    let window = &stream[(stream.len() - n as usize)..];
+    let exact_mean = window.iter().sum::<u64>() as f64 / n as f64;
+    let exact_sum = window.iter().sum::<u64>() as f64;
+    let mut sorted = window.to_vec();
+    sorted.sort_unstable();
+    let exact_median = sorted[sorted.len() / 2] as f64;
+    let exact_share = window.iter().filter(|&&v| v < 100).count() as f64 / n as f64;
+
+    let (mut m_mean, mut m_sum, mut m_med, mut m_share) = (
+        OnlineMoments::new(),
+        OnlineMoments::new(),
+        OnlineMoments::new(),
+        OnlineMoments::new(),
+    );
+    for seed in 0..40u64 {
+        let mut a = SeqAggregator::new(n, 64, SmallRng::seed_from_u64(seed));
+        for &v in &stream {
+            a.insert(v);
+        }
+        let est = a.estimate().expect("nonempty");
+        m_mean.push(est.mean);
+        m_sum.push(est.sum);
+        m_med.push(a.quantile(0.5).expect("nonempty") as f64);
+        m_share.push(a.share(|&v| v < 100).expect("nonempty"));
+    }
+    for (name, exact, acc) in [
+        ("mean", exact_mean, &m_mean),
+        ("sum", exact_sum, &m_sum),
+        ("median", exact_median, &m_med),
+        ("share(<100)", exact_share, &m_share),
+    ] {
+        let rel = (acc.mean() - exact).abs() / exact.max(1e-9);
+        table_row(&[name.into(), f3(exact), f3(acc.mean()), pct(rel)]);
+    }
+
+    table_header(
+        "E16b — HeavyHitters (n = 2048, k = 128, planted 35%/20% values, 40 seeds)",
+        &[
+            "value",
+            "true share",
+            "detection rate",
+            "mean reported share",
+        ],
+    );
+    let mut detect = [0u64; 2];
+    let mut share_acc = [0.0f64; 2];
+    let trials = 40u64;
+    for seed in 0..trials {
+        let mut h = HeavyHitters::new(2048, 128, 0.1, SmallRng::seed_from_u64(seed));
+        let mut rng = SmallRng::seed_from_u64(900 + seed);
+        for _ in 0..6000 {
+            let x: f64 = rng.gen();
+            let v = if x < 0.35 {
+                111
+            } else if x < 0.55 {
+                222
+            } else {
+                rng.gen_range(1000..100_000u64)
+            };
+            h.insert(v);
+        }
+        for hit in h.hitters() {
+            if hit.value == 111 {
+                detect[0] += 1;
+                share_acc[0] += hit.share;
+            } else if hit.value == 222 {
+                detect[1] += 1;
+                share_acc[1] += hit.share;
+            }
+        }
+    }
+    for (i, (v, true_share)) in [(111u64, 0.35), (222, 0.20)].iter().enumerate() {
+        table_row(&[
+            v.to_string(),
+            pct(*true_share),
+            pct(detect[i] as f64 / trials as f64),
+            pct(share_acc[i] / detect[i].max(1) as f64),
+        ]);
+    }
+
+    // TsAggregator sanity row.
+    let mut a = TsAggregator::new(512, 32, 0.05, SmallRng::seed_from_u64(5));
+    for tick in 0..2000u64 {
+        a.advance_time(tick);
+        for _ in 0..3 {
+            a.insert(tick % 50);
+        }
+    }
+    let est = a.estimate().expect("nonempty");
+    println!(
+        "TsAggregator: n̂ = {} (true 1536), memory {} words vs {} for exact buffering",
+        est.count,
+        a.memory_words(),
+        1536 * 3
+    );
+}
+
+/// E17: Corollaries 5.2 / 5.4 on **timestamp** windows — F₂ and entropy
+/// with the DGIM window-size oracle.
+pub fn e17_ts_applications() {
+    let t0 = 1024u64;
+    table_header(
+        "E17 — F2 / entropy over timestamp windows (t0 = 1024, steady 1/tick, 20 seeds)",
+        &[
+            "estimator",
+            "s1×s2",
+            "exact",
+            "mean estimate",
+            "mean |rel-err|",
+        ],
+    );
+    let values = |tick: u64| (tick * 31) % 23;
+    let mut exact = ExactWindow::new(t0 as usize);
+    for tick in 0..3 * t0 {
+        exact.insert(values(tick));
+    }
+    for &s1 in &[32usize, 128] {
+        let mut acc = OnlineMoments::new();
+        let mut err = OnlineMoments::new();
+        for seed in 0..20u64 {
+            let mut est = TsMomentEstimator::new(t0, 2, s1, 3, 0.05, SmallRng::seed_from_u64(seed));
+            for tick in 0..3 * t0 {
+                est.advance_time(tick);
+                est.insert(values(tick));
+            }
+            let e = est.estimate().expect("nonempty");
+            acc.push(e);
+            err.push((e - exact.moment(2)).abs() / exact.moment(2));
+        }
+        table_row(&[
+            "F2".into(),
+            format!("{s1}×3"),
+            f3(exact.moment(2)),
+            f3(acc.mean()),
+            pct(err.mean()),
+        ]);
+    }
+    for &s1 in &[32usize, 128] {
+        let mut acc = OnlineMoments::new();
+        let mut err = OnlineMoments::new();
+        for seed in 0..20u64 {
+            let mut est = TsEntropyEstimator::new(t0, s1, 3, 0.05, SmallRng::seed_from_u64(seed));
+            for tick in 0..3 * t0 {
+                est.advance_time(tick);
+                est.insert(values(tick));
+            }
+            let e = est.estimate().expect("nonempty");
+            acc.push(e);
+            err.push((e - exact.entropy()).abs() / exact.entropy());
+        }
+        table_row(&[
+            "entropy".into(),
+            format!("{s1}×3"),
+            f3(exact.entropy()),
+            f3(acc.mean()),
+            pct(err.mean()),
+        ]);
+    }
+    println!("(timestamp windows: the n(t) needed by both estimators comes from the DGIM");
+    println!(" counter — exact n is provably unavailable in sublinear space)");
+}

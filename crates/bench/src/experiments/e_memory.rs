@@ -1,0 +1,309 @@
+//! E6 / E7 / E8 — the head-to-head comparisons motivating the paper:
+//! deterministic vs randomized memory, per-element cost, and the failure
+//! probability of over-sampling.
+
+use crate::{f3, pct, table_header, table_row};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use swsample_baselines::{
+    ChainSampler, OverSampler, PrioritySampler, PriorityTopK, StreamReservoir, WindowBuffer,
+};
+use swsample_core::seq::{SeqSamplerWor, SeqSamplerWr};
+use swsample_core::ts::{TsSamplerWor, TsSamplerWr};
+use swsample_core::{MemoryWords, WindowSampler};
+use swsample_stats::Summary;
+use swsample_stream::WindowSpec;
+
+/// Collect {mean, p99, max} of the memory trajectory of a sequence sampler.
+fn seq_trace<S: WindowSampler<u64> + MemoryWords>(s: &mut S, len: u64, seed: u64) -> Summary {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut trace = Vec::with_capacity(len as usize);
+    for _ in 0..len {
+        s.insert(rng.gen_range(0..1_000_000u64));
+        trace.push(s.memory_words() as f64);
+    }
+    Summary::of(&trace)
+}
+
+fn ts_trace<S: WindowSampler<u64> + MemoryWords>(
+    s: &mut S,
+    ticks: u64,
+    per_tick: u64,
+    seed: u64,
+) -> Summary {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut trace = Vec::new();
+    for tick in 0..ticks {
+        s.advance_time(tick);
+        for _ in 0..per_tick {
+            s.insert(rng.gen_range(0..1_000_000u64));
+            trace.push(s.memory_words() as f64);
+        }
+    }
+    Summary::of(&trace)
+}
+
+/// E6: the paper's central claim in one table — our samplers' max equals
+/// their typical usage (deterministic), the baselines' max drifts far above
+/// their mean (randomized).
+pub fn e6_deterministic_vs_randomized() {
+    let (n, k, stream) = (1024u64, 8usize, 200_000u64);
+    table_header(
+        "E6a — sequence windows, n = 1024, k = 8, 200k elements: memory words",
+        &["algorithm", "mean", "p99", "max", "bound kind"],
+    );
+    let rows: Vec<(&str, Summary, &str)> = vec![
+        (
+            "SeqSamplerWr (Thm 2.1)",
+            seq_trace(
+                &mut SeqSamplerWr::new(n, k, SmallRng::seed_from_u64(1)),
+                stream,
+                2,
+            ),
+            "deterministic",
+        ),
+        (
+            "SeqSamplerWor (Thm 2.2)",
+            seq_trace(
+                &mut SeqSamplerWor::new(n, k, SmallRng::seed_from_u64(3)),
+                stream,
+                4,
+            ),
+            "deterministic",
+        ),
+        (
+            "ChainSampler (BDM'02)",
+            seq_trace(
+                &mut ChainSampler::new(n, k, SmallRng::seed_from_u64(5)),
+                stream,
+                6,
+            ),
+            "randomized",
+        ),
+        (
+            "OverSampler k'=2k (BDM'02)",
+            seq_trace(
+                &mut OverSampler::new(n, k, 2 * k, SmallRng::seed_from_u64(7)),
+                stream,
+                8,
+            ),
+            "randomized",
+        ),
+        (
+            "WindowBuffer (exact)",
+            seq_trace(
+                &mut WindowBuffer::new(WindowSpec::Sequence(n), k, SmallRng::seed_from_u64(9)),
+                stream,
+                10,
+            ),
+            "Θ(n)",
+        ),
+        (
+            "StreamReservoir (no window)",
+            seq_trace(
+                &mut StreamReservoir::new(k, SmallRng::seed_from_u64(11)),
+                stream,
+                12,
+            ),
+            "deterministic",
+        ),
+    ];
+    for (name, s, kind) in rows {
+        table_row(&[name.into(), f3(s.mean), f3(s.p99), f3(s.max), kind.into()]);
+    }
+
+    let (t0, per_tick, ticks) = (256u64, 4u64, 20_000u64);
+    table_header(
+        "E6b — timestamp windows, t0 = 256, 4/tick (n = 1024), k = 8: memory words",
+        &["algorithm", "mean", "p99", "max", "bound kind"],
+    );
+    let rows: Vec<(&str, Summary, &str)> = vec![
+        (
+            "TsSamplerWr (Thm 3.9)",
+            ts_trace(
+                &mut TsSamplerWr::new(t0, k, SmallRng::seed_from_u64(13)),
+                ticks,
+                per_tick,
+                14,
+            ),
+            "deterministic",
+        ),
+        (
+            "TsSamplerWor (Thm 4.4)",
+            ts_trace(
+                &mut TsSamplerWor::new(t0, k, SmallRng::seed_from_u64(15)),
+                ticks,
+                per_tick,
+                16,
+            ),
+            "deterministic",
+        ),
+        (
+            "PrioritySampler (BDM'02)",
+            ts_trace(
+                &mut PrioritySampler::new(t0, k, SmallRng::seed_from_u64(17)),
+                ticks,
+                per_tick,
+                18,
+            ),
+            "randomized",
+        ),
+        (
+            "PriorityTopK (GL'08)",
+            ts_trace(
+                &mut PriorityTopK::new(t0, k, SmallRng::seed_from_u64(19)),
+                ticks,
+                per_tick,
+                20,
+            ),
+            "randomized",
+        ),
+        (
+            "WindowBuffer (exact)",
+            ts_trace(
+                &mut WindowBuffer::new(WindowSpec::Timestamp(t0), k, SmallRng::seed_from_u64(21)),
+                ticks,
+                per_tick,
+                22,
+            ),
+            "Θ(n)",
+        ),
+    ];
+    for (name, s, kind) in rows {
+        table_row(&[name.into(), f3(s.mean), f3(s.p99), f3(s.max), kind.into()]);
+    }
+}
+
+/// E7: per-element processing cost (wall clock, coarse — the Criterion
+/// benches in `benches/` give the precise numbers).
+pub fn e7_throughput() {
+    use std::time::Instant;
+    let (n, k, stream) = (4096u64, 8usize, 400_000u64);
+    table_header(
+        "E7 — per-element insert cost, sequence windows (n = 4096, k = 8)",
+        &["algorithm", "ns/element (coarse)"],
+    );
+    let run = |name: &str, f: &mut dyn FnMut()| {
+        let start = Instant::now();
+        f();
+        let ns = start.elapsed().as_nanos() as f64 / stream as f64;
+        table_row(&[name.into(), f3(ns)]);
+    };
+    let mut rng = SmallRng::seed_from_u64(42);
+    let values: Vec<u64> = (0..stream).map(|_| rng.gen_range(0..1_000_000)).collect();
+
+    let mut s1 = SeqSamplerWr::new(n, k, SmallRng::seed_from_u64(1));
+    run("SeqSamplerWr", &mut || {
+        values.iter().for_each(|&v| s1.insert(v))
+    });
+    let mut s2 = SeqSamplerWor::new(n, k, SmallRng::seed_from_u64(2));
+    run("SeqSamplerWor", &mut || {
+        values.iter().for_each(|&v| s2.insert(v))
+    });
+    let mut s3 = ChainSampler::new(n, k, SmallRng::seed_from_u64(3));
+    run("ChainSampler", &mut || {
+        values.iter().for_each(|&v| s3.insert(v))
+    });
+    let mut s4 = OverSampler::new(n, k, 2 * k, SmallRng::seed_from_u64(4));
+    run("OverSampler k'=2k", &mut || {
+        values.iter().for_each(|&v| s4.insert(v))
+    });
+    let mut s5 = StreamReservoir::new(k, SmallRng::seed_from_u64(5));
+    run("StreamReservoir", &mut || {
+        values.iter().for_each(|&v| s5.insert(v))
+    });
+
+    let (t0, per_tick) = (1024u64, 4u64);
+    table_header(
+        "E7b — per-element insert cost, timestamp windows (t0 = 1024, 4/tick, k = 8)",
+        &["algorithm", "ns/element (coarse)"],
+    );
+    let ticks = stream / per_tick;
+    let run_ts = |name: &str, s: &mut dyn WindowSampler<u64>| {
+        let start = Instant::now();
+        let mut it = values.iter();
+        for tick in 0..ticks {
+            s.advance_time(tick);
+            for _ in 0..per_tick {
+                s.insert(*it.next().expect("enough values"));
+            }
+        }
+        let ns = start.elapsed().as_nanos() as f64 / stream as f64;
+        table_row(&[name.into(), f3(ns)]);
+    };
+    run_ts(
+        "TsSamplerWr",
+        &mut TsSamplerWr::new(t0, k, SmallRng::seed_from_u64(6)),
+    );
+    run_ts(
+        "TsSamplerWor",
+        &mut TsSamplerWor::new(t0, k, SmallRng::seed_from_u64(7)),
+    );
+    run_ts(
+        "PrioritySampler",
+        &mut PrioritySampler::new(t0, k, SmallRng::seed_from_u64(8)),
+    );
+    run_ts(
+        "PriorityTopK",
+        &mut PriorityTopK::new(t0, k, SmallRng::seed_from_u64(9)),
+    );
+}
+
+/// E8: failure probability of over-sampling — disadvantage (b) of §1.
+/// A failure is a query where fewer than `k` distinct elements are
+/// available among the `k'` maintained samples.
+pub fn e8_oversampling_failure() {
+    let (n, k) = (64u64, 8usize);
+    table_header(
+        "E8 — over-sampling failure probability (n = 64, k = 8, 4000 queries/row)",
+        &[
+            "k'",
+            "factor",
+            "measured P(fail)",
+            "occupancy-model P(fail)",
+        ],
+    );
+    for &factor in &[1.0f64, 1.5, 2.0, 4.0] {
+        let k_prime = ((k as f64) * factor).ceil() as usize;
+        let trials = 4_000u64;
+        let mut failures = 0u64;
+        for t in 0..trials {
+            let mut s = OverSampler::new(n, k, k_prime, SmallRng::seed_from_u64(t));
+            // Random query offset to average over window phases.
+            let stop = 2 * n + (t % n);
+            for i in 0..stop {
+                s.insert(i);
+            }
+            if s.try_sample_k().is_err() {
+                failures += 1;
+            }
+        }
+        // Occupancy model: k' independent uniform draws from n values; fail
+        // when fewer than k distinct. Monte-Carlo with a fresh seed stream.
+        let mut rng = SmallRng::seed_from_u64(99_999);
+        let mut model_failures = 0u64;
+        let model_trials = 40_000u64;
+        for _ in 0..model_trials {
+            let mut seen = vec![false; n as usize];
+            let mut distinct = 0;
+            for _ in 0..k_prime {
+                let v = rng.gen_range(0..n) as usize;
+                if !seen[v] {
+                    seen[v] = true;
+                    distinct += 1;
+                }
+            }
+            if distinct < k {
+                model_failures += 1;
+            }
+        }
+        table_row(&[
+            k_prime.to_string(),
+            format!("{factor:.1}"),
+            pct(failures as f64 / trials as f64),
+            pct(model_failures as f64 / model_trials as f64),
+        ]);
+    }
+    println!("(the paper's point: no finite k' drives the failure probability to 0,");
+    println!(" while Theorem 2.2 needs no over-sampling at all)");
+}

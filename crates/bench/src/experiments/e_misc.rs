@@ -1,0 +1,110 @@
+//! E12 / E14 — structural properties: independence of disjoint windows
+//! (§1.3.4) and the step-biased sampling extension (§5).
+
+use crate::{f3, table_header, table_row};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use swsample_apps::biased::{BiasStep, StepBiasedSampler};
+use swsample_core::seq::SeqSamplerWr;
+use swsample_core::WindowSampler;
+use swsample_stats::{chi_square_test, chi_square_uniform_test};
+
+/// E12: samples taken over non-overlapping windows are independent
+/// (§1.3.4) — the joint distribution over the two window positions must be
+/// the product of uniforms.
+pub fn e12_independence() {
+    let n = 8u64;
+    let trials = 60_000u64;
+    let mut joint = vec![0u64; (n * n) as usize];
+    for t in 0..trials {
+        let mut s = SeqSamplerWr::new(n, 1, SmallRng::seed_from_u64(2_000_000 + t));
+        // First window: arrivals 0..8 -> query; second: arrivals 8..16
+        // (disjoint) -> query.
+        for i in 0..n {
+            s.insert(i);
+        }
+        let first = s.sample().expect("nonempty").index();
+        for i in n..2 * n {
+            s.insert(i);
+        }
+        let second = s.sample().expect("nonempty").index() - n;
+        joint[(first * n + second) as usize] += 1;
+    }
+    let out = chi_square_uniform_test(&joint);
+    table_header(
+        "E12 — §1.3.4 independence of disjoint windows (n = 8, 60k trials)",
+        &["joint cells", "chi² statistic", "dof", "p-value"],
+    );
+    table_row(&[
+        (n * n).to_string(),
+        f3(out.statistic),
+        out.dof.to_string(),
+        f3(out.p_value),
+    ]);
+    assert!(
+        out.p_value > 1e-5,
+        "E12: disjoint-window samples look dependent"
+    );
+}
+
+/// E14: step-biased sampling (§5) — realized age distribution vs the step
+/// specification.
+pub fn e14_step_biased() {
+    let steps = [
+        BiasStep {
+            window: 8,
+            weight: 2.0,
+        },
+        BiasStep {
+            window: 32,
+            weight: 1.0,
+        },
+        BiasStep {
+            window: 128,
+            weight: 1.0,
+        },
+    ];
+    let trials = 40_000u64;
+    let mut counts = vec![0u64; 128];
+    for t in 0..trials {
+        let mut s: StepBiasedSampler<u64, SmallRng> =
+            StepBiasedSampler::new(&steps, SmallRng::seed_from_u64(3_000_000 + t));
+        for i in 0..256u64 {
+            s.insert(i);
+        }
+        let mut rng = SmallRng::seed_from_u64(7_000_000 + t);
+        let got = s.sample(&mut rng).expect("nonempty");
+        counts[(255 - got.index()) as usize] += 1;
+    }
+    let spec: StepBiasedSampler<u64, SmallRng> =
+        StepBiasedSampler::new(&steps, SmallRng::seed_from_u64(0));
+    let probs: Vec<f64> = (0..128).map(|a| spec.step_probability(a)).collect();
+    let out = chi_square_test(&counts, &probs);
+    table_header(
+        "E14 — §5 step-biased sampling: realized vs specified age distribution",
+        &["ages", "spec steps", "chi² statistic", "p-value"],
+    );
+    table_row(&[
+        "0..128".into(),
+        format!("{:?}", [8u64, 32, 128]),
+        f3(out.statistic),
+        f3(out.p_value),
+    ]);
+    // Spot-check the three plateau levels.
+    let measured_level = |lo: usize, hi: usize| -> f64 {
+        let total: u64 = counts[lo..hi].iter().sum();
+        total as f64 / trials as f64 / (hi - lo) as f64
+    };
+    table_header(
+        "E14b — plateau levels (probability per age)",
+        &["age range", "specified", "measured"],
+    );
+    for (lo, hi) in [(0usize, 8usize), (8, 32), (32, 128)] {
+        table_row(&[
+            format!("{lo}..{hi}"),
+            f3(spec.step_probability(lo as u64)),
+            f3(measured_level(lo, hi)),
+        ]);
+    }
+    assert!(out.p_value > 1e-5, "E14: biased sampler off specification");
+}

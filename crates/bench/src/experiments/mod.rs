@@ -1,0 +1,46 @@
+//! The experiment suite regenerating the paper's evaluation.
+//!
+//! One function per experiment; each prints a table (see `EXPERIMENTS.md`
+//! for the experiment ↔ claim mapping and the expected-vs-measured record).
+//! All experiments are deterministic given their internal seeds.
+
+pub mod e_apps;
+pub mod e_ext;
+pub mod e_memory;
+pub mod e_misc;
+pub mod e_seq;
+pub mod e_ts;
+
+/// Run an experiment by id (`"e1"`…`"e14"`); `"all"` runs the full suite.
+/// Returns `false` for unknown ids.
+pub fn run(id: &str) -> bool {
+    match id {
+        "e1" => e_seq::e1_seq_wr(),
+        "e2" => e_seq::e2_seq_wor(),
+        "e3" => e_ts::e3_ts_wr(),
+        "e4" => e_ts::e4_lower_bound(),
+        "e5" => e_ts::e5_ts_wor(),
+        "e6" => e_memory::e6_deterministic_vs_randomized(),
+        "e7" => e_memory::e7_throughput(),
+        "e8" => e_memory::e8_oversampling_failure(),
+        "e9" => e_apps::e9_frequency_moments(),
+        "e10" => e_apps::e10_triangles(),
+        "e11" => e_apps::e11_entropy(),
+        "e12" => e_misc::e12_independence(),
+        "e14" => e_misc::e14_step_biased(),
+        "e15" => e_ext::e15_dgim_counter(),
+        "e16" => e_ext::e16_query_layer(),
+        "e17" => e_ext::e17_ts_applications(),
+        "all" => {
+            for id in [
+                "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e14",
+                "e15", "e16", "e17",
+            ] {
+                run(id);
+            }
+            return true;
+        }
+        _ => return false,
+    }
+    true
+}

@@ -1,0 +1,154 @@
+//! Shared harness for the experiment binary and the Criterion benches.
+//!
+//! Provides workload drivers that run any [`WindowSampler`] over a
+//! synthetic stream while recording its word-exact memory trajectory, plus
+//! small table-formatting helpers so every experiment prints rows in one
+//! consistent layout (recorded against expectations in `EXPERIMENTS.md`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use swsample_core::{MemoryWords, WindowSampler};
+use swsample_stats::Summary;
+
+/// Memory trajectory statistics of one sampler run (in words).
+#[derive(Debug, Clone)]
+pub struct MemoryProfile {
+    /// Mean footprint over the run.
+    pub mean: f64,
+    /// 99th percentile footprint.
+    pub p99: f64,
+    /// Worst-case footprint — the quantity the paper makes deterministic.
+    pub max: f64,
+}
+
+impl MemoryProfile {
+    fn from_trace(trace: &[f64]) -> Self {
+        let s = Summary::of(trace);
+        Self {
+            mean: s.mean,
+            p99: s.p99,
+            max: s.max,
+        }
+    }
+}
+
+/// Drive a sequence-window sampler over `len` uniform arrivals, sampling
+/// the memory footprint after every insert.
+pub fn profile_seq<S>(sampler: &mut S, len: u64, seed: u64) -> MemoryProfile
+where
+    S: WindowSampler<u64> + MemoryWords,
+{
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut trace = Vec::with_capacity(len as usize);
+    for _ in 0..len {
+        sampler.insert(rng.gen_range(0..1_000_000));
+        trace.push(sampler.memory_words() as f64);
+    }
+    MemoryProfile::from_trace(&trace)
+}
+
+/// Drive a timestamp-window sampler for `ticks` ticks with `per_tick`
+/// arrivals each, profiling memory.
+pub fn profile_ts<S>(sampler: &mut S, ticks: u64, per_tick: u64, seed: u64) -> MemoryProfile
+where
+    S: WindowSampler<u64> + MemoryWords,
+{
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut trace = Vec::with_capacity((ticks * per_tick) as usize);
+    for tick in 0..ticks {
+        sampler.advance_time(tick);
+        for _ in 0..per_tick {
+            sampler.insert(rng.gen_range(0..1_000_000));
+            trace.push(sampler.memory_words() as f64);
+        }
+    }
+    MemoryProfile::from_trace(&trace)
+}
+
+/// Drive a timestamp-window sampler over the Lemma 3.10 adversarial
+/// schedule for window width `t0` (bursts capped at `cap`), profiling
+/// memory through the critical region `tick ≤ 2·t0 + 4`.
+pub fn profile_adversarial<S>(sampler: &mut S, t0: u64, cap: u64, seed: u64) -> MemoryProfile
+where
+    S: WindowSampler<u64> + MemoryWords,
+{
+    use swsample_stream::{AdversarialStream, UniformGen};
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut gen = AdversarialStream::new(UniformGen::new(1 << 20), t0, cap);
+    let mut trace = Vec::new();
+    let mut now = 0;
+    loop {
+        let ev = gen.next_event(&mut rng);
+        if ev.timestamp > 2 * t0 + 4 {
+            break;
+        }
+        if ev.timestamp > now {
+            now = ev.timestamp;
+            sampler.advance_time(now);
+        }
+        sampler.insert(ev.value);
+        trace.push(sampler.memory_words() as f64);
+    }
+    MemoryProfile::from_trace(&trace)
+}
+
+/// Print a table header: a title line, a `|`-separated header row, and a
+/// dashed rule sized to it.
+pub fn table_header(title: &str, columns: &[&str]) {
+    println!();
+    println!("### {title}");
+    let head = columns.join(" | ");
+    println!("| {head} |");
+    let rule: Vec<String> = columns.iter().map(|c| "-".repeat(c.len().max(3))).collect();
+    println!("| {} |", rule.join(" | "));
+}
+
+/// Print one table row.
+pub fn table_row(cells: &[String]) {
+    println!("| {} |", cells.join(" | "));
+}
+
+/// Format a float with 3 significant decimals.
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Format a float as a percentage.
+pub fn pct(x: f64) -> String {
+    format!("{:.2}%", 100.0 * x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swsample_core::seq::SeqSamplerWr;
+
+    #[test]
+    fn profile_seq_reports_bounded_memory() {
+        let mut s = SeqSamplerWr::new(128, 4, SmallRng::seed_from_u64(1));
+        let p = profile_seq(&mut s, 1000, 2);
+        assert!(p.max <= (4 * 6 + 2) as f64);
+        assert!(p.mean <= p.p99 && p.p99 <= p.max);
+    }
+
+    #[test]
+    fn profile_ts_runs() {
+        use swsample_core::ts::TsSamplerWr;
+        let mut s = TsSamplerWr::new(32, 2, SmallRng::seed_from_u64(3));
+        let p = profile_ts(&mut s, 100, 4, 4);
+        assert!(p.max > 0.0);
+    }
+
+    #[test]
+    fn adversarial_profile_runs() {
+        use swsample_core::ts::TsSamplerWr;
+        let mut s = TsSamplerWr::new(4, 1, SmallRng::seed_from_u64(5));
+        let p = profile_adversarial(&mut s, 4, 1 << 12, 6);
+        assert!(p.max > 0.0);
+    }
+}
+
+pub mod experiments;

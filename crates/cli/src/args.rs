@@ -1,0 +1,157 @@
+//! Minimal dependency-free argument parsing for the `swsample` CLI.
+//!
+//! Hand-rolled on purpose: the workspace's dependency policy (DESIGN.md §6)
+//! keeps the runtime surface to `rand`, and a flag parser is forty lines.
+
+use std::collections::HashMap;
+
+/// Parsed command line: a subcommand plus `--flag value` pairs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Args {
+    /// The subcommand (first non-flag argument).
+    pub command: String,
+    flags: HashMap<String, String>,
+}
+
+/// Parsing failure with a user-facing message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArgError(pub String);
+
+impl std::fmt::Display for ArgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+impl Args {
+    /// Parse `argv` (without the program name).
+    pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Self, ArgError> {
+        let mut it = argv.into_iter();
+        let command = match it.next() {
+            Some(c) if !c.starts_with('-') => c,
+            Some(c) => return Err(ArgError(format!("expected a subcommand, got flag `{c}`"))),
+            None => return Err(ArgError("missing subcommand".into())),
+        };
+        let mut flags = HashMap::new();
+        while let Some(tok) = it.next() {
+            let name = tok
+                .strip_prefix("--")
+                .ok_or_else(|| ArgError(format!("expected `--flag`, got `{tok}`")))?;
+            if name.is_empty() {
+                return Err(ArgError("empty flag name".into()));
+            }
+            // `--flag=value` or `--flag value`; bare flags get "true".
+            if let Some((k, v)) = name.split_once('=') {
+                flags.insert(k.to_string(), v.to_string());
+            } else {
+                match it.next() {
+                    Some(v) if !v.starts_with("--") => {
+                        flags.insert(name.to_string(), v);
+                    }
+                    Some(v) => {
+                        flags.insert(name.to_string(), "true".into());
+                        // Re-process the lookahead as a flag.
+                        let name2 = v.strip_prefix("--").expect("checked");
+                        if let Some((k, val)) = name2.split_once('=') {
+                            flags.insert(k.to_string(), val.to_string());
+                        } else if let Some(val) = it.next() {
+                            flags.insert(name2.to_string(), val);
+                        } else {
+                            flags.insert(name2.to_string(), "true".into());
+                        }
+                    }
+                    None => {
+                        flags.insert(name.to_string(), "true".into());
+                    }
+                }
+            }
+        }
+        Ok(Self { command, flags })
+    }
+
+    /// Required flag as a parsed value.
+    pub fn require<T: std::str::FromStr>(&self, name: &str) -> Result<T, ArgError> {
+        let raw = self
+            .flags
+            .get(name)
+            .ok_or_else(|| ArgError(format!("missing required flag --{name}")))?;
+        raw.parse()
+            .map_err(|_| ArgError(format!("--{name}: cannot parse `{raw}`")))
+    }
+
+    /// Optional flag with a default.
+    pub fn get_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, ArgError> {
+        match self.flags.get(name) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| ArgError(format!("--{name}: cannot parse `{raw}`"))),
+        }
+    }
+
+    /// Boolean flag (present, `=true`, or `=1`).
+    pub fn has(&self, name: &str) -> bool {
+        matches!(
+            self.flags.get(name).map(String::as_str),
+            Some("true") | Some("1")
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_subcommand_and_flags() {
+        let a = Args::parse(argv("seq --window 100 --k 5")).expect("parse");
+        assert_eq!(a.command, "seq");
+        assert_eq!(a.require::<u64>("window").expect("window"), 100);
+        assert_eq!(a.require::<usize>("k").expect("k"), 5);
+    }
+
+    #[test]
+    fn equals_syntax() {
+        let a = Args::parse(argv("ts --window=60 --epsilon=0.05")).expect("parse");
+        assert_eq!(a.require::<u64>("window").expect("window"), 60);
+        assert!((a.require::<f64>("epsilon").expect("eps") - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bare_boolean_flags() {
+        let a = Args::parse(argv("seq --wor --window 10")).expect("parse");
+        assert!(a.has("wor"));
+        assert_eq!(a.require::<u64>("window").expect("window"), 10);
+        assert!(!a.has("missing"));
+    }
+
+    #[test]
+    fn trailing_bare_flag() {
+        let a = Args::parse(argv("seq --window 10 --wor")).expect("parse");
+        assert!(a.has("wor"));
+    }
+
+    #[test]
+    fn defaults() {
+        let a = Args::parse(argv("seq")).expect("parse");
+        assert_eq!(a.get_or::<usize>("k", 7).expect("default"), 7);
+    }
+
+    #[test]
+    fn missing_subcommand_is_error() {
+        assert!(Args::parse(argv("")).is_err());
+        assert!(Args::parse(argv("--window 5")).is_err());
+    }
+
+    #[test]
+    fn unparseable_value_is_error() {
+        let a = Args::parse(argv("seq --window ten")).expect("parse");
+        assert!(a.require::<u64>("window").is_err());
+    }
+}

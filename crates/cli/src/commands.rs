@@ -1,0 +1,415 @@
+//! The CLI subcommands, written against generic readers/writers so the
+//! tests can drive them end-to-end in memory.
+//!
+//! Input formats:
+//! * `seq` — one value per line (arbitrary UTF-8 token).
+//! * `ts` — `<timestamp> <value>` per line, non-decreasing timestamps.
+//! * `agg` — `<timestamp> <numeric value>` per line.
+//! * `gen` — no input; emits a synthetic workload for piping.
+
+use crate::args::{ArgError, Args};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::io::{BufRead, Write};
+use swsample_core::seq::{SeqSamplerWor, SeqSamplerWr};
+use swsample_core::ts::{TsSamplerWor, TsSamplerWr};
+use swsample_core::{MemoryWords, WindowSampler};
+use swsample_query::TsAggregator;
+use swsample_stream::{BurstyArrivals, SteadyArrivals, UniformGen, ZipfGen};
+
+/// Run one subcommand against the given input/output. Returns an error
+/// message suitable for the user.
+pub fn run(args: &Args, input: &mut dyn BufRead, out: &mut dyn Write) -> Result<(), String> {
+    let res = match args.command.as_str() {
+        "seq" => cmd_seq(args, input, out),
+        "ts" => cmd_ts(args, input, out),
+        "agg" => cmd_agg(args, input, out),
+        "gen" => cmd_gen(args, out),
+        "help" | "--help" => write_help(out).map_err(|e| ArgError(e.to_string())),
+        other => Err(ArgError(format!(
+            "unknown subcommand `{other}` (try `help`)"
+        ))),
+    };
+    res.map_err(|e| e.to_string())
+}
+
+/// Usage text.
+pub fn write_help(out: &mut dyn Write) -> std::io::Result<()> {
+    writeln!(
+        out,
+        "swsample — uniform random sampling from sliding windows\n\
+         (Braverman–Ostrovsky–Zaniolo, PODS 2009)\n\n\
+         USAGE: swsample <COMMAND> [--flag value]...\n\n\
+         COMMANDS\n\
+           seq   sample the last N lines of stdin\n\
+                 --window N [--k K] [--wor] [--report-every M] [--seed S]\n\
+           ts    sample a timestamped stream (`<ts> <value>` lines)\n\
+                 --window T0 [--k K] [--wor] [--report-every M] [--seed S]\n\
+           agg   approximate aggregates over a timestamped numeric stream\n\
+                 --window T0 [--k K] [--epsilon E] [--report-every M] [--seed S]\n\
+           gen   emit a synthetic workload (pipe into the other commands)\n\
+                 --kind uniform|zipf|bursty --count N [--domain D] [--theta T]\n\
+                 [--max-burst B] [--seed S]\n\
+           help  this text"
+    )
+}
+
+fn cmd_seq(args: &Args, input: &mut dyn BufRead, out: &mut dyn Write) -> Result<(), ArgError> {
+    let window: u64 = args.require("window")?;
+    let k: usize = args.get_or("k", 1)?;
+    let every: u64 = args.get_or("report-every", 0)?;
+    let seed: u64 = args.get_or("seed", 42)?;
+    let wor = args.has("wor");
+    let io_err = |e: std::io::Error| ArgError(format!("io error: {e}"));
+
+    let mut wr = (!wor).then(|| SeqSamplerWr::new(window, k, SmallRng::seed_from_u64(seed)));
+    let mut wo = wor.then(|| SeqSamplerWor::new(window, k, SmallRng::seed_from_u64(seed)));
+    let mut count = 0u64;
+    for line in input.lines() {
+        let value = line.map_err(io_err)?;
+        if value.is_empty() {
+            continue;
+        }
+        if let Some(s) = wr.as_mut() {
+            s.insert(value.clone());
+        }
+        if let Some(s) = wo.as_mut() {
+            s.insert(value);
+        }
+        count += 1;
+        if every > 0 && count.is_multiple_of(every) {
+            report_seq(out, count, &mut wr, &mut wo).map_err(io_err)?;
+        }
+    }
+    if count == 0 {
+        return Err(ArgError("no input".into()));
+    }
+    report_seq(out, count, &mut wr, &mut wo).map_err(io_err)?;
+    let words = wr
+        .as_ref()
+        .map(|s| s.memory_words())
+        .or(wo.as_ref().map(|s| s.memory_words()));
+    writeln!(
+        out,
+        "# memory: {} words (deterministic)",
+        words.expect("one sampler")
+    )
+    .map_err(io_err)?;
+    Ok(())
+}
+
+fn report_seq(
+    out: &mut dyn Write,
+    count: u64,
+    wr: &mut Option<SeqSamplerWr<String, SmallRng>>,
+    wo: &mut Option<SeqSamplerWor<String, SmallRng>>,
+) -> std::io::Result<()> {
+    let samples = match (wr, wo) {
+        (Some(s), _) => s.sample_k(),
+        (_, Some(s)) => s.sample_k(),
+        _ => unreachable!("one sampler is always configured"),
+    };
+    if let Some(samples) = samples {
+        let rendered: Vec<String> = samples
+            .iter()
+            .map(|s| format!("{}@{}", s.value(), s.index()))
+            .collect();
+        writeln!(out, "{count}\t{}", rendered.join(" "))?;
+    }
+    Ok(())
+}
+
+/// Parse a `<ts> <rest>` line.
+fn split_timestamped(line: &str) -> Result<(u64, &str), ArgError> {
+    let mut parts = line.splitn(2, char::is_whitespace);
+    let ts: u64 = parts
+        .next()
+        .and_then(|t| t.parse().ok())
+        .ok_or_else(|| ArgError(format!("bad timestamp in line `{line}`")))?;
+    let rest = parts.next().unwrap_or("").trim();
+    if rest.is_empty() {
+        return Err(ArgError(format!("missing value in line `{line}`")));
+    }
+    Ok((ts, rest))
+}
+
+fn cmd_ts(args: &Args, input: &mut dyn BufRead, out: &mut dyn Write) -> Result<(), ArgError> {
+    let window: u64 = args.require("window")?;
+    let k: usize = args.get_or("k", 1)?;
+    let every: u64 = args.get_or("report-every", 0)?;
+    let seed: u64 = args.get_or("seed", 42)?;
+    let wor = args.has("wor");
+    let io_err = |e: std::io::Error| ArgError(format!("io error: {e}"));
+
+    let mut wr = (!wor).then(|| TsSamplerWr::new(window, k, SmallRng::seed_from_u64(seed)));
+    let mut wo = wor.then(|| TsSamplerWor::new(window, k, SmallRng::seed_from_u64(seed)));
+    let mut count = 0u64;
+    for line in input.lines() {
+        let line = line.map_err(io_err)?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (ts, value) = split_timestamped(&line)?;
+        if let Some(s) = wr.as_mut() {
+            s.advance_time(ts);
+            s.insert(value.to_string());
+        }
+        if let Some(s) = wo.as_mut() {
+            s.advance_time(ts);
+            s.insert(value.to_string());
+        }
+        count += 1;
+        if every > 0 && count.is_multiple_of(every) {
+            report_ts(out, count, &mut wr, &mut wo).map_err(io_err)?;
+        }
+    }
+    if count == 0 {
+        return Err(ArgError("no input".into()));
+    }
+    report_ts(out, count, &mut wr, &mut wo).map_err(io_err)?;
+    let words = wr
+        .as_ref()
+        .map(|s| s.memory_words())
+        .or(wo.as_ref().map(|s| s.memory_words()));
+    writeln!(
+        out,
+        "# memory: {} words (deterministic O(k log n))",
+        words.expect("one sampler")
+    )
+    .map_err(io_err)?;
+    Ok(())
+}
+
+fn report_ts(
+    out: &mut dyn Write,
+    count: u64,
+    wr: &mut Option<TsSamplerWr<String, SmallRng>>,
+    wo: &mut Option<TsSamplerWor<String, SmallRng>>,
+) -> std::io::Result<()> {
+    let samples = match (wr, wo) {
+        (Some(s), _) => s.sample_k(),
+        (_, Some(s)) => s.sample_k(),
+        _ => unreachable!("one sampler is always configured"),
+    };
+    match samples {
+        Some(samples) => {
+            let rendered: Vec<String> = samples
+                .iter()
+                .map(|s| format!("{}@t{}", s.value(), s.timestamp()))
+                .collect();
+            writeln!(out, "{count}\t{}", rendered.join(" "))
+        }
+        None => writeln!(out, "{count}\t(window empty)"),
+    }
+}
+
+fn cmd_agg(args: &Args, input: &mut dyn BufRead, out: &mut dyn Write) -> Result<(), ArgError> {
+    let window: u64 = args.require("window")?;
+    let k: usize = args.get_or("k", 64)?;
+    let epsilon: f64 = args.get_or("epsilon", 0.05)?;
+    let every: u64 = args.get_or("report-every", 0)?;
+    let seed: u64 = args.get_or("seed", 42)?;
+    let io_err = |e: std::io::Error| ArgError(format!("io error: {e}"));
+
+    let mut agg = TsAggregator::new(window, k, epsilon, SmallRng::seed_from_u64(seed));
+    let mut count = 0u64;
+    for line in input.lines() {
+        let line = line.map_err(io_err)?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (ts, rest) = split_timestamped(&line)?;
+        let value: u64 = rest
+            .parse()
+            .map_err(|_| ArgError(format!("bad numeric value `{rest}`")))?;
+        agg.advance_time(ts);
+        agg.insert(value);
+        count += 1;
+        if every > 0 && count.is_multiple_of(every) {
+            report_agg(out, count, &mut agg).map_err(io_err)?;
+        }
+    }
+    if count == 0 {
+        return Err(ArgError("no input".into()));
+    }
+    report_agg(out, count, &mut agg).map_err(io_err)?;
+    writeln!(out, "# memory: {} words", agg.memory_words()).map_err(io_err)?;
+    Ok(())
+}
+
+fn report_agg(
+    out: &mut dyn Write,
+    count: u64,
+    agg: &mut TsAggregator<SmallRng>,
+) -> std::io::Result<()> {
+    match (agg.estimate(), agg.quantile(0.5), agg.quantile(0.99)) {
+        (Some(est), Some(p50), Some(p99)) => writeln!(
+            out,
+            "{count}\tcount~{:.0}\tmean~{:.2}\tsum~{:.0}\tp50~{p50}\tp99~{p99}",
+            est.count, est.mean, est.sum
+        ),
+        _ => writeln!(out, "{count}\t(window empty)"),
+    }
+}
+
+fn cmd_gen(args: &Args, out: &mut dyn Write) -> Result<(), ArgError> {
+    let kind: String = args.require("kind")?;
+    let count: u64 = args.require("count")?;
+    let domain: u64 = args.get_or("domain", 1000)?;
+    let seed: u64 = args.get_or("seed", 42)?;
+    let io_err = |e: std::io::Error| ArgError(format!("io error: {e}"));
+    let mut rng = SmallRng::seed_from_u64(seed);
+    match kind.as_str() {
+        "uniform" => {
+            let mut gen = SteadyArrivals::new(UniformGen::new(domain));
+            for _ in 0..count {
+                let ev = gen.next_event(&mut rng);
+                writeln!(out, "{} {}", ev.timestamp, ev.value).map_err(io_err)?;
+            }
+        }
+        "zipf" => {
+            let theta: f64 = args.get_or("theta", 1.1)?;
+            let mut gen = SteadyArrivals::new(ZipfGen::new(domain, theta));
+            for _ in 0..count {
+                let ev = gen.next_event(&mut rng);
+                writeln!(out, "{} {}", ev.timestamp, ev.value).map_err(io_err)?;
+            }
+        }
+        "bursty" => {
+            let max_burst: u64 = args.get_or("max-burst", 8)?;
+            let mut gen = BurstyArrivals::new(UniformGen::new(domain), max_burst);
+            for _ in 0..count {
+                let ev = gen.next_event(&mut rng);
+                writeln!(out, "{} {}", ev.timestamp, ev.value).map_err(io_err)?;
+            }
+        }
+        other => return Err(ArgError(format!("unknown workload kind `{other}`"))),
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::Args;
+    use std::io::Cursor;
+
+    fn run_cmd(cmdline: &str, input: &str) -> Result<String, String> {
+        let args =
+            Args::parse(cmdline.split_whitespace().map(String::from)).map_err(|e| e.to_string())?;
+        let mut out = Vec::new();
+        let mut cur = Cursor::new(input.as_bytes().to_vec());
+        run(&args, &mut cur, &mut out).map(|()| String::from_utf8(out).expect("utf8"))
+    }
+
+    #[test]
+    fn seq_samples_from_window() {
+        let input: String = (0..100).map(|i| format!("v{i}\n")).collect();
+        let out = run_cmd("seq --window 10 --k 3 --seed 1", &input).expect("runs");
+        // Final report: all samples from v90..v99.
+        let line = out.lines().next().expect("report line");
+        assert!(line.starts_with("100\t"));
+        for tok in line.split_whitespace().skip(1) {
+            let idx: u64 = tok
+                .split('@')
+                .nth(1)
+                .expect("@index")
+                .parse()
+                .expect("index");
+            assert!(idx >= 90, "sample {tok} outside window");
+        }
+        assert!(out.contains("# memory:"));
+    }
+
+    #[test]
+    fn seq_wor_distinct() {
+        let input: String = (0..50).map(|i| format!("{i}\n")).collect();
+        let out = run_cmd("seq --window 20 --k 5 --wor --seed 2", &input).expect("runs");
+        let line = out.lines().next().expect("report");
+        let idx: Vec<&str> = line.split_whitespace().skip(1).collect();
+        assert_eq!(idx.len(), 5);
+        let mut set: Vec<&str> = idx.clone();
+        set.sort_unstable();
+        set.dedup();
+        assert_eq!(set.len(), 5, "duplicates in WOR output");
+    }
+
+    #[test]
+    fn ts_respects_window() {
+        let mut input = String::new();
+        for t in 0..100u64 {
+            input.push_str(&format!("{t} item{t}\n"));
+        }
+        let out = run_cmd("ts --window 5 --k 2 --seed 3", &input).expect("runs");
+        let line = out.lines().next().expect("report");
+        for tok in line.split_whitespace().skip(1) {
+            let ts: u64 = tok.split("@t").nth(1).expect("@t").parse().expect("ts");
+            assert!(ts >= 95, "expired sample {tok}");
+        }
+    }
+
+    #[test]
+    fn agg_reports_estimates() {
+        let mut input = String::new();
+        for t in 0..200u64 {
+            input.push_str(&format!("{t} {}\n", t % 10));
+        }
+        let out = run_cmd("agg --window 50 --k 16 --seed 4", &input).expect("runs");
+        assert!(out.contains("count~"), "{out}");
+        assert!(out.contains("p99~"));
+    }
+
+    #[test]
+    fn gen_produces_parseable_workload() {
+        let out = run_cmd("gen --kind zipf --count 50 --domain 10 --seed 5", "").expect("runs");
+        assert_eq!(out.lines().count(), 50);
+        for line in out.lines() {
+            let (_ts, v) = split_timestamped(line).expect("parse");
+            let v: u64 = v.parse().expect("numeric");
+            assert!(v < 10);
+        }
+    }
+
+    #[test]
+    fn gen_pipes_into_ts() {
+        let workload =
+            run_cmd("gen --kind bursty --count 200 --domain 100 --seed 6", "").expect("gen");
+        let out = run_cmd("ts --window 10 --k 3 --wor --seed 7", &workload).expect("ts");
+        assert!(out.lines().next().expect("report").starts_with("200\t"));
+    }
+
+    #[test]
+    fn periodic_reports() {
+        let input: String = (0..100).map(|i| format!("{i}\n")).collect();
+        let out =
+            run_cmd("seq --window 10 --k 1 --report-every 25 --seed 8", &input).expect("runs");
+        // Reports at 25, 50, 75, 100 + final (100 repeats) + memory line.
+        let reports = out.lines().filter(|l| !l.starts_with('#')).count();
+        assert_eq!(reports, 5);
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(run_cmd("seq", "").is_err(), "missing --window");
+        assert!(
+            run_cmd("nope --window 5", "").is_err(),
+            "unknown subcommand"
+        );
+        assert!(
+            run_cmd("ts --window 5", "not-a-ts x\n").is_err(),
+            "bad timestamp"
+        );
+        assert!(run_cmd("seq --window 5", "").is_err(), "empty input");
+        assert!(
+            run_cmd("gen --kind weird --count 5", "").is_err(),
+            "unknown kind"
+        );
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let out = run_cmd("help", "").expect("help");
+        assert!(out.contains("USAGE"));
+        assert!(out.contains("seq"));
+    }
+}

@@ -1,0 +1,42 @@
+//! `swsample` — uniform random sampling from sliding windows, on the
+//! command line.
+//!
+//! ```sh
+//! # keep 5 distinct uniform samples of the last 1000 log lines
+//! tail -f app.log | swsample seq --window 1000 --k 5 --wor --report-every 100
+//!
+//! # sample a timestamped stream over the last 60 ticks
+//! swsample gen --kind bursty --count 10000 | swsample ts --window 60 --k 3
+//!
+//! # approximate count/mean/quantiles over a 300-tick window
+//! swsample gen --kind zipf --count 100000 --domain 1000 \
+//!   | swsample agg --window 300 --k 128 --epsilon 0.05
+//! ```
+
+mod args;
+mod commands;
+
+use std::io::Write;
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let stdout = std::io::stdout();
+    let mut out = std::io::BufWriter::new(stdout.lock());
+    let args = match args::Args::parse(argv) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("swsample: {e}");
+            let _ = commands::write_help(&mut out);
+            let _ = out.flush();
+            std::process::exit(2);
+        }
+    };
+    let stdin = std::io::stdin();
+    let mut input = stdin.lock();
+    if let Err(e) = commands::run(&args, &mut input, &mut out) {
+        let _ = out.flush();
+        eprintln!("swsample: {e}");
+        std::process::exit(1);
+    }
+    let _ = out.flush();
+}

@@ -1,0 +1,80 @@
+//! Exact randomness primitives shared by the samplers.
+//!
+//! The implicit-event probabilities of §3.3 (`α/β`,
+//! `αβ/((β+i)(β+i−1))`) are ratios of 64-bit integers. Generating them
+//! through `f64` would introduce platform-dependent rounding into the very
+//! distribution the paper proves exact, so we generate them with exact
+//! 128-bit integer comparisons instead.
+
+use rand::Rng;
+
+/// Bernoulli event with probability exactly `num / den`.
+///
+/// # Panics
+/// Panics (debug) if `num > den` or `den == 0`.
+pub(crate) fn bernoulli_ratio<R: Rng>(rng: &mut R, num: u128, den: u128) -> bool {
+    debug_assert!(den > 0, "bernoulli_ratio: zero denominator");
+    debug_assert!(num <= den, "bernoulli_ratio: p = {num}/{den} > 1");
+    if num == den {
+        return true;
+    }
+    if num == 0 {
+        return false;
+    }
+    rng.gen_range(0..den) < num
+}
+
+/// `⌊log₂ x⌋` for `x ≥ 1`.
+pub(crate) fn floor_log2(x: u64) -> u32 {
+    debug_assert!(x >= 1, "floor_log2: x must be >= 1");
+    63 - x.leading_zeros()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn floor_log2_values() {
+        assert_eq!(floor_log2(1), 0);
+        assert_eq!(floor_log2(2), 1);
+        assert_eq!(floor_log2(3), 1);
+        assert_eq!(floor_log2(4), 2);
+        assert_eq!(floor_log2(7), 2);
+        assert_eq!(floor_log2(8), 3);
+        assert_eq!(floor_log2(u64::MAX), 63);
+    }
+
+    #[test]
+    fn bernoulli_degenerate() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        assert!(bernoulli_ratio(&mut rng, 5, 5));
+        assert!(!bernoulli_ratio(&mut rng, 0, 5));
+    }
+
+    #[test]
+    fn bernoulli_empirical_rate() {
+        let mut rng = SmallRng::seed_from_u64(42);
+        let trials = 200_000;
+        let hits = (0..trials)
+            .filter(|_| bernoulli_ratio(&mut rng, 3, 7))
+            .count();
+        let rate = hits as f64 / trials as f64;
+        assert!((rate - 3.0 / 7.0).abs() < 0.005, "rate = {rate}");
+    }
+
+    #[test]
+    fn bernoulli_huge_operands() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        // Must not overflow for operands near u64::MAX squared.
+        let den = (u64::MAX as u128) * (u64::MAX as u128);
+        let num = den / 2;
+        let hits = (0..4000)
+            .filter(|_| bernoulli_ratio(&mut rng, num, den))
+            .count();
+        let rate = hits as f64 / 4000.0;
+        assert!((rate - 0.5).abs() < 0.05, "rate = {rate}");
+    }
+}

@@ -1,0 +1,71 @@
+//! The unit of output: a sampled stream element with provenance.
+
+/// A stream element drawn by a sampler, carrying its value together with
+/// its arrival index and timestamp.
+///
+/// The index uniquely identifies the element within the stream (two
+/// occurrences of the same *value* are distinct elements), which is what
+/// "sampling without replacement" is defined over. For sequence-based
+/// windows the timestamp equals the index; for timestamp-based windows it
+/// is the arrival tick.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Sample<T> {
+    value: T,
+    index: u64,
+    timestamp: u64,
+}
+
+impl<T> Sample<T> {
+    /// Construct a sample record.
+    pub fn new(value: T, index: u64, timestamp: u64) -> Self {
+        Self {
+            value,
+            index,
+            timestamp,
+        }
+    }
+
+    /// The element's value.
+    pub fn value(&self) -> &T {
+        &self.value
+    }
+
+    /// Consume the sample, returning the value.
+    pub fn into_value(self) -> T {
+        self.value
+    }
+
+    /// Zero-based arrival position in the stream.
+    pub fn index(&self) -> u64 {
+        self.index
+    }
+
+    /// Arrival timestamp (equals [`Sample::index`] for sequence windows).
+    pub fn timestamp(&self) -> u64 {
+        self.timestamp
+    }
+
+    /// Memory footprint in the paper's word model: one word each for the
+    /// value, the index, and the timestamp.
+    pub const WORDS: usize = 3;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let s = Sample::new("x", 7, 3);
+        assert_eq!(*s.value(), "x");
+        assert_eq!(s.index(), 7);
+        assert_eq!(s.timestamp(), 3);
+        assert_eq!(s.into_value(), "x");
+    }
+
+    #[test]
+    fn equality_is_full_record() {
+        assert_eq!(Sample::new(1u64, 2, 3), Sample::new(1u64, 2, 3));
+        assert_ne!(Sample::new(1u64, 2, 3), Sample::new(1u64, 9, 3));
+    }
+}

@@ -1,0 +1,277 @@
+//! Sampling **without replacement** from sequence-based windows
+//! (Theorem 2.2).
+
+use crate::memory::MemoryWords;
+use crate::reservoir::ReservoirK;
+use crate::sample::Sample;
+use crate::traits::WindowSampler;
+use rand::Rng;
+
+/// A uniform `k`-sample *without replacement* over the last `n` arrivals —
+/// Theorem 2.2, `O(k)` memory words, deterministic.
+///
+/// Construction (§2.2): keep an independent reservoir `k`-sample per
+/// equivalent-width bucket. When the window straddles the complete bucket
+/// `U` and the partial bucket `V`, let `i` be the number of expired entries
+/// in `X_U`; the window sample is the non-expired part of `X_U` together
+/// with a uniform `i`-subset of `X_V` (a uniform sub-subset of a
+/// without-replacement sample is itself a without-replacement sample).
+///
+/// When fewer than `k` elements are active, the sample is *all* active
+/// elements.
+///
+/// ```
+/// use swsample_core::seq::SeqSamplerWor;
+/// use swsample_core::WindowSampler;
+/// use rand::{rngs::SmallRng, SeedableRng};
+///
+/// let mut s = SeqSamplerWor::new(100, 5, SmallRng::seed_from_u64(3));
+/// for i in 0..1_000u64 {
+///     s.insert(i);
+/// }
+/// let mut idx: Vec<u64> = s.sample_k().unwrap().iter().map(|x| x.index()).collect();
+/// idx.sort_unstable();
+/// idx.dedup();
+/// assert_eq!(idx.len(), 5);                      // distinct
+/// assert!(idx.iter().all(|&i| i >= 900));        // all in the window
+/// ```
+#[derive(Debug, Clone)]
+pub struct SeqSamplerWor<T, R> {
+    n: u64,
+    k: usize,
+    count: u64,
+    rng: R,
+    /// k-sample of the most recent complete bucket (`X_U`).
+    prev: Vec<Sample<T>>,
+    /// Reservoir over the partial bucket (`X_V`).
+    cur: ReservoirK<T>,
+}
+
+impl<T: Clone, R: Rng> SeqSamplerWor<T, R> {
+    /// Sampler for windows of the last `n ≥ 1` arrivals, maintaining a
+    /// `k ≥ 1`-sample without replacement.
+    pub fn new(n: u64, k: usize, rng: R) -> Self {
+        assert!(n >= 1, "SeqSamplerWor: window size must be at least 1");
+        assert!(k >= 1, "SeqSamplerWor: k must be at least 1");
+        Self {
+            n,
+            k,
+            count: 0,
+            rng,
+            prev: Vec::new(),
+            cur: ReservoirK::new(k),
+        }
+    }
+
+    /// Window size `n`.
+    pub fn window(&self) -> u64 {
+        self.n
+    }
+
+    /// Total arrivals observed.
+    pub fn len_seen(&self) -> u64 {
+        self.count
+    }
+
+    /// Insert the next arrival.
+    pub fn push(&mut self, value: T) {
+        let idx = self.count;
+        self.cur.insert(&mut self.rng, value, idx, idx);
+        self.count += 1;
+        if self.count.is_multiple_of(self.n) {
+            self.prev = self.cur.take();
+        }
+    }
+
+    /// Choose `i` distinct entries uniformly from `pool` (partial
+    /// Fisher–Yates).
+    fn choose_distinct(rng: &mut R, pool: &[Sample<T>], i: usize) -> Vec<Sample<T>> {
+        debug_assert!(i <= pool.len(), "choose_distinct: {i} > {}", pool.len());
+        let mut scratch: Vec<&Sample<T>> = pool.iter().collect();
+        let mut out = Vec::with_capacity(i);
+        for step in 0..i {
+            let j = rng.gen_range(step..scratch.len());
+            scratch.swap(step, j);
+            out.push(scratch[step].clone());
+        }
+        out
+    }
+}
+
+impl<T, R> MemoryWords for SeqSamplerWor<T, R> {
+    fn memory_words(&self) -> usize {
+        self.prev.len() * Sample::<T>::WORDS + self.cur.memory_words() + 3 // + (n, k, count)
+    }
+}
+
+impl<T: Clone, R: Rng> WindowSampler<T> for SeqSamplerWor<T, R> {
+    fn insert(&mut self, value: T) {
+        self.push(value);
+    }
+
+    fn sample(&mut self) -> Option<Sample<T>> {
+        self.sample_k().map(|mut v| {
+            let j = self.rng.gen_range(0..v.len());
+            v.swap_remove(j)
+        })
+    }
+
+    fn sample_k(&mut self) -> Option<Vec<Sample<T>>> {
+        if self.count == 0 {
+            return None;
+        }
+        if self.count < self.n {
+            // Warm-up: window = partial bucket; its reservoir *is* the
+            // k-sample (or all elements when fewer than k).
+            return Some(self.cur.entries().to_vec());
+        }
+        if self.count.is_multiple_of(self.n) {
+            // Window coincides with the complete bucket.
+            return Some(self.prev.clone());
+        }
+        let oldest_active = self.count - self.n;
+        // Split X_U into expired and retained parts.
+        let retained: Vec<Sample<T>> = self
+            .prev
+            .iter()
+            .filter(|s| s.index() >= oldest_active)
+            .cloned()
+            .collect();
+        let expired_count = self.prev.len() - retained.len();
+        if expired_count == 0 {
+            return Some(retained);
+        }
+        // Top up with a uniform expired_count-subset of X_V. The paper
+        // guarantees expired_count <= min(k, |V_a|) = |X_V| entries.
+        let top_up = Self::choose_distinct(&mut self.rng, self.cur.entries(), expired_count);
+        let mut out = retained;
+        out.extend(top_up);
+        Some(out)
+    }
+
+    fn k(&self) -> usize {
+        self.k
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use swsample_stats::chi_square_uniform_test;
+
+    fn drive(n: u64, k: usize, stop: u64, seed: u64) -> Vec<Sample<u64>> {
+        let mut s = SeqSamplerWor::new(n, k, SmallRng::seed_from_u64(seed));
+        for i in 0..stop {
+            s.insert(i);
+        }
+        s.sample_k().expect("nonempty")
+    }
+
+    #[test]
+    fn empty_returns_none() {
+        let mut s: SeqSamplerWor<u64, _> = SeqSamplerWor::new(5, 2, SmallRng::seed_from_u64(0));
+        assert!(s.sample_k().is_none());
+        assert!(s.sample().is_none());
+    }
+
+    #[test]
+    fn exactly_k_distinct_in_window() {
+        for &stop in &[9u64, 16, 17, 20, 31, 32, 33] {
+            for seed in 0..50 {
+                let out = drive(16, 5, stop, seed);
+                assert_eq!(out.len(), 5, "stop={stop}");
+                let lo = stop - 16.min(stop);
+                let mut idx: Vec<u64> = out.iter().map(|s| s.index()).collect();
+                idx.sort_unstable();
+                for w in idx.windows(2) {
+                    assert_ne!(w[0], w[1], "duplicate at stop={stop}");
+                }
+                for &i in &idx {
+                    assert!(
+                        i >= lo && i < stop,
+                        "index {i} outside window at stop={stop}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn returns_all_when_window_smaller_than_k() {
+        let out = drive(100, 10, 4, 1);
+        assert_eq!(out.len(), 4);
+        let mut idx: Vec<u64> = out.iter().map(|s| s.index()).collect();
+        idx.sort_unstable();
+        assert_eq!(idx, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn marginal_inclusion_is_k_over_n() {
+        // Every window element must appear with probability k/n; uniform
+        // over positions after conditioning on inclusion counts.
+        let (n, k) = (12u64, 3usize);
+        for &stop in &[12u64, 19, 24, 30] {
+            let trials = 20_000u64;
+            let mut counts = vec![0u64; n as usize];
+            for t in 0..trials {
+                for s in drive(n, k, stop, 7_000 + t) {
+                    counts[(s.index() - (stop - n)) as usize] += 1;
+                }
+            }
+            let out = chi_square_uniform_test(&counts);
+            assert!(
+                out.p_value > 1e-4,
+                "marginals at stop={stop}: p = {}",
+                out.p_value
+            );
+        }
+    }
+
+    #[test]
+    fn pairwise_inclusion_uniform() {
+        // Frequency of each unordered pair must be uniform across all pairs.
+        let (n, k, stop) = (6u64, 2usize, 9u64);
+        let trials = 30_000u64;
+        let mut counts = vec![0u64; (n * (n - 1) / 2) as usize];
+        for t in 0..trials {
+            let out = drive(n, k, stop, 40_000 + t);
+            let mut pos: Vec<u64> = out.iter().map(|s| s.index() - (stop - n)).collect();
+            pos.sort_unstable();
+            let (a, b) = (pos[0], pos[1]);
+            // Rank of pair (a,b), a<b, in lexicographic order.
+            let rank = a * n - a * (a + 1) / 2 + (b - a - 1);
+            counts[rank as usize] += 1;
+        }
+        let out = chi_square_uniform_test(&counts);
+        assert!(out.p_value > 1e-4, "pairs not uniform: p = {}", out.p_value);
+    }
+
+    #[test]
+    fn memory_is_o_of_k() {
+        let k = 7usize;
+        let cap = 2 * k * 3 + 16;
+        for &n in &[8u64, 512, 8192] {
+            let mut s = SeqSamplerWor::new(n, k, SmallRng::seed_from_u64(3));
+            for i in 0..4000u64 {
+                s.insert(i);
+                assert!(
+                    s.memory_words() <= cap,
+                    "n={n}: {} > {cap}",
+                    s.memory_words()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_sample_draws_from_the_k_set() {
+        let mut s = SeqSamplerWor::new(10, 3, SmallRng::seed_from_u64(4));
+        for i in 0..50u64 {
+            s.insert(i);
+        }
+        let one = s.sample().expect("nonempty");
+        assert!(one.index() >= 40 && one.index() < 50);
+    }
+}

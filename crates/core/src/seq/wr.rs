@@ -1,0 +1,341 @@
+//! Sampling **with replacement** from sequence-based windows (Theorem 2.1).
+
+use crate::memory::MemoryWords;
+use crate::sample::Sample;
+use crate::track::{NullTracker, SampleTracker};
+use crate::traits::WindowSampler;
+use rand::Rng;
+
+/// One independent single-sample instance: the reservoir candidate of the
+/// partial bucket plus the retained sample of the last complete bucket.
+#[derive(Debug, Clone)]
+struct Instance<T, S> {
+    /// Sample of the most recent complete bucket (the paper's `X_U`).
+    prev: Option<(Sample<T>, S)>,
+    /// Reservoir candidate of the partial bucket (the paper's `X_V`).
+    cur: Option<(Sample<T>, S)>,
+}
+
+impl<T, S> Instance<T, S> {
+    fn new() -> Self {
+        Self {
+            prev: None,
+            cur: None,
+        }
+    }
+}
+
+/// `k` independent uniform samples, *with replacement*, over the last `n`
+/// arrivals — Theorem 2.1, `O(k)` memory words, deterministic.
+///
+/// The sampler is generic over a [`SampleTracker`] so sampling-based
+/// algorithms (Theorem 5.1) can carry a suffix statistic with each
+/// candidate; the default [`NullTracker`] costs nothing.
+///
+/// ```
+/// use swsample_core::seq::SeqSamplerWr;
+/// use swsample_core::WindowSampler;
+/// use rand::{rngs::SmallRng, SeedableRng};
+///
+/// let mut s = SeqSamplerWr::new(100, 3, SmallRng::seed_from_u64(1));
+/// for i in 0..1_000u64 {
+///     s.insert(i);
+/// }
+/// for sample in s.sample_k().unwrap() {
+///     assert!(sample.index() >= 900); // inside the window
+/// }
+/// ```
+#[derive(Debug, Clone)]
+pub struct SeqSamplerWr<T, R, K: SampleTracker<T> = NullTracker> {
+    n: u64,
+    /// Total arrivals so far (`N` in the paper).
+    count: u64,
+    rng: R,
+    tracker: K,
+    instances: Vec<Instance<T, K::Stat>>,
+}
+
+impl<T: Clone, R: Rng> SeqSamplerWr<T, R, NullTracker> {
+    /// Sampler for windows of the last `n ≥ 1` arrivals maintaining `k ≥ 1`
+    /// independent samples.
+    pub fn new(n: u64, k: usize, rng: R) -> Self {
+        Self::with_tracker(n, k, rng, NullTracker)
+    }
+}
+
+impl<T: Clone, R: Rng, K: SampleTracker<T>> SeqSamplerWr<T, R, K> {
+    /// Like [`SeqSamplerWr::new`], with a custom per-candidate tracker.
+    pub fn with_tracker(n: u64, k: usize, rng: R, tracker: K) -> Self {
+        assert!(n >= 1, "SeqSamplerWr: window size must be at least 1");
+        assert!(k >= 1, "SeqSamplerWr: k must be at least 1");
+        Self {
+            n,
+            count: 0,
+            rng,
+            tracker,
+            instances: (0..k).map(|_| Instance::new()).collect(),
+        }
+    }
+
+    /// Window size `n`.
+    pub fn window(&self) -> u64 {
+        self.n
+    }
+
+    /// Total number of arrivals observed.
+    pub fn len_seen(&self) -> u64 {
+        self.count
+    }
+
+    /// Current number of active (windowed) elements.
+    pub fn active_len(&self) -> u64 {
+        self.count.min(self.n)
+    }
+
+    /// Insert the next arrival.
+    pub fn push(&mut self, value: T) {
+        let idx = self.count;
+        // Position inside the partial bucket; the arriving element is the
+        // (pos+1)-th element of that bucket.
+        let pos = idx % self.n;
+        for inst in &mut self.instances {
+            // Reservoir step: adopt with probability 1/(pos+1).
+            if self.rng.gen_range(0..=pos) == 0 {
+                let stat = self.tracker.fresh(&value, idx);
+                inst.cur = Some((Sample::new(value.clone(), idx, idx), stat));
+            } else if let Some((_, stat)) = inst.cur.as_mut() {
+                self.tracker.observe(stat, &value);
+            }
+            // The complete bucket's retained sample keeps observing the
+            // suffix (its suffix statistic spans into the partial bucket).
+            if let Some((_, stat)) = inst.prev.as_mut() {
+                self.tracker.observe(stat, &value);
+            }
+        }
+        self.count += 1;
+        if self.count.is_multiple_of(self.n) {
+            // The partial bucket just completed; it becomes bucket U and the
+            // old U is now fully expired.
+            for inst in &mut self.instances {
+                inst.prev = inst.cur.take();
+            }
+        }
+    }
+
+    /// Draw the `k` samples together with their tracker statistics.
+    pub fn sample_k_with_stats(&mut self) -> Option<Vec<(Sample<T>, K::Stat)>> {
+        if self.count == 0 {
+            return None;
+        }
+        let oldest_active = self.count.saturating_sub(self.n);
+        let within_first_bucket = self.count < self.n;
+        let aligned = self.count.is_multiple_of(self.n);
+        let picks = self
+            .instances
+            .iter()
+            .map(|inst| {
+                if within_first_bucket {
+                    // Window = everything so far = the partial bucket.
+                    inst.cur.as_ref().expect("partial bucket nonempty")
+                } else if aligned {
+                    // Window coincides with the complete bucket U.
+                    inst.prev.as_ref().expect("complete bucket exists")
+                } else {
+                    // Window straddles U and V: take X_U unless expired.
+                    let prev = inst.prev.as_ref().expect("complete bucket exists");
+                    if prev.0.index() >= oldest_active {
+                        prev
+                    } else {
+                        inst.cur.as_ref().expect("partial bucket nonempty")
+                    }
+                }
+            })
+            .map(|(s, stat)| (s.clone(), stat.clone()))
+            .collect();
+        Some(picks)
+    }
+}
+
+impl<T, R, K: SampleTracker<T>> MemoryWords for SeqSamplerWr<T, R, K> {
+    fn memory_words(&self) -> usize {
+        // Per instance: up to two retained samples; plus (n, count) globals.
+        let per: usize = self
+            .instances
+            .iter()
+            .map(|i| {
+                i.prev.as_ref().map_or(0, |_| Sample::<T>::WORDS)
+                    + i.cur.as_ref().map_or(0, |_| Sample::<T>::WORDS)
+            })
+            .sum();
+        per + 2
+    }
+}
+
+impl<T: Clone, R: Rng, K: SampleTracker<T>> WindowSampler<T> for SeqSamplerWr<T, R, K> {
+    fn insert(&mut self, value: T) {
+        self.push(value);
+    }
+
+    fn sample(&mut self) -> Option<Sample<T>> {
+        self.sample_k_with_stats().map(|mut v| v.swap_remove(0).0)
+    }
+
+    fn sample_k(&mut self) -> Option<Vec<Sample<T>>> {
+        self.sample_k_with_stats()
+            .map(|v| v.into_iter().map(|(s, _)| s).collect())
+    }
+
+    fn k(&self) -> usize {
+        self.instances.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use swsample_stats::chi_square_uniform_test;
+
+    #[test]
+    fn empty_sampler_returns_none() {
+        let mut s: SeqSamplerWr<u64, _> = SeqSamplerWr::new(10, 2, SmallRng::seed_from_u64(0));
+        assert!(s.sample().is_none());
+        assert!(s.sample_k().is_none());
+    }
+
+    #[test]
+    fn sample_always_in_window() {
+        let mut s = SeqSamplerWr::new(13, 3, SmallRng::seed_from_u64(1));
+        for i in 0..500u64 {
+            s.insert(i);
+            let lo = (i + 1).saturating_sub(13);
+            for smp in s.sample_k().expect("nonempty") {
+                assert!(
+                    smp.index() >= lo && smp.index() <= i,
+                    "sample {} outside [{lo}, {i}]",
+                    smp.index()
+                );
+                assert_eq!(*smp.value(), smp.index());
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_at_awkward_offsets() {
+        // Check uniformity at several stream positions, including exactly on
+        // a bucket boundary and just after one.
+        let n = 16u64;
+        for &stop in &[16u64, 17, 24, 32, 33, 47] {
+            let trials = 20_000;
+            let mut counts = vec![0u64; n as usize];
+            for t in 0..trials {
+                let mut s = SeqSamplerWr::new(n, 1, SmallRng::seed_from_u64(1000 + t));
+                for i in 0..stop {
+                    s.insert(i);
+                }
+                let smp = s.sample().expect("nonempty");
+                counts[(smp.index() - (stop - n)) as usize] += 1;
+            }
+            let out = chi_square_uniform_test(&counts);
+            assert!(
+                out.p_value > 1e-4,
+                "not uniform at stop={stop}: p = {}",
+                out.p_value
+            );
+        }
+    }
+
+    #[test]
+    fn uniform_during_warmup() {
+        // Fewer than n arrivals: window is everything seen so far.
+        let trials = 20_000;
+        let mut counts = vec![0u64; 7];
+        for t in 0..trials {
+            let mut s = SeqSamplerWr::new(100, 1, SmallRng::seed_from_u64(t));
+            for i in 0..7u64 {
+                s.insert(i);
+            }
+            counts[s.sample().expect("nonempty").index() as usize] += 1;
+        }
+        let out = chi_square_uniform_test(&counts);
+        assert!(
+            out.p_value > 1e-4,
+            "warm-up not uniform: p = {}",
+            out.p_value
+        );
+    }
+
+    #[test]
+    fn k_samples_are_independent_pairs() {
+        // With k = 2 the joint distribution over (pos1, pos2) must be the
+        // product of uniforms: chi-square over the n×n grid.
+        let n = 4u64;
+        let trials = 40_000u64;
+        let mut counts = vec![0u64; (n * n) as usize];
+        for t in 0..trials {
+            let mut s = SeqSamplerWr::new(n, 2, SmallRng::seed_from_u64(90_000 + t));
+            for i in 0..10u64 {
+                s.insert(i);
+            }
+            let ss = s.sample_k().expect("nonempty");
+            let a = ss[0].index() - 6;
+            let b = ss[1].index() - 6;
+            counts[(a * n + b) as usize] += 1;
+        }
+        let out = chi_square_uniform_test(&counts);
+        assert!(
+            out.p_value > 1e-4,
+            "k=2 joint not product-uniform: p = {}",
+            out.p_value
+        );
+    }
+
+    #[test]
+    fn memory_is_constant_in_stream_length_and_window() {
+        for &n in &[4u64, 64, 4096] {
+            let k = 5;
+            let mut s = SeqSamplerWr::new(n, k, SmallRng::seed_from_u64(2));
+            let cap = k * 2 * 3 + 2; // two samples of 3 words per instance + globals
+            for i in 0..3000u64 {
+                s.insert(i);
+                assert!(
+                    s.memory_words() <= cap,
+                    "memory {} > {cap}",
+                    s.memory_words()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tracker_counts_suffix_occurrences() {
+        use crate::track::OccurrenceTracker;
+        // Constant stream: the suffix count of the candidate must equal
+        // (count - candidate index).
+        let mut s = SeqSamplerWr::with_tracker(8, 1, SmallRng::seed_from_u64(3), OccurrenceTracker);
+        for _ in 0..20 {
+            s.insert(7u64);
+        }
+        let (smp, (val, cnt)) = s
+            .sample_k_with_stats()
+            .expect("nonempty")
+            .pop()
+            .expect("k=1");
+        assert_eq!(val, 7);
+        assert_eq!(cnt, 20 - smp.index());
+    }
+
+    #[test]
+    fn len_accessors() {
+        let mut s: SeqSamplerWr<u64, _> = SeqSamplerWr::new(10, 1, SmallRng::seed_from_u64(4));
+        assert_eq!(s.active_len(), 0);
+        for i in 0..25u64 {
+            s.insert(i);
+        }
+        assert_eq!(s.len_seen(), 25);
+        assert_eq!(s.active_len(), 10);
+        assert_eq!(s.window(), 10);
+        assert_eq!(s.k(), 1);
+    }
+}

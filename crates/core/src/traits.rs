@@ -1,0 +1,45 @@
+//! The common sampler interface.
+
+use crate::memory::MemoryWords;
+use crate::sample::Sample;
+
+/// A uniform random sampler over a sliding window.
+///
+/// The protocol is: optionally [`advance_time`](WindowSampler::advance_time)
+/// (timestamp windows only — sequence windows ignore it), then
+/// [`insert`](WindowSampler::insert) each arriving element, and at any point
+/// draw the current sample(s).
+///
+/// Queries take `&mut self` because timestamp-window queries synthesize the
+/// implicit events of §3.3 at query time, which consumes randomness; this
+/// mirrors the paper. Between two arrivals, repeated queries return
+/// individually-uniform (but mutually correlated) samples — an inherent
+/// property of sampling with state, not an artifact.
+pub trait WindowSampler<T>: MemoryWords {
+    /// Move the clock forward to `now`, expiring elements. No-op for
+    /// sequence-based windows.
+    ///
+    /// # Panics
+    /// Panics if `now` is smaller than a previously supplied time.
+    fn advance_time(&mut self, now: u64) {
+        let _ = now;
+    }
+
+    /// Insert an arriving element (stamped with the current clock for
+    /// timestamp windows).
+    fn insert(&mut self, value: T);
+
+    /// Draw one uniform sample from the active window, or `None` if the
+    /// window is empty.
+    fn sample(&mut self) -> Option<Sample<T>>;
+
+    /// Draw the full `k`-sample. For with-replacement samplers the entries
+    /// are independent; for without-replacement samplers they are distinct
+    /// elements. Returns `None` when the window is empty. Without
+    /// replacement, returns all active elements when fewer than `k` are
+    /// active.
+    fn sample_k(&mut self) -> Option<Vec<Sample<T>>>;
+
+    /// The configured number of samples `k`.
+    fn k(&self) -> usize;
+}

@@ -1,0 +1,35 @@
+//! Timestamp-based windows — §3 and §4 of the paper.
+//!
+//! An element with timestamp `T(p)` is active at time `t` iff
+//! `t − T(p) < t₀`. The number of active elements `n = n(t)` is *unknown*
+//! (it cannot even be approximated in sublinear space, Datar et al.), which
+//! is what makes this model hard: a uniform sample over a domain of unknown
+//! size must be produced.
+//!
+//! The machinery, bottom-up:
+//!
+//! * `bucket` — bucket structures `BS(x, y)`: index range, first-element
+//!   timestamp, and *two* independent uniform samples `R`, `Q` (Q feeds the
+//!   implicit-event generator).
+//! * `covering` — the covering decomposition `ζ(a, b)` (Definition 3.1)
+//!   and its `Incr` maintenance operator (Lemma 3.4): an `O(log)`-length
+//!   list of dyadic buckets covering a stream suffix.
+//! * `engine` — the single-sample engine: state maintenance per Lemma 3.5
+//!   (case 1 "all covered elements active" / case 2 "one straddling
+//!   bucket"), plus the implicit-event construction of Lemmas 3.6–3.8 that
+//!   samples uniformly although the window size is unknown.
+//! * `wr` — [`TsSamplerWr`]: `k` independent engines (Theorem 3.9 /
+//!   `O(k log n)` for general `k`).
+//! * `wor` — [`TsSamplerWor`]: the §4 black-box reduction from sampling
+//!   without replacement to `k` delayed with-replacement samplers
+//!   (Lemmas 4.1–4.3, Theorem 4.4).
+
+pub(crate) mod bucket;
+pub(crate) mod covering;
+pub(crate) mod engine;
+mod wor;
+mod wr;
+
+pub use engine::TsEngine;
+pub use wor::TsSamplerWor;
+pub use wr::TsSamplerWr;

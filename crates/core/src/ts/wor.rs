@@ -1,0 +1,361 @@
+//! Sampling **without replacement** from timestamp-based windows via the §4
+//! black-box reduction (Lemmas 4.1–4.3, Theorem 4.4).
+//!
+//! The construction maintains `k` *delayed* single-sample engines: engine
+//! `i` samples uniformly from all active elements **except the last `i`
+//! arrivals** — an element enters engine `i`'s covering decomposition only
+//! once more than `i` elements have arrived after it (Lemma 4.1). Together
+//! with an auxiliary array of the last `k` arrivals (shared across engines),
+//! a `k`-sample without replacement is assembled at query time by the
+//! Lemma 4.2 recurrence:
+//!
+//! ```text
+//! S^{b+1}_{a+1} = S^b_a ∪ {element b+1}   if S^{b+1}_1 ∈ S^b_a
+//!               = S^b_a ∪ S^{b+1}_1        otherwise
+//! ```
+//!
+//! iterated from `S^{n−k+1}_1 = R_{k−1}` up to `S^n_k` (Lemma 4.3). Total
+//! memory: `Θ(k + k log n)` words, deterministic.
+
+use super::engine::TsEngine;
+use crate::memory::MemoryWords;
+use crate::sample::Sample;
+use crate::traits::WindowSampler;
+use rand::Rng;
+use std::collections::VecDeque;
+
+/// A uniform `k`-sample *without replacement* over a timestamp window of
+/// width `t0` — Theorem 4.4, `O(k log n)` memory words, deterministic.
+///
+/// When fewer than `k` elements are active the sample is all of them.
+///
+/// ```
+/// use swsample_core::ts::TsSamplerWor;
+/// use swsample_core::WindowSampler;
+/// use rand::{rngs::SmallRng, SeedableRng};
+///
+/// let mut s = TsSamplerWor::new(30, 4, SmallRng::seed_from_u64(5));
+/// for tick in 0..200u64 {
+///     s.advance_time(tick);
+///     s.insert(tick);          // one arrival per tick
+/// }
+/// let out = s.sample_k().unwrap();
+/// assert_eq!(out.len(), 4);
+/// for smp in &out {
+///     assert!(199 - smp.timestamp() < 30);       // all active
+/// }
+/// ```
+#[derive(Debug, Clone)]
+pub struct TsSamplerWor<T, R> {
+    k: usize,
+    /// `engines[i]` samples the active elements minus the last `i` arrivals.
+    engines: Vec<TsEngine<T>>,
+    /// The last `k` arrivals (the paper's auxiliary array), newest at the
+    /// back.
+    recent: VecDeque<Sample<T>>,
+    rng: R,
+    now: u64,
+    next_index: u64,
+}
+
+impl<T: Clone, R: Rng> TsSamplerWor<T, R> {
+    /// Sampler over windows of width `t0 ≥ 1` maintaining a `k ≥ 1`-sample
+    /// without replacement.
+    pub fn new(t0: u64, k: usize, rng: R) -> Self {
+        assert!(k >= 1, "TsSamplerWor: k must be at least 1");
+        Self {
+            k,
+            engines: (0..k).map(|_| TsEngine::new(t0)).collect(),
+            recent: VecDeque::with_capacity(k),
+            rng,
+            now: 0,
+            next_index: 0,
+        }
+    }
+
+    /// Window width `t0`.
+    pub fn window(&self) -> u64 {
+        self.engines[0].window()
+    }
+
+    /// Current clock.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Total arrivals observed.
+    pub fn len_seen(&self) -> u64 {
+        self.next_index
+    }
+
+    /// The still-active suffix of the last-`k` array.
+    fn active_recent(&self) -> Vec<Sample<T>> {
+        let t0 = self.window();
+        self.recent
+            .iter()
+            .filter(|s| self.now - s.timestamp() < t0)
+            .cloned()
+            .collect()
+    }
+}
+
+impl<T, R> MemoryWords for TsSamplerWor<T, R> {
+    fn memory_words(&self) -> usize {
+        self.engines.memory_words() + self.recent.len() * Sample::<T>::WORDS + 3
+    }
+}
+
+impl<T: Clone, R: Rng> WindowSampler<T> for TsSamplerWor<T, R> {
+    fn advance_time(&mut self, now: u64) {
+        assert!(now >= self.now, "TsSamplerWor: clock moved backwards");
+        self.now = now;
+        for e in &mut self.engines {
+            e.advance_time(now);
+        }
+    }
+
+    fn insert(&mut self, value: T) {
+        let item = Sample::new(value, self.next_index, self.now);
+        self.next_index += 1;
+        // Engine 0 sees the arrival immediately.
+        self.engines[0].insert(
+            &mut self.rng,
+            item.value().clone(),
+            item.index(),
+            item.timestamp(),
+        );
+        // Push into the auxiliary array *before* feeding the delayed
+        // engines: afterwards, recent[len−1−i] is exactly the element with
+        // `i` arrivals after it — the one engine `i` is now allowed to see.
+        self.recent.push_back(item);
+        if self.recent.len() > self.k {
+            self.recent.pop_front();
+        }
+        for i in 1..self.k {
+            if self.recent.len() > i {
+                let delayed = self.recent[self.recent.len() - 1 - i].clone();
+                // Lemma 4.1: the engine itself skips arrivals that have
+                // already expired while waiting in the array.
+                self.engines[i].insert(
+                    &mut self.rng,
+                    delayed.value().clone(),
+                    delayed.index(),
+                    delayed.timestamp(),
+                );
+            }
+        }
+    }
+
+    fn sample(&mut self) -> Option<Sample<T>> {
+        // Engine 0 is an undelayed §3 sampler of the full window.
+        self.engines[0].sample(&mut self.rng)
+    }
+
+    fn sample_k(&mut self) -> Option<Vec<Sample<T>>> {
+        let active_recent = self.active_recent();
+        // R_{k−1} samples the window minus the last k−1 arrivals; if that
+        // domain is empty the whole window fits in the auxiliary array.
+        let seed = match self.engines[self.k - 1].sample(&mut self.rng) {
+            Some(s) => s,
+            None => {
+                return if active_recent.is_empty() {
+                    None
+                } else {
+                    Some(active_recent)
+                };
+            }
+        };
+        // n ≥ k: the last k arrivals are all active.
+        debug_assert_eq!(active_recent.len(), self.k);
+        // Lemma 4.3: fold in R_{k−2}, …, R_0.
+        let mut set: Vec<Sample<T>> = vec![seed];
+        for j in 2..=self.k {
+            let i = self.k - j; // engine index supplying S^{n−k+j}_1
+            let r = self.engines[i]
+                .sample(&mut self.rng)
+                .expect("engine i's domain contains engine k-1's domain");
+            // "Element b+1" of Lemma 4.2: the newest element of engine i's
+            // domain = the arrival with exactly i newer arrivals.
+            let newcomer = active_recent[active_recent.len() - 1 - i].clone();
+            if set.iter().any(|s| s.index() == r.index()) {
+                set.push(newcomer);
+            } else {
+                set.push(r);
+            }
+        }
+        debug_assert_eq!(set.len(), self.k);
+        debug_assert!(
+            {
+                let mut idx: Vec<u64> = set.iter().map(|s| s.index()).collect();
+                idx.sort_unstable();
+                idx.windows(2).all(|w| w[0] != w[1])
+            },
+            "without-replacement sample contains a duplicate"
+        );
+        Some(set)
+    }
+
+    fn k(&self) -> usize {
+        self.k
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use swsample_stats::chi_square_uniform_test;
+
+    /// One element per tick for `ticks` ticks, then query.
+    fn drive(
+        t0: u64,
+        k: usize,
+        ticks: u64,
+        seed: u64,
+    ) -> (TsSamplerWor<u64, SmallRng>, Option<Vec<Sample<u64>>>) {
+        let mut s = TsSamplerWor::new(t0, k, SmallRng::seed_from_u64(seed));
+        for tick in 0..ticks {
+            s.advance_time(tick);
+            s.insert(tick);
+        }
+        let out = s.sample_k();
+        (s, out)
+    }
+
+    #[test]
+    fn empty_returns_none() {
+        let mut s: TsSamplerWor<u64, _> = TsSamplerWor::new(5, 3, SmallRng::seed_from_u64(0));
+        assert!(s.sample_k().is_none());
+    }
+
+    #[test]
+    fn distinct_and_active() {
+        for seed in 0..100 {
+            let (_, out) = drive(16, 5, 50, seed);
+            let out = out.expect("nonempty");
+            assert_eq!(out.len(), 5);
+            let mut idx: Vec<u64> = out.iter().map(|s| s.index()).collect();
+            idx.sort_unstable();
+            for w in idx.windows(2) {
+                assert_ne!(w[0], w[1], "duplicate sample");
+            }
+            for &i in &idx {
+                // Active at tick 49: ts in 34..=49 -> index == ts here.
+                assert!((34..=49).contains(&i), "index {i} outside window");
+            }
+        }
+    }
+
+    #[test]
+    fn returns_all_when_window_small() {
+        // Window of width 3, k = 5: only 3 active elements.
+        let (_, out) = drive(3, 5, 50, 7);
+        let out = out.expect("nonempty");
+        let mut idx: Vec<u64> = out.iter().map(|s| s.index()).collect();
+        idx.sort_unstable();
+        assert_eq!(idx, vec![47, 48, 49]);
+    }
+
+    #[test]
+    fn marginal_inclusion_uniform() {
+        // Window of n = 8 active elements, k = 3: every element appears with
+        // probability 3/8; positions must be uniform.
+        let (t0, k, ticks) = (8u64, 3usize, 30u64);
+        let trials = 25_000u64;
+        let mut counts = vec![0u64; t0 as usize];
+        for t in 0..trials {
+            let (_, out) = drive(t0, k, ticks, 60_000 + t);
+            for s in out.expect("nonempty") {
+                counts[(s.index() - (ticks - t0)) as usize] += 1;
+            }
+        }
+        let out = chi_square_uniform_test(&counts);
+        assert!(
+            out.p_value > 1e-4,
+            "WOR marginals not uniform: p = {}",
+            out.p_value
+        );
+    }
+
+    #[test]
+    fn pairwise_inclusion_uniform() {
+        // n = 5, k = 2: all 10 unordered pairs equally likely.
+        let (t0, k, ticks) = (5u64, 2usize, 20u64);
+        let trials = 30_000u64;
+        let n = t0;
+        let mut counts = vec![0u64; (n * (n - 1) / 2) as usize];
+        for t in 0..trials {
+            let (_, out) = drive(t0, k, ticks, 90_000 + t);
+            let out = out.expect("nonempty");
+            let mut pos: Vec<u64> = out.iter().map(|s| s.index() - (ticks - t0)).collect();
+            pos.sort_unstable();
+            let (a, b) = (pos[0], pos[1]);
+            let rank = a * n - a * (a + 1) / 2 + (b - a - 1);
+            counts[rank as usize] += 1;
+        }
+        let out = chi_square_uniform_test(&counts);
+        assert!(
+            out.p_value > 1e-4,
+            "WOR pairs not uniform: p = {}",
+            out.p_value
+        );
+    }
+
+    #[test]
+    fn bursty_stream_stays_distinct() {
+        let mut s = TsSamplerWor::new(6, 4, SmallRng::seed_from_u64(11));
+        let mut rng = SmallRng::seed_from_u64(12);
+        let mut idx = 0u64;
+        for tick in 0..300u64 {
+            s.advance_time(tick);
+            for _ in 0..rng.gen_range(0..5u64) {
+                s.insert(idx);
+                idx += 1;
+            }
+            if let Some(out) = s.sample_k() {
+                let mut seen: Vec<u64> = out.iter().map(|x| x.index()).collect();
+                seen.sort_unstable();
+                let len = seen.len();
+                seen.dedup();
+                assert_eq!(seen.len(), len, "duplicates at tick {tick}");
+                for smp in &out {
+                    assert!(tick - smp.timestamp() < 6, "expired sample at tick {tick}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn memory_scales_as_k_log_n() {
+        let (t0, ticks) = (256u64, 1024u64);
+        let mut peaks = Vec::new();
+        for &k in &[1usize, 2, 4, 8] {
+            let mut s = TsSamplerWor::new(t0, k, SmallRng::seed_from_u64(13));
+            let mut peak = 0;
+            for tick in 0..ticks {
+                s.advance_time(tick);
+                s.insert(tick);
+                peak = peak.max(s.memory_words());
+            }
+            peaks.push(peak);
+        }
+        // Deterministic cap: k engines × 9·(2 log2(n)+3) + k aux + slack.
+        let log_n = 8; // log2(256)
+        for (i, &k) in [1usize, 2, 4, 8].iter().enumerate() {
+            let bound = k * 9 * (2 * log_n + 3) + 3 * k + 16;
+            assert!(
+                peaks[i] <= bound,
+                "k={k}: peak {} > bound {bound}",
+                peaks[i]
+            );
+        }
+    }
+
+    #[test]
+    fn single_sample_works() {
+        let (mut s, _) = drive(10, 3, 40, 21);
+        let one = s.sample().expect("nonempty");
+        assert!(one.index() >= 30);
+    }
+}

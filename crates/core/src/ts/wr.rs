@@ -1,0 +1,250 @@
+//! Sampling **with replacement** from timestamp-based windows
+//! (§3, Theorem 3.9): `k` independent single-sample engines.
+
+use super::engine::TsEngine;
+use crate::memory::MemoryWords;
+use crate::sample::Sample;
+use crate::track::{NullTracker, SampleTracker};
+use crate::traits::WindowSampler;
+use rand::Rng;
+
+/// `k` independent uniform samples, *with replacement*, over a timestamp
+/// window of width `t0` — `O(k log n)` memory words, deterministic.
+///
+/// ```
+/// use swsample_core::ts::TsSamplerWr;
+/// use swsample_core::WindowSampler;
+/// use rand::{rngs::SmallRng, SeedableRng};
+///
+/// let mut s = TsSamplerWr::new(60, 2, SmallRng::seed_from_u64(9));
+/// for tick in 0..1000u64 {
+///     s.advance_time(tick);
+///     s.insert(tick * 7); // one arrival per tick
+/// }
+/// let samples = s.sample_k().unwrap();
+/// assert_eq!(samples.len(), 2);
+/// for smp in samples {
+///     assert!(999 - smp.timestamp() < 60); // all active
+/// }
+/// ```
+#[derive(Debug, Clone)]
+pub struct TsSamplerWr<T, R, K: SampleTracker<T> = NullTracker> {
+    engines: Vec<TsEngine<T, K>>,
+    rng: R,
+    now: u64,
+    next_index: u64,
+}
+
+impl<T: Clone, R: Rng> TsSamplerWr<T, R, NullTracker> {
+    /// Sampler over windows of width `t0 ≥ 1` keeping `k ≥ 1` independent
+    /// samples.
+    pub fn new(t0: u64, k: usize, rng: R) -> Self {
+        Self::with_tracker(t0, k, rng, NullTracker)
+    }
+}
+
+impl<T: Clone, R: Rng, K: SampleTracker<T> + Clone> TsSamplerWr<T, R, K> {
+    /// Like [`TsSamplerWr::new`] with a per-candidate suffix tracker
+    /// (Theorem 5.1 support — each engine gets a clone of `tracker`).
+    pub fn with_tracker(t0: u64, k: usize, rng: R, tracker: K) -> Self {
+        assert!(k >= 1, "TsSamplerWr: k must be at least 1");
+        Self {
+            engines: (0..k)
+                .map(|_| TsEngine::with_tracker(t0, tracker.clone()))
+                .collect(),
+            rng,
+            now: 0,
+            next_index: 0,
+        }
+    }
+
+    /// Draw the `k` samples together with their tracker statistics;
+    /// `None` when the window is empty.
+    pub fn sample_k_with_stats(&mut self) -> Option<Vec<(Sample<T>, K::Stat)>> {
+        let mut out = Vec::with_capacity(self.engines.len());
+        for e in &mut self.engines {
+            out.push(e.sample_with_stat(&mut self.rng)?);
+        }
+        Some(out)
+    }
+
+    /// Window width `t0`.
+    pub fn window(&self) -> u64 {
+        self.engines[0].window()
+    }
+
+    /// Current clock.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Total arrivals observed.
+    pub fn len_seen(&self) -> u64 {
+        self.next_index
+    }
+}
+
+impl<T, R, K: SampleTracker<T>> MemoryWords for TsSamplerWr<T, R, K> {
+    fn memory_words(&self) -> usize {
+        self.engines.memory_words() + 2 // + (now, next_index)
+    }
+}
+
+impl<T: Clone, R: Rng, K: SampleTracker<T>> WindowSampler<T> for TsSamplerWr<T, R, K> {
+    fn advance_time(&mut self, now: u64) {
+        assert!(now >= self.now, "TsSamplerWr: clock moved backwards");
+        self.now = now;
+        for e in &mut self.engines {
+            e.advance_time(now);
+        }
+    }
+
+    fn insert(&mut self, value: T) {
+        let idx = self.next_index;
+        self.next_index += 1;
+        for e in &mut self.engines {
+            e.insert(&mut self.rng, value.clone(), idx, self.now);
+        }
+    }
+
+    fn sample(&mut self) -> Option<Sample<T>> {
+        self.engines[0].sample(&mut self.rng)
+    }
+
+    fn sample_k(&mut self) -> Option<Vec<Sample<T>>> {
+        let mut out = Vec::with_capacity(self.engines.len());
+        for e in &mut self.engines {
+            out.push(e.sample(&mut self.rng)?);
+        }
+        Some(out)
+    }
+
+    fn k(&self) -> usize {
+        self.engines.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use swsample_stats::chi_square_uniform_test;
+
+    #[test]
+    fn empty_returns_none() {
+        let mut s: TsSamplerWr<u64, _> = TsSamplerWr::new(5, 3, SmallRng::seed_from_u64(0));
+        assert!(s.sample().is_none());
+        assert!(s.sample_k().is_none());
+    }
+
+    #[test]
+    fn k_samples_all_active() {
+        let mut s = TsSamplerWr::new(8, 4, SmallRng::seed_from_u64(1));
+        for tick in 0..100u64 {
+            s.advance_time(tick);
+            s.insert(tick);
+            let got = s.sample_k().expect("nonempty");
+            assert_eq!(got.len(), 4);
+            for smp in got {
+                assert!(tick - smp.timestamp() < 8);
+            }
+        }
+    }
+
+    #[test]
+    fn joint_distribution_of_two_engines_is_product() {
+        // k = 2 independent engines over a 3-element window.
+        let trials = 40_000u64;
+        let mut counts = vec![0u64; 9];
+        for t in 0..trials {
+            let mut s = TsSamplerWr::new(3, 2, SmallRng::seed_from_u64(50_000 + t));
+            for tick in 0..10u64 {
+                s.advance_time(tick);
+                s.insert(tick);
+            }
+            let got = s.sample_k().expect("nonempty");
+            let a = got[0].index() - 7;
+            let b = got[1].index() - 7;
+            counts[(a * 3 + b) as usize] += 1;
+        }
+        let out = chi_square_uniform_test(&counts);
+        assert!(
+            out.p_value > 1e-4,
+            "joint not product-uniform: p = {}",
+            out.p_value
+        );
+    }
+
+    #[test]
+    fn memory_linear_in_k() {
+        let mut one = TsSamplerWr::new(16, 1, SmallRng::seed_from_u64(2));
+        let mut four = TsSamplerWr::new(16, 4, SmallRng::seed_from_u64(3));
+        for tick in 0..200u64 {
+            one.advance_time(tick);
+            four.advance_time(tick);
+            for _ in 0..4 {
+                one.insert(tick);
+                four.insert(tick);
+            }
+        }
+        let (m1, m4) = (one.memory_words(), four.memory_words());
+        assert!(m4 <= 4 * m1 + 8, "k=4 memory {m4} vs k=1 {m1}");
+    }
+
+    #[test]
+    fn expiry_empties_sampler() {
+        let mut s = TsSamplerWr::new(5, 2, SmallRng::seed_from_u64(4));
+        s.advance_time(0);
+        s.insert(1u64);
+        s.advance_time(100);
+        assert!(s.sample_k().is_none());
+    }
+
+    #[test]
+    fn tracker_counts_suffix_occurrences_on_ts_windows() {
+        use crate::track::OccurrenceTracker;
+        // Constant stream: the sampled element's suffix count must equal
+        // (total arrivals − sample index), exactly as for sequence windows.
+        let mut s = TsSamplerWr::with_tracker(10, 1, SmallRng::seed_from_u64(5), OccurrenceTracker);
+        let total = 30u64;
+        for tick in 0..total {
+            s.advance_time(tick);
+            s.insert(7u64);
+        }
+        let (smp, (val, count)) = s
+            .sample_k_with_stats()
+            .expect("nonempty")
+            .pop()
+            .expect("k = 1");
+        assert_eq!(val, 7);
+        assert_eq!(count, total - smp.index());
+    }
+
+    #[test]
+    fn tracker_stat_survives_merges_and_straddle() {
+        use crate::track::OccurrenceTracker;
+        // Mixed values; the stat must always count occurrences of the
+        // sampled value from its position onward, whatever bucket merges or
+        // case-2 transitions happened in between.
+        let mut s = TsSamplerWr::with_tracker(6, 1, SmallRng::seed_from_u64(6), OccurrenceTracker);
+        let mut values = Vec::new();
+        let mut idx = 0u64;
+        for tick in 0..60u64 {
+            s.advance_time(tick);
+            for j in 0..(tick % 3) + 1 {
+                let v = (tick + j) % 4;
+                s.insert(v);
+                values.push(v);
+                idx += 1;
+            }
+            if let Some((smp, (val, count))) = s.sample_k_with_stats().and_then(|mut v| v.pop()) {
+                let truth = values[smp.index() as usize..]
+                    .iter()
+                    .filter(|&&x| x == val)
+                    .count() as u64;
+                assert_eq!(count, truth, "stat mismatch at tick {tick} (idx {idx})");
+            }
+        }
+    }
+}

@@ -1,0 +1,409 @@
+//! Approximate counting over sliding windows — the DGIM exponential
+//! histogram (Datar, Gionis, Indyk, Motwani, SODA'02; the paper's
+//! reference \[31\]).
+//!
+//! Why this lives in the workspace: the paper's timestamp-window
+//! application corollaries (5.2, 5.4) need the *window size* `n(t)` to turn
+//! sampled suffix statistics into estimates (`F̂_k = n·(rᵏ − (r−1)ᵏ)` etc.),
+//! but `n(t)` cannot be computed exactly in sublinear space — that is the
+//! very negative result (\[31\]) that makes timestamp windows hard. The
+//! canonical fix is the DGIM structure: a `(1±ε)` count of the arrivals in
+//! the last `t₀` ticks using `O((1/ε)·log² n)` bits. `swsample-query` and
+//! the timestamp-window estimators in `swsample-apps` consume it as their
+//! window-size oracle.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::VecDeque;
+use swsample_core::MemoryWords;
+
+/// One histogram bucket: `size` arrivals, the newest of which happened at
+/// `ts`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Bucket {
+    ts: u64,
+    size: u64,
+}
+
+/// DGIM exponential histogram counting arrivals in the last `t0` ticks
+/// within relative error `≤ 1/(2(r−1))`, where `r` is the per-size bucket
+/// budget.
+///
+/// ```
+/// use swsample_counting::WindowCounter;
+///
+/// let mut c = WindowCounter::with_epsilon(10, 0.1);
+/// for tick in 0..100u64 {
+///     c.advance_time(tick);
+///     c.insert(); // one arrival per tick
+/// }
+/// let est = c.estimate();
+/// // Exactly 10 arrivals are active; the estimate is within 10%.
+/// assert!((est as f64 - 10.0).abs() <= 1.0 + 1e-9);
+/// ```
+#[derive(Debug, Clone)]
+pub struct WindowCounter {
+    t0: u64,
+    /// Maximum buckets per size class before a merge cascades.
+    r: usize,
+    now: u64,
+    /// Buckets oldest-first; sizes are powers of two, non-increasing from
+    /// front (oldest, largest) to back (newest, size 1).
+    buckets: VecDeque<Bucket>,
+    /// `class_counts[j]` = number of buckets of size `2^j`; keeps insert
+    /// free of linear rescans (buckets of one size are contiguous, so the
+    /// merge position is the suffix-sum of the larger classes).
+    class_counts: Vec<u32>,
+}
+
+impl WindowCounter {
+    /// Counter for windows of `t0 ≥ 1` ticks with per-size bucket budget
+    /// `r ≥ 2` (relative error `≤ 1/(2(r−1))`).
+    pub fn new(t0: u64, r: usize) -> Self {
+        assert!(t0 >= 1, "WindowCounter: window must be at least 1 tick");
+        assert!(r >= 2, "WindowCounter: bucket budget must be at least 2");
+        Self {
+            t0,
+            r,
+            now: 0,
+            buckets: VecDeque::new(),
+            class_counts: Vec::new(),
+        }
+    }
+
+    /// Counter with a target relative error `epsilon ∈ (0, 1)`.
+    pub fn with_epsilon(t0: u64, epsilon: f64) -> Self {
+        assert!(
+            epsilon > 0.0 && epsilon < 1.0,
+            "WindowCounter: epsilon in (0,1)"
+        );
+        let r = (1.0 / (2.0 * epsilon)).ceil() as usize + 1;
+        Self::new(t0, r.max(2))
+    }
+
+    /// Window width in ticks.
+    pub fn window(&self) -> u64 {
+        self.t0
+    }
+
+    /// Advance the clock, expiring buckets whose newest element left the
+    /// window.
+    ///
+    /// # Panics
+    /// Panics if the clock moves backwards.
+    pub fn advance_time(&mut self, now: u64) {
+        assert!(now >= self.now, "WindowCounter: clock moved backwards");
+        self.now = now;
+        while self.buckets.front().is_some_and(|b| now - b.ts >= self.t0) {
+            let gone = self.buckets.pop_front().expect("checked nonempty");
+            let class = gone.size.trailing_zeros() as usize;
+            self.class_counts[class] -= 1;
+        }
+    }
+
+    /// Record one arrival at the current clock tick.
+    pub fn insert(&mut self) {
+        self.buckets.push_back(Bucket {
+            ts: self.now,
+            size: 1,
+        });
+        if self.class_counts.is_empty() {
+            self.class_counts.push(0);
+        }
+        self.class_counts[0] += 1;
+        // Merge cascade: when a size class exceeds its budget, unify the
+        // two *oldest* buckets of that size into one of double size (the
+        // merged bucket keeps the newer timestamp). Buckets of equal size
+        // are contiguous (sizes sorted non-increasing from the front), so
+        // the class's first bucket sits after all larger classes.
+        let mut class = 0usize;
+        loop {
+            if (self.class_counts[class] as usize) <= self.r {
+                break;
+            }
+            let first: usize = self.class_counts[class + 1..]
+                .iter()
+                .map(|&c| c as usize)
+                .sum();
+            let size = 1u64 << class;
+            debug_assert_eq!(self.buckets[first].size, size);
+            debug_assert_eq!(self.buckets[first + 1].size, size);
+            let newer_ts = self.buckets[first + 1].ts;
+            self.buckets[first + 1] = Bucket {
+                ts: newer_ts,
+                size: size * 2,
+            };
+            self.buckets.remove(first);
+            self.class_counts[class] -= 2;
+            if self.class_counts.len() == class + 1 {
+                self.class_counts.push(0);
+            }
+            self.class_counts[class + 1] += 1;
+            class += 1;
+        }
+    }
+
+    /// Record `burst` arrivals at the current tick.
+    pub fn insert_many(&mut self, burst: u64) {
+        for _ in 0..burst {
+            self.insert();
+        }
+    }
+
+    /// The DGIM estimate: total bucket mass minus half the oldest bucket
+    /// (whose elements are only partially in the window).
+    pub fn estimate(&self) -> u64 {
+        let total: u64 = self.buckets.iter().map(|b| b.size).sum();
+        match self.buckets.front() {
+            Some(oldest) => total - oldest.size / 2,
+            None => 0,
+        }
+    }
+
+    /// Guaranteed upper bound on the true count (all buckets fully active).
+    pub fn upper_bound(&self) -> u64 {
+        self.buckets.iter().map(|b| b.size).sum()
+    }
+
+    /// Guaranteed lower bound: every bucket except the oldest contributes
+    /// fully; the oldest contributes at least its newest element.
+    pub fn lower_bound(&self) -> u64 {
+        match self.buckets.front() {
+            None => 0,
+            Some(oldest) => self.upper_bound() - oldest.size + 1,
+        }
+    }
+
+    /// Current number of histogram buckets.
+    pub fn bucket_count(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Structural invariants (used by the property tests): power-of-two
+    /// sizes, non-increasing from front to back, at most `r + 1` per class,
+    /// non-decreasing timestamps.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let mut prev_size = u64::MAX;
+        let mut prev_ts = 0u64;
+        let mut per_class: std::collections::HashMap<u64, usize> = Default::default();
+        for b in &self.buckets {
+            if !b.size.is_power_of_two() {
+                return Err(format!("bucket size {} not a power of two", b.size));
+            }
+            if b.size > prev_size {
+                return Err("bucket sizes increase toward the back".into());
+            }
+            if b.ts < prev_ts {
+                return Err("bucket timestamps decrease".into());
+            }
+            *per_class.entry(b.size).or_default() += 1;
+            prev_size = b.size;
+            prev_ts = b.ts;
+        }
+        for (&size, &count) in &per_class {
+            if count > self.r + 1 {
+                return Err(format!(
+                    "{count} buckets of size {size} exceed budget {}",
+                    self.r
+                ));
+            }
+        }
+        // The class-count index must agree with the actual buckets.
+        for (j, &c) in self.class_counts.iter().enumerate() {
+            let actual = per_class.get(&(1u64 << j)).copied().unwrap_or(0);
+            if c as usize != actual {
+                return Err(format!(
+                    "class_counts[{j}] = {c} but {actual} buckets of size {} exist",
+                    1u64 << j
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl MemoryWords for WindowCounter {
+    fn memory_words(&self) -> usize {
+        // Two words per bucket (ts, size) + per-class counters + t0, r, now.
+        self.buckets.len() * 2 + self.class_counts.len() + 3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Exact reference counter.
+    struct Exact {
+        t0: u64,
+        now: u64,
+        arrivals: VecDeque<u64>,
+    }
+
+    impl Exact {
+        fn new(t0: u64) -> Self {
+            Self {
+                t0,
+                now: 0,
+                arrivals: VecDeque::new(),
+            }
+        }
+        fn advance_time(&mut self, now: u64) {
+            self.now = now;
+            while self.arrivals.front().is_some_and(|&ts| now - ts >= self.t0) {
+                self.arrivals.pop_front();
+            }
+        }
+        fn insert(&mut self) {
+            self.arrivals.push_back(self.now);
+        }
+        fn count(&self) -> u64 {
+            self.arrivals.len() as u64
+        }
+    }
+
+    #[test]
+    fn empty_counter_estimates_zero() {
+        let c = WindowCounter::new(10, 4);
+        assert_eq!(c.estimate(), 0);
+        assert_eq!(c.lower_bound(), 0);
+        assert_eq!(c.upper_bound(), 0);
+    }
+
+    #[test]
+    fn exact_when_few_arrivals() {
+        let mut c = WindowCounter::new(100, 4);
+        c.advance_time(0);
+        for _ in 0..3 {
+            c.insert();
+        }
+        // Three size-1 buckets: estimate is exact.
+        assert_eq!(c.estimate(), 3);
+    }
+
+    #[test]
+    fn steady_stream_within_error_bound() {
+        for &r in &[2usize, 4, 8, 16] {
+            let mut c = WindowCounter::new(64, r);
+            let mut e = Exact::new(64);
+            let eps = 1.0 / (2.0 * (r as f64 - 1.0));
+            for tick in 0..1000u64 {
+                c.advance_time(tick);
+                e.advance_time(tick);
+                c.insert();
+                e.insert();
+                let truth = e.count() as f64;
+                let est = c.estimate() as f64;
+                assert!(
+                    (est - truth).abs() <= eps * truth + 1.0,
+                    "r={r}, tick={tick}: est {est} vs true {truth} (eps {eps})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bursty_stream_within_error_bound() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let r = 8usize;
+        let eps = 1.0 / (2.0 * (r as f64 - 1.0));
+        let mut c = WindowCounter::new(32, r);
+        let mut e = Exact::new(32);
+        for tick in 0..600u64 {
+            c.advance_time(tick);
+            e.advance_time(tick);
+            let burst = rng.gen_range(0..20u64);
+            for _ in 0..burst {
+                c.insert();
+                e.insert();
+            }
+            c.check_invariants().expect("invariants");
+            let truth = e.count() as f64;
+            let est = c.estimate() as f64;
+            assert!(
+                (est - truth).abs() <= eps * truth + 1.0,
+                "tick={tick}: est {est} vs true {truth}"
+            );
+        }
+    }
+
+    #[test]
+    fn bounds_bracket_truth() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut c = WindowCounter::new(50, 4);
+        let mut e = Exact::new(50);
+        for tick in 0..500u64 {
+            c.advance_time(tick);
+            e.advance_time(tick);
+            for _ in 0..rng.gen_range(0..6u64) {
+                c.insert();
+                e.insert();
+            }
+            assert!(
+                c.lower_bound() <= e.count(),
+                "lower bound violated at {tick}"
+            );
+            assert!(
+                c.upper_bound() >= e.count(),
+                "upper bound violated at {tick}"
+            );
+        }
+    }
+
+    #[test]
+    fn memory_is_logarithmic() {
+        let mut c = WindowCounter::new(u64::MAX, 4);
+        c.advance_time(0);
+        for _ in 0..(1u64 << 16) {
+            c.insert();
+        }
+        // log2(65536) = 16 size classes × (r+1) buckets max.
+        assert!(
+            c.bucket_count() <= 17 * 5,
+            "bucket count {}",
+            c.bucket_count()
+        );
+        assert!(c.memory_words() <= 17 * 5 * 2 + 3);
+    }
+
+    #[test]
+    fn total_expiry_resets() {
+        let mut c = WindowCounter::new(5, 4);
+        c.advance_time(0);
+        c.insert_many(100);
+        c.advance_time(1000);
+        assert_eq!(c.estimate(), 0);
+        assert_eq!(c.bucket_count(), 0);
+    }
+
+    #[test]
+    fn with_epsilon_sets_budget() {
+        let c = WindowCounter::with_epsilon(10, 0.05);
+        // r = ceil(1/(2·0.05)) + 1 = 11.
+        assert_eq!(c.r, 11);
+    }
+
+    #[test]
+    #[should_panic]
+    fn clock_cannot_go_backwards() {
+        let mut c = WindowCounter::new(5, 2);
+        c.advance_time(10);
+        c.advance_time(3);
+    }
+
+    #[test]
+    fn invariants_hold_under_merge_cascades() {
+        let mut c = WindowCounter::new(u64::MAX, 2);
+        c.advance_time(0);
+        for i in 0..4096u64 {
+            c.insert();
+            if i % 64 == 0 {
+                c.check_invariants().expect("invariants");
+            }
+        }
+        c.check_invariants().expect("invariants");
+    }
+}

@@ -1,0 +1,346 @@
+//! Sample-based windowed aggregates.
+//!
+//! Everything here is estimated from a without-replacement `k`-sample of
+//! the window (Theorems 2.2 / 4.4): means and quantiles come straight from
+//! the sample; sums additionally need the window size — exact for sequence
+//! windows, `(1±ε)`-approximate via DGIM for timestamp windows.
+
+use rand::Rng;
+use swsample_core::seq::SeqSamplerWor;
+use swsample_core::ts::TsSamplerWor;
+use swsample_core::{MemoryWords, WindowSampler};
+use swsample_counting::WindowCounter;
+
+/// A snapshot of sample-based aggregate estimates over the active window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggregateEstimate {
+    /// Estimated (or exact, for sequence windows) number of active elements.
+    pub count: f64,
+    /// Sample mean of the window values.
+    pub mean: f64,
+    /// `count · mean`.
+    pub sum: f64,
+    /// Smallest sampled value.
+    pub min_seen: u64,
+    /// Largest sampled value.
+    pub max_seen: u64,
+}
+
+/// Compute the estimate from sampled values and a window-size figure.
+fn estimate_from(values: &[u64], count: f64) -> AggregateEstimate {
+    debug_assert!(!values.is_empty());
+    let sum_sample: u64 = values.iter().sum();
+    let mean = sum_sample as f64 / values.len() as f64;
+    AggregateEstimate {
+        count,
+        mean,
+        sum: mean * count,
+        min_seen: *values.iter().min().expect("nonempty"),
+        max_seen: *values.iter().max().expect("nonempty"),
+    }
+}
+
+/// The `q`-quantile (`0 ≤ q ≤ 1`) of a sample, by sorting — the standard
+/// sample-quantile estimator whose rank error is `O(n/√k)` w.h.p.
+fn sample_quantile(values: &[u64], q: f64) -> u64 {
+    debug_assert!(!values.is_empty());
+    assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
+    let mut sorted = values.to_vec();
+    sorted.sort_unstable();
+    let pos = (q * (sorted.len() - 1) as f64).round() as usize;
+    sorted[pos]
+}
+
+/// Windowed aggregates over the last `n` arrivals (sequence discipline).
+///
+/// ```
+/// use swsample_query::SeqAggregator;
+/// use rand::{rngs::SmallRng, SeedableRng};
+///
+/// let mut agg = SeqAggregator::new(100, 32, SmallRng::seed_from_u64(4));
+/// for i in 0..1_000u64 {
+///     agg.insert(i % 10);
+/// }
+/// let est = agg.estimate().unwrap();
+/// assert_eq!(est.count, 100.0);                   // exact for seq windows
+/// assert!((est.mean - 4.5).abs() < 2.0);          // sample mean near 4.5
+/// assert!(agg.quantile(1.0).unwrap() <= 9);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SeqAggregator<R> {
+    sampler: SeqSamplerWor<u64, R>,
+}
+
+impl<R: Rng> SeqAggregator<R> {
+    /// Aggregator over the last `n` arrivals using a `k`-sample.
+    pub fn new(n: u64, k: usize, rng: R) -> Self {
+        Self {
+            sampler: SeqSamplerWor::new(n, k, rng),
+        }
+    }
+
+    /// Feed the next arrival.
+    pub fn insert(&mut self, value: u64) {
+        self.sampler.insert(value);
+    }
+
+    /// Exact number of active elements.
+    pub fn count(&self) -> u64 {
+        self.sampler.len_seen().min(self.sampler.window())
+    }
+
+    /// Current aggregate estimates; `None` before any arrival.
+    pub fn estimate(&mut self) -> Option<AggregateEstimate> {
+        let count = self.count() as f64;
+        let values: Vec<u64> = self
+            .sampler
+            .sample_k()?
+            .into_iter()
+            .map(|s| s.into_value())
+            .collect();
+        Some(estimate_from(&values, count))
+    }
+
+    /// Sample `q`-quantile of the window; `None` before any arrival.
+    pub fn quantile(&mut self, q: f64) -> Option<u64> {
+        let values: Vec<u64> = self
+            .sampler
+            .sample_k()?
+            .into_iter()
+            .map(|s| s.into_value())
+            .collect();
+        Some(sample_quantile(&values, q))
+    }
+
+    /// Estimated fraction of window elements satisfying `pred`.
+    pub fn share(&mut self, pred: impl Fn(&u64) -> bool) -> Option<f64> {
+        let sample = self.sampler.sample_k()?;
+        let hits = sample.iter().filter(|s| pred(s.value())).count();
+        Some(hits as f64 / sample.len() as f64)
+    }
+}
+
+impl<R> MemoryWords for SeqAggregator<R> {
+    fn memory_words(&self) -> usize {
+        self.sampler.memory_words()
+    }
+}
+
+/// Windowed aggregates over the last `t0` ticks (timestamp discipline):
+/// a without-replacement sampler (Theorem 4.4) plus a DGIM counter as the
+/// window-size oracle.
+#[derive(Debug, Clone)]
+pub struct TsAggregator<R> {
+    sampler: TsSamplerWor<u64, R>,
+    counter: WindowCounter,
+}
+
+impl<R: Rng> TsAggregator<R> {
+    /// Aggregator over the last `t0` ticks with a `k`-sample and a
+    /// `(1±epsilon)` window-size counter.
+    pub fn new(t0: u64, k: usize, epsilon: f64, rng: R) -> Self {
+        Self {
+            sampler: TsSamplerWor::new(t0, k, rng),
+            counter: WindowCounter::with_epsilon(t0, epsilon),
+        }
+    }
+
+    /// Advance the shared clock.
+    pub fn advance_time(&mut self, now: u64) {
+        self.sampler.advance_time(now);
+        self.counter.advance_time(now);
+    }
+
+    /// Feed the next arrival at the current tick.
+    pub fn insert(&mut self, value: u64) {
+        self.sampler.insert(value);
+        self.counter.insert();
+    }
+
+    /// `(1±ε)` estimate of the number of active elements.
+    pub fn count_estimate(&self) -> u64 {
+        self.counter.estimate()
+    }
+
+    /// Current aggregate estimates; `None` when the window is empty.
+    pub fn estimate(&mut self) -> Option<AggregateEstimate> {
+        let values: Vec<u64> = self
+            .sampler
+            .sample_k()?
+            .into_iter()
+            .map(|s| s.into_value())
+            .collect();
+        Some(estimate_from(&values, self.counter.estimate() as f64))
+    }
+
+    /// Sample `q`-quantile of the window; `None` when the window is empty.
+    pub fn quantile(&mut self, q: f64) -> Option<u64> {
+        let values: Vec<u64> = self
+            .sampler
+            .sample_k()?
+            .into_iter()
+            .map(|s| s.into_value())
+            .collect();
+        Some(sample_quantile(&values, q))
+    }
+
+    /// Estimated fraction of window elements satisfying `pred`.
+    pub fn share(&mut self, pred: impl Fn(&u64) -> bool) -> Option<f64> {
+        let sample = self.sampler.sample_k()?;
+        let hits = sample.iter().filter(|s| pred(s.value())).count();
+        Some(hits as f64 / sample.len() as f64)
+    }
+}
+
+impl<R> MemoryWords for TsAggregator<R> {
+    fn memory_words(&self) -> usize {
+        self.sampler.memory_words() + self.counter.memory_words()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use swsample_stats::OnlineMoments;
+
+    #[test]
+    fn seq_count_is_exact() {
+        let mut a = SeqAggregator::new(100, 8, SmallRng::seed_from_u64(1));
+        for i in 0..37u64 {
+            a.insert(i);
+        }
+        assert_eq!(a.count(), 37);
+        for i in 0..500u64 {
+            a.insert(i);
+        }
+        assert_eq!(a.count(), 100);
+    }
+
+    #[test]
+    fn seq_mean_converges_to_window_mean() {
+        // Window holds values 900..1000: mean 949.5. Average over seeds.
+        let mut acc = OnlineMoments::new();
+        for seed in 0..100 {
+            let mut a = SeqAggregator::new(100, 16, SmallRng::seed_from_u64(seed));
+            for i in 0..1000u64 {
+                a.insert(i);
+            }
+            acc.push(a.estimate().expect("nonempty").mean);
+        }
+        assert!(
+            (acc.mean() - 949.5).abs() < 5.0,
+            "mean of means {}",
+            acc.mean()
+        );
+    }
+
+    #[test]
+    fn seq_sum_estimates_window_sum() {
+        let mut acc = OnlineMoments::new();
+        for seed in 0..100 {
+            let mut a = SeqAggregator::new(50, 10, SmallRng::seed_from_u64(seed));
+            for i in 0..200u64 {
+                a.insert(i % 7);
+            }
+            acc.push(a.estimate().expect("nonempty").sum);
+        }
+        // Window = last 50 of i%7: values cycle; exact sum:
+        let exact: u64 = (150..200u64).map(|i| i % 7).sum();
+        assert!(
+            (acc.mean() - exact as f64).abs() < 0.15 * exact as f64,
+            "sum of means {} vs exact {exact}",
+            acc.mean()
+        );
+    }
+
+    #[test]
+    fn seq_quantile_near_true_quantile() {
+        let mut acc = OnlineMoments::new();
+        for seed in 0..60 {
+            let mut a = SeqAggregator::new(1000, 64, SmallRng::seed_from_u64(seed));
+            for i in 0..5000u64 {
+                a.insert(i % 1000);
+            }
+            acc.push(a.quantile(0.5).expect("nonempty") as f64);
+        }
+        // True median of 0..1000 is ~500; sample median concentrated around it.
+        assert!(
+            (acc.mean() - 500.0).abs() < 60.0,
+            "median of medians {}",
+            acc.mean()
+        );
+    }
+
+    #[test]
+    fn seq_share_estimates_predicate_fraction() {
+        let mut acc = OnlineMoments::new();
+        for seed in 0..100 {
+            let mut a = SeqAggregator::new(100, 20, SmallRng::seed_from_u64(seed));
+            for i in 0..400u64 {
+                a.insert(i % 10);
+            }
+            acc.push(a.share(|&v| v < 3).expect("nonempty"));
+        }
+        assert!((acc.mean() - 0.3).abs() < 0.05, "share {}", acc.mean());
+    }
+
+    #[test]
+    fn ts_aggregator_combines_counter_and_sampler() {
+        let mut a = TsAggregator::new(16, 8, 0.1, SmallRng::seed_from_u64(2));
+        for tick in 0..100u64 {
+            a.advance_time(tick);
+            a.insert(tick % 5);
+            a.insert(tick % 5 + 10);
+        }
+        // 16 ticks × 2 arrivals = 32 active.
+        let est = a.estimate().expect("nonempty");
+        assert!(
+            (est.count - 32.0).abs() <= 0.1 * 32.0 + 1.0,
+            "count {}",
+            est.count
+        );
+        assert!(est.mean > 0.0 && est.sum > 0.0);
+    }
+
+    #[test]
+    fn ts_empty_window_returns_none() {
+        let mut a = TsAggregator::new(4, 3, 0.2, SmallRng::seed_from_u64(3));
+        assert!(a.estimate().is_none());
+        a.advance_time(0);
+        a.insert(5);
+        a.advance_time(100);
+        assert!(a.estimate().is_none());
+        assert_eq!(a.count_estimate(), 0);
+    }
+
+    #[test]
+    fn quantile_bounds_checked() {
+        let vals = [5u64, 1, 9, 3];
+        assert_eq!(sample_quantile(&vals, 0.0), 1);
+        assert_eq!(sample_quantile(&vals, 1.0), 9);
+        // Even-length sample: position 0.5·3 = 1.5 rounds away from zero.
+        assert_eq!(sample_quantile(&vals, 0.5), 5);
+    }
+
+    #[test]
+    #[should_panic]
+    fn quantile_rejects_out_of_range() {
+        sample_quantile(&[1], 1.5);
+    }
+
+    #[test]
+    fn memory_stays_sublinear() {
+        let mut a = TsAggregator::new(1024, 8, 0.1, SmallRng::seed_from_u64(4));
+        for tick in 0..4096u64 {
+            a.advance_time(tick);
+            for _ in 0..4 {
+                a.insert(tick);
+            }
+        }
+        // Window holds 4096 elements of 3 words if buffered; the aggregator
+        // must be far below that.
+        assert!(a.memory_words() < 4096, "memory {}", a.memory_words());
+    }
+}

@@ -1,0 +1,26 @@
+//! Approximate windowed query processing on top of the paper's samplers.
+//!
+//! The reason uniform window sampling matters (the paper's §1: "numerous
+//! algorithms operate on the sampled data instead of on the entire stream")
+//! is that one maintained sample answers many queries. This crate is that
+//! consumer layer — the piece a data-stream system would actually call:
+//!
+//! * [`aggregates`] — sample-based windowed aggregates: mean, sum,
+//!   quantiles, and value-share ("what fraction of the window is X?"),
+//!   each with the standard sampling error `O(1/√k)`.
+//! * [`heavy_hitters`] — sample-based frequent-element detection over the
+//!   window.
+//!
+//! Sequence windows know their size exactly (`min(N, n)`); timestamp
+//! windows do not — there the estimators combine the sample with the
+//! `swsample-counting` DGIM window-size oracle, exactly the composition the
+//! paper's Corollaries 5.2/5.4 presuppose.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aggregates;
+pub mod heavy_hitters;
+
+pub use aggregates::{SeqAggregator, TsAggregator};
+pub use heavy_hitters::HeavyHitters;

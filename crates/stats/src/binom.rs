@@ -1,0 +1,100 @@
+//! Exact binomial probabilities and tails.
+//!
+//! Experiment E8 compares the *measured* failure probability of the
+//! over-sampling baseline ("fewer than k of the k' maintained samples are
+//! still alive") against the analytic binomial tail; these helpers compute
+//! that tail exactly in log-space.
+
+use crate::gamma::ln_gamma;
+
+/// Natural log of the binomial coefficient `C(n, k)`.
+pub fn ln_choose(n: u64, k: u64) -> f64 {
+    assert!(k <= n, "ln_choose: k={k} > n={n}");
+    ln_gamma(n as f64 + 1.0) - ln_gamma(k as f64 + 1.0) - ln_gamma((n - k) as f64 + 1.0)
+}
+
+/// `P(Bin(n, p) = k)` computed in log-space for numerical stability.
+pub fn binomial_pmf(n: u64, p: f64, k: u64) -> f64 {
+    assert!((0.0..=1.0).contains(&p), "binomial_pmf: p={p}");
+    assert!(k <= n);
+    if p == 0.0 {
+        return if k == 0 { 1.0 } else { 0.0 };
+    }
+    if p == 1.0 {
+        return if k == n { 1.0 } else { 0.0 };
+    }
+    (ln_choose(n, k) + k as f64 * p.ln() + (n - k) as f64 * (1.0 - p).ln()).exp()
+}
+
+/// Lower tail `P(Bin(n, p) <= k)`.
+pub fn binomial_tail_le(n: u64, p: f64, k: u64) -> f64 {
+    (0..=k.min(n))
+        .map(|i| binomial_pmf(n, p, i))
+        .sum::<f64>()
+        .clamp(0.0, 1.0)
+}
+
+/// Upper tail `P(Bin(n, p) >= k)`.
+pub fn binomial_tail_ge(n: u64, p: f64, k: u64) -> f64 {
+    if k == 0 {
+        return 1.0;
+    }
+    (k..=n)
+        .map(|i| binomial_pmf(n, p, i))
+        .sum::<f64>()
+        .clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pmf_sums_to_one() {
+        for &(n, p) in &[(10u64, 0.3), (25, 0.5), (40, 0.9)] {
+            let total: f64 = (0..=n).map(|k| binomial_pmf(n, p, k)).sum();
+            assert!((total - 1.0).abs() < 1e-10, "n={n} p={p} total={total}");
+        }
+    }
+
+    #[test]
+    fn fair_coin_symmetry() {
+        for k in 0..=10u64 {
+            let a = binomial_pmf(10, 0.5, k);
+            let b = binomial_pmf(10, 0.5, 10 - k);
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn hand_computed_values() {
+        // P(Bin(4, 0.5) = 2) = 6/16
+        assert!((binomial_pmf(4, 0.5, 2) - 0.375).abs() < 1e-12);
+        // P(Bin(3, 1/3) = 0) = (2/3)^3 = 8/27
+        assert!((binomial_pmf(3, 1.0 / 3.0, 0) - 8.0 / 27.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tails_are_complementary() {
+        for k in 0..=20u64 {
+            let le = binomial_tail_le(20, 0.37, k);
+            let ge = binomial_tail_ge(20, 0.37, k + 1);
+            assert!((le + ge - 1.0).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn degenerate_probabilities() {
+        assert_eq!(binomial_pmf(5, 0.0, 0), 1.0);
+        assert_eq!(binomial_pmf(5, 0.0, 3), 0.0);
+        assert_eq!(binomial_pmf(5, 1.0, 5), 1.0);
+        assert_eq!(binomial_tail_ge(5, 1.0, 5), 1.0);
+    }
+
+    #[test]
+    fn tail_reference() {
+        // SciPy: binom.cdf(45, 100, 0.5) = 0.18410080866334788
+        let p = binomial_tail_le(100, 0.5, 45);
+        assert!((p - 0.184_100_808_663_347_88).abs() < 1e-9, "p = {p}");
+    }
+}

@@ -1,0 +1,165 @@
+//! Pearson chi-square goodness-of-fit testing.
+//!
+//! The uniformity claims of the paper's samplers (Theorems 2.1, 2.2, 3.9,
+//! 4.4) are verified empirically by sampling many independent replicas and
+//! comparing observed category counts against expected counts with a
+//! chi-square test. The p-value comes from the chi-square CDF, i.e. the
+//! regularized incomplete gamma function from [`crate::gamma`].
+
+use crate::gamma::reg_gamma_upper;
+
+/// Result of a chi-square goodness-of-fit test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChiSquareOutcome {
+    /// The Pearson X² statistic.
+    pub statistic: f64,
+    /// Degrees of freedom used for the p-value.
+    pub dof: usize,
+    /// Upper-tail probability `P(X² >= statistic)`.
+    pub p_value: f64,
+}
+
+impl ChiSquareOutcome {
+    /// `true` when the test does *not* reject uniformity at level `alpha`.
+    pub fn accepts(&self, alpha: f64) -> bool {
+        self.p_value >= alpha
+    }
+}
+
+/// Pearson X² statistic for observed counts vs. expected counts.
+///
+/// # Panics
+/// Panics if lengths differ, if any expected count is non-positive, or if
+/// the slices are empty.
+pub fn chi_square_statistic(observed: &[u64], expected: &[f64]) -> f64 {
+    assert_eq!(
+        observed.len(),
+        expected.len(),
+        "chi_square: length mismatch"
+    );
+    assert!(!observed.is_empty(), "chi_square: empty input");
+    let mut stat = 0.0;
+    for (&o, &e) in observed.iter().zip(expected) {
+        assert!(
+            e > 0.0,
+            "chi_square: expected count must be positive, got {e}"
+        );
+        let d = o as f64 - e;
+        stat += d * d / e;
+    }
+    stat
+}
+
+/// Upper-tail p-value of the chi-square distribution with `dof` degrees of
+/// freedom at `statistic`.
+pub fn chi_square_pvalue(statistic: f64, dof: usize) -> f64 {
+    assert!(dof > 0, "chi_square_pvalue: zero degrees of freedom");
+    assert!(statistic >= 0.0, "chi_square_pvalue: negative statistic");
+    reg_gamma_upper(dof as f64 / 2.0, statistic / 2.0)
+}
+
+/// Full goodness-of-fit test of `observed` against uniform expected counts.
+///
+/// `observed[i]` is the number of trials that landed in category `i`; the
+/// expected count for every category is `total / categories`.
+pub fn chi_square_uniform_test(observed: &[u64]) -> ChiSquareOutcome {
+    let k = observed.len();
+    assert!(
+        k >= 2,
+        "chi_square_uniform_test: need at least two categories"
+    );
+    let total: u64 = observed.iter().sum();
+    assert!(total > 0, "chi_square_uniform_test: no observations");
+    let expected = vec![total as f64 / k as f64; k];
+    let statistic = chi_square_statistic(observed, &expected);
+    let dof = k - 1;
+    ChiSquareOutcome {
+        statistic,
+        dof,
+        p_value: chi_square_pvalue(statistic, dof),
+    }
+}
+
+/// Goodness-of-fit test against arbitrary expected *probabilities*
+/// (they are scaled by the observed total internally).
+pub fn chi_square_test(observed: &[u64], probabilities: &[f64]) -> ChiSquareOutcome {
+    assert_eq!(observed.len(), probabilities.len());
+    let total: u64 = observed.iter().sum();
+    assert!(total > 0, "chi_square_test: no observations");
+    let psum: f64 = probabilities.iter().sum();
+    assert!(
+        (psum - 1.0).abs() < 1e-9,
+        "chi_square_test: probabilities sum to {psum}, not 1"
+    );
+    let expected: Vec<f64> = probabilities.iter().map(|p| p * total as f64).collect();
+    let statistic = chi_square_statistic(observed, &expected);
+    let dof = observed.len() - 1;
+    ChiSquareOutcome {
+        statistic,
+        dof,
+        p_value: chi_square_pvalue(statistic, dof),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfectly_uniform_counts_have_pvalue_one() {
+        let out = chi_square_uniform_test(&[100, 100, 100, 100]);
+        assert_eq!(out.statistic, 0.0);
+        assert!((out.p_value - 1.0).abs() < 1e-12);
+        assert!(out.accepts(0.05));
+    }
+
+    #[test]
+    fn extreme_skew_rejects() {
+        let out = chi_square_uniform_test(&[1000, 0, 0, 0]);
+        assert!(out.p_value < 1e-10);
+        assert!(!out.accepts(0.001));
+    }
+
+    #[test]
+    fn statistic_matches_hand_computation() {
+        // observed [10, 20], expected [15, 15]: X² = 25/15 + 25/15 = 10/3
+        let s = chi_square_statistic(&[10, 20], &[15.0, 15.0]);
+        assert!((s - 10.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pvalue_reference() {
+        // SciPy: chi2.sf(3.84146, 1) = 0.05000 (the classic 5% critical value)
+        let p = chi_square_pvalue(3.841_458_820_694_124, 1);
+        assert!((p - 0.05).abs() < 1e-9, "p = {p}");
+        // chi2.sf(16.919, 9) ~= 0.050
+        let p = chi_square_pvalue(16.919, 9);
+        assert!((p - 0.05).abs() < 1e-4, "p = {p}");
+    }
+
+    #[test]
+    fn arbitrary_probability_test() {
+        // 3:1 expected ratio, observed exactly 3:1 -> statistic 0.
+        let out = chi_square_test(&[300, 100], &[0.75, 0.25]);
+        assert!(out.statistic < 1e-12);
+    }
+
+    #[test]
+    fn moderate_fluctuation_accepted() {
+        // Multinomial-ish counts close to uniform should pass easily.
+        let out = chi_square_uniform_test(&[98, 105, 102, 95, 100]);
+        assert!(out.accepts(0.05), "p = {}", out.p_value);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_single_category() {
+        chi_square_uniform_test(&[5]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_probabilities_not_summing_to_one() {
+        chi_square_test(&[1, 2], &[0.5, 0.4]);
+    }
+}

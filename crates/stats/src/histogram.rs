@@ -1,0 +1,108 @@
+//! Simple fixed-bin counting histogram used by tests and experiments.
+
+/// A counting histogram over `u64` categories `0..bins`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    out_of_range: u64,
+}
+
+impl Histogram {
+    /// New histogram with `bins` categories, all zero.
+    pub fn new(bins: usize) -> Self {
+        assert!(bins > 0, "Histogram::new: zero bins");
+        Self {
+            counts: vec![0; bins],
+            out_of_range: 0,
+        }
+    }
+
+    /// Record one observation of category `i`; out-of-range observations are
+    /// tallied separately (they usually indicate a bug in the caller, so
+    /// they are exposed via [`Histogram::out_of_range`]).
+    pub fn record(&mut self, i: u64) {
+        match self.counts.get_mut(i as usize) {
+            Some(c) => *c += 1,
+            None => self.out_of_range += 1,
+        }
+    }
+
+    /// Number of categories.
+    pub fn bins(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Count in category `i`.
+    pub fn count(&self, i: usize) -> u64 {
+        self.counts[i]
+    }
+
+    /// All per-category counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total recorded in-range observations.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Observations that fell outside `0..bins`.
+    pub fn out_of_range(&self) -> u64 {
+        self.out_of_range
+    }
+
+    /// Fraction of observations in category `i` (0 if nothing recorded).
+    pub fn fraction(&self, i: usize) -> f64 {
+        let t = self.total();
+        if t == 0 {
+            0.0
+        } else {
+            self.counts[i] as f64 / t as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_totals() {
+        let mut h = Histogram::new(4);
+        for i in 0..10 {
+            h.record(i % 4);
+        }
+        assert_eq!(h.total(), 10);
+        assert_eq!(h.count(0), 3);
+        assert_eq!(h.count(1), 3);
+        assert_eq!(h.count(2), 2);
+        assert_eq!(h.count(3), 2);
+        assert_eq!(h.out_of_range(), 0);
+    }
+
+    #[test]
+    fn out_of_range_tracked_separately() {
+        let mut h = Histogram::new(2);
+        h.record(0);
+        h.record(5);
+        assert_eq!(h.total(), 1);
+        assert_eq!(h.out_of_range(), 1);
+    }
+
+    #[test]
+    fn fractions() {
+        let mut h = Histogram::new(2);
+        assert_eq!(h.fraction(0), 0.0);
+        h.record(0);
+        h.record(0);
+        h.record(1);
+        assert!((h.fraction(0) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_bins_rejected() {
+        Histogram::new(0);
+    }
+}

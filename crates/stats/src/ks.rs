@@ -1,0 +1,108 @@
+//! One-sample Kolmogorov–Smirnov test against the uniform distribution.
+//!
+//! Used by tests that check *continuous* quantities (e.g. normalized sample
+//! positions inside a window) rather than category counts.
+
+/// KS statistic `D_n = sup |F_n(x) − x|` for samples assumed to lie in
+/// `[0, 1]` against the Uniform(0,1) CDF.
+///
+/// # Panics
+/// Panics if `samples` is empty or contains values outside `[0, 1]`.
+pub fn ks_statistic_uniform(samples: &[f64]) -> f64 {
+    assert!(!samples.is_empty(), "ks_statistic_uniform: empty sample");
+    let mut xs: Vec<f64> = samples.to_vec();
+    for &x in &xs {
+        assert!((0.0..=1.0).contains(&x), "ks: sample {x} outside [0,1]");
+    }
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("ks: NaN in samples"));
+    let n = xs.len() as f64;
+    let mut d = 0.0f64;
+    for (i, &x) in xs.iter().enumerate() {
+        let lo = x - i as f64 / n;
+        let hi = (i as f64 + 1.0) / n - x;
+        d = d.max(lo).max(hi);
+    }
+    d
+}
+
+/// Asymptotic p-value for the one-sample KS test via the Kolmogorov
+/// distribution series `Q(λ) = 2 Σ (−1)^{j−1} e^{−2 j² λ²}` with the
+/// standard finite-n correction `λ = (√n + 0.12 + 0.11/√n) · D`.
+pub fn ks_test_uniform(samples: &[f64]) -> f64 {
+    let d = ks_statistic_uniform(samples);
+    let n = samples.len() as f64;
+    let sqrt_n = n.sqrt();
+    let lambda = (sqrt_n + 0.12 + 0.11 / sqrt_n) * d;
+    kolmogorov_q(lambda)
+}
+
+/// Kolmogorov survival function `Q(λ)`.
+fn kolmogorov_q(lambda: f64) -> f64 {
+    if lambda <= 0.0 {
+        return 1.0;
+    }
+    let mut sum = 0.0;
+    let mut sign = 1.0;
+    for j in 1..=100 {
+        let term = (-2.0 * (j as f64) * (j as f64) * lambda * lambda).exp();
+        sum += sign * term;
+        sign = -sign;
+        if term < 1e-16 {
+            break;
+        }
+    }
+    (2.0 * sum).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evenly_spaced_samples_have_small_statistic() {
+        // Midpoints of n equal bins: D = 1/(2n).
+        let n = 100;
+        let xs: Vec<f64> = (0..n).map(|i| (i as f64 + 0.5) / n as f64).collect();
+        let d = ks_statistic_uniform(&xs);
+        assert!((d - 1.0 / (2.0 * n as f64)).abs() < 1e-12, "d = {d}");
+        assert!(ks_test_uniform(&xs) > 0.99);
+    }
+
+    #[test]
+    fn clustered_samples_reject() {
+        let xs = vec![0.01; 200];
+        let p = ks_test_uniform(&xs);
+        assert!(p < 1e-6, "p = {p}");
+    }
+
+    #[test]
+    fn statistic_for_single_point() {
+        // One sample at 0.5: D = 0.5.
+        let d = ks_statistic_uniform(&[0.5]);
+        assert!((d - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kolmogorov_q_monotone_and_bounded() {
+        let mut prev = 1.0;
+        for i in 0..60 {
+            let q = kolmogorov_q(i as f64 * 0.1);
+            assert!((0.0..=1.0).contains(&q));
+            assert!(q <= prev + 1e-12);
+            prev = q;
+        }
+    }
+
+    #[test]
+    fn kolmogorov_q_reference() {
+        // Q(1.3581) ~= 0.05 (classic critical value)
+        let q = kolmogorov_q(1.3581);
+        assert!((q - 0.05).abs() < 2e-3, "q = {q}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_out_of_range() {
+        ks_statistic_uniform(&[1.5]);
+    }
+}

@@ -1,0 +1,37 @@
+//! Statistical testing substrate for the `swsample` workspace.
+//!
+//! The sampling algorithms in `swsample-core` make distributional claims
+//! (uniformity with and without replacement); verifying those claims needs a
+//! small but real statistics toolkit. This crate implements it from scratch
+//! so the workspace has no heavyweight runtime dependencies:
+//!
+//! * [`gamma`] — log-gamma and the regularized incomplete gamma functions,
+//!   the numerical backbone of the chi-square distribution.
+//! * [`chisq`] — Pearson chi-square goodness-of-fit tests.
+//! * [`ks`] — one-sample Kolmogorov–Smirnov test against the uniform CDF.
+//! * [`binom`] — exact and normal-approximated binomial tail probabilities.
+//! * [`moments`] — Welford online mean/variance, and summary statistics.
+//! * [`histogram`] — fixed-bin counting helpers used by the experiments.
+//!
+//! Everything is `f64`-based, deterministic, and tested against reference
+//! values (from standard tables / SciPy) embedded in the unit tests.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod binom;
+pub mod chisq;
+pub mod gamma;
+pub mod histogram;
+pub mod ks;
+pub mod moments;
+
+pub use binom::{binomial_pmf, binomial_tail_ge, binomial_tail_le};
+pub use chisq::{
+    chi_square_pvalue, chi_square_statistic, chi_square_test, chi_square_uniform_test,
+    ChiSquareOutcome,
+};
+pub use gamma::{ln_gamma, reg_gamma_lower, reg_gamma_upper};
+pub use histogram::Histogram;
+pub use ks::{ks_statistic_uniform, ks_test_uniform};
+pub use moments::{OnlineMoments, Summary};

@@ -1,0 +1,224 @@
+//! Online moment accumulation (Welford) and summary statistics.
+
+/// Numerically stable online mean/variance accumulator (Welford's method).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OnlineMoments {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineMoments {
+    /// Fresh accumulator with no observations.
+    pub fn new() -> Self {
+        Self {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Fold one observation in.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 for an empty accumulator).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased sample variance; 0 when fewer than two observations.
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation (`+inf` when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation (`−inf` when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Merge another accumulator into this one (parallel Welford merge).
+    pub fn merge(&mut self, other: &OnlineMoments) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Batch summary of a set of observations, including quantiles.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    /// Number of observations.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation.
+    pub std_dev: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Median (type-7 / linear interpolation).
+    pub median: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Compute a summary of `values`. Panics on empty input or NaN.
+    pub fn of(values: &[f64]) -> Self {
+        assert!(!values.is_empty(), "Summary::of: empty input");
+        let mut sorted = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("Summary::of: NaN"));
+        let mut acc = OnlineMoments::new();
+        for &v in values {
+            acc.push(v);
+        }
+        Self {
+            count: values.len(),
+            mean: acc.mean(),
+            std_dev: acc.std_dev(),
+            min: sorted[0],
+            median: quantile(&sorted, 0.5),
+            p99: quantile(&sorted, 0.99),
+            max: *sorted.last().expect("nonempty"),
+        }
+    }
+}
+
+/// Linear-interpolated quantile of an already-sorted slice.
+fn quantile(sorted: &[f64], q: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&q));
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_matches_naive() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut acc = OnlineMoments::new();
+        for &x in &xs {
+            acc.push(x);
+        }
+        assert!((acc.mean() - 5.0).abs() < 1e-12);
+        // Unbiased variance of that classic data set = 32/7.
+        assert!((acc.variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(acc.min(), 2.0);
+        assert_eq!(acc.max(), 9.0);
+        assert_eq!(acc.count(), 8);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut whole = OnlineMoments::new();
+        for &x in &xs {
+            whole.push(x);
+        }
+        let mut left = OnlineMoments::new();
+        let mut right = OnlineMoments::new();
+        for &x in &xs[..37] {
+            left.push(x);
+        }
+        for &x in &xs[37..] {
+            right.push(x);
+        }
+        left.merge(&right);
+        assert!((left.mean() - whole.mean()).abs() < 1e-10);
+        assert!((left.variance() - whole.variance()).abs() < 1e-10);
+        assert_eq!(left.count(), whole.count());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = OnlineMoments::new();
+        a.push(1.0);
+        a.push(3.0);
+        let before = a;
+        a.merge(&OnlineMoments::new());
+        assert_eq!(a.mean(), before.mean());
+        let mut empty = OnlineMoments::new();
+        empty.merge(&before);
+        assert_eq!(empty.mean(), before.mean());
+    }
+
+    #[test]
+    fn summary_quantiles() {
+        let xs: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let s = Summary::of(&xs);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 100.0);
+        assert!((s.median - 50.5).abs() < 1e-12);
+        assert!((s.mean - 50.5).abs() < 1e-12);
+        assert!(s.p99 >= 99.0 && s.p99 <= 100.0);
+    }
+
+    #[test]
+    fn summary_single_value() {
+        let s = Summary::of(&[42.0]);
+        assert_eq!(s.median, 42.0);
+        assert_eq!(s.p99, 42.0);
+        assert_eq!(s.std_dev, 0.0);
+    }
+
+    #[test]
+    fn variance_of_constant_is_zero() {
+        let mut acc = OnlineMoments::new();
+        for _ in 0..10 {
+            acc.push(3.25);
+        }
+        assert!(acc.variance().abs() < 1e-15);
+    }
+}

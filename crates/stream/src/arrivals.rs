@@ -1,0 +1,248 @@
+//! Arrival processes for timestamp-based windows.
+//!
+//! A timestamp-based stream is a sequence of `(value, timestamp)` events
+//! with non-decreasing timestamps; possibly many events per tick ("bursts",
+//! §1: *"where many items can arrive in bursts at a single step"*). The
+//! three processes here cover the paper's experimental needs:
+//!
+//! * [`SteadyArrivals`] — exactly one item per tick; the timestamp model
+//!   degenerates to the sequence model, a useful cross-check.
+//! * [`BurstyArrivals`] — a random burst of `0..=max_burst` items per tick;
+//!   the "networking" workload of the introduction.
+//! * [`AdversarialStream`] — the Lemma 3.10 lower-bound schedule:
+//!   `2^{2t₀−i}` items at tick `i ≤ 2t₀`, then one per tick. Under this
+//!   schedule priority-style samplers are forced to hold `Ω(log n)`
+//!   elements; experiment E4 replays it.
+
+use crate::values::ValueGen;
+use rand::Rng;
+
+/// One stream event: a value arriving at a tick.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimedEvent {
+    /// The element value.
+    pub value: u64,
+    /// Arrival tick.
+    pub timestamp: u64,
+}
+
+/// One item per tick.
+#[derive(Debug, Clone)]
+pub struct SteadyArrivals<G> {
+    values: G,
+    tick: u64,
+}
+
+impl<G: ValueGen> SteadyArrivals<G> {
+    /// New steady arrival process starting at tick 0.
+    pub fn new(values: G) -> Self {
+        Self { values, tick: 0 }
+    }
+
+    /// Produce the next event.
+    pub fn next_event<R: Rng>(&mut self, rng: &mut R) -> TimedEvent {
+        let ev = TimedEvent {
+            value: self.values.next_value(rng),
+            timestamp: self.tick,
+        };
+        self.tick += 1;
+        ev
+    }
+}
+
+/// A random number of items (possibly zero) per tick, up to `max_burst`.
+#[derive(Debug, Clone)]
+pub struct BurstyArrivals<G> {
+    values: G,
+    max_burst: u64,
+    tick: u64,
+    remaining_in_tick: u64,
+}
+
+impl<G: ValueGen> BurstyArrivals<G> {
+    /// New bursty process; each tick carries `Uniform{0..=max_burst}` items.
+    pub fn new(values: G, max_burst: u64) -> Self {
+        assert!(max_burst > 0, "BurstyArrivals: max_burst must be positive");
+        Self {
+            values,
+            max_burst,
+            tick: 0,
+            remaining_in_tick: 0,
+        }
+    }
+
+    /// Produce the next event; advances the tick through empty bursts.
+    pub fn next_event<R: Rng>(&mut self, rng: &mut R) -> TimedEvent {
+        while self.remaining_in_tick == 0 {
+            self.remaining_in_tick = rng.gen_range(0..=self.max_burst);
+            if self.remaining_in_tick == 0 {
+                self.tick += 1;
+            }
+        }
+        self.remaining_in_tick -= 1;
+        let ev = TimedEvent {
+            value: self.values.next_value(rng),
+            timestamp: self.tick,
+        };
+        if self.remaining_in_tick == 0 {
+            self.tick += 1;
+        }
+        ev
+    }
+
+    /// Current clock tick (timestamp the *next* event will not precede).
+    pub fn now(&self) -> u64 {
+        self.tick
+    }
+}
+
+/// The Lemma 3.10 adversarial schedule.
+///
+/// For tick `i ∈ 0..=2t₀` the stream delivers `2^{2t₀−i}` items; afterwards
+/// one item per tick. With window width `t₀`, around time `t₀` the number of
+/// active elements is `n ≥ 2^{t₀}`, and any sampler must remember `Ω(t₀) =
+/// Ω(log n)` distinct elements with positive probability (Lemma 3.10).
+///
+/// `t0` must be small (≤ ~20) or the early bursts are astronomically large;
+/// [`AdversarialStream::burst_size`] saturates at `max_burst_cap` to keep
+/// replays tractable while preserving the geometric decay that drives the
+/// bound.
+#[derive(Debug, Clone)]
+pub struct AdversarialStream<G> {
+    values: G,
+    t0: u64,
+    max_burst_cap: u64,
+    tick: u64,
+    emitted_in_tick: u64,
+}
+
+impl<G: ValueGen> AdversarialStream<G> {
+    /// New adversarial schedule for window width `t0`, with per-tick burst
+    /// sizes capped at `max_burst_cap` (use `u64::MAX` for the uncapped
+    /// schedule of the proof).
+    pub fn new(values: G, t0: u64, max_burst_cap: u64) -> Self {
+        assert!(t0 > 0, "AdversarialStream: t0 must be positive");
+        assert!(max_burst_cap > 0, "AdversarialStream: cap must be positive");
+        Self {
+            values,
+            t0,
+            max_burst_cap,
+            tick: 0,
+            emitted_in_tick: 0,
+        }
+    }
+
+    /// Scheduled burst size at tick `i`: `min(2^{2t₀−i}, cap)` for
+    /// `i ≤ 2t₀`, else 1.
+    pub fn burst_size(&self, i: u64) -> u64 {
+        if i <= 2 * self.t0 {
+            let exp = 2 * self.t0 - i;
+            if exp >= 63 {
+                self.max_burst_cap
+            } else {
+                (1u64 << exp).min(self.max_burst_cap)
+            }
+        } else {
+            1
+        }
+    }
+
+    /// Produce the next event.
+    pub fn next_event<R: Rng>(&mut self, rng: &mut R) -> TimedEvent {
+        while self.emitted_in_tick >= self.burst_size(self.tick) {
+            self.tick += 1;
+            self.emitted_in_tick = 0;
+        }
+        self.emitted_in_tick += 1;
+        TimedEvent {
+            value: self.values.next_value(rng),
+            timestamp: self.tick,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::values::{RoundRobinGen, UniformGen};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn steady_ticks_increment() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut s = SteadyArrivals::new(RoundRobinGen::new(5));
+        for i in 0..10 {
+            let ev = s.next_event(&mut rng);
+            assert_eq!(ev.timestamp, i);
+        }
+    }
+
+    #[test]
+    fn bursty_timestamps_nondecreasing() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut s = BurstyArrivals::new(UniformGen::new(100), 7);
+        let mut last = 0;
+        for _ in 0..1000 {
+            let ev = s.next_event(&mut rng);
+            assert!(ev.timestamp >= last);
+            last = ev.timestamp;
+        }
+    }
+
+    #[test]
+    fn bursty_produces_bursts() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut s = BurstyArrivals::new(UniformGen::new(100), 5);
+        let mut per_tick = std::collections::HashMap::new();
+        for _ in 0..2000 {
+            let ev = s.next_event(&mut rng);
+            *per_tick.entry(ev.timestamp).or_insert(0u64) += 1;
+        }
+        assert!(per_tick.values().any(|&c| c > 1), "no bursts observed");
+        assert!(per_tick.values().all(|&c| c <= 5));
+    }
+
+    #[test]
+    fn adversarial_burst_sizes_follow_schedule() {
+        let s = AdversarialStream::new(RoundRobinGen::new(2), 3, u64::MAX);
+        // t0 = 3: tick 0 carries 2^6 = 64, tick 6 carries 2^0 = 1, tick 7 -> 1.
+        assert_eq!(s.burst_size(0), 64);
+        assert_eq!(s.burst_size(1), 32);
+        assert_eq!(s.burst_size(6), 1);
+        assert_eq!(s.burst_size(7), 1);
+        assert_eq!(s.burst_size(100), 1);
+    }
+
+    #[test]
+    fn adversarial_caps_bursts() {
+        let s = AdversarialStream::new(RoundRobinGen::new(2), 30, 1000);
+        assert_eq!(s.burst_size(0), 1000);
+        assert_eq!(s.burst_size(59), 2);
+        assert_eq!(s.burst_size(61), 1);
+    }
+
+    #[test]
+    fn adversarial_event_counts_per_tick() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mut s = AdversarialStream::new(RoundRobinGen::new(9), 2, u64::MAX);
+        // t0 = 2: ticks 0..=4 carry 16,8,4,2,1 items = 31 total; tick 5 -> 1.
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..33 {
+            let ev = s.next_event(&mut rng);
+            *counts.entry(ev.timestamp).or_insert(0u64) += 1;
+        }
+        assert_eq!(counts[&0], 16);
+        assert_eq!(counts[&1], 8);
+        assert_eq!(counts[&4], 1);
+        assert_eq!(counts[&5], 1);
+        assert_eq!(counts[&6], 1);
+    }
+
+    #[test]
+    fn adversarial_overflow_guard() {
+        // exp >= 63 must not shift-overflow.
+        let s = AdversarialStream::new(RoundRobinGen::new(2), 40, 500);
+        assert_eq!(s.burst_size(0), 500);
+    }
+}

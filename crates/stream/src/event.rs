@@ -1,0 +1,78 @@
+//! The stream event model: timestamps and window disciplines.
+
+/// Logical timestamps are non-negative ticks. Many items may share a tick
+/// (bursts); timestamps are non-decreasing along the stream, exactly as in
+/// the paper's timestamp-based model (§3).
+pub type Timestamp = u64;
+
+/// Which sliding-window discipline governs expiry.
+///
+/// * `Sequence(n)` — the last `n` arrivals are active (§2, "fixed-size" /
+///   "sequence-based" windows).
+/// * `Timestamp(t0)` — an element with timestamp `T(p)` is active at time
+///   `t` iff `t − T(p) < t0` (§3, "timestamp-based" windows).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WindowSpec {
+    /// Fixed-size window over the last `n` arrivals.
+    Sequence(u64),
+    /// Timestamp window of width `t0` ticks.
+    Timestamp(u64),
+}
+
+impl WindowSpec {
+    /// Is an element with arrival index `index` / timestamp `ts` active,
+    /// given the newest arrival index is `newest_index` and the clock reads
+    /// `now`?
+    pub fn is_active(&self, index: u64, ts: Timestamp, newest_index: u64, now: Timestamp) -> bool {
+        match *self {
+            WindowSpec::Sequence(n) => index + n > newest_index,
+            WindowSpec::Timestamp(t0) => {
+                debug_assert!(now >= ts, "clock ran backwards");
+                now - ts < t0
+            }
+        }
+    }
+
+    /// Window-size parameter (`n` or `t0`).
+    pub fn parameter(&self) -> u64 {
+        match *self {
+            WindowSpec::Sequence(n) | WindowSpec::Timestamp(n) => n,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequence_window_activity() {
+        let w = WindowSpec::Sequence(10);
+        // newest index 99: active indices are 90..=99.
+        assert!(w.is_active(90, 0, 99, 0));
+        assert!(w.is_active(99, 0, 99, 0));
+        assert!(!w.is_active(89, 0, 99, 0));
+    }
+
+    #[test]
+    fn timestamp_window_activity() {
+        let w = WindowSpec::Timestamp(5);
+        // now = 10: active timestamps are 6..=10.
+        assert!(w.is_active(0, 6, 0, 10));
+        assert!(w.is_active(0, 10, 0, 10));
+        assert!(!w.is_active(0, 5, 0, 10));
+    }
+
+    #[test]
+    fn boundary_element_expires_exactly_at_t0() {
+        let w = WindowSpec::Timestamp(3);
+        assert!(w.is_active(0, 7, 0, 9)); // age 2 < 3
+        assert!(!w.is_active(0, 7, 0, 10)); // age 3 == t0 -> expired
+    }
+
+    #[test]
+    fn parameter_accessor() {
+        assert_eq!(WindowSpec::Sequence(42).parameter(), 42);
+        assert_eq!(WindowSpec::Timestamp(7).parameter(), 7);
+    }
+}

@@ -1,0 +1,55 @@
+//! Triangle counting over a sliding window of graph edges (Corollary 5.3):
+//! the Buriol-style sampling estimator, running on the paper's window
+//! sampler, against the exact count — on a stream whose triangle density
+//! changes over time.
+//!
+//! ```sh
+//! cargo run --example graph_triangles
+//! ```
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use swsample::apps::TriangleEstimator;
+use swsample::core::MemoryWords;
+use swsample::stream::{count_triangles, Edge, EdgeStreamGen};
+
+fn main() {
+    let nodes = 150u32;
+    let window = 600u64;
+    let estimators = 4096usize;
+
+    let mut est = TriangleEstimator::new(window, nodes, estimators, SmallRng::seed_from_u64(5), 6);
+    let mut rng = SmallRng::seed_from_u64(7);
+    let mut buf: std::collections::VecDeque<Edge> = Default::default();
+
+    println!("graph: {nodes} nodes; window: last {window} edges; {estimators} basic estimators\n");
+    println!(
+        "{:>7} {:>14} {:>10} {:>10}",
+        "edges", "triangle rate", "estimate", "exact"
+    );
+
+    let mut edges = 0u64;
+    for phase in 0..6 {
+        // Community churn: phases alternate between triangle-rich and
+        // triangle-poor regimes.
+        let rate = if phase % 2 == 0 { 0.45 } else { 0.05 };
+        let mut gen = EdgeStreamGen::new(nodes, rate);
+        for _ in 0..window {
+            let e = gen.next_edge(&mut rng);
+            est.insert(e);
+            buf.push_back(e);
+            if buf.len() > window as usize {
+                buf.pop_front();
+            }
+            edges += 1;
+        }
+        let exact = count_triangles(buf.make_contiguous());
+        let got = est.estimate().expect("window non-empty");
+        println!("{edges:>7} {rate:>14.2} {got:>10.1} {exact:>10}");
+    }
+    println!(
+        "\nestimator memory: {} words — independent of the number of edges",
+        est.memory_words()
+    );
+    println!("(the estimate follows the regime shifts; precision grows with the estimator count)");
+}

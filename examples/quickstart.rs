@@ -1,0 +1,80 @@
+//! Quickstart: all four samplers of the paper in one tour.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use swsample::core::seq::{SeqSamplerWor, SeqSamplerWr};
+use swsample::core::ts::{TsSamplerWor, TsSamplerWr};
+use swsample::core::{MemoryWords, WindowSampler};
+
+fn main() {
+    // ── Sequence-based windows: the last n arrivals ─────────────────────
+    let n = 1_000u64;
+    let k = 5usize;
+
+    // Theorem 2.1: k uniform samples WITH replacement, O(k) words.
+    let mut wr = SeqSamplerWr::new(n, k, SmallRng::seed_from_u64(1));
+    // Theorem 2.2: k distinct uniform samples (WITHOUT replacement).
+    let mut wor = SeqSamplerWor::new(n, k, SmallRng::seed_from_u64(2));
+
+    for value in 0..25_000u64 {
+        wr.insert(value);
+        wor.insert(value);
+    }
+
+    println!("── sequence windows (n = {n}, k = {k}) after 25,000 arrivals ──");
+    let samples = wr.sample_k().expect("window is non-empty");
+    println!(
+        "with replacement:    {:?}",
+        samples.iter().map(|s| *s.value()).collect::<Vec<_>>()
+    );
+    let samples = wor.sample_k().expect("window is non-empty");
+    println!(
+        "without replacement: {:?}",
+        samples.iter().map(|s| *s.value()).collect::<Vec<_>>()
+    );
+    println!(
+        "memory: {} words (WR), {} words (WOR) — deterministic O(k), window-size independent",
+        wr.memory_words(),
+        wor.memory_words()
+    );
+
+    // ── Timestamp-based windows: the last t0 clock ticks ────────────────
+    let t0 = 60u64; // e.g. "the last 60 seconds"
+    let mut ts_wr = TsSamplerWr::new(t0, k, SmallRng::seed_from_u64(3));
+    let mut ts_wor = TsSamplerWor::new(t0, k, SmallRng::seed_from_u64(4));
+
+    // Bursty arrivals: tick 3·i carries i%7 events (bursts + gaps).
+    let mut value = 0u64;
+    for tick in 0..3_000u64 {
+        ts_wr.advance_time(tick);
+        ts_wor.advance_time(tick);
+        for _ in 0..(tick % 7) {
+            ts_wr.insert(value);
+            ts_wor.insert(value);
+            value += 1;
+        }
+    }
+
+    println!("\n── timestamp windows (t0 = {t0} ticks) after {value} bursty arrivals ──");
+    let samples = ts_wr.sample_k().expect("window is non-empty");
+    println!(
+        "with replacement:    {:?}",
+        samples.iter().map(|s| *s.value()).collect::<Vec<_>>()
+    );
+    let samples = ts_wor.sample_k().expect("window is non-empty");
+    println!(
+        "without replacement: {:?}",
+        samples.iter().map(|s| *s.value()).collect::<Vec<_>>()
+    );
+    println!(
+        "memory: {} words (WR), {} words (WOR) — deterministic O(k log n)",
+        ts_wr.memory_words(),
+        ts_wor.memory_words()
+    );
+    println!("\nevery sample above is provably uniform over the current window —");
+    println!("see `cargo run -p swsample-bench --bin experiments` for the evidence.");
+}

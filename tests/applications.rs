@@ -1,0 +1,144 @@
+//! Integration tests for the §5 applications: the estimators built on the
+//! window samplers must converge to the exact window statistics.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use swsample::apps::{EntropyEstimator, ExactWindow, MomentEstimator, TriangleEstimator};
+use swsample::stats::OnlineMoments;
+use swsample::stream::{count_triangles, Edge, EdgeStreamGen, ValueGen, ZipfGen};
+
+#[test]
+fn f2_estimator_converges_on_zipf_stream() {
+    let n = 512u64;
+    let mut exact = ExactWindow::new(n as usize);
+    let mut gen = ZipfGen::new(50, 1.1);
+    let mut rng = SmallRng::seed_from_u64(1);
+    let stream: Vec<u64> = (0..2 * n).map(|_| gen.next_value(&mut rng)).collect();
+    for &v in &stream {
+        exact.insert(v);
+    }
+    let truth = exact.moment(2);
+    let mut acc = OnlineMoments::new();
+    for seed in 0..60 {
+        let mut est = MomentEstimator::new(n, 2, 64, 3, SmallRng::seed_from_u64(seed));
+        for &v in &stream {
+            est.insert(v);
+        }
+        acc.push(est.estimate().expect("nonempty"));
+    }
+    let rel = (acc.mean() - truth).abs() / truth;
+    assert!(
+        rel < 0.10,
+        "F2 mean {} vs exact {truth} (rel {rel})",
+        acc.mean()
+    );
+}
+
+#[test]
+fn f3_estimator_in_the_right_regime() {
+    let n = 512u64;
+    let mut exact = ExactWindow::new(n as usize);
+    let stream: Vec<u64> = (0..2 * n).map(|i| i % 17).collect();
+    for &v in &stream {
+        exact.insert(v);
+    }
+    let truth = exact.moment(3);
+    let mut acc = OnlineMoments::new();
+    for seed in 0..60 {
+        let mut est = MomentEstimator::new(n, 3, 64, 3, SmallRng::seed_from_u64(100 + seed));
+        for &v in &stream {
+            est.insert(v);
+        }
+        acc.push(est.estimate().expect("nonempty"));
+    }
+    let rel = (acc.mean() - truth).abs() / truth;
+    assert!(rel < 0.15, "F3 mean {} vs exact {truth}", acc.mean());
+}
+
+#[test]
+fn entropy_estimator_tracks_window_change() {
+    // The stream switches from constant (H = 0) to uniform (H = 5 bits);
+    // after a full window of the new regime, the estimate must follow.
+    let n = 1024u64;
+    let mut est = EntropyEstimator::new(n, 128, 3, SmallRng::seed_from_u64(3));
+    for _ in 0..2 * n {
+        est.insert(0);
+    }
+    let before = est.estimate().expect("nonempty");
+    assert!(before.abs() < 0.3, "constant-regime entropy {before}");
+    for i in 0..2 * n {
+        est.insert(i % 32);
+    }
+    let after = est.estimate().expect("nonempty");
+    assert!(
+        (after - 5.0).abs() < 0.7,
+        "uniform-regime entropy {after} (want 5)"
+    );
+}
+
+#[test]
+fn triangle_estimator_zero_on_forests_positive_on_cliques() {
+    // Forest: star graph, no triangles.
+    let mut est = TriangleEstimator::new(100, 50, 64, SmallRng::seed_from_u64(4), 5);
+    for i in 1..50u32 {
+        est.insert(Edge::new(0, i));
+    }
+    assert_eq!(est.estimate().expect("nonempty"), 0.0);
+
+    // Clique stream: plenty of triangles; the estimate must be positive on
+    // average across instances.
+    let mut total = 0.0;
+    for seed in 0..10u64 {
+        let mut est = TriangleEstimator::new(200, 12, 256, SmallRng::seed_from_u64(seed), seed);
+        for a in 0..12u32 {
+            for b in (a + 1)..12 {
+                est.insert(Edge::new(a, b));
+            }
+        }
+        total += est.estimate().expect("nonempty");
+    }
+    assert!(total > 0.0, "no triangles detected in a clique");
+}
+
+#[test]
+fn triangle_estimate_order_of_magnitude_on_planted_stream() {
+    let nodes = 120u32;
+    let window = 500u64;
+    let mut gen = EdgeStreamGen::new(nodes, 0.4);
+    let mut rng = SmallRng::seed_from_u64(6);
+    let mut acc = OnlineMoments::new();
+    let mut buf = Vec::new();
+    for seed in 0..8u64 {
+        let mut est =
+            TriangleEstimator::new(window, nodes, 4096, SmallRng::seed_from_u64(seed), seed);
+        buf.clear();
+        for _ in 0..window {
+            let e = gen.next_edge(&mut rng);
+            est.insert(e);
+            buf.push(e);
+        }
+        let exact = count_triangles(&buf) as f64;
+        acc.push(est.estimate().expect("nonempty") / exact.max(1.0));
+    }
+    // Mean ratio within a factor ~1.5 of 1.
+    assert!(
+        acc.mean() > 0.5 && acc.mean() < 1.6,
+        "triangle estimate ratio off: {}",
+        acc.mean()
+    );
+}
+
+#[test]
+fn estimators_are_streaming_not_batch() {
+    // Interleaved insert/estimate calls must work at every prefix.
+    let mut est = MomentEstimator::new(64, 2, 8, 1, SmallRng::seed_from_u64(7));
+    let mut h = EntropyEstimator::new(64, 8, 1, SmallRng::seed_from_u64(8));
+    assert!(est.estimate().is_none());
+    assert!(h.estimate().is_none());
+    for i in 0..500u64 {
+        est.insert(i % 9);
+        h.insert(i % 9);
+        assert!(est.estimate().expect("nonempty") >= 0.0);
+        assert!(h.estimate().is_some());
+    }
+}

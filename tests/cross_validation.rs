@@ -1,0 +1,170 @@
+//! Cross-crate integration: the paper's samplers validated against the
+//! exact full-window buffer (the `O(n)` baseline) and against each other.
+//!
+//! Distribution equality is tested end-to-end: at identical stream
+//! positions, the O(k)-memory samplers and the exact buffer sampler must
+//! produce statistically indistinguishable position distributions.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use swsample::baselines::WindowBuffer;
+use swsample::core::seq::{SeqSamplerWor, SeqSamplerWr};
+use swsample::core::ts::{TsSamplerWor, TsSamplerWr};
+use swsample::core::WindowSampler;
+use swsample::stats::chi_square_uniform_test;
+use swsample::stream::WindowSpec;
+
+#[test]
+fn seq_wr_matches_exact_buffer_distribution() {
+    let n = 10u64;
+    let stop = 37u64;
+    let trials = 15_000u64;
+    let mut ours = vec![0u64; n as usize];
+    let mut exact = vec![0u64; n as usize];
+    for t in 0..trials {
+        let mut a = SeqSamplerWr::new(n, 1, SmallRng::seed_from_u64(t));
+        let mut b = WindowBuffer::new(WindowSpec::Sequence(n), 1, SmallRng::seed_from_u64(t + 1));
+        for i in 0..stop {
+            a.insert(i);
+            b.insert(i);
+        }
+        ours[(a.sample().expect("nonempty").index() - (stop - n)) as usize] += 1;
+        exact[(b.sample().expect("nonempty").index() - (stop - n)) as usize] += 1;
+    }
+    let p_ours = chi_square_uniform_test(&ours).p_value;
+    let p_exact = chi_square_uniform_test(&exact).p_value;
+    assert!(p_ours > 1e-4, "our sampler deviates: p = {p_ours}");
+    assert!(
+        p_exact > 1e-4,
+        "buffer sampler deviates: p = {p_exact} (harness bug?)"
+    );
+}
+
+#[test]
+fn seq_wor_tracks_buffer_through_random_stream() {
+    // For every prefix length, both samplers must report the same window
+    // membership (distinct, correct count, in-window indices).
+    let mut rng = SmallRng::seed_from_u64(3);
+    for trial in 0..30u64 {
+        let n = rng.gen_range(1..40u64);
+        let k = rng.gen_range(1..10usize);
+        let len = rng.gen_range(1..200u64);
+        let mut ours = SeqSamplerWor::new(n, k, SmallRng::seed_from_u64(trial));
+        let mut exact =
+            WindowBuffer::new(WindowSpec::Sequence(n), k, SmallRng::seed_from_u64(trial));
+        for i in 0..len {
+            ours.insert(i);
+            exact.insert(i);
+            let got = ours.sample_k().expect("nonempty");
+            let reference = exact.sample_k().expect("nonempty");
+            assert_eq!(
+                got.len(),
+                reference.len(),
+                "trial {trial}: size mismatch at {i}"
+            );
+            let lo = (i + 1).saturating_sub(n);
+            for s in &got {
+                assert!(s.index() >= lo && s.index() <= i);
+                assert_eq!(*s.value(), s.index());
+            }
+        }
+    }
+}
+
+#[test]
+fn ts_wr_matches_exact_buffer_distribution() {
+    let t0 = 6u64;
+    let ticks = 20u64;
+    let trials = 15_000u64;
+    // Deterministic bursty schedule: burst size = (tick % 3) + 1.
+    let active: u64 = (ticks - t0..ticks).map(|t| (t % 3) + 1).sum();
+    let first_active: u64 = (0..ticks - t0).map(|t| (t % 3) + 1).sum();
+    let mut ours = vec![0u64; active as usize];
+    let mut exact = vec![0u64; active as usize];
+    for t in 0..trials {
+        let mut a = TsSamplerWr::new(t0, 1, SmallRng::seed_from_u64(t));
+        let mut b = WindowBuffer::new(WindowSpec::Timestamp(t0), 1, SmallRng::seed_from_u64(t + 9));
+        let mut idx = 0u64;
+        for tick in 0..ticks {
+            a.advance_time(tick);
+            b.advance_time(tick);
+            for _ in 0..(tick % 3) + 1 {
+                a.insert(idx);
+                b.insert(idx);
+                idx += 1;
+            }
+        }
+        ours[(a.sample().expect("nonempty").index() - first_active) as usize] += 1;
+        exact[(b.sample().expect("nonempty").index() - first_active) as usize] += 1;
+    }
+    let p_ours = chi_square_uniform_test(&ours).p_value;
+    let p_exact = chi_square_uniform_test(&exact).p_value;
+    assert!(p_ours > 1e-4, "ts sampler deviates: p = {p_ours}");
+    assert!(
+        p_exact > 1e-4,
+        "buffer deviates: p = {p_exact} (harness bug?)"
+    );
+}
+
+#[test]
+fn ts_wor_agrees_with_buffer_on_membership() {
+    let mut rng = SmallRng::seed_from_u64(11);
+    for trial in 0..20u64 {
+        let t0 = rng.gen_range(1..20u64);
+        let k = rng.gen_range(1..6usize);
+        let mut ours = TsSamplerWor::new(t0, k, SmallRng::seed_from_u64(trial));
+        let mut exact =
+            WindowBuffer::new(WindowSpec::Timestamp(t0), k, SmallRng::seed_from_u64(trial));
+        let mut idx = 0u64;
+        for tick in 0..100u64 {
+            ours.advance_time(tick);
+            exact.advance_time(tick);
+            for _ in 0..rng.gen_range(0..4u64) {
+                ours.insert(idx);
+                exact.insert(idx);
+                idx += 1;
+            }
+            match (ours.sample_k(), exact.sample_k()) {
+                (None, None) => {}
+                (Some(got), Some(reference)) => {
+                    assert_eq!(got.len(), reference.len(), "trial {trial}, tick {tick}");
+                    for s in &got {
+                        assert!(tick - s.timestamp() < t0, "expired sample");
+                    }
+                }
+                (a, b) => panic!(
+                    "trial {trial}, tick {tick}: emptiness disagrees (ours {:?}, exact {:?})",
+                    a.map(|v| v.len()),
+                    b.map(|v| v.len())
+                ),
+            }
+        }
+    }
+}
+
+#[test]
+fn with_and_without_replacement_have_same_marginals() {
+    // WR and WOR differ in joint structure but both must be uniform in the
+    // single-inclusion marginal.
+    let n = 8u64;
+    let stop = 20u64;
+    let trials = 15_000u64;
+    let mut wr_counts = vec![0u64; n as usize];
+    let mut wor_counts = vec![0u64; n as usize];
+    for t in 0..trials {
+        let mut wr = SeqSamplerWr::new(n, 2, SmallRng::seed_from_u64(t));
+        let mut wor = SeqSamplerWor::new(n, 2, SmallRng::seed_from_u64(t));
+        for i in 0..stop {
+            wr.insert(i);
+            wor.insert(i);
+        }
+        for s in wr.sample_k().expect("nonempty") {
+            wr_counts[(s.index() - (stop - n)) as usize] += 1;
+        }
+        for s in wor.sample_k().expect("nonempty") {
+            wor_counts[(s.index() - (stop - n)) as usize] += 1;
+        }
+    }
+    assert!(chi_square_uniform_test(&wr_counts).p_value > 1e-4);
+    assert!(chi_square_uniform_test(&wor_counts).p_value > 1e-4);
+}

@@ -1,0 +1,131 @@
+//! Property-based tests for the extension subsystems: the DGIM window
+//! counter (error bound + structural invariants under arbitrary schedules)
+//! and the sample-based query layer (estimates bounded by window extremes,
+//! emptiness reported exactly).
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use swsample::counting::WindowCounter;
+use swsample::query::{HeavyHitters, SeqAggregator, TsAggregator};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn dgim_error_bound_holds_for_any_schedule(
+        t0 in 1u64..100,
+        r in 2usize..12,
+        bursts in vec((0u64..4, 0u64..12), 1..80),
+    ) {
+        let mut c = WindowCounter::new(t0, r);
+        let mut exact: std::collections::VecDeque<u64> = Default::default();
+        let mut now = 0u64;
+        let eps = 1.0 / (2.0 * (r as f64 - 1.0));
+        for (gap, burst) in bursts {
+            now += gap;
+            c.advance_time(now);
+            while exact.front().is_some_and(|&ts| now - ts >= t0) {
+                exact.pop_front();
+            }
+            for _ in 0..burst {
+                c.insert();
+                exact.push_back(now);
+            }
+            c.check_invariants().map_err(TestCaseError::fail)?;
+            let truth = exact.len() as f64;
+            let est = c.estimate() as f64;
+            prop_assert!(
+                (est - truth).abs() <= eps * truth + 1.0,
+                "est {est} vs truth {truth} at eps {eps}"
+            );
+            prop_assert!(c.lower_bound() as f64 <= truth);
+            prop_assert!(c.upper_bound() as f64 >= truth);
+        }
+    }
+
+    #[test]
+    fn dgim_memory_logarithmic(
+        t0 in 1u64..1000,
+        total in 1u64..5000,
+    ) {
+        let mut c = WindowCounter::new(t0, 4);
+        c.advance_time(0);
+        for _ in 0..total {
+            c.insert();
+        }
+        let log_n = 64 - total.leading_zeros() as usize;
+        prop_assert!(
+            c.bucket_count() <= 5 * (log_n + 1),
+            "{} buckets for {total} arrivals", c.bucket_count()
+        );
+    }
+
+    #[test]
+    fn seq_aggregates_within_window_extremes(
+        n in 1u64..300,
+        k in 1usize..32,
+        values in vec(0u64..10_000, 1..400),
+        seed in any::<u64>(),
+    ) {
+        let mut a = SeqAggregator::new(n, k, SmallRng::seed_from_u64(seed));
+        for &v in &values {
+            a.insert(v);
+        }
+        let window = &values[values.len().saturating_sub(n as usize)..];
+        let lo = *window.iter().min().expect("nonempty") as f64;
+        let hi = *window.iter().max().expect("nonempty") as f64;
+        let est = a.estimate().expect("nonempty");
+        prop_assert!(est.mean >= lo && est.mean <= hi, "mean {} outside [{lo}, {hi}]", est.mean);
+        prop_assert!(est.min_seen as f64 >= lo && (est.max_seen as f64) <= hi);
+        prop_assert_eq!(est.count as u64, window.len() as u64);
+        for q in [0.0, 0.25, 0.5, 0.99, 1.0] {
+            let quant = a.quantile(q).expect("nonempty") as f64;
+            prop_assert!(quant >= lo && quant <= hi);
+        }
+        let share = a.share(|&v| v < 5_000).expect("nonempty");
+        prop_assert!((0.0..=1.0).contains(&share));
+    }
+
+    #[test]
+    fn ts_aggregator_empty_iff_window_empty(
+        t0 in 1u64..20,
+        bursts in vec((0u64..6, 0u64..4), 1..40),
+        seed in any::<u64>(),
+    ) {
+        let mut a = TsAggregator::new(t0, 4, 0.1, SmallRng::seed_from_u64(seed));
+        let mut now = 0u64;
+        let mut exact: std::collections::VecDeque<u64> = Default::default();
+        for (gap, burst) in bursts {
+            now += gap;
+            a.advance_time(now);
+            while exact.front().is_some_and(|&ts| now - ts >= t0) {
+                exact.pop_front();
+            }
+            for v in 0..burst {
+                a.insert(v);
+                exact.push_back(now);
+            }
+            prop_assert_eq!(a.estimate().is_some(), !exact.is_empty());
+        }
+    }
+
+    #[test]
+    fn heavy_hitters_never_report_absent_values(
+        n in 10u64..200,
+        values in vec(0u64..20, 10..300),
+        seed in any::<u64>(),
+    ) {
+        let mut h = HeavyHitters::new(n, 16, 0.05, SmallRng::seed_from_u64(seed));
+        for &v in &values {
+            h.insert(v);
+        }
+        let window: std::collections::HashSet<u64> =
+            values[values.len().saturating_sub(n as usize)..].iter().copied().collect();
+        for hit in h.hitters() {
+            prop_assert!(window.contains(&hit.value), "reported {} not in window", hit.value);
+            prop_assert!(hit.share > 0.0 && hit.share <= 1.0);
+        }
+    }
+}

@@ -1,0 +1,197 @@
+//! Property-based tests (proptest) on the samplers' structural invariants,
+//! driven by arbitrary window sizes, sample counts, and arrival schedules.
+//!
+//! These complement the distributional chi-square tests: whatever the
+//! schedule, (1) samples lie inside the window, (2) without-replacement
+//! samples are distinct and correctly sized, (3) memory never exceeds the
+//! deterministic caps, and (4) emptiness is reported exactly.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use swsample::core::reservoir::{ReservoirK, ReservoirL};
+use swsample::core::seq::{SeqSamplerWor, SeqSamplerWr};
+use swsample::core::ts::{TsSamplerWor, TsSamplerWr};
+use swsample::core::{MemoryWords, WindowSampler};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn seq_wr_sample_always_in_window(
+        n in 1u64..200,
+        k in 1usize..8,
+        len in 1u64..400,
+        seed in any::<u64>(),
+    ) {
+        let mut s = SeqSamplerWr::new(n, k, SmallRng::seed_from_u64(seed));
+        for i in 0..len {
+            s.insert(i);
+        }
+        let lo = len.saturating_sub(n);
+        let out = s.sample_k().expect("nonempty stream");
+        prop_assert_eq!(out.len(), k);
+        for smp in out {
+            prop_assert!(smp.index() >= lo && smp.index() < len);
+            prop_assert_eq!(*smp.value(), smp.index());
+        }
+    }
+
+    #[test]
+    fn seq_wor_distinct_and_sized(
+        n in 1u64..100,
+        k in 1usize..12,
+        len in 1u64..300,
+        seed in any::<u64>(),
+    ) {
+        let mut s = SeqSamplerWor::new(n, k, SmallRng::seed_from_u64(seed));
+        for i in 0..len {
+            s.insert(i);
+        }
+        let window_len = len.min(n);
+        let out = s.sample_k().expect("nonempty stream");
+        prop_assert_eq!(out.len() as u64, window_len.min(k as u64));
+        let mut idx: Vec<u64> = out.iter().map(|x| x.index()).collect();
+        idx.sort_unstable();
+        idx.dedup();
+        prop_assert_eq!(idx.len(), out.len(), "duplicates in WOR sample");
+    }
+
+    #[test]
+    fn seq_memory_caps_hold_for_any_schedule(
+        n in 1u64..5000,
+        k in 1usize..10,
+        len in 0u64..1000,
+        seed in any::<u64>(),
+    ) {
+        let mut wr = SeqSamplerWr::new(n, k, SmallRng::seed_from_u64(seed));
+        let mut wor = SeqSamplerWor::new(n, k, SmallRng::seed_from_u64(seed ^ 1));
+        for i in 0..len {
+            wr.insert(i);
+            wor.insert(i);
+            prop_assert!(wr.memory_words() <= 6 * k + 2);
+            prop_assert!(wor.memory_words() <= 6 * k + 16);
+        }
+    }
+
+    #[test]
+    fn ts_wr_samples_active_under_arbitrary_schedules(
+        t0 in 1u64..40,
+        bursts in vec((0u64..5, 0u64..6), 1..60),
+        seed in any::<u64>(),
+    ) {
+        // bursts: (tick gap, arrivals at that tick).
+        let mut s = TsSamplerWr::new(t0, 2, SmallRng::seed_from_u64(seed));
+        let mut now = 0u64;
+        let mut idx = 0u64;
+        let mut ts_of = Vec::new();
+        for (gap, burst) in bursts {
+            now += gap;
+            s.advance_time(now);
+            for _ in 0..burst {
+                s.insert(idx);
+                ts_of.push(now);
+                idx += 1;
+            }
+            match s.sample_k() {
+                Some(out) => {
+                    for smp in out {
+                        let age = now - ts_of[smp.index() as usize];
+                        prop_assert!(age < t0, "expired sample: age {age} >= {t0}");
+                    }
+                }
+                None => {
+                    // Verify emptiness is genuine.
+                    let active = ts_of.iter().filter(|&&ts| now - ts < t0).count();
+                    prop_assert_eq!(active, 0, "sampler claims empty but {} active", active);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ts_wor_distinct_under_arbitrary_schedules(
+        t0 in 1u64..30,
+        k in 1usize..7,
+        bursts in vec((0u64..4, 0u64..5), 1..50),
+        seed in any::<u64>(),
+    ) {
+        let mut s = TsSamplerWor::new(t0, k, SmallRng::seed_from_u64(seed));
+        let mut now = 0u64;
+        let mut idx = 0u64;
+        let mut ts_of = Vec::new();
+        for (gap, burst) in bursts {
+            now += gap;
+            s.advance_time(now);
+            for _ in 0..burst {
+                s.insert(idx);
+                ts_of.push(now);
+                idx += 1;
+            }
+            if let Some(out) = s.sample_k() {
+                let active = ts_of.iter().filter(|&&ts| now - ts < t0).count();
+                prop_assert_eq!(out.len(), active.min(k), "wrong sample size");
+                let mut seen: Vec<u64> = out.iter().map(|x| x.index()).collect();
+                seen.sort_unstable();
+                let len = seen.len();
+                seen.dedup();
+                prop_assert_eq!(seen.len(), len, "duplicate in TS-WOR sample");
+                for smp in &out {
+                    prop_assert!(now - smp.timestamp() < t0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reservoirs_k_and_l_share_invariants(
+        k in 1usize..16,
+        len in 0u64..500,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut r = ReservoirK::new(k);
+        let mut l = ReservoirL::new(k);
+        for i in 0..len {
+            r.insert(&mut rng, i, i, i);
+            l.insert(&mut rng, i, i, i);
+        }
+        let expect = (len as usize).min(k);
+        prop_assert_eq!(r.entries().len(), expect);
+        prop_assert_eq!(l.entries().len(), expect);
+        for res in [r.entries(), l.entries()] {
+            let mut idx: Vec<u64> = res.iter().map(|e| e.index()).collect();
+            idx.sort_unstable();
+            idx.dedup();
+            prop_assert_eq!(idx.len(), res.len(), "reservoir held duplicates");
+        }
+    }
+
+    #[test]
+    fn ts_memory_never_exceeds_log_cap(
+        t0 in 1u64..64,
+        bursts in vec(0u64..20, 1..80),
+        seed in any::<u64>(),
+    ) {
+        let mut s = TsSamplerWr::new(t0, 1, SmallRng::seed_from_u64(seed));
+        let mut idx = 0u64;
+        let mut total = 0u64;
+        for (tick, burst) in bursts.into_iter().enumerate() {
+            s.advance_time(tick as u64);
+            for _ in 0..burst {
+                s.insert(idx);
+                idx += 1;
+            }
+            total += burst;
+            if total > 0 {
+                let log_n = 64 - total.leading_zeros() as usize;
+                let cap = 9 * (2 * log_n + 3) + 4;
+                prop_assert!(
+                    s.memory_words() <= cap,
+                    "memory {} over cap {cap} at n<= {total}", s.memory_words()
+                );
+            }
+        }
+    }
+}

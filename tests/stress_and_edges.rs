@@ -1,0 +1,210 @@
+//! Stress and edge-case suite: degenerate window sizes, huge clock values,
+//! long streams, giant bursts, and interleaving patterns that the unit
+//! tests don't reach.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use swsample::core::seq::{SeqSamplerWor, SeqSamplerWr};
+use swsample::core::ts::{TsSamplerWor, TsSamplerWr};
+use swsample::core::{MemoryWords, WindowSampler};
+use swsample::counting::WindowCounter;
+
+#[test]
+fn window_of_one_always_returns_newest() {
+    let mut s = SeqSamplerWr::new(1, 3, SmallRng::seed_from_u64(1));
+    for i in 0..200u64 {
+        s.insert(i);
+        for smp in s.sample_k().expect("nonempty") {
+            assert_eq!(smp.index(), i, "n=1 must sample the newest element");
+        }
+    }
+    let mut w = SeqSamplerWor::new(1, 3, SmallRng::seed_from_u64(2));
+    for i in 0..50u64 {
+        w.insert(i);
+        let out = w.sample_k().expect("nonempty");
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].index(), i);
+    }
+}
+
+#[test]
+fn ts_window_of_one_tick() {
+    let mut s = TsSamplerWr::new(1, 2, SmallRng::seed_from_u64(3));
+    for tick in 0..100u64 {
+        s.advance_time(tick);
+        s.insert(tick * 2);
+        s.insert(tick * 2 + 1);
+        for smp in s.sample_k().expect("nonempty") {
+            assert_eq!(
+                smp.timestamp(),
+                tick,
+                "t0=1: only the current tick is active"
+            );
+        }
+    }
+}
+
+#[test]
+fn huge_clock_values_do_not_overflow() {
+    let base = u64::MAX - 10_000;
+    let mut s = TsSamplerWor::new(64, 4, SmallRng::seed_from_u64(4));
+    let mut counter = WindowCounter::new(64, 4);
+    for off in 0..5_000u64 {
+        let now = base + off;
+        s.advance_time(now);
+        counter.advance_time(now);
+        s.insert(off);
+        counter.insert();
+        if off % 512 == 0 {
+            if let Some(out) = s.sample_k() {
+                for smp in out {
+                    assert!(now - smp.timestamp() < 64);
+                }
+            }
+            assert!(counter.estimate() > 0);
+        }
+    }
+}
+
+#[test]
+fn giant_burst_in_single_tick() {
+    // 100k elements at one timestamp: memory must stay logarithmic and the
+    // sampler functional.
+    let mut s = TsSamplerWr::new(8, 1, SmallRng::seed_from_u64(5));
+    s.advance_time(0);
+    for i in 0..100_000u64 {
+        s.insert(i);
+    }
+    assert!(
+        s.memory_words() < 1_000,
+        "memory {} for 100k burst",
+        s.memory_words()
+    );
+    let smp = s.sample().expect("nonempty");
+    assert!(smp.index() < 100_000);
+    // All expire together.
+    s.advance_time(100);
+    assert!(s.sample().is_none());
+}
+
+#[test]
+fn long_stream_seq_invariants_hold() {
+    let n = 4096u64;
+    let mut wr = SeqSamplerWr::new(n, 4, SmallRng::seed_from_u64(6));
+    let mut wor = SeqSamplerWor::new(n, 4, SmallRng::seed_from_u64(7));
+    for i in 0..300_000u64 {
+        wr.insert(i);
+        wor.insert(i);
+    }
+    assert!(wr.memory_words() <= 26);
+    assert!(wor.memory_words() <= 40);
+    let lo = 300_000 - n;
+    for smp in wr.sample_k().expect("nonempty") {
+        assert!(smp.index() >= lo);
+    }
+    let out = wor.sample_k().expect("nonempty");
+    assert_eq!(out.len(), 4);
+    for smp in out {
+        assert!(smp.index() >= lo);
+    }
+}
+
+#[test]
+fn alternating_feast_and_famine() {
+    // Bursts followed by silences longer than the window: the sampler must
+    // repeatedly empty and restart without drift.
+    let t0 = 10u64;
+    let mut s = TsSamplerWor::new(t0, 3, SmallRng::seed_from_u64(8));
+    let mut idx = 0u64;
+    for epoch in 0..50u64 {
+        let base = epoch * 1_000;
+        for tick in 0..5 {
+            s.advance_time(base + tick);
+            for _ in 0..4 {
+                s.insert(idx);
+                idx += 1;
+            }
+        }
+        let out = s.sample_k().expect("nonempty after burst");
+        assert_eq!(out.len(), 3);
+        for smp in &out {
+            assert!(smp.index() >= epoch * 20, "stale sample across famine");
+        }
+        // Silence of 990 ticks: everything expires.
+        s.advance_time(base + 900);
+        assert!(s.sample_k().is_none(), "window must be empty after famine");
+    }
+}
+
+#[test]
+fn queries_between_every_insert_are_safe() {
+    // Query-heavy usage: a query after every insert, plus repeated queries
+    // with no inserts, must neither panic nor return expired elements.
+    let mut s = TsSamplerWr::new(5, 2, SmallRng::seed_from_u64(9));
+    let mut rng = SmallRng::seed_from_u64(10);
+    let mut idx = 0u64;
+    for tick in 0..500u64 {
+        s.advance_time(tick);
+        for _ in 0..rng.gen_range(0..3u64) {
+            s.insert(idx);
+            idx += 1;
+            let _ = s.sample_k();
+            let _ = s.sample();
+            let _ = s.sample();
+        }
+    }
+}
+
+#[test]
+fn clock_advance_without_inserts_is_cheap_and_correct() {
+    let mut s = TsSamplerWr::new(1_000, 1, SmallRng::seed_from_u64(11));
+    s.advance_time(0);
+    s.insert(42u64);
+    // A million empty ticks, advanced in jumps.
+    for tick in (0..1_000_000u64).step_by(10_000) {
+        s.advance_time(tick);
+    }
+    assert!(s.sample().is_none(), "element must have expired");
+    assert!(s.memory_words() <= 8);
+}
+
+#[test]
+fn same_timestamp_advance_is_idempotent() {
+    let mut s = TsSamplerWor::new(4, 2, SmallRng::seed_from_u64(12));
+    s.advance_time(7);
+    s.insert(1u64);
+    for _ in 0..100 {
+        s.advance_time(7);
+    }
+    let out = s.sample_k().expect("nonempty");
+    assert_eq!(out.len(), 1);
+    assert_eq!(*out[0].value(), 1);
+}
+
+#[test]
+fn dgim_counter_over_long_stream_with_spikes() {
+    let mut c = WindowCounter::with_epsilon(128, 0.05);
+    let mut exact: std::collections::VecDeque<u64> = Default::default();
+    let mut rng = SmallRng::seed_from_u64(13);
+    for tick in 0..20_000u64 {
+        c.advance_time(tick);
+        while exact.front().is_some_and(|&ts| tick - ts >= 128) {
+            exact.pop_front();
+        }
+        let burst = if tick % 977 == 0 {
+            500
+        } else {
+            rng.gen_range(0..3u64)
+        };
+        for _ in 0..burst {
+            c.insert();
+            exact.push_back(tick);
+        }
+        let truth = exact.len() as f64;
+        let est = c.estimate() as f64;
+        assert!(
+            (est - truth).abs() <= 0.05 * truth + 1.0,
+            "tick {tick}: {est} vs {truth}"
+        );
+    }
+}

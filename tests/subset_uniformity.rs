@@ -1,0 +1,185 @@
+//! The strongest distributional check for the without-replacement samplers:
+//! over a small window, *every* k-subset of positions must be equally
+//! likely — `P(Z = Q) = 1/C(n, k)` for each of the `C(n, k)` subsets. This
+//! is exactly the quantity the Theorem 2.2 / 4.4 proofs compute, verified
+//! here by chi-square over the full subset lattice.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use swsample::core::seq::SeqSamplerWor;
+use swsample::core::ts::TsSamplerWor;
+use swsample::core::WindowSampler;
+use swsample::stats::chi_square_uniform_test;
+
+/// Rank of the sorted subset `positions` (each < n) in colex order.
+fn subset_rank(positions: &[u64], n: u64) -> usize {
+    // Enumerate all C(n, k) sorted subsets lexicographically and find ours:
+    // n and k are tiny (n ≤ 6, k ≤ 3), so a direct scan is fine and obvious.
+    let k = positions.len();
+    let mut rank = 0usize;
+    let mut current: Vec<u64> = (0..k as u64).collect();
+    loop {
+        if current == positions {
+            return rank;
+        }
+        rank += 1;
+        // Next subset in lexicographic order.
+        let mut i = k;
+        loop {
+            assert!(i > 0, "subset {positions:?} not found for n={n}");
+            i -= 1;
+            if current[i] < n - (k - i) as u64 {
+                current[i] += 1;
+                for j in i + 1..k {
+                    current[j] = current[j - 1] + 1;
+                }
+                break;
+            }
+        }
+    }
+}
+
+fn choose(n: u64, k: u64) -> usize {
+    let mut r = 1u64;
+    for i in 0..k {
+        r = r * (n - i) / (i + 1);
+    }
+    r as usize
+}
+
+#[test]
+fn subset_rank_enumerates_correctly() {
+    // All 2-subsets of 4: {0,1},{0,2},{0,3},{1,2},{1,3},{2,3}.
+    assert_eq!(subset_rank(&[0, 1], 4), 0);
+    assert_eq!(subset_rank(&[0, 3], 4), 2);
+    assert_eq!(subset_rank(&[2, 3], 4), 5);
+    assert_eq!(choose(6, 3), 20);
+}
+
+#[test]
+fn seq_wor_all_subsets_equally_likely() {
+    // n = 6, k = 3: 20 subsets; straddling query (stop not a multiple of n).
+    let (n, k, stop) = (6u64, 3usize, 9u64);
+    let cells = choose(n, k as u64);
+    let trials = 60_000u64;
+    let mut counts = vec![0u64; cells];
+    for t in 0..trials {
+        let mut s = SeqSamplerWor::new(n, k, SmallRng::seed_from_u64(500_000 + t));
+        for i in 0..stop {
+            s.insert(i);
+        }
+        let mut pos: Vec<u64> = s
+            .sample_k()
+            .expect("nonempty")
+            .iter()
+            .map(|x| x.index() - (stop - n))
+            .collect();
+        pos.sort_unstable();
+        counts[subset_rank(&pos, n)] += 1;
+    }
+    let out = chi_square_uniform_test(&counts);
+    assert!(
+        out.p_value > 1e-4,
+        "SEQ-WOR subsets not uniform: p = {} (counts {counts:?})",
+        out.p_value
+    );
+}
+
+#[test]
+fn seq_wor_all_subsets_equally_likely_at_bucket_boundary() {
+    // Window coincides exactly with a completed bucket: pure reservoir path.
+    let (n, k, stop) = (5u64, 2usize, 10u64);
+    let cells = choose(n, k as u64);
+    let trials = 40_000u64;
+    let mut counts = vec![0u64; cells];
+    for t in 0..trials {
+        let mut s = SeqSamplerWor::new(n, k, SmallRng::seed_from_u64(700_000 + t));
+        for i in 0..stop {
+            s.insert(i);
+        }
+        let mut pos: Vec<u64> = s
+            .sample_k()
+            .expect("nonempty")
+            .iter()
+            .map(|x| x.index() - (stop - n))
+            .collect();
+        pos.sort_unstable();
+        counts[subset_rank(&pos, n)] += 1;
+    }
+    let out = chi_square_uniform_test(&counts);
+    assert!(
+        out.p_value > 1e-4,
+        "boundary subsets not uniform: p = {}",
+        out.p_value
+    );
+}
+
+#[test]
+fn ts_wor_all_subsets_equally_likely() {
+    // Timestamp window holding exactly 5 elements, k = 2: 10 subsets. This
+    // exercises the full §4 pipeline: delayed engines, implicit events in
+    // the straddling case, and the Lemma 4.2 folding.
+    let (t0, k, ticks) = (5u64, 2usize, 18u64);
+    let cells = choose(t0, k as u64);
+    let trials = 50_000u64;
+    let mut counts = vec![0u64; cells];
+    for t in 0..trials {
+        let mut s = TsSamplerWor::new(t0, k, SmallRng::seed_from_u64(900_000 + t));
+        for tick in 0..ticks {
+            s.advance_time(tick);
+            s.insert(tick);
+        }
+        let mut pos: Vec<u64> = s
+            .sample_k()
+            .expect("nonempty")
+            .iter()
+            .map(|x| x.index() - (ticks - t0))
+            .collect();
+        pos.sort_unstable();
+        counts[subset_rank(&pos, t0)] += 1;
+    }
+    let out = chi_square_uniform_test(&counts);
+    assert!(
+        out.p_value > 1e-4,
+        "TS-WOR subsets not uniform: p = {} (counts {counts:?})",
+        out.p_value
+    );
+}
+
+#[test]
+fn ts_wor_subsets_uniform_on_bursty_schedule() {
+    // Bursts: deterministic schedule with 6 active elements, k = 2 -> 15
+    // subsets; tests uniformity when several elements share timestamps.
+    let t0 = 3u64;
+    let schedule: [(u64, u64); 6] = [(0, 4), (1, 2), (2, 3), (3, 1), (4, 3), (5, 2)];
+    // Active at t=5: ticks 3, 4, 5 -> 1 + 3 + 2 = 6 elements.
+    let active = 6u64;
+    let first_active: u64 = 4 + 2 + 3;
+    let k = 2usize;
+    let cells = choose(active, k as u64);
+    let trials = 50_000u64;
+    let mut counts = vec![0u64; cells];
+    for t in 0..trials {
+        let mut s = TsSamplerWor::new(t0, k, SmallRng::seed_from_u64(1_200_000 + t));
+        for &(tick, burst) in &schedule {
+            s.advance_time(tick);
+            for _ in 0..burst {
+                s.insert(tick);
+            }
+        }
+        let mut pos: Vec<u64> = s
+            .sample_k()
+            .expect("nonempty")
+            .iter()
+            .map(|x| x.index() - first_active)
+            .collect();
+        pos.sort_unstable();
+        counts[subset_rank(&pos, active)] += 1;
+    }
+    let out = chi_square_uniform_test(&counts);
+    assert!(
+        out.p_value > 1e-4,
+        "bursty TS-WOR subsets not uniform: p = {}",
+        out.p_value
+    );
+}

@@ -1,0 +1,155 @@
+//! Integration tests for the paper's headline claims: the **deterministic**
+//! memory bounds of Theorems 2.1, 2.2, 3.9 and 4.4, enforced as hard
+//! ceilings over long and adversarial streams — the property no
+//! previous method (chain, priority, over-sampling) can offer.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use swsample::core::seq::{SeqSamplerWor, SeqSamplerWr};
+use swsample::core::ts::{TsSamplerWor, TsSamplerWr};
+use swsample::core::{MemoryWords, WindowSampler};
+use swsample::stream::{AdversarialStream, UniformGen};
+
+/// Theorem 2.1 ceiling: each of the k instances holds at most two samples
+/// of 3 words, plus 2 global counters.
+fn seq_wr_cap(k: usize) -> usize {
+    6 * k + 2
+}
+
+/// Theorem 2.2 ceiling: two k-reservoirs plus counters.
+fn seq_wor_cap(k: usize) -> usize {
+    6 * k + 16
+}
+
+/// Theorem 3.9 ceiling for one engine at `n` active elements: at most
+/// `2·log₂(n) + 3` buckets of 9 words, plus clock/width, per instance.
+fn ts_engine_cap(n: u64) -> usize {
+    let log_n = (64 - n.leading_zeros()) as usize;
+    9 * (2 * log_n + 3) + 2
+}
+
+#[test]
+fn theorem_2_1_bound_over_long_streams() {
+    for &n in &[1u64, 2, 7, 64, 1000, 65_536] {
+        for &k in &[1usize, 3, 17] {
+            let mut s = SeqSamplerWr::new(n, k, SmallRng::seed_from_u64(n ^ k as u64));
+            for i in 0..5_000u64 {
+                s.insert(i);
+                assert!(
+                    s.memory_words() <= seq_wr_cap(k),
+                    "n={n}, k={k}: {} words > cap {}",
+                    s.memory_words(),
+                    seq_wr_cap(k)
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn theorem_2_2_bound_over_long_streams() {
+    for &n in &[1u64, 2, 7, 64, 1000, 65_536] {
+        for &k in &[1usize, 3, 17] {
+            let mut s =
+                SeqSamplerWor::new(n, k, SmallRng::seed_from_u64(n.wrapping_mul(31) ^ k as u64));
+            for i in 0..5_000u64 {
+                s.insert(i);
+                assert!(s.memory_words() <= seq_wor_cap(k), "n={n}, k={k}: over cap");
+            }
+        }
+    }
+}
+
+#[test]
+fn theorem_3_9_bound_on_bursty_streams() {
+    let mut rng = SmallRng::seed_from_u64(7);
+    for &t0 in &[1u64, 4, 64, 512] {
+        for &k in &[1usize, 4] {
+            let mut s = TsSamplerWr::new(t0, k, SmallRng::seed_from_u64(t0 ^ k as u64));
+            let mut idx = 0u64;
+            let mut max_active = 0u64;
+            let mut active_window: std::collections::VecDeque<u64> = Default::default();
+            for tick in 0..800u64 {
+                s.advance_time(tick);
+                let burst = rng.gen_range(0..16u64);
+                for _ in 0..burst {
+                    s.insert(idx);
+                    idx += 1;
+                    active_window.push_back(tick);
+                }
+                while active_window.front().is_some_and(|&ts| tick - ts >= t0) {
+                    active_window.pop_front();
+                }
+                max_active = max_active.max(active_window.len() as u64);
+                let cap = k * ts_engine_cap(max_active.max(1)) + 2;
+                assert!(
+                    s.memory_words() <= cap,
+                    "t0={t0}, k={k}, tick={tick}: {} words > cap {cap} (n≤{max_active})",
+                    s.memory_words()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn theorem_4_4_bound_on_bursty_streams() {
+    let mut rng = SmallRng::seed_from_u64(13);
+    for &t0 in &[8u64, 128] {
+        for &k in &[2usize, 8] {
+            let mut s = TsSamplerWor::new(t0, k, SmallRng::seed_from_u64(t0 ^ k as u64));
+            let mut idx = 0u64;
+            for tick in 0..600u64 {
+                s.advance_time(tick);
+                for _ in 0..rng.gen_range(0..8u64) {
+                    s.insert(idx);
+                    idx += 1;
+                }
+                // Global worst-case: n ≤ t0 · 8 arrivals.
+                let cap = k * (ts_engine_cap(t0 * 8) + 3) + 19;
+                assert!(s.memory_words() <= cap, "t0={t0}, k={k}: over cap");
+            }
+        }
+    }
+}
+
+#[test]
+fn adversarial_schedule_respects_caps() {
+    // The Lemma 3.10 stream is the worst case for priority sampling; ours
+    // must stay within the deterministic cap through the whole critical
+    // region.
+    for &t0 in &[4u64, 8] {
+        let mut gen = AdversarialStream::new(UniformGen::new(1 << 16), t0, 1 << 12);
+        let mut rng = SmallRng::seed_from_u64(17);
+        let mut s = TsSamplerWr::new(t0, 1, SmallRng::seed_from_u64(19));
+        let mut now = 0u64;
+        let mut inserted = 0u64;
+        while now <= 2 * t0 + 4 {
+            let ev = gen.next_event(&mut rng);
+            now = ev.timestamp;
+            s.advance_time(now);
+            s.insert(ev.value);
+            inserted += 1;
+            // n never exceeds total inserted.
+            let cap = ts_engine_cap(inserted) + 2;
+            assert!(
+                s.memory_words() <= cap,
+                "t0={t0}: {} > {cap}",
+                s.memory_words()
+            );
+        }
+    }
+}
+
+#[test]
+fn memory_reports_are_exact_not_estimates() {
+    // memory_words is a pure function of state: two identically-seeded
+    // samplers report identical trajectories.
+    let mut a = SeqSamplerWor::new(37, 5, SmallRng::seed_from_u64(23));
+    let mut b = SeqSamplerWor::new(37, 5, SmallRng::seed_from_u64(23));
+    for i in 0..500u64 {
+        a.insert(i);
+        b.insert(i);
+        assert_eq!(a.memory_words(), b.memory_words());
+    }
+}
