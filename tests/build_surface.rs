@@ -1,0 +1,24 @@
+//! Smoke test for the build surface itself: every target in the workspace
+//! — libs, bins, examples, integration tests, *and the criterion benches*
+//! — must keep compiling. `cargo test` / `cargo build` alone never compile
+//! bench targets, so without this check (and the matching CI step) the
+//! benches could silently rot out of the build.
+
+use std::process::Command;
+
+#[test]
+fn every_workspace_target_compiles() {
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".into());
+    let manifest_dir = env!("CARGO_MANIFEST_DIR");
+    let out = Command::new(cargo)
+        // --all-targets covers lib, bins, examples, tests, and benches.
+        .args(["check", "--workspace", "--all-targets", "--quiet"])
+        .current_dir(manifest_dir)
+        .output()
+        .expect("failed to spawn cargo check");
+    assert!(
+        out.status.success(),
+        "cargo check --workspace --all-targets failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}

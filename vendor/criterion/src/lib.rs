@@ -1,0 +1,318 @@
+//! Offline vendored subset of the `criterion` 0.5 benchmarking API.
+//!
+//! The build environment has no network access to crates.io, so this crate
+//! provides a source-compatible miniature of the criterion surface the
+//! `swsample-bench` targets use: [`Criterion`], benchmark groups,
+//! [`BenchmarkId`], [`Throughput`], `Bencher::iter`, and the
+//! [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Statistics are deliberately simple — warm up, run timed batches for the
+//! configured measurement time, report mean/min ns per iteration — but the
+//! measurement loop is real, so `cargo bench` produces usable relative
+//! numbers. Swapping back to upstream criterion is a one-line manifest
+//! change; no bench source needs to change.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver: holds the measurement configuration.
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_millis(1000),
+        }
+    }
+}
+
+impl Criterion {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be >= 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Set the warm-up duration before measurement starts.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Set the total measurement duration per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// No-op for CLI compatibility with upstream.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        let name = name.into();
+        println!("\n{name}");
+        BenchmarkGroup {
+            config: self.clone(),
+            name,
+            throughput: None,
+        }
+    }
+
+    /// Run a standalone benchmark (upstream convenience).
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = id.to_string();
+        let cfg = self.clone();
+        run_one(&cfg, &label, None, f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and throughput setting.
+pub struct BenchmarkGroup {
+    // Group-local copy of the parent configuration: overrides like
+    // `sample_size` must scope to this group, as upstream, and not bleed
+    // into the parent `Criterion`.
+    config: Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup {
+    /// Record the per-iteration throughput used in reports.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Override the sample count for this group only.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be >= 2");
+        self.config.sample_size = n;
+        self
+    }
+
+    /// Override the measurement duration for this group only.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.config.measurement_time = d;
+        self
+    }
+
+    /// Benchmark a closure under `id`.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_one(&self.config, &label, self.throughput, f);
+        self
+    }
+
+    /// Benchmark a closure that receives `input` under `id`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_one(&self.config, &label, self.throughput, |b| f(b, input));
+        self
+    }
+
+    /// Finish the group (upstream writes reports here; we print nothing).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier: function name plus parameter display.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// Identifier from a function name and a parameter value.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            function: function.into(),
+            parameter: parameter.to_string(),
+        }
+    }
+
+    /// Identifier from a parameter value alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self {
+            function: String::new(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.function.is_empty() {
+            write!(f, "{}", self.parameter)
+        } else {
+            write!(f, "{}/{}", self.function, self.parameter)
+        }
+    }
+}
+
+/// Per-iteration work declared for throughput reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Passed to the benchmark closure; `iter` times the hot loop.
+pub struct Bencher {
+    /// (iterations, elapsed) per timed sample.
+    samples: Vec<(u64, Duration)>,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Time `f`, called in batches, until the measurement budget is spent.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: also calibrates the batch size so one sample is neither
+        // a single call (timer noise) nor the whole budget.
+        let warm_start = Instant::now();
+        let mut calls: u64 = 0;
+        loop {
+            std::hint::black_box(f());
+            calls += 1;
+            if warm_start.elapsed() >= self.warm_up_time {
+                break;
+            }
+        }
+        let per_call = warm_start.elapsed().as_secs_f64() / calls as f64;
+        let per_sample = self.measurement_time.as_secs_f64() / self.sample_size as f64;
+        let batch = ((per_sample / per_call.max(1e-9)) as u64).clamp(1, u64::MAX);
+
+        let deadline = Instant::now() + self.measurement_time;
+        while Instant::now() < deadline {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            self.samples.push((batch, start.elapsed()));
+        }
+        if self.samples.is_empty() {
+            let start = Instant::now();
+            std::hint::black_box(f());
+            self.samples.push((1, start.elapsed()));
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    cfg: &Criterion,
+    label: &str,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    let mut b = Bencher {
+        samples: Vec::new(),
+        warm_up_time: cfg.warm_up_time,
+        measurement_time: cfg.measurement_time,
+        sample_size: cfg.sample_size,
+    };
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("  {label:<40} (no measurement: closure never called iter)");
+        return;
+    }
+    let per_iter: Vec<f64> = b
+        .samples
+        .iter()
+        .map(|(n, d)| d.as_secs_f64() * 1e9 / *n as f64)
+        .collect();
+    let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+    let min = per_iter.iter().cloned().fold(f64::INFINITY, f64::min);
+    let rate = match throughput {
+        Some(Throughput::Elements(e)) => {
+            format!("  {:>12.0} elem/s", e as f64 * 1e9 / mean)
+        }
+        Some(Throughput::Bytes(n)) => format!("  {:>12.0} B/s", n as f64 * 1e9 / mean),
+        None => String::new(),
+    };
+    println!("  {label:<40} mean {mean:>10.1} ns/iter  (min {min:>10.1}){rate}");
+}
+
+/// Define a benchmark group function, as in upstream criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Define the benchmark binary's `main`, as in upstream criterion.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Elements(1));
+        let mut count = 0u64;
+        group.bench_function("count", |b| b.iter(|| count += 1));
+        group.bench_with_input(BenchmarkId::new("with", 3), &3u64, |b, &x| b.iter(|| x * 2));
+        group.finish();
+        assert!(count > 0);
+    }
+
+    #[test]
+    fn benchmark_id_display() {
+        assert_eq!(BenchmarkId::new("f", 8).to_string(), "f/8");
+        assert_eq!(BenchmarkId::from_parameter("p").to_string(), "p");
+    }
+}

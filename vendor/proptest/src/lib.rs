@@ -1,0 +1,235 @@
+//! Offline vendored subset of the `proptest` property-testing API.
+//!
+//! The build environment has no network access to crates.io, so this crate
+//! provides a source-compatible miniature of the proptest surface the
+//! workspace's property tests use:
+//!
+//! * the [`proptest!`] macro (with the `#![proptest_config(..)]` header
+//!   form) expanding each property into a `#[test]`;
+//! * [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assert_ne!`];
+//! * strategies: integer ranges (`1u64..200`), [`prelude::any`],
+//!   tuples of strategies, and [`collection::vec`];
+//! * [`test_runner::ProptestConfig`] and [`test_runner::TestCaseError`].
+//!
+//! Differences from upstream, deliberately accepted for an offline test
+//! harness: no shrinking (a failing case reports its exact inputs and can
+//! be replayed — generation is fully deterministic per test name, and the
+//! runner catches panics inside the body so inputs are reported even for
+//! plain `assert!`/index failures), and no persistence files. Determinism also satisfies the workspace's
+//! no-flaky-tests policy: every run of a given test binary sees the same
+//! input sequence.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The things property tests conventionally glob-import.
+pub mod prelude {
+    pub use crate::strategy::{any, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Define property tests. Each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that runs `body` for `config.cases` generated
+/// inputs, reporting the first failing input verbatim.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+/// Internal expansion helper for [`proptest!`]; not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    (($cfg:expr) $(
+        $(#[$meta:meta])+
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])+
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            // Deterministic per-test seed: same inputs every run.
+            let mut rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+            for case in 0..config.cases {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                // Eager: the body below may consume the inputs by value.
+                let dump = {
+                    let mut s = ::std::string::String::new();
+                    $(s.push_str(&format!(
+                        "  {} = {:?}\n", stringify!($arg), &$arg
+                    ));)+
+                    s
+                };
+                // catch_unwind so a plain panic!/assert!/index-out-of-
+                // bounds inside the body still reports the generated
+                // inputs, not just the panic message.
+                let outcome = ::std::panic::catch_unwind(
+                    ::std::panic::AssertUnwindSafe(
+                        || -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                            $body
+                            ::std::result::Result::Ok(())
+                        }
+                    )
+                );
+                match outcome {
+                    ::std::result::Result::Ok(::std::result::Result::Ok(())) => {}
+                    ::std::result::Result::Ok(::std::result::Result::Err(e)) => {
+                        panic!(
+                            "proptest case {}/{} failed: {}\ninputs:\n{}",
+                            case + 1, config.cases, e, dump
+                        );
+                    }
+                    ::std::result::Result::Err(payload) => {
+                        eprintln!(
+                            "proptest case {}/{} panicked; inputs:\n{}",
+                            case + 1, config.cases, dump
+                        );
+                        ::std::panic::resume_unwind(payload);
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+/// Like `assert!`, but fails the current generated case with its inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*))
+            );
+        }
+    };
+}
+
+/// Like `assert_eq!`, but fails the current generated case with its inputs.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: `(left == right)`\n  left: `{:?}`,\n right: `{:?}`", l, r
+        );
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: `(left == right)`\n  left: `{:?}`,\n right: `{:?}`: {}",
+            l, r, format!($($fmt)*)
+        );
+    }};
+}
+
+/// Like `assert_ne!`, but fails the current generated case with its inputs.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            l != r,
+            "assertion failed: `(left != right)`\n  left: `{:?}`,\n right: `{:?}`", l, r
+        );
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            l != r,
+            "assertion failed: `(left != right)`\n  left: `{:?}`,\n right: `{:?}`: {}",
+            l, r, format!($($fmt)*)
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::collection::vec;
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_honor_bounds(
+            a in 1u64..50,
+            b in 3usize..9,
+            pair in (0u64..4, 10u64..20),
+        ) {
+            prop_assert!((1..50).contains(&a));
+            prop_assert!((3..9).contains(&b));
+            prop_assert!(pair.0 < 4 && (10..20).contains(&pair.1));
+        }
+
+        #[test]
+        fn vec_strategy_sizes(v in vec(0u64..100, 2..7)) {
+            prop_assert!((2..7).contains(&v.len()));
+            for x in &v {
+                prop_assert!(*x < 100, "x = {x}");
+            }
+        }
+
+        #[test]
+        fn question_mark_propagates(n in 0u64..10) {
+            let ok: Result<u64, String> = Ok(n);
+            let got = ok.map_err(TestCaseError::fail)?;
+            prop_assert_eq!(got, n);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_test_name() {
+        use crate::strategy::Strategy;
+        let mut a = crate::test_runner::TestRng::for_test("t");
+        let mut b = crate::test_runner::TestRng::for_test("t");
+        let s = 0u64..1000;
+        let xs: Vec<u64> = (0..50).map(|_| s.generate(&mut a)).collect();
+        let ys: Vec<u64> = (0..50).map(|_| s.generate(&mut b)).collect();
+        assert_eq!(xs, ys);
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case")]
+    fn failing_property_panics_with_inputs() {
+        // No #[test] meta: the fn is invoked directly below, not collected.
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(4))]
+            #[allow(unused)]
+            fn always_fails(x in 0u64..2) {
+                prop_assert!(x > 100, "x = {x} is small");
+            }
+        }
+        always_fails();
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn plain_panic_keeps_payload_after_input_dump() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(2))]
+            #[allow(unused)]
+            fn panics_directly(x in 0u64..4) {
+                // Not a prop_assert: the runner must dump inputs to stderr
+                // and re-raise this exact payload.
+                assert!(x > 100, "boom: x = {x}");
+            }
+        }
+        panics_directly();
+    }
+}

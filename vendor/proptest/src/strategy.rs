@@ -1,0 +1,116 @@
+//! Strategies: how property inputs are generated.
+//!
+//! A [`Strategy`] here is just a deterministic generator — no shrinking
+//! tree, see the crate docs for why that trade-off is acceptable offline.
+
+use crate::test_runner::TestRng;
+use std::ops::{Range, RangeInclusive};
+
+/// A source of generated values of type `Value`.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generate one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! int_ranges {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                self.start + rng.below((self.end - self.start) as u64) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                match (hi - lo).checked_add(1) {
+                    Some(span) => lo + rng.below(span as u64) as $t,
+                    None => rng.next_u64() as $t,
+                }
+            }
+        }
+    )*};
+}
+int_ranges!(u8, u16, u32, u64, usize);
+
+macro_rules! signed_ranges {
+    ($($t:ty => $u:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as $u).wrapping_sub(self.start as $u);
+                (self.start as $u).wrapping_add(rng.below(span as u64) as $u) as $t
+            }
+        }
+    )*};
+}
+signed_ranges!(i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+/// Full-range strategy for a primitive, as in `proptest::prelude::any`.
+pub fn any<T: AnyValue>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// The strategy returned by [`any`].
+#[derive(Clone, Copy, Debug)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// Types [`any`] can generate (full, unbiased range).
+pub trait AnyValue: Sized {
+    /// Generate one value covering the type's entire range.
+    fn any_value(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! any_int {
+    ($($t:ty),*) => {$(
+        impl AnyValue for $t {
+            fn any_value(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+any_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl AnyValue for bool {
+    fn any_value(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl<T: AnyValue> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::any_value(rng)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy! { (A) (A, B) (A, B, C) (A, B, C, D) }

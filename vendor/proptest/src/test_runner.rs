@@ -1,0 +1,82 @@
+//! Configuration, errors, and the deterministic RNG driving generation.
+
+use rand::rngs::SmallRng;
+use rand::{RngCore, SeedableRng};
+
+/// Per-test configuration. Only `cases` is honored by this vendored build.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// How many generated inputs each property is checked against.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` inputs per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// Why a single generated case failed.
+#[derive(Clone, Debug)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// A failed case with the given reason (upstream's `Fail` variant).
+    pub fn fail(reason: impl std::fmt::Display) -> Self {
+        Self(reason.to_string())
+    }
+
+    /// Upstream's "discard this input" signal; treated as a failure here
+    /// because this vendored build never discards.
+    pub fn reject(reason: impl std::fmt::Display) -> Self {
+        Self(format!("rejected: {reason}"))
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Outcome of one generated case.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Deterministic generation RNG: seeded from the test's name, so every run
+/// of a binary replays the identical input sequence (no flaky properties,
+/// and a failure report is always reproducible).
+#[derive(Clone, Debug)]
+pub struct TestRng(SmallRng);
+
+impl TestRng {
+    /// RNG for the named test.
+    pub fn for_test(name: &str) -> Self {
+        // FNV-1a over the name picks a stable per-test seed.
+        let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        Self(SmallRng::seed_from_u64(h))
+    }
+
+    /// Next raw 64-bit word.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+
+    /// Uniform draw from `[0, span)`; exactly uniform (bitmask rejection).
+    pub fn below(&mut self, span: u64) -> u64 {
+        use rand::Rng;
+        self.0.gen_range(0..span)
+    }
+}

@@ -1,0 +1,202 @@
+//! Distributions: [`Standard`] for primitives and the uniform range
+//! machinery backing `Rng::gen_range`.
+
+use crate::RngCore;
+
+/// A type that can produce values of `T` from an RNG.
+pub trait Distribution<T> {
+    /// Sample one value.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The "natural" distribution for a primitive: full range for integers,
+/// `[0, 1)` for floats, fair coin for `bool`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Standard;
+
+macro_rules! standard_int {
+    ($($t:ty),*) => {$(
+        impl Distribution<$t> for Standard {
+            fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+standard_int!(u64, usize, i64, isize);
+
+// 32-bit-and-smaller types draw through next_u32 so Standard and the
+// RngCore word source agree on which half of the 64-bit word they use.
+macro_rules! standard_small_int {
+    ($($t:ty),*) => {$(
+        impl Distribution<$t> for Standard {
+            fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                rng.next_u32() as $t
+            }
+        }
+    )*};
+}
+standard_small_int!(u8, u16, u32, i8, i16, i32);
+
+impl Distribution<u128> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u128 {
+        ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+    }
+}
+
+impl Distribution<i128> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> i128 {
+        let x: u128 = Standard.sample(rng);
+        x as i128
+    }
+}
+
+impl Distribution<bool> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Distribution<f64> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // 53 significant bits, uniform on [0, 1) — upstream's
+        // "multiply-based" Standard for f64.
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Distribution<f32> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Uniform range sampling (the subset of `rand::distributions::uniform`
+/// that `gen_range` needs).
+pub mod uniform {
+    use crate::RngCore;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A range that `Rng::gen_range` can sample from.
+    pub trait SampleRange<T> {
+        /// Sample one value uniformly from the range.
+        ///
+        /// # Panics
+        /// Panics if the range is empty.
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    /// Draw uniformly from `[0, span)` by bitmask rejection: exactly
+    /// uniform for every `span`, with < 2 expected draws.
+    fn below_u128<R: RngCore + ?Sized>(rng: &mut R, span: u128) -> u128 {
+        debug_assert!(span > 0);
+        // Hot path: the samplers' exact Bernoulli ratios are u128-typed but
+        // their denominators usually fit in 64 bits — one word per attempt.
+        if span <= u64::MAX as u128 {
+            return below_u64(rng, span as u64) as u128;
+        }
+        let mask = u128::MAX >> (span - 1).leading_zeros();
+        loop {
+            let wide = ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128;
+            let x = wide & mask;
+            if x < span {
+                return x;
+            }
+        }
+    }
+
+    fn below_u64<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+        debug_assert!(span > 0);
+        if span == 1 {
+            return 0;
+        }
+        let mask = u64::MAX >> (span - 1).leading_zeros();
+        loop {
+            let x = rng.next_u64() & mask;
+            if x < span {
+                return x;
+            }
+        }
+    }
+
+    macro_rules! range_uint {
+        ($($t:ty),*) => {$(
+            impl SampleRange<$t> for Range<$t> {
+                fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    assert!(self.start < self.end, "gen_range: empty range");
+                    self.start + below_u64(rng, (self.end - self.start) as u64) as $t
+                }
+            }
+            impl SampleRange<$t> for RangeInclusive<$t> {
+                fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "gen_range: empty range");
+                    match (hi - lo).checked_add(1) {
+                        Some(span) => lo + below_u64(rng, span as u64) as $t,
+                        // Full-width range: every word is valid.
+                        None => rng.next_u64() as $t,
+                    }
+                }
+            }
+        )*};
+    }
+    range_uint!(u8, u16, u32, u64, usize);
+
+    macro_rules! range_int {
+        ($($t:ty => $u:ty),*) => {$(
+            impl SampleRange<$t> for Range<$t> {
+                fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    assert!(self.start < self.end, "gen_range: empty range");
+                    let span = (self.end as $u).wrapping_sub(self.start as $u);
+                    (self.start as $u).wrapping_add(below_u64(rng, span as u64) as $u) as $t
+                }
+            }
+            impl SampleRange<$t> for RangeInclusive<$t> {
+                fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "gen_range: empty range");
+                    let span = (hi as $u).wrapping_sub(lo as $u);
+                    match span.checked_add(1) {
+                        Some(s) => (lo as $u).wrapping_add(below_u64(rng, s as u64) as $u) as $t,
+                        None => rng.next_u64() as $t,
+                    }
+                }
+            }
+        )*};
+    }
+    range_int!(i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize);
+
+    impl SampleRange<u128> for Range<u128> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> u128 {
+            assert!(self.start < self.end, "gen_range: empty range");
+            self.start + below_u128(rng, self.end - self.start)
+        }
+    }
+
+    impl SampleRange<u128> for RangeInclusive<u128> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> u128 {
+            let (lo, hi) = (*self.start(), *self.end());
+            assert!(lo <= hi, "gen_range: empty range");
+            match (hi - lo).checked_add(1) {
+                Some(span) => lo + below_u128(rng, span),
+                None => ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128,
+            }
+        }
+    }
+
+    // Both float widths draw `$bits` significand bits from the top of one
+    // 64-bit word (`$shift = 64 - $bits`).
+    macro_rules! range_float {
+        ($($t:ty, $bits:expr, $shift:expr);*) => {$(
+            impl SampleRange<$t> for Range<$t> {
+                fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    assert!(self.start < self.end, "gen_range: empty range");
+                    let unit =
+                        (rng.next_u64() >> $shift) as $t * (1.0 / (1u64 << $bits) as $t);
+                    self.start + unit * (self.end - self.start)
+                }
+            }
+        )*};
+    }
+    range_float!(f64, 53, 11; f32, 24, 40);
+}

@@ -1,0 +1,236 @@
+//! Offline vendored subset of the `rand` 0.8 API.
+//!
+//! The build environment for this workspace has no network access to
+//! crates.io, so this crate re-implements exactly the slice of `rand`
+//! 0.8.5 that the `swsample` workspace uses:
+//!
+//! * [`RngCore`], [`Rng`] (`gen`, `gen_range`, `gen_bool`), [`SeedableRng`]
+//!   (`seed_from_u64`, `from_seed`);
+//! * [`rngs::SmallRng`] — xoshiro256++ seeded via SplitMix64, matching
+//!   real `rand` 0.8's `SmallRng` on 64-bit targets bit for bit (see the
+//!   golden-value test in `rngs`);
+//! * [`distributions::Standard`] for the primitive types.
+//!
+//! Integer `gen_range` uses bitmask rejection sampling, so it is *exactly*
+//! uniform — the workspace's samplers prove exact distributional claims
+//! (see `swsample-core::rngutil`) and their chi-square acceptance tests
+//! would catch a biased generator.
+//!
+//! If the registry ever becomes reachable, deleting `vendor/` and pointing
+//! the workspace dependency back at crates.io `rand = "0.8"` is a drop-in
+//! swap: every API here matches the upstream signature, and the swap is
+//! behavior-preserving at the distribution level. Bit-for-bit stream
+//! compatibility with upstream holds for `SmallRng::seed_from_u64` +
+//! `next_u64` (golden-value test in `rngs`), but NOT for draws routed
+//! through `gen_range` or `Standard`: upstream samples integers with
+//! widening-multiply zone rejection, this crate with bitmask rejection —
+//! same uniform distribution, different consumption of RNG words. After a
+//! swap, seeded tests stay correct (they assert distributional and
+//! structural properties, not pinned draw values), but exact sampled
+//! values will differ.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod distributions;
+pub mod rngs;
+
+use distributions::uniform::SampleRange;
+use distributions::{Distribution, Standard};
+
+/// The core of a random number generator: a source of random words.
+pub trait RngCore {
+    /// Return the next random `u32`.
+    fn next_u32(&mut self) -> u32;
+
+    /// Return the next random `u64`.
+    fn next_u64(&mut self) -> u64;
+
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// User-facing sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Sample a value of type `T` from the [`Standard`] distribution.
+    fn gen<T>(&mut self) -> T
+    where
+        Standard: Distribution<T>,
+        Self: Sized,
+    {
+        Standard.sample(self)
+    }
+
+    /// Sample uniformly from `range` (`a..b` or `a..=b`).
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// Return `true` with probability `p`.
+    ///
+    /// # Panics
+    /// Panics if `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p = {p} out of range");
+        // 53 random bits against the scaled threshold, like upstream.
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// RNGs constructible from a seed.
+pub trait SeedableRng: Sized {
+    /// The seed type (a byte array for all practical RNGs).
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Construct from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Construct from a `u64`, expanded through SplitMix64.
+    ///
+    /// NOTE: this trait-level default is a simple SplitMix64 expansion and
+    /// does NOT reproduce upstream `rand_core`'s default (which is
+    /// PCG32-based). That is fine here because the only RNG in this crate,
+    /// [`rngs::SmallRng`], overrides `seed_from_u64` with an
+    /// implementation that matches upstream `rand` 0.8 exactly.
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(4) {
+            let z = splitmix64(&mut state);
+            let bytes = (z as u32).to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// One SplitMix64 step (Steele, Lea, Flood 2014): advances `state` and
+/// returns the mixed output. Single source of truth for seed expansion —
+/// [`rngs::SmallRng`]'s stream-compatibility guarantee depends on these
+/// exact constants.
+pub(crate) fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+// Gated like the code it exercises: `cargo test -p rand` without the
+// `small_rng` feature must still compile (dependents enable the feature,
+// standalone test runs don't).
+#[cfg(all(test, feature = "small_rng"))]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn seeding_is_deterministic() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn distinct_seeds_differ() {
+        let mut a = SmallRng::seed_from_u64(1);
+        let mut b = SmallRng::seed_from_u64(2);
+        assert_ne!(
+            (0..8).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..8).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    use super::RngCore;
+
+    #[test]
+    fn gen_range_stays_in_bounds_and_hits_all_values() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut seen = [false; 7];
+        for _ in 0..1000 {
+            let x = rng.gen_range(0..7u64);
+            seen[x as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "7 values in 1000 draws: {seen:?}");
+        for _ in 0..1000 {
+            let x = rng.gen_range(3..=5u64);
+            assert!((3..=5).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_range_is_close_to_uniform() {
+        // Bitmask rejection is exactly uniform; sanity-check empirically.
+        let mut rng = SmallRng::seed_from_u64(9);
+        let n = 120_000u32;
+        let mut counts = [0u32; 6];
+        for _ in 0..n {
+            counts[rng.gen_range(0..6usize)] += 1;
+        }
+        let expect = n as f64 / 6.0;
+        for c in counts {
+            assert!((c as f64 - expect).abs() < 0.05 * expect, "{counts:?}");
+        }
+    }
+
+    #[test]
+    fn gen_range_u128_huge_denominator() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let den = (u64::MAX as u128) * (u64::MAX as u128);
+        for _ in 0..100 {
+            assert!(rng.gen_range(0..den) < den);
+        }
+    }
+
+    #[test]
+    fn f64_standard_is_unit_interval() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        for _ in 0..1000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_bool_rate() {
+        let mut rng = SmallRng::seed_from_u64(13);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.3)).count();
+        let rate = hits as f64 / 100_000.0;
+        assert!((rate - 0.3).abs() < 0.01, "rate = {rate}");
+    }
+}

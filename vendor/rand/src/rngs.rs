@@ -1,0 +1,106 @@
+//! Concrete RNGs. Only [`SmallRng`] is provided (and only with the
+//! `small_rng` feature, matching the upstream crate's feature gate).
+
+#[cfg(feature = "small_rng")]
+pub use small::SmallRng;
+
+#[cfg(feature = "small_rng")]
+mod small {
+    use crate::{RngCore, SeedableRng};
+
+    /// A small, fast, non-cryptographic RNG: xoshiro256++ 1.0
+    /// (Blackman & Vigna, 2019) — the algorithm upstream `rand` 0.8 uses
+    /// for `SmallRng` on 64-bit platforms.
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl SeedableRng for SmallRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut s = [0u64; 4];
+            for (i, word) in s.iter_mut().enumerate() {
+                let mut bytes = [0u8; 8];
+                bytes.copy_from_slice(&seed[i * 8..(i + 1) * 8]);
+                *word = u64::from_le_bytes(bytes);
+            }
+            // An all-zero state is a fixed point of xoshiro; upstream
+            // (rand_xoshiro) reseeds from zero the same way.
+            if s == [0; 4] {
+                return Self::seed_from_u64(0);
+            }
+            Self { s }
+        }
+
+        /// Matches upstream `rand` 0.8 (`rand_xoshiro`'s override) bit for
+        /// bit: the four state words are four successive full 64-bit
+        /// SplitMix64 outputs starting from `state`. Raw `next_u64`
+        /// streams therefore survive a swap back to the crates.io
+        /// dependency unchanged; values drawn *through* `gen_range` /
+        /// `Standard` do not (see the crate docs), though their
+        /// distributions are identical.
+        fn seed_from_u64(mut state: u64) -> Self {
+            let mut s = [0u64; 4];
+            for word in &mut s {
+                *word = crate::splitmix64(&mut state);
+            }
+            Self { s }
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::SmallRng;
+        use crate::{RngCore, SeedableRng};
+
+        /// Golden values pinning stream compatibility with upstream
+        /// `rand` 0.8 `SmallRng` (xoshiro256++ seeded via SplitMix64).
+        /// The seed-0 state expansion is the published SplitMix64 test
+        /// vector (0xE220A8397B1DCDAF, ...); the outputs follow the
+        /// xoshiro256++ 1.0 reference step. If these ever change, every
+        /// seeded test in the workspace shifts — don't touch the
+        /// algorithm without re-deriving these from the references.
+        #[test]
+        fn seed_from_u64_matches_upstream_smallrng() {
+            let mut r0 = SmallRng::seed_from_u64(0);
+            assert_eq!(r0.next_u64(), 0x53175d61490b23df);
+            assert_eq!(r0.next_u64(), 0x61da6f3dc380d507);
+            assert_eq!(r0.next_u64(), 0x5c0fdf91ec9a7bfc);
+
+            let mut r7 = SmallRng::seed_from_u64(7);
+            assert_eq!(r7.next_u64(), 0x0e2c1a002aae913d);
+            assert_eq!(r7.next_u64(), 0x2c0fc8ddfa4e9e14);
+            assert_eq!(r7.next_u64(), 0xb7b311b3b0d45872);
+        }
+
+        #[test]
+        fn zero_seed_bytes_reseed_instead_of_sticking() {
+            // All-zero state is a xoshiro fixed point; from_seed must not
+            // produce it.
+            let mut r = SmallRng::from_seed([0u8; 32]);
+            let mut z = SmallRng::seed_from_u64(0);
+            assert_eq!(r.next_u64(), z.next_u64());
+        }
+    }
+}
