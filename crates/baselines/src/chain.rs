@@ -13,43 +13,79 @@
 //! with **no deterministic bound**. Experiment E6 exhibits exactly this:
 //! `memory_words()` here has a growing maximum over the stream's life, while
 //! the paper's `SeqSamplerWr` has a hard ceiling.
+//!
+//! Ingestion is skip-based, so throughput comparisons against the paper's
+//! samplers pit optimized implementations against each other: adoption
+//! events are independent Bernoulli(1/min(count, n+1)), so each instance
+//! precomputes its next-adoption count (exact record-process skip during
+//! warm-up, geometric skip in the constant-probability tail) and
+//! non-adopted arrivals cost zero RNG draws.
 
 use rand::Rng;
 use std::collections::VecDeque;
+use swsample_core::skip::{geometric_skip, record_skip};
 use swsample_core::{MemoryWords, Sample, WindowSampler};
 
-/// One chain: the current sample at the front, successors behind it.
+/// One chain: the current sample at the front, successors behind it, plus
+/// a precomputed **next-adoption count** so non-adopted arrivals cost no
+/// RNG draws (the same skip-ahead idea as the paper's samplers; see
+/// `swsample_core::skip`).
 #[derive(Debug, Clone)]
 struct ChainInstance<T> {
     /// `(element, successor index)` pairs in arrival order.
     links: VecDeque<(Sample<T>, u64)>,
+    /// 1-based arrival count of the next adoption (the skip counter).
+    next_adopt: u64,
 }
 
 impl<T: Clone> ChainInstance<T> {
     fn new() -> Self {
         Self {
             links: VecDeque::new(),
+            // Count 1 adopts with probability 1/min(1, n+1) = 1.
+            next_adopt: 1,
         }
+    }
+
+    /// Draw the next adoption count after an adoption at count `m`.
+    ///
+    /// The adoption probability at count `c` is 1/min(c, n+1): a record
+    /// process while `c ≤ n+1` (exact integer skip) and a constant
+    /// Bernoulli(1/(n+1)) afterwards (geometric skip). During warm-up
+    /// this is plain reservoir sampling. After warm-up the correct
+    /// adoption probability is 1/(n+1), not 1/n: expiry promotion already
+    /// feeds probability 1/n² to every window position (the expiring
+    /// sample's successor is uniform over the new window), and solving
+    ///   p + (1−p)/n² = (1−p)(1/n + 1/n²)
+    /// for uniformity gives p = 1/(n+1). (With 1/n the newest elements
+    /// are over-sampled by ≈1/n — the bias is measurable, and the test
+    /// `uniform_over_window` below catches it.)
+    fn schedule_next_adopt<R: Rng>(&mut self, rng: &mut R, m: u64, n: u64) {
+        let den = n + 1;
+        let base = if m < den {
+            match record_skip(rng, m, den) {
+                Some(c) => {
+                    self.next_adopt = c;
+                    return;
+                }
+                None => den, // no adoption through count n+1
+            }
+        } else {
+            m
+        };
+        // Constant-probability tail: counts beyond n+1 adopt with
+        // probability exactly 1/(n+1) each.
+        self.next_adopt = base + 1 + geometric_skip(rng, den);
     }
 
     fn insert<R: Rng>(&mut self, rng: &mut R, value: &T, idx: u64, n: u64) {
         let count = idx + 1;
-        // Adopt the arrival as the new sample with probability
-        // 1/min(count, n+1). During warm-up this is plain reservoir
-        // sampling. After warm-up the correct adoption probability is
-        // 1/(n+1), not 1/n: expiry promotion already feeds probability
-        // 1/n² to every window position (the expiring sample's successor is
-        // uniform over the new window), and solving
-        //   p + (1−p)/n² = (1−p)(1/n + 1/n²)
-        // for uniformity gives p = 1/(n+1). (With 1/n the newest elements
-        // are over-sampled by ≈1/n — the bias is measurable, and the test
-        // `uniform_over_window` below catches it.)
-        let adopt_denominator = count.min(n + 1);
-        if rng.gen_range(0..adopt_denominator) == 0 {
+        if count == self.next_adopt {
             self.links.clear();
             let succ = idx + 1 + rng.gen_range(0..n);
             self.links
                 .push_back((Sample::new(value.clone(), idx, idx), succ));
+            self.schedule_next_adopt(rng, count, n);
         } else if self.links.back().is_some_and(|(_, succ)| *succ == idx) {
             // The awaited successor arrived: extend the chain.
             let succ = idx + 1 + rng.gen_range(0..n);
@@ -74,8 +110,9 @@ impl<T: Clone> ChainInstance<T> {
 
 impl<T> ChainInstance<T> {
     fn words(&self) -> usize {
-        // Each link: value + index + ts + successor index.
-        self.links.len() * 4
+        // Each link: value + index + ts + successor index; plus the skip
+        // counter.
+        self.links.len() * 4 + 1
     }
 }
 
@@ -94,6 +131,7 @@ impl<T: Clone, R: Rng> ChainSampler<T, R> {
     /// independent samples.
     pub fn new(n: u64, k: usize, rng: R) -> Self {
         assert!(n >= 1 && k >= 1);
+        assert!(n < 1 << 62, "ChainSampler: window size too large");
         Self {
             n,
             count: 0,
@@ -121,6 +159,22 @@ impl<T: Clone, R: Rng> WindowSampler<T> for ChainSampler<T, R> {
             c.insert(&mut self.rng, &value, idx, self.n);
         }
         self.count += 1;
+    }
+
+    fn insert_batch(&mut self, values: &[T])
+    where
+        T: Clone,
+    {
+        // Chain-major iteration: each chain's deque (and skip counter)
+        // stays hot while it consumes the whole run.
+        let first = self.count;
+        let n = self.n;
+        for c in &mut self.chains {
+            for (j, v) in values.iter().enumerate() {
+                c.insert(&mut self.rng, v, first + j as u64, n);
+            }
+        }
+        self.count += values.len() as u64;
     }
 
     fn sample(&mut self) -> Option<Sample<T>> {

@@ -43,5 +43,5 @@ pub use chain::ChainSampler;
 pub use oversample::OverSampler;
 pub use priority::PrioritySampler;
 pub use priority_topk::PriorityTopK;
-pub use vitter::StreamReservoir;
+pub use vitter::{NaiveStreamReservoir, StreamReservoir};
 pub use window_buffer::WindowBuffer;

@@ -74,6 +74,14 @@ impl<T: Clone, R: Rng> WindowSampler<T> for OverSampler<T, R> {
         self.inner.insert(value);
     }
 
+    fn insert_batch(&mut self, values: &[T])
+    where
+        T: Clone,
+    {
+        // Inherit the chain sampler's skip-based batch path.
+        self.inner.insert_batch(values);
+    }
+
     fn sample(&mut self) -> Option<Sample<T>> {
         self.inner.sample()
     }

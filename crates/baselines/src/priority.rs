@@ -1,14 +1,24 @@
 //! Priority sampling (Babcock, Datar, Motwani — SODA'02) for
 //! timestamp-based windows.
 //!
-//! Every element draws a priority uniform in `(0, 1)`; the window sample is
-//! the active element of highest priority. It suffices to store the
-//! *right-maxima*: elements whose priority exceeds that of every later
-//! element — the stored set forms a descending-priority list whose head is
-//! always the answer. The expected stored count over a window of `n`
-//! elements is `H_n = Θ(log n)` per instance, but the bound is randomized:
-//! no deterministic ceiling exists (Lemma 3.10's schedule forces `Ω(log n)`
+//! Every element draws a uniform priority; the window sample is the active
+//! element of highest priority. It suffices to store the *right-maxima*:
+//! elements whose priority exceeds that of every later element — the
+//! stored set forms a descending-priority list whose head is always the
+//! answer. The expected stored count over a window of `n` elements is
+//! `H_n = Θ(log n)` per instance, but the bound is randomized: no
+//! deterministic ceiling exists (Lemma 3.10's schedule forces `Ω(log n)`
 //! *and* the constant is luck-dependent — see experiments E4/E6).
+//!
+//! Unlike reservoir-style acceptance (see `swsample_core::skip`), priority
+//! sampling admits **no** skip-ahead: every arrival is provisionally a
+//! right-maximum (it is the newest active element, hence survives expiry
+//! the longest) and so must draw a priority and be pushed; there are no
+//! "non-accepted" arrivals to hop over. The optimized form here instead
+//! (a) draws raw `u64` priorities — one RNG word and an integer compare,
+//! no floating-point conversion (ties have probability ≈ n²·2⁻⁶⁴,
+//! statistically invisible) — and (b) ingests batches instance-major so
+//! each right-maxima deque stays hot in cache.
 
 use rand::Rng;
 use std::collections::VecDeque;
@@ -18,7 +28,7 @@ use swsample_core::{MemoryWords, Sample, WindowSampler};
 #[derive(Debug, Clone)]
 struct PriorityInstance<T> {
     /// `(element, priority)`, descending priority, ascending arrival.
-    stack: VecDeque<(Sample<T>, f64)>,
+    stack: VecDeque<(Sample<T>, u64)>,
 }
 
 impl<T: Clone> PriorityInstance<T> {
@@ -29,7 +39,7 @@ impl<T: Clone> PriorityInstance<T> {
     }
 
     fn insert<R: Rng>(&mut self, rng: &mut R, value: &T, idx: u64, ts: u64) {
-        let priority: f64 = rng.gen_range(0.0..1.0);
+        let priority: u64 = rng.gen();
         while self.stack.back().is_some_and(|(_, p)| *p < priority) {
             self.stack.pop_back();
         }
@@ -119,6 +129,23 @@ impl<T: Clone, R: Rng> WindowSampler<T> for PrioritySampler<T, R> {
         for i in &mut self.instances {
             i.insert(&mut self.rng, &value, idx, self.now);
         }
+    }
+
+    fn insert_batch(&mut self, values: &[T])
+    where
+        T: Clone,
+    {
+        // Instance-major: each right-maxima deque consumes the whole run
+        // while hot in cache (no skip exists for priority sampling — see
+        // the module docs — so locality is the available win).
+        let first = self.next_index;
+        let now = self.now;
+        for inst in &mut self.instances {
+            for (j, v) in values.iter().enumerate() {
+                inst.insert(&mut self.rng, v, first + j as u64, now);
+            }
+        }
+        self.next_index += values.len() as u64;
     }
 
     fn sample(&mut self) -> Option<Sample<T>> {

@@ -48,6 +48,17 @@ impl<T: Clone, R: Rng> WindowBuffer<T, R> {
         }
     }
 
+    /// Stamp and store one arrival (no expiry — callers expire once per
+    /// insert or once per batch).
+    fn push_one(&mut self, value: T) {
+        let ts = match self.spec {
+            WindowSpec::Sequence(_) => self.next_index,
+            WindowSpec::Timestamp(_) => self.now,
+        };
+        self.buf.push_back(Sample::new(value, self.next_index, ts));
+        self.next_index += 1;
+    }
+
     /// The exact active window content, oldest first.
     pub fn window_contents(&self) -> impl Iterator<Item = &Sample<T>> {
         self.buf.iter()
@@ -73,12 +84,19 @@ impl<T: Clone, R: Rng> WindowSampler<T> for WindowBuffer<T, R> {
     }
 
     fn insert(&mut self, value: T) {
-        let ts = match self.spec {
-            WindowSpec::Sequence(_) => self.next_index,
-            WindowSpec::Timestamp(_) => self.now,
-        };
-        self.buf.push_back(Sample::new(value, self.next_index, ts));
-        self.next_index += 1;
+        self.push_one(value);
+        self.expire();
+    }
+
+    fn insert_batch(&mut self, values: &[T])
+    where
+        T: Clone,
+    {
+        // Push the whole run, then expire once: one front-trim instead of
+        // one per element.
+        for v in values {
+            self.push_one(v.clone());
+        }
         self.expire();
     }
 

@@ -5,6 +5,18 @@
 //! Expected shape: identical at tiny streams, L pulling ahead as the
 //! stream/bucket grows (R's cost is Θ(N) draws, L's is
 //! Θ(k (1 + log(N/k)))).
+//!
+//! ASSERTION (enforced twice: `bench_throughput` exits non-zero rather
+//! than write a violating artifact, and `tests/skip_equivalence.rs::
+//! committed_throughput_baseline_holds_acceptance_bar` gates CI on the
+//! committed file): at len = 100_000 / k = 64 the skip-based ingestion
+//! must hold a ≥5× elems/sec lead over the per-element path — the bar
+//! `BENCH_throughput.json` records for `seq_wr_skip` vs `seq_wr_naive` at
+//! k = 64, n = 10⁵. Since this PR the samplers also clone at most
+//! `acceptors − 1` values per arrival (the value is *moved* into the last
+//! accepting instance, so the common single-acceptor case clones nothing);
+//! if either property regresses, this bench is where the curve bends
+//! first.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use rand::rngs::SmallRng;

@@ -1,0 +1,92 @@
+//! `bench_throughput` — regenerate `BENCH_throughput.json`, the repo's
+//! machine-readable ingestion-throughput baseline.
+//!
+//! ```text
+//! bench_throughput                        # full suite -> BENCH_throughput.json
+//! bench_throughput --quick --out /tmp/t.json   # CI smoke shape
+//! ```
+//!
+//! The suite is seeded and the sampler/config matrix is fixed, so the only
+//! run-to-run variance is wall-clock noise; `rng_draws` columns are exact
+//! and fully reproducible. The binary validates the JSON it wrote (with
+//! the bench crate's own parser) and exits non-zero if it does not parse —
+//! the CI smoke step relies on that plus an external `json.tool` pass.
+//!
+//! Run it from the repo root with `cargo run --release -p swsample-bench
+//! --bin bench_throughput`; always use `--release`, a debug-profile
+//! baseline would be meaningless.
+
+use swsample_bench::throughput::{params, run_with, speedup, to_json};
+use swsample_bench::{json, table_header, table_row};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_throughput.json".to_string());
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!("usage: bench_throughput [--quick] [--out PATH]");
+        return;
+    }
+
+    let p = params(quick);
+    eprintln!(
+        "running throughput suite ({}; {} configurations)...",
+        if quick { "quick" } else { "full" },
+        p.ks.len() * (p.ns.len() * 10 + 2)
+    );
+    let rows = run_with(&p);
+
+    table_header(
+        "ingestion throughput (batched API, seeded streams)",
+        &["sampler", "win", "k", "n", "elems/s", "draws/elem"],
+    );
+    for r in &rows {
+        table_row(&[
+            r.sampler.into(),
+            r.discipline.into(),
+            r.k.to_string(),
+            r.n.to_string(),
+            format!("{:.0}", r.elems_per_sec),
+            format!("{:.4}", r.rng_draws as f64 / r.elements as f64),
+        ]);
+    }
+    if let Some(s) = speedup(&rows, "seq_wr_skip", "seq_wr_naive", 64, 100_000) {
+        println!("\nseq-WR skip vs naive at k=64, n=1e5: {s:.1}x elems/sec");
+        if s < 5.0 {
+            // Hard gate: never write a baseline artifact that violates the
+            // acceptance bar (tests/skip_equivalence.rs re-checks the
+            // committed file, so a regression cannot slip through either).
+            eprintln!("bench_throughput: skip-path speedup {s:.1}x below the 5x acceptance bar");
+            std::process::exit(1);
+        }
+    }
+
+    let doc = to_json(&rows, quick);
+    if let Err(e) = json::validate(&doc) {
+        eprintln!("bench_throughput: emitted invalid JSON ({e}) — refusing to write");
+        std::process::exit(1);
+    }
+    if let Err(e) = std::fs::write(&out_path, &doc) {
+        eprintln!("bench_throughput: cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    // Re-read and re-validate: the committed artifact itself must parse.
+    match std::fs::read_to_string(&out_path) {
+        Ok(back) => {
+            if let Err(e) = json::validate(&back) {
+                eprintln!("bench_throughput: {out_path} does not re-parse ({e})");
+                std::process::exit(1);
+            }
+        }
+        Err(e) => {
+            eprintln!("bench_throughput: cannot re-read {out_path}: {e}");
+            std::process::exit(1);
+        }
+    }
+    println!("\nwrote {out_path} ({} rows, validated)", rows.len());
+}

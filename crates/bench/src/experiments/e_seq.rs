@@ -40,7 +40,7 @@ pub fn e1_seq_wr() {
             "k",
             "stream",
             "mem max (words)",
-            "bound 6k+2",
+            "bound 7k+3",
             "uniformity p",
         ],
     );
@@ -49,7 +49,7 @@ pub fn e1_seq_wr() {
             let mut s = SeqSamplerWr::new(n, k, SmallRng::seed_from_u64(7));
             let stream = 4 * n;
             let prof = profile_seq(&mut s, stream, 11);
-            let bound = 6 * k + 2;
+            let bound = 7 * k + 3;
             // Uniformity is only chi-squared at the small window (the cost
             // is trials × stream); larger windows inherit it structurally.
             let p = if n == 64 {

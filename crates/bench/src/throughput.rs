@@ -1,0 +1,297 @@
+//! The seeded ingestion-throughput suite behind `BENCH_throughput.json` —
+//! the repo's machine-readable perf trajectory (one committed artifact per
+//! PR, produced by the `bench_throughput` binary).
+//!
+//! Every case drives one sampler configuration over a fixed seeded stream
+//! through the batched ingestion API, measuring wall-clock elements/sec
+//! and — via [`swsample_core::rng::CountingRng`] — the *exact* number of
+//! RNG words consumed. The draw counts are what make the skip-ahead claims
+//! auditable: `seq_wr_skip` at n = 10⁵ draws `O(k log n / n)` words per
+//! element where `seq_wr_naive` draws `k`, and the JSON records both.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::time::Instant;
+use swsample_baselines::{
+    ChainSampler, NaiveStreamReservoir, PrioritySampler, PriorityTopK, StreamReservoir,
+    WindowBuffer,
+};
+use swsample_core::rng::CountingRng;
+use swsample_core::seq::{SeqSamplerWor, SeqSamplerWr};
+use swsample_core::ts::{TsSamplerWor, TsSamplerWr};
+use swsample_core::WindowSampler;
+use swsample_stream::WindowSpec;
+
+use crate::json;
+
+/// One measured configuration.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Sampler identifier (stable across PRs — the trajectory key).
+    pub sampler: &'static str,
+    /// `"seq"` or `"ts"`.
+    pub discipline: &'static str,
+    /// Number of samples maintained.
+    pub k: usize,
+    /// Window size (sequence length or active-set size for ts cases);
+    /// 0 for whole-stream samplers, which have no window.
+    pub n: u64,
+    /// Stream length driven through the sampler.
+    pub elements: u64,
+    /// Wall-clock ingestion time.
+    pub seconds: f64,
+    /// `elements / seconds`.
+    pub elems_per_sec: f64,
+    /// Exact RNG words consumed (CountingRng).
+    pub rng_draws: u64,
+}
+
+/// Suite dimensions; [`params`] builds the standard full/quick shapes.
+#[derive(Debug, Clone)]
+pub struct Params {
+    /// Values of `k` to sweep.
+    pub ks: Vec<usize>,
+    /// Window sizes to sweep.
+    pub ns: Vec<u64>,
+    /// Stream length for sequence-window cases.
+    pub seq_elements: u64,
+    /// Stream length for timestamp-window cases (smaller: every arrival
+    /// touches `k` covering decompositions).
+    pub ts_elements: u64,
+    /// Chunk length fed to `insert_batch`.
+    pub chunk: usize,
+}
+
+/// The standard suite shapes. `quick` keeps the schema identical but
+/// shrinks the sweep so a CI smoke run finishes in seconds; the committed
+/// artifact is always produced with `quick = false` (which includes the
+/// acceptance configuration k = 64, n = 10⁵).
+pub fn params(quick: bool) -> Params {
+    if quick {
+        Params {
+            ks: vec![8],
+            ns: vec![10_000],
+            seq_elements: 40_000,
+            ts_elements: 20_000,
+            chunk: 1024,
+        }
+    } else {
+        Params {
+            ks: vec![8, 64],
+            ns: vec![10_000, 100_000],
+            seq_elements: 1_000_000,
+            ts_elements: 200_000,
+            chunk: 1024,
+        }
+    }
+}
+
+/// Drive a sequence-window sampler over `elements` consecutive values in
+/// `chunk`-sized batches; returns ingestion seconds.
+fn drive_seq<S: WindowSampler<u64>>(s: &mut S, elements: u64, chunk: usize) -> f64 {
+    let mut buf: Vec<u64> = Vec::with_capacity(chunk);
+    let start = Instant::now();
+    let mut i = 0u64;
+    while i < elements {
+        let end = (i + chunk as u64).min(elements);
+        buf.clear();
+        buf.extend(i..end);
+        s.insert_batch(&buf);
+        i = end;
+    }
+    start.elapsed().as_secs_f64()
+}
+
+/// Drive a timestamp-window sampler at 4 arrivals/tick through
+/// `advance_and_insert`; returns ingestion seconds.
+fn drive_ts<S: WindowSampler<u64>>(s: &mut S, elements: u64, per_tick: u64) -> f64 {
+    let mut buf: Vec<u64> = Vec::with_capacity(per_tick as usize);
+    let start = Instant::now();
+    let mut i = 0u64;
+    let mut tick = 0u64;
+    while i < elements {
+        let end = (i + per_tick).min(elements);
+        buf.clear();
+        buf.extend(i..end);
+        tick += 1;
+        s.advance_and_insert(tick, &buf);
+        i = end;
+    }
+    start.elapsed().as_secs_f64()
+}
+
+/// Run the full suite for the given dimensions; deterministic streams,
+/// fresh seeded RNG per case.
+pub fn run_with(p: &Params) -> Vec<Row> {
+    let mut rows = Vec::new();
+
+    macro_rules! seq_case {
+        ($name:literal, $k:expr, $n:expr, $make:expr) => {{
+            let (k, n) = ($k, $n);
+            let mut rng = CountingRng::new(SmallRng::seed_from_u64(42));
+            #[allow(clippy::redundant_closure_call)]
+            let mut s = ($make)(n, k, &mut rng);
+            let seconds = drive_seq(&mut s, p.seq_elements, p.chunk);
+            drop(s);
+            rows.push(Row {
+                sampler: $name,
+                discipline: "seq",
+                k,
+                n,
+                elements: p.seq_elements,
+                seconds,
+                elems_per_sec: p.seq_elements as f64 / seconds.max(1e-9),
+                rng_draws: rng.words(),
+            });
+        }};
+    }
+    macro_rules! ts_case {
+        ($name:literal, $k:expr, $n:expr, $make:expr) => {{
+            let (k, n) = ($k, $n);
+            let mut rng = CountingRng::new(SmallRng::seed_from_u64(43));
+            // 4 arrivals/tick and a window of n/4 ticks keep ≈ n active.
+            let t0 = (n / 4).max(1);
+            #[allow(clippy::redundant_closure_call)]
+            let mut s = ($make)(t0, k, &mut rng);
+            let seconds = drive_ts(&mut s, p.ts_elements, 4);
+            drop(s);
+            rows.push(Row {
+                sampler: $name,
+                discipline: "ts",
+                k,
+                n,
+                elements: p.ts_elements,
+                seconds,
+                elems_per_sec: p.ts_elements as f64 / seconds.max(1e-9),
+                rng_draws: rng.words(),
+            });
+        }};
+    }
+
+    for &k in &p.ks {
+        // Whole-stream reservoirs have no window: one row per k (n = 0),
+        // not one per swept window size.
+        seq_case!("vitter_l", k, 0, |_n, k, rng| StreamReservoir::new(k, rng));
+        seq_case!("vitter_r", k, 0, |_n, k, rng| NaiveStreamReservoir::new(
+            k, rng
+        ));
+        for &n in &p.ns {
+            seq_case!("seq_wr_skip", k, n, SeqSamplerWr::new);
+            seq_case!("seq_wr_naive", k, n, SeqSamplerWr::naive);
+            seq_case!("seq_wor_skip", k, n, SeqSamplerWor::new);
+            seq_case!("seq_wor_naive", k, n, SeqSamplerWor::naive);
+            seq_case!("chain", k, n, ChainSampler::new);
+            seq_case!("window_buffer", k, n, |n, k, rng| WindowBuffer::new(
+                WindowSpec::Sequence(n),
+                k,
+                rng
+            ));
+            ts_case!("ts_wr", k, n, TsSamplerWr::new);
+            ts_case!("ts_wor", k, n, TsSamplerWor::new);
+            ts_case!("priority", k, n, PrioritySampler::new);
+            ts_case!("priority_topk", k, n, PriorityTopK::new);
+        }
+    }
+    rows
+}
+
+/// Elems/sec ratio between two samplers at a given configuration.
+pub fn speedup(rows: &[Row], fast: &str, slow: &str, k: usize, n: u64) -> Option<f64> {
+    let find = |name: &str| {
+        rows.iter()
+            .find(|r| r.sampler == name && r.k == k && r.n == n)
+            .map(|r| r.elems_per_sec)
+    };
+    Some(find(fast)? / find(slow)?)
+}
+
+/// Render the suite result as the `BENCH_throughput.json` document.
+pub fn to_json(rows: &[Row], quick: bool) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"swsample-bench-throughput/v1\",\n");
+    out.push_str(&format!("  \"quick\": {quick},\n"));
+    // The acceptance-tracked ratio, surfaced at top level so trajectory
+    // diffs catch regressions without re-deriving it from the rows.
+    if let Some(s) = speedup(rows, "seq_wr_skip", "seq_wr_naive", 64, 100_000) {
+        out.push_str(&format!(
+            "  \"seq_wr_speedup_k64_n100000\": {},\n",
+            json::number(s)
+        ));
+    }
+    out.push_str("  \"results\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"sampler\": \"{}\", \"discipline\": \"{}\", \"k\": {}, \"n\": {}, \
+             \"elements\": {}, \"seconds\": {}, \"elems_per_sec\": {}, \"rng_draws\": {}, \
+             \"draws_per_element\": {}}}{}\n",
+            json::escape(r.sampler),
+            json::escape(r.discipline),
+            r.k,
+            r.n,
+            r.elements,
+            json::number(r.seconds),
+            json::number(r.elems_per_sec),
+            r.rng_draws,
+            json::number(r.rng_draws as f64 / r.elements as f64),
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn micro_params() -> Params {
+        Params {
+            ks: vec![2],
+            ns: vec![1024],
+            seq_elements: 4_000,
+            ts_elements: 800,
+            chunk: 128,
+        }
+    }
+
+    #[test]
+    fn suite_runs_and_emits_valid_json() {
+        let rows = run_with(&micro_params());
+        assert_eq!(rows.len(), 12, "one row per sampler");
+        for r in &rows {
+            assert!(r.elems_per_sec > 0.0, "{}: zero throughput", r.sampler);
+        }
+        let doc = to_json(&rows, true);
+        json::validate(&doc).expect("emitted JSON must parse");
+    }
+
+    #[test]
+    fn skip_paths_draw_fewer_rng_words() {
+        let rows = run_with(&micro_params());
+        let draws = |name: &str| {
+            rows.iter()
+                .find(|r| r.sampler == name)
+                .expect("row present")
+                .rng_draws
+        };
+        // k=2, n=1024, 4000 elements: naive draws ≥ k per element; the
+        // skip path draws O(k log n) per bucket — far less.
+        assert!(draws("seq_wr_naive") >= 2 * 4_000);
+        assert!(
+            draws("seq_wr_skip") * 10 < draws("seq_wr_naive"),
+            "skip {} vs naive {}",
+            draws("seq_wr_skip"),
+            draws("seq_wr_naive")
+        );
+        assert!(draws("seq_wor_skip") < draws("seq_wor_naive"));
+        assert!(draws("vitter_l") < draws("vitter_r"));
+    }
+
+    #[test]
+    fn speedup_lookup() {
+        let rows = run_with(&micro_params());
+        assert!(speedup(&rows, "seq_wr_skip", "seq_wr_naive", 2, 1024).is_some());
+        assert!(speedup(&rows, "seq_wr_skip", "seq_wr_naive", 99, 1024).is_none());
+    }
+}

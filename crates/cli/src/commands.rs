@@ -41,17 +41,45 @@ pub fn write_help(out: &mut dyn Write) -> std::io::Result<()> {
          (Braverman–Ostrovsky–Zaniolo, PODS 2009)\n\n\
          USAGE: swsample <COMMAND> [--flag value]...\n\n\
          COMMANDS\n\
-           seq   sample the last N lines of stdin\n\
+           seq   sample the last N lines of stdin (chunked skip-ahead ingestion)\n\
                  --window N [--k K] [--wor] [--report-every M] [--seed S]\n\
+                 [--batch-size B]\n\
            ts    sample a timestamped stream (`<ts> <value>` lines)\n\
                  --window T0 [--k K] [--wor] [--report-every M] [--seed S]\n\
+                 [--batch-size B]\n\
            agg   approximate aggregates over a timestamped numeric stream\n\
                  --window T0 [--k K] [--epsilon E] [--report-every M] [--seed S]\n\
            gen   emit a synthetic workload (pipe into the other commands)\n\
                  --kind uniform|zipf|bursty --count N [--domain D] [--theta T]\n\
                  [--max-burst B] [--seed S]\n\
-           help  this text"
+           help  this text\n\n\
+         seq/ts ingest stdin in batches of --batch-size lines (default 512)\n\
+         and report end-of-run throughput on stderr."
     )
+}
+
+/// End-of-run ingestion throughput, reported on stderr so it never mixes
+/// with the sample stream on stdout.
+fn report_throughput(count: u64, elapsed: std::time::Duration) {
+    let secs = elapsed.as_secs_f64();
+    if secs > 0.0 {
+        eprintln!(
+            "# throughput: {count} elements in {secs:.3}s ({:.0} elems/s)",
+            count as f64 / secs
+        );
+    } else {
+        eprintln!("# throughput: {count} elements in <1ms");
+    }
+}
+
+/// Parse and validate the `--batch-size` flag (chunk length for batched
+/// stdin ingestion).
+fn batch_size(args: &Args) -> Result<usize, ArgError> {
+    let b: usize = args.get_or("batch-size", 512)?;
+    if b == 0 {
+        return Err(ArgError("--batch-size must be at least 1".into()));
+    }
+    Ok(b)
 }
 
 fn cmd_seq(args: &Args, input: &mut dyn BufRead, out: &mut dyn Write) -> Result<(), ArgError> {
@@ -62,28 +90,37 @@ fn cmd_seq(args: &Args, input: &mut dyn BufRead, out: &mut dyn Write) -> Result<
     let wor = args.has("wor");
     let io_err = |e: std::io::Error| ArgError(format!("io error: {e}"));
 
+    let batch = batch_size(args)?;
+
     let mut wr = (!wor).then(|| SeqSamplerWr::new(window, k, SmallRng::seed_from_u64(seed)));
     let mut wo = wor.then(|| SeqSamplerWor::new(window, k, SmallRng::seed_from_u64(seed)));
+    let start = std::time::Instant::now();
+    let mut buf: Vec<String> = Vec::with_capacity(batch);
     let mut count = 0u64;
+    // Chunked ingestion: lines accumulate into `buf` and enter the sampler
+    // through the skip-ahead `insert_batch` path. Chunks are flushed at
+    // `--batch-size` and at every report boundary, so `--report-every`
+    // cadence is unchanged from per-line ingestion.
     for line in input.lines() {
         let value = line.map_err(io_err)?;
         if value.is_empty() {
             continue;
         }
-        if let Some(s) = wr.as_mut() {
-            s.insert(value.clone());
-        }
-        if let Some(s) = wo.as_mut() {
-            s.insert(value);
-        }
+        buf.push(value);
         count += 1;
-        if every > 0 && count.is_multiple_of(every) {
-            report_seq(out, count, &mut wr, &mut wo).map_err(io_err)?;
+        let at_report = every > 0 && count.is_multiple_of(every);
+        if buf.len() >= batch || at_report {
+            flush_seq(&mut wr, &mut wo, &mut buf);
+            if at_report {
+                report_seq(out, count, &mut wr, &mut wo).map_err(io_err)?;
+            }
         }
     }
     if count == 0 {
         return Err(ArgError("no input".into()));
     }
+    flush_seq(&mut wr, &mut wo, &mut buf);
+    report_throughput(count, start.elapsed());
     report_seq(out, count, &mut wr, &mut wo).map_err(io_err)?;
     let words = wr
         .as_ref()
@@ -96,6 +133,23 @@ fn cmd_seq(args: &Args, input: &mut dyn BufRead, out: &mut dyn Write) -> Result<
     )
     .map_err(io_err)?;
     Ok(())
+}
+
+fn flush_seq(
+    wr: &mut Option<SeqSamplerWr<String, SmallRng>>,
+    wo: &mut Option<SeqSamplerWor<String, SmallRng>>,
+    buf: &mut Vec<String>,
+) {
+    if buf.is_empty() {
+        return;
+    }
+    if let Some(s) = wr.as_mut() {
+        s.insert_batch(buf);
+    }
+    if let Some(s) = wo.as_mut() {
+        s.insert_batch(buf);
+    }
+    buf.clear();
 }
 
 fn report_seq(
@@ -141,8 +195,18 @@ fn cmd_ts(args: &Args, input: &mut dyn BufRead, out: &mut dyn Write) -> Result<(
     let wor = args.has("wor");
     let io_err = |e: std::io::Error| ArgError(format!("io error: {e}"));
 
+    let batch = batch_size(args)?;
+
     let mut wr = (!wor).then(|| TsSamplerWr::new(window, k, SmallRng::seed_from_u64(seed)));
     let mut wo = wor.then(|| TsSamplerWor::new(window, k, SmallRng::seed_from_u64(seed)));
+    let start = std::time::Instant::now();
+    // Chunked ingestion: consecutive same-timestamp lines accumulate and
+    // enter the samplers through one `advance_and_insert` call. Chunks
+    // flush on a timestamp change, at `--batch-size`, and at report
+    // boundaries (keeping `--report-every` cadence identical to per-line
+    // ingestion).
+    let mut buf: Vec<String> = Vec::with_capacity(batch);
+    let mut buf_ts: u64 = 0;
     let mut count = 0u64;
     for line in input.lines() {
         let line = line.map_err(io_err)?;
@@ -150,22 +214,25 @@ fn cmd_ts(args: &Args, input: &mut dyn BufRead, out: &mut dyn Write) -> Result<(
             continue;
         }
         let (ts, value) = split_timestamped(&line)?;
-        if let Some(s) = wr.as_mut() {
-            s.advance_time(ts);
-            s.insert(value.to_string());
+        if ts != buf_ts && !buf.is_empty() {
+            flush_ts(&mut wr, &mut wo, buf_ts, &mut buf);
         }
-        if let Some(s) = wo.as_mut() {
-            s.advance_time(ts);
-            s.insert(value.to_string());
-        }
+        buf_ts = ts;
+        buf.push(value.to_string());
         count += 1;
-        if every > 0 && count.is_multiple_of(every) {
-            report_ts(out, count, &mut wr, &mut wo).map_err(io_err)?;
+        let at_report = every > 0 && count.is_multiple_of(every);
+        if buf.len() >= batch || at_report {
+            flush_ts(&mut wr, &mut wo, buf_ts, &mut buf);
+            if at_report {
+                report_ts(out, count, &mut wr, &mut wo).map_err(io_err)?;
+            }
         }
     }
     if count == 0 {
         return Err(ArgError("no input".into()));
     }
+    flush_ts(&mut wr, &mut wo, buf_ts, &mut buf);
+    report_throughput(count, start.elapsed());
     report_ts(out, count, &mut wr, &mut wo).map_err(io_err)?;
     let words = wr
         .as_ref()
@@ -178,6 +245,24 @@ fn cmd_ts(args: &Args, input: &mut dyn BufRead, out: &mut dyn Write) -> Result<(
     )
     .map_err(io_err)?;
     Ok(())
+}
+
+fn flush_ts(
+    wr: &mut Option<TsSamplerWr<String, SmallRng>>,
+    wo: &mut Option<TsSamplerWor<String, SmallRng>>,
+    ts: u64,
+    buf: &mut Vec<String>,
+) {
+    if buf.is_empty() {
+        return;
+    }
+    if let Some(s) = wr.as_mut() {
+        s.advance_and_insert(ts, buf);
+    }
+    if let Some(s) = wo.as_mut() {
+        s.advance_and_insert(ts, buf);
+    }
+    buf.clear();
 }
 
 fn report_ts(
@@ -411,5 +496,71 @@ mod tests {
         let out = run_cmd("help", "").expect("help");
         assert!(out.contains("USAGE"));
         assert!(out.contains("seq"));
+        assert!(out.contains("batch-size"));
+    }
+
+    #[test]
+    fn seq_batch_size_respects_window_and_reports() {
+        let input: String = (0..100).map(|i| format!("v{i}\n")).collect();
+        for bs in [1usize, 7, 100, 4096] {
+            let out = run_cmd(
+                &format!("seq --window 10 --k 3 --seed 1 --batch-size {bs}"),
+                &input,
+            )
+            .expect("runs");
+            let line = out.lines().next().expect("report line");
+            assert!(line.starts_with("100\t"), "batch={bs}: {line}");
+            for tok in line.split_whitespace().skip(1) {
+                let idx: u64 = tok
+                    .split('@')
+                    .nth(1)
+                    .expect("@index")
+                    .parse()
+                    .expect("index");
+                assert!(idx >= 90, "batch={bs}: sample {tok} outside window");
+            }
+        }
+    }
+
+    #[test]
+    fn seq_batching_keeps_report_cadence() {
+        let input: String = (0..100).map(|i| format!("{i}\n")).collect();
+        let out = run_cmd(
+            "seq --window 10 --k 1 --report-every 25 --seed 8 --batch-size 64",
+            &input,
+        )
+        .expect("runs");
+        // Same cadence as the unbatched run: 25, 50, 75, 100 + final.
+        let reports = out.lines().filter(|l| !l.starts_with('#')).count();
+        assert_eq!(reports, 5);
+    }
+
+    #[test]
+    fn ts_batch_size_respects_window() {
+        let mut input = String::new();
+        for t in 0..50u64 {
+            for j in 0..3u64 {
+                input.push_str(&format!("{t} item{t}_{j}\n"));
+            }
+        }
+        for bs in [1usize, 5, 1000] {
+            let out = run_cmd(
+                &format!("ts --window 5 --k 2 --seed 3 --batch-size {bs}"),
+                &input,
+            )
+            .expect("runs");
+            let line = out.lines().next().expect("report");
+            for tok in line.split_whitespace().skip(1) {
+                let ts: u64 = tok.split("@t").nth(1).expect("@t").parse().expect("ts");
+                assert!(ts >= 45, "batch={bs}: expired sample {tok}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_batch_size_is_an_error() {
+        let input = "a\nb\n";
+        assert!(run_cmd("seq --window 2 --batch-size 0", input).is_err());
+        assert!(run_cmd("ts --window 2 --batch-size 0", "0 a\n").is_err());
     }
 }

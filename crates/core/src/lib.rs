@@ -35,9 +35,11 @@
 
 mod memory;
 pub mod reservoir;
+pub mod rng;
 mod rngutil;
 mod sample;
 pub mod seq;
+pub mod skip;
 pub mod track;
 mod traits;
 pub mod ts;

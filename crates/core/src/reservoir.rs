@@ -210,6 +210,36 @@ impl<T> ReservoirL<T> {
         }
     }
 
+    /// Offer a run of consecutive elements whose timestamps equal their
+    /// stream indices (`first_index`, `first_index + 1`, …) — the shape
+    /// sequence-window buckets ingest. Elements strictly between the
+    /// current position and the precomputed next acceptance are skipped
+    /// wholesale: zero clones, zero RNG draws, zero per-element work.
+    pub fn insert_batch<R: Rng>(&mut self, rng: &mut R, values: &[T], first_index: u64)
+    where
+        T: Clone,
+    {
+        let mut i = 0usize;
+        while i < values.len() {
+            if self.entries.len() < self.cap {
+                // Warm-up: every element is stored.
+                let idx = first_index + i as u64;
+                self.insert(rng, values[i].clone(), idx, idx);
+                i += 1;
+                continue;
+            }
+            if self.seen + 1 < self.next_accept {
+                let hop = (self.next_accept - self.seen - 1).min((values.len() - i) as u64);
+                self.seen += hop;
+                i += hop as usize;
+                continue;
+            }
+            let idx = first_index + i as u64;
+            self.insert(rng, values[i].clone(), idx, idx);
+            i += 1;
+        }
+    }
+
     /// Current entries (all offered elements when `seen < k`).
     pub fn entries(&self) -> &[Sample<T>] {
         &self.entries
@@ -220,12 +250,25 @@ impl<T> ReservoirL<T> {
         self.seen
     }
 
+    /// Capacity `k`.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
     /// Forget everything.
     pub fn reset(&mut self) {
         self.entries.clear();
         self.seen = 0;
         self.next_accept = 0;
         self.w = 1.0;
+    }
+
+    /// Extract the entries, leaving the reservoir empty.
+    pub fn take(&mut self) -> Vec<Sample<T>> {
+        self.seen = 0;
+        self.next_accept = 0;
+        self.w = 1.0;
+        std::mem::take(&mut self.entries)
     }
 }
 

@@ -1,0 +1,93 @@
+//! Instrumented randomness: a transparent [`RngCore`] wrapper that counts
+//! how many random words a sampler consumes.
+//!
+//! The skip-ahead ingestion paths (see [`crate::skip`]) claim `O(log n)`
+//! RNG draws per window instead of `Θ(n)`; [`CountingRng`] is how the
+//! tests and the `bench_throughput` suite turn that claim into a measured,
+//! machine-checkable number (`draws_per_element` in
+//! `BENCH_throughput.json`).
+
+use rand::RngCore;
+
+/// Counts every `next_u32`/`next_u64` call made through it.
+///
+/// The count is in *RNG words requested*, not bits: one `next_u32` and one
+/// `next_u64` each cost 1. That is the right unit for xoshiro-style
+/// generators, where both cost one state advance.
+#[derive(Debug, Clone)]
+pub struct CountingRng<R> {
+    inner: R,
+    words: u64,
+}
+
+impl<R> CountingRng<R> {
+    /// Wrap `inner`, starting the counter at zero.
+    pub fn new(inner: R) -> Self {
+        Self { inner, words: 0 }
+    }
+
+    /// Random words drawn since construction (or the last [`reset`]).
+    ///
+    /// [`reset`]: CountingRng::reset
+    pub fn words(&self) -> u64 {
+        self.words
+    }
+
+    /// Zero the counter.
+    pub fn reset(&mut self) {
+        self.words = 0;
+    }
+
+    /// Unwrap the inner generator.
+    pub fn into_inner(self) -> R {
+        self.inner
+    }
+}
+
+impl<R: RngCore> RngCore for CountingRng<R> {
+    fn next_u32(&mut self) -> u32 {
+        self.words += 1;
+        self.inner.next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.words += 1;
+        self.inner.next_u64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn counts_words_and_resets() {
+        let mut rng = CountingRng::new(SmallRng::seed_from_u64(1));
+        assert_eq!(rng.words(), 0);
+        let _ = rng.next_u64();
+        let _ = rng.next_u32();
+        assert_eq!(rng.words(), 2);
+        rng.reset();
+        assert_eq!(rng.words(), 0);
+    }
+
+    #[test]
+    fn stream_is_unaltered() {
+        let mut plain = SmallRng::seed_from_u64(7);
+        let mut counted = CountingRng::new(SmallRng::seed_from_u64(7));
+        for _ in 0..50 {
+            assert_eq!(plain.next_u64(), counted.next_u64());
+        }
+    }
+
+    #[test]
+    fn gen_range_draws_at_least_one_word() {
+        let mut rng = CountingRng::new(SmallRng::seed_from_u64(2));
+        for _ in 0..100 {
+            let _ = rng.gen_range(0..10u64);
+        }
+        assert!(rng.words() >= 100);
+    }
+}

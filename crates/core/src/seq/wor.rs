@@ -2,10 +2,64 @@
 //! (Theorem 2.2).
 
 use crate::memory::MemoryWords;
-use crate::reservoir::ReservoirK;
+use crate::reservoir::{ReservoirK, ReservoirL};
 use crate::sample::Sample;
 use crate::traits::WindowSampler;
 use rand::Rng;
+
+/// The per-bucket reservoir: Algorithm L (skip-ahead, the default) or
+/// Algorithm R (one draw per arrival, the reference path kept for
+/// equivalence tests and as the benchmark baseline). Identical sampling
+/// distribution either way.
+#[derive(Debug, Clone)]
+enum BucketReservoir<T> {
+    Skip(ReservoirL<T>),
+    Naive(ReservoirK<T>),
+}
+
+impl<T: Clone> BucketReservoir<T> {
+    fn insert<R: Rng>(&mut self, rng: &mut R, value: T, index: u64, timestamp: u64) {
+        match self {
+            Self::Skip(r) => r.insert(rng, value, index, timestamp),
+            Self::Naive(r) => r.insert(rng, value, index, timestamp),
+        }
+    }
+
+    fn insert_batch<R: Rng>(&mut self, rng: &mut R, values: &[T], first_index: u64) {
+        match self {
+            Self::Skip(r) => r.insert_batch(rng, values, first_index),
+            Self::Naive(r) => {
+                for (j, v) in values.iter().enumerate() {
+                    let idx = first_index + j as u64;
+                    r.insert(rng, v.clone(), idx, idx);
+                }
+            }
+        }
+    }
+
+    fn entries(&self) -> &[Sample<T>] {
+        match self {
+            Self::Skip(r) => r.entries(),
+            Self::Naive(r) => r.entries(),
+        }
+    }
+
+    fn take(&mut self) -> Vec<Sample<T>> {
+        match self {
+            Self::Skip(r) => r.take(),
+            Self::Naive(r) => r.take(),
+        }
+    }
+}
+
+impl<T> MemoryWords for BucketReservoir<T> {
+    fn memory_words(&self) -> usize {
+        match self {
+            Self::Skip(r) => r.memory_words(),
+            Self::Naive(r) => r.memory_words(),
+        }
+    }
+}
 
 /// A uniform `k`-sample *without replacement* over the last `n` arrivals —
 /// Theorem 2.2, `O(k)` memory words, deterministic.
@@ -19,6 +73,12 @@ use rand::Rng;
 ///
 /// When fewer than `k` elements are active, the sample is *all* active
 /// elements.
+///
+/// Ingestion uses Li's Algorithm L per bucket: `O(k(1 + log(n/k)))` RNG
+/// draws per bucket instead of `n`, with arrivals between precomputed
+/// acceptances skipped wholesale by
+/// [`insert_batch`](WindowSampler::insert_batch). The per-arrival
+/// Algorithm R path remains available via [`SeqSamplerWor::naive`].
 ///
 /// ```
 /// use swsample_core::seq::SeqSamplerWor;
@@ -44,13 +104,24 @@ pub struct SeqSamplerWor<T, R> {
     /// k-sample of the most recent complete bucket (`X_U`).
     prev: Vec<Sample<T>>,
     /// Reservoir over the partial bucket (`X_V`).
-    cur: ReservoirK<T>,
+    cur: BucketReservoir<T>,
 }
 
 impl<T: Clone, R: Rng> SeqSamplerWor<T, R> {
     /// Sampler for windows of the last `n ≥ 1` arrivals, maintaining a
-    /// `k ≥ 1`-sample without replacement.
+    /// `k ≥ 1`-sample without replacement (skip-ahead ingestion).
     pub fn new(n: u64, k: usize, rng: R) -> Self {
+        Self::build(n, k, rng, false)
+    }
+
+    /// Like [`SeqSamplerWor::new`] but with the per-arrival Algorithm R
+    /// bucket reservoirs — the reference path for equivalence tests and
+    /// benchmark baselines.
+    pub fn naive(n: u64, k: usize, rng: R) -> Self {
+        Self::build(n, k, rng, true)
+    }
+
+    fn build(n: u64, k: usize, rng: R, naive: bool) -> Self {
         assert!(n >= 1, "SeqSamplerWor: window size must be at least 1");
         assert!(k >= 1, "SeqSamplerWor: k must be at least 1");
         Self {
@@ -59,7 +130,11 @@ impl<T: Clone, R: Rng> SeqSamplerWor<T, R> {
             count: 0,
             rng,
             prev: Vec::new(),
-            cur: ReservoirK::new(k),
+            cur: if naive {
+                BucketReservoir::Naive(ReservoirK::new(k))
+            } else {
+                BucketReservoir::Skip(ReservoirL::new(k))
+            },
         }
     }
 
@@ -107,6 +182,26 @@ impl<T, R> MemoryWords for SeqSamplerWor<T, R> {
 impl<T: Clone, R: Rng> WindowSampler<T> for SeqSamplerWor<T, R> {
     fn insert(&mut self, value: T) {
         self.push(value);
+    }
+
+    fn insert_batch(&mut self, values: &[T])
+    where
+        T: Clone,
+    {
+        let mut i = 0usize;
+        while i < values.len() {
+            // Feed the run that stays inside the current partial bucket,
+            // letting the bucket reservoir hop over non-acceptances.
+            let pos = self.count % self.n;
+            let chunk = (self.n - pos).min((values.len() - i) as u64) as usize;
+            self.cur
+                .insert_batch(&mut self.rng, &values[i..i + chunk], self.count);
+            self.count += chunk as u64;
+            i += chunk;
+            if self.count.is_multiple_of(self.n) {
+                self.prev = self.cur.take();
+            }
+        }
     }
 
     fn sample(&mut self) -> Option<Sample<T>> {
@@ -230,6 +325,45 @@ mod tests {
     }
 
     #[test]
+    fn naive_path_marginals_match() {
+        // Algorithm R reference path, held to the same threshold.
+        let (n, k, stop) = (12u64, 3usize, 19u64);
+        let trials = 20_000u64;
+        let mut counts = vec![0u64; n as usize];
+        for t in 0..trials {
+            let mut s = SeqSamplerWor::naive(n, k, SmallRng::seed_from_u64(300_000 + t));
+            for i in 0..stop {
+                s.insert(i);
+            }
+            for s in s.sample_k().expect("nonempty") {
+                counts[(s.index() - (stop - n)) as usize] += 1;
+            }
+        }
+        let out = chi_square_uniform_test(&counts);
+        assert!(out.p_value > 1e-4, "naive marginals: p = {}", out.p_value);
+    }
+
+    #[test]
+    fn batched_insert_marginals_match() {
+        // Chunked ingestion through the Algorithm L hop path.
+        let (n, k, stop) = (12u64, 3usize, 30u64);
+        let trials = 20_000u64;
+        let mut counts = vec![0u64; n as usize];
+        for t in 0..trials {
+            let mut s = SeqSamplerWor::new(n, k, SmallRng::seed_from_u64(600_000 + t));
+            let values: Vec<u64> = (0..stop).collect();
+            for chunk in values.chunks(7) {
+                s.insert_batch(chunk);
+            }
+            for s in s.sample_k().expect("nonempty") {
+                counts[(s.index() - (stop - n)) as usize] += 1;
+            }
+        }
+        let out = chi_square_uniform_test(&counts);
+        assert!(out.p_value > 1e-4, "batched marginals: p = {}", out.p_value);
+    }
+
+    #[test]
     fn pairwise_inclusion_uniform() {
         // Frequency of each unordered pair must be uniform across all pairs.
         let (n, k, stop) = (6u64, 2usize, 9u64);
@@ -262,6 +396,19 @@ mod tests {
                     s.memory_words()
                 );
             }
+        }
+    }
+
+    #[test]
+    fn skip_memory_exceeds_naive_by_constant() {
+        // Algorithm L carries two extra scalar state words (next_accept,
+        // W) per partial-bucket reservoir; everything else is lockstep.
+        let mut skip = SeqSamplerWor::new(17, 4, SmallRng::seed_from_u64(5));
+        let mut naive = SeqSamplerWor::naive(17, 4, SmallRng::seed_from_u64(6));
+        for i in 0..500u64 {
+            skip.insert(i);
+            naive.insert(i);
+            assert_eq!(skip.memory_words(), naive.memory_words() + 2, "at step {i}");
         }
     }
 

@@ -2,6 +2,7 @@
 
 use crate::memory::MemoryWords;
 use crate::sample::Sample;
+use crate::skip::record_skip;
 use crate::track::{NullTracker, SampleTracker};
 use crate::traits::WindowSampler;
 use rand::Rng;
@@ -32,6 +33,21 @@ impl<T, S> Instance<T, S> {
 /// algorithms (Theorem 5.1) can carry a suffix statistic with each
 /// candidate; the default [`NullTracker`] costs nothing.
 ///
+/// # Ingestion cost
+///
+/// Each instance is a k=1 reservoir over the partial bucket, whose
+/// acceptance events are independent Bernoulli(1/(pos+1)) — so instead of
+/// one RNG draw per instance per arrival, every instance precomputes its
+/// **next-acceptance index** from the exact gap law (see
+/// [`crate::skip::record_skip`]). Arrivals below the cached minimum of
+/// those indices cost two comparisons and *zero* RNG draws; only the
+/// `H(n) = Θ(log n)` accepted arrivals per instance per bucket do real
+/// work, for amortized `O(k log(n)/n)` draws per element. The skip path is
+/// distribution-identical to the per-arrival path, which remains available
+/// via [`SeqSamplerWr::naive`] (benchmark baseline + equivalence tests)
+/// and is used automatically whenever the tracker must observe every
+/// arrival (`K::TRACKS`).
+///
 /// ```
 /// use swsample_core::seq::SeqSamplerWr;
 /// use swsample_core::WindowSampler;
@@ -53,20 +69,45 @@ pub struct SeqSamplerWr<T, R, K: SampleTracker<T> = NullTracker> {
     rng: R,
     tracker: K,
     instances: Vec<Instance<T, K::Stat>>,
+    /// Absolute stream index at which each instance next accepts
+    /// (`u64::MAX` = no further acceptance in the current bucket).
+    next_accept: Vec<u64>,
+    /// Cached minimum of `next_accept` — the skip path's only per-arrival
+    /// comparison.
+    min_next: u64,
+    /// `true` forces the per-arrival reference path (required when the
+    /// tracker observes every arrival).
+    naive: bool,
+    /// Total acceptance events so far (diagnostic; not counted as memory).
+    accepts: u64,
 }
 
 impl<T: Clone, R: Rng> SeqSamplerWr<T, R, NullTracker> {
     /// Sampler for windows of the last `n ≥ 1` arrivals maintaining `k ≥ 1`
-    /// independent samples.
+    /// independent samples, using the skip-ahead ingestion path.
     pub fn new(n: u64, k: usize, rng: R) -> Self {
         Self::with_tracker(n, k, rng, NullTracker)
+    }
+
+    /// Like [`SeqSamplerWr::new`] but forcing the naive per-arrival RNG
+    /// path. Distribution-identical to the skip path; kept as the
+    /// reference implementation for equivalence tests and as the
+    /// benchmark baseline (`bench_throughput` measures both).
+    pub fn naive(n: u64, k: usize, rng: R) -> Self {
+        let mut s = Self::with_tracker(n, k, rng, NullTracker);
+        s.naive = true;
+        s
     }
 }
 
 impl<T: Clone, R: Rng, K: SampleTracker<T>> SeqSamplerWr<T, R, K> {
     /// Like [`SeqSamplerWr::new`], with a custom per-candidate tracker.
+    /// Trackers with `TRACKS = true` need to observe every arrival, so
+    /// they ingest through the per-arrival path; non-observing trackers
+    /// (like [`NullTracker`]) get the skip path.
     pub fn with_tracker(n: u64, k: usize, rng: R, tracker: K) -> Self {
         assert!(n >= 1, "SeqSamplerWr: window size must be at least 1");
+        assert!(n <= 1 << 62, "SeqSamplerWr: window size too large");
         assert!(k >= 1, "SeqSamplerWr: k must be at least 1");
         Self {
             n,
@@ -74,6 +115,12 @@ impl<T: Clone, R: Rng, K: SampleTracker<T>> SeqSamplerWr<T, R, K> {
             rng,
             tracker,
             instances: (0..k).map(|_| Instance::new()).collect(),
+            // Index 0 opens the first bucket: every instance accepts it
+            // with probability 1.
+            next_accept: vec![0; k],
+            min_next: 0,
+            naive: K::TRACKS,
+            accepts: 0,
         }
     }
 
@@ -92,8 +139,36 @@ impl<T: Clone, R: Rng, K: SampleTracker<T>> SeqSamplerWr<T, R, K> {
         self.count.min(self.n)
     }
 
+    /// Total acceptance events across all instances — the quantity the
+    /// skip path bounds by `O(k log n)` per bucket w.h.p. (diagnostic).
+    pub fn acceptances(&self) -> u64 {
+        self.accepts
+    }
+
+    /// `true` when ingestion uses the skip-ahead path.
+    pub fn is_skip_path(&self) -> bool {
+        !self.naive
+    }
+
     /// Insert the next arrival.
     pub fn push(&mut self, value: T) {
+        if self.naive {
+            self.push_naive(value);
+        } else {
+            let idx = self.count;
+            if idx >= self.min_next {
+                self.accept_at(idx, value);
+            }
+            self.count += 1;
+            if self.count.is_multiple_of(self.n) {
+                self.rotate_buckets();
+            }
+        }
+    }
+
+    /// The reference per-arrival path: one RNG draw per instance per
+    /// arrival, plus tracker observation hooks.
+    fn push_naive(&mut self, value: T) {
         let idx = self.count;
         // Position inside the partial bucket; the arriving element is the
         // (pos+1)-th element of that bucket.
@@ -101,6 +176,7 @@ impl<T: Clone, R: Rng, K: SampleTracker<T>> SeqSamplerWr<T, R, K> {
         for inst in &mut self.instances {
             // Reservoir step: adopt with probability 1/(pos+1).
             if self.rng.gen_range(0..=pos) == 0 {
+                self.accepts += 1;
                 let stat = self.tracker.fresh(&value, idx);
                 inst.cur = Some((Sample::new(value.clone(), idx, idx), stat));
             } else if let Some((_, stat)) = inst.cur.as_mut() {
@@ -114,12 +190,60 @@ impl<T: Clone, R: Rng, K: SampleTracker<T>> SeqSamplerWr<T, R, K> {
         }
         self.count += 1;
         if self.count.is_multiple_of(self.n) {
-            // The partial bucket just completed; it becomes bucket U and the
-            // old U is now fully expired.
-            for inst in &mut self.instances {
-                inst.prev = inst.cur.take();
-            }
+            self.rotate_buckets();
         }
+    }
+
+    /// The partial bucket just completed; it becomes bucket U and the old
+    /// U is now fully expired. Re-arms the skip state: the next bucket's
+    /// first arrival is accepted by every instance with probability 1.
+    fn rotate_buckets(&mut self) {
+        for inst in &mut self.instances {
+            inst.prev = inst.cur.take();
+        }
+        if !self.naive {
+            for na in &mut self.next_accept {
+                *na = self.count;
+            }
+            self.min_next = self.count;
+        }
+    }
+
+    /// Skip-path acceptance: adopt `value` into every instance whose
+    /// next-acceptance index is `idx`, then redraw their gaps. The value
+    /// is moved into the final acceptor, so an arrival accepted by `j`
+    /// instances costs `j − 1` clones (zero in the common `j = 1` case).
+    fn accept_at(&mut self, idx: u64, value: T) {
+        let pos = idx % self.n;
+        let bucket_start = idx - pos;
+        let accepting = self.next_accept.iter().filter(|&&na| na == idx).count();
+        debug_assert!(accepting >= 1, "accept_at called with no acceptor");
+        self.accepts += accepting as u64;
+        let mut value = Some(value);
+        let mut remaining = accepting;
+        for i in 0..self.instances.len() {
+            if self.next_accept[i] != idx {
+                continue;
+            }
+            remaining -= 1;
+            let v = if remaining == 0 {
+                value.take().expect("value present for the final acceptor")
+            } else {
+                value.as_ref().expect("value present").clone()
+            };
+            let stat = self.tracker.fresh(&v, idx);
+            self.instances[i].cur = Some((Sample::new(v, idx, idx), stat));
+            self.next_accept[i] = match record_skip(&mut self.rng, pos + 1, self.n) {
+                Some(c) => bucket_start + c - 1,
+                None => u64::MAX, // instance is done until the next bucket
+            };
+        }
+        self.min_next = self
+            .next_accept
+            .iter()
+            .copied()
+            .min()
+            .expect("at least one instance");
     }
 
     /// Draw the `k` samples together with their tracker statistics.
@@ -158,7 +282,9 @@ impl<T: Clone, R: Rng, K: SampleTracker<T>> SeqSamplerWr<T, R, K> {
 
 impl<T, R, K: SampleTracker<T>> MemoryWords for SeqSamplerWr<T, R, K> {
     fn memory_words(&self) -> usize {
-        // Per instance: up to two retained samples; plus (n, count) globals.
+        // Per instance: up to two retained samples plus its next-acceptance
+        // index; plus (n, count, min_next) globals. Identical on the skip
+        // and naive paths (the lockstep equivalence tests rely on that).
         let per: usize = self
             .instances
             .iter()
@@ -167,13 +293,47 @@ impl<T, R, K: SampleTracker<T>> MemoryWords for SeqSamplerWr<T, R, K> {
                     + i.cur.as_ref().map_or(0, |_| Sample::<T>::WORDS)
             })
             .sum();
-        per + 2
+        per + self.next_accept.len() + 3
     }
 }
 
 impl<T: Clone, R: Rng, K: SampleTracker<T>> WindowSampler<T> for SeqSamplerWr<T, R, K> {
     fn insert(&mut self, value: T) {
         self.push(value);
+    }
+
+    fn insert_batch(&mut self, values: &[T])
+    where
+        T: Clone,
+    {
+        if self.naive {
+            for v in values {
+                self.push_naive(v.clone());
+            }
+            return;
+        }
+        let mut i = 0usize;
+        while i < values.len() {
+            let idx = self.count;
+            if idx >= self.min_next {
+                self.accept_at(idx, values[i].clone());
+                self.count += 1;
+                i += 1;
+            } else {
+                // Hop wholesale over arrivals no instance will accept —
+                // stop at the next acceptance, the bucket boundary, or the
+                // end of the batch, whichever comes first.
+                let pos = idx % self.n;
+                let hop = (self.n - pos)
+                    .min(self.min_next - idx)
+                    .min((values.len() - i) as u64);
+                self.count += hop;
+                i += hop as usize;
+            }
+            if self.count.is_multiple_of(self.n) {
+                self.rotate_buckets();
+            }
+        }
     }
 
     fn sample(&mut self) -> Option<Sample<T>> {
@@ -221,28 +381,36 @@ mod tests {
         }
     }
 
+    /// Drive both ingestion paths at several awkward stream positions and
+    /// hold them to the same chi-square threshold.
     #[test]
     fn uniform_at_awkward_offsets() {
         // Check uniformity at several stream positions, including exactly on
         // a bucket boundary and just after one.
         let n = 16u64;
-        for &stop in &[16u64, 17, 24, 32, 33, 47] {
-            let trials = 20_000;
-            let mut counts = vec![0u64; n as usize];
-            for t in 0..trials {
-                let mut s = SeqSamplerWr::new(n, 1, SmallRng::seed_from_u64(1000 + t));
-                for i in 0..stop {
-                    s.insert(i);
+        for naive in [false, true] {
+            for &stop in &[16u64, 17, 24, 32, 33, 47] {
+                let trials = 20_000;
+                let mut counts = vec![0u64; n as usize];
+                for t in 0..trials {
+                    let mut s = if naive {
+                        SeqSamplerWr::naive(n, 1, SmallRng::seed_from_u64(1000 + t))
+                    } else {
+                        SeqSamplerWr::new(n, 1, SmallRng::seed_from_u64(1000 + t))
+                    };
+                    for i in 0..stop {
+                        s.insert(i);
+                    }
+                    let smp = s.sample().expect("nonempty");
+                    counts[(smp.index() - (stop - n)) as usize] += 1;
                 }
-                let smp = s.sample().expect("nonempty");
-                counts[(smp.index() - (stop - n)) as usize] += 1;
+                let out = chi_square_uniform_test(&counts);
+                assert!(
+                    out.p_value > 1e-4,
+                    "not uniform at stop={stop} (naive={naive}): p = {}",
+                    out.p_value
+                );
             }
-            let out = chi_square_uniform_test(&counts);
-            assert!(
-                out.p_value > 1e-4,
-                "not uniform at stop={stop}: p = {}",
-                out.p_value
-            );
         }
     }
 
@@ -292,11 +460,100 @@ mod tests {
     }
 
     #[test]
+    fn batched_insert_is_uniform() {
+        // The wholesale-hop batch path must produce the same distribution
+        // as per-element ingestion, at the same threshold.
+        let n = 16u64;
+        let stop = 47usize;
+        let trials = 20_000;
+        let mut counts = vec![0u64; n as usize];
+        for t in 0..trials {
+            let mut s = SeqSamplerWr::new(n, 1, SmallRng::seed_from_u64(400_000 + t));
+            let values: Vec<u64> = (0..stop as u64).collect();
+            // Uneven chunk sizes exercise hop clipping at batch ends.
+            for chunk in values.chunks(7) {
+                s.insert_batch(chunk);
+            }
+            let smp = s.sample().expect("nonempty");
+            counts[(smp.index() - (stop as u64 - n)) as usize] += 1;
+        }
+        let out = chi_square_uniform_test(&counts);
+        assert!(
+            out.p_value > 1e-4,
+            "batched ingestion not uniform: p = {}",
+            out.p_value
+        );
+    }
+
+    #[test]
+    fn batch_and_single_agree_given_same_rng_stream() {
+        // The skip path consumes RNG only on acceptances, so batch and
+        // per-element ingestion of the same stream are *identical*, not
+        // just equidistributed.
+        let mut a = SeqSamplerWr::new(32, 4, SmallRng::seed_from_u64(9));
+        let mut b = SeqSamplerWr::new(32, 4, SmallRng::seed_from_u64(9));
+        let values: Vec<u64> = (0..1000).collect();
+        for &v in &values {
+            a.insert(v);
+        }
+        for chunk in values.chunks(13) {
+            b.insert_batch(chunk);
+        }
+        assert_eq!(a.acceptances(), b.acceptances());
+        assert_eq!(a.sample_k(), b.sample_k());
+    }
+
+    #[test]
+    fn lockstep_memory_naive_vs_skip() {
+        // Identical MemoryWords trajectories: which samples are held at
+        // each step is deterministic (bucket position only), and the skip
+        // state is accounted on both paths.
+        let mut skip = SeqSamplerWr::new(13, 5, SmallRng::seed_from_u64(1));
+        let mut naive = SeqSamplerWr::naive(13, 5, SmallRng::seed_from_u64(2));
+        for i in 0..300u64 {
+            skip.insert(i);
+            naive.insert(i);
+            assert_eq!(skip.memory_words(), naive.memory_words(), "at step {i}");
+        }
+    }
+
+    #[test]
+    fn skip_path_accepts_logarithmically() {
+        // Acceptances per bucket must be O(log n) w.h.p. — here: mean
+        // within 10% of k·H(n), max under 4·k·H(n), over 200 buckets.
+        let n = 1024u64;
+        let k = 4usize;
+        let mut s = SeqSamplerWr::new(n, k, SmallRng::seed_from_u64(3));
+        let mut per_bucket = Vec::new();
+        let mut last = 0u64;
+        for b in 0..200u64 {
+            for i in 0..n {
+                s.insert(b * n + i);
+            }
+            per_bucket.push(s.acceptances() - last);
+            last = s.acceptances();
+        }
+        let h_n = (n as f64).ln() + 0.5772;
+        let mean = per_bucket.iter().sum::<u64>() as f64 / per_bucket.len() as f64;
+        let max = *per_bucket.iter().max().expect("nonempty") as f64;
+        assert!(
+            (mean - k as f64 * h_n).abs() < 0.1 * k as f64 * h_n,
+            "mean acceptances/bucket {mean} vs k·H(n) = {}",
+            k as f64 * h_n
+        );
+        assert!(
+            max < 4.0 * k as f64 * h_n,
+            "max acceptances/bucket {max} not O(log n)"
+        );
+    }
+
+    #[test]
     fn memory_is_constant_in_stream_length_and_window() {
         for &n in &[4u64, 64, 4096] {
             let k = 5;
             let mut s = SeqSamplerWr::new(n, k, SmallRng::seed_from_u64(2));
-            let cap = k * 2 * 3 + 2; // two samples of 3 words per instance + globals
+            // Two samples of 3 words + 1 skip index per instance + globals.
+            let cap = k * 2 * 3 + k + 3;
             for i in 0..3000u64 {
                 s.insert(i);
                 assert!(
@@ -312,8 +569,10 @@ mod tests {
     fn tracker_counts_suffix_occurrences() {
         use crate::track::OccurrenceTracker;
         // Constant stream: the suffix count of the candidate must equal
-        // (count - candidate index).
+        // (count - candidate index). Observing trackers force the naive
+        // ingestion path.
         let mut s = SeqSamplerWr::with_tracker(8, 1, SmallRng::seed_from_u64(3), OccurrenceTracker);
+        assert!(!s.is_skip_path());
         for _ in 0..20 {
             s.insert(7u64);
         }
@@ -330,6 +589,7 @@ mod tests {
     fn len_accessors() {
         let mut s: SeqSamplerWr<u64, _> = SeqSamplerWr::new(10, 1, SmallRng::seed_from_u64(4));
         assert_eq!(s.active_len(), 0);
+        assert!(s.is_skip_path());
         for i in 0..25u64 {
             s.insert(i);
         }

@@ -18,6 +18,13 @@ pub trait SampleTracker<T> {
     /// The statistic carried with each candidate.
     type Stat: Clone + std::fmt::Debug;
 
+    /// `false` promises that [`observe`](SampleTracker::observe) is a
+    /// no-op, so the sampler may *skip* non-accepted arrivals entirely
+    /// (the `O(log n)`-draws fast path of [`crate::skip`]). A tracker
+    /// that folds every arrival into its statistic must keep the default
+    /// `true`, which forces the per-arrival path.
+    const TRACKS: bool = true;
+
     /// Called when a reservoir adopts `value` (at stream position `index`)
     /// as its new candidate; returns the initial statistic.
     fn fresh(&mut self, value: &T, index: u64) -> Self::Stat;
@@ -33,6 +40,8 @@ pub struct NullTracker;
 
 impl<T> SampleTracker<T> for NullTracker {
     type Stat = ();
+
+    const TRACKS: bool = false;
 
     fn fresh(&mut self, _value: &T, _index: u64) -> Self::Stat {}
 

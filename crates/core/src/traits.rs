@@ -29,6 +29,39 @@ pub trait WindowSampler<T>: MemoryWords {
     /// timestamp windows).
     fn insert(&mut self, value: T);
 
+    /// Insert a run of arrivals at once (all stamped with the current
+    /// clock for timestamp windows).
+    ///
+    /// Semantically identical to calling [`insert`](WindowSampler::insert)
+    /// once per element, in order — but implementations override it with
+    /// fast paths: the skip-ahead sequence samplers advance over
+    /// non-accepted arrivals wholesale (zero work per skipped element),
+    /// and the timestamp samplers invert their per-engine loops for cache
+    /// locality. Callers (the CLI's chunked stdin ingestion, the bench
+    /// suite) should prefer this over per-element `insert` on hot paths.
+    fn insert_batch(&mut self, values: &[T])
+    where
+        T: Clone,
+    {
+        for v in values {
+            self.insert(v.clone());
+        }
+    }
+
+    /// Advance the clock to `now`, then insert `values`, all stamped
+    /// `now`. The one-call shape timestamp-window ingestion loops want:
+    /// a tick's worth of arrivals becomes a single dispatch.
+    ///
+    /// # Panics
+    /// Panics if `now` is smaller than a previously supplied time.
+    fn advance_and_insert(&mut self, now: u64, values: &[T])
+    where
+        T: Clone,
+    {
+        self.advance_time(now);
+        self.insert_batch(values);
+    }
+
     /// Draw one uniform sample from the active window, or `None` if the
     /// window is empty.
     fn sample(&mut self) -> Option<Sample<T>>;

@@ -146,6 +146,41 @@ impl<T: Clone, R: Rng> WindowSampler<T> for TsSamplerWor<T, R> {
         }
     }
 
+    fn insert_batch(&mut self, values: &[T])
+    where
+        T: Clone,
+    {
+        if values.is_empty() {
+            return;
+        }
+        let first = self.next_index;
+        self.next_index += values.len() as u64;
+        let now = self.now;
+        // Materialize the combined auxiliary view (old last-k array + the
+        // batch) once, then run engine-major: engine `i` sees arrival `j`
+        // as soon as `i` newer arrivals exist, i.e. element
+        // `combined[old_len + j − i]` — exactly what the per-arrival path
+        // feeds it, but with each engine's covering hot in cache.
+        let old_len = self.recent.len();
+        let mut combined: Vec<Sample<T>> = Vec::with_capacity(old_len + values.len());
+        combined.extend(self.recent.iter().cloned());
+        for (j, v) in values.iter().enumerate() {
+            combined.push(Sample::new(v.clone(), first + j as u64, now));
+        }
+        for (i, engine) in self.engines.iter_mut().enumerate() {
+            for j in 0..values.len() {
+                let pos = old_len + j;
+                if pos >= i {
+                    let s = &combined[pos - i];
+                    engine.insert(&mut self.rng, s.value().clone(), s.index(), s.timestamp());
+                }
+            }
+        }
+        // The auxiliary array keeps the last k arrivals.
+        let keep = combined.len().min(self.k);
+        self.recent = combined.split_off(combined.len() - keep).into();
+    }
+
     fn sample(&mut self) -> Option<Sample<T>> {
         // Engine 0 is an undelayed §3 sampler of the full window.
         self.engines[0].sample(&mut self.rng)

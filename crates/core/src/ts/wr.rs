@@ -107,6 +107,25 @@ impl<T: Clone, R: Rng, K: SampleTracker<T>> WindowSampler<T> for TsSamplerWr<T, 
         }
     }
 
+    fn insert_batch(&mut self, values: &[T])
+    where
+        T: Clone,
+    {
+        // Engine-major iteration: each engine ingests the whole run while
+        // its covering decomposition is hot in cache, instead of touching
+        // all k coverings per arrival. Engines are independent, so the
+        // reordering of RNG consumption across engines leaves every
+        // engine's distribution unchanged.
+        let first = self.next_index;
+        self.next_index += values.len() as u64;
+        let now = self.now;
+        for e in &mut self.engines {
+            for (j, v) in values.iter().enumerate() {
+                e.insert(&mut self.rng, v.clone(), first + j as u64, now);
+            }
+        }
+    }
+
     fn sample(&mut self) -> Option<Sample<T>> {
         self.engines[0].sample(&mut self.rng)
     }

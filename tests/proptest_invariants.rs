@@ -70,7 +70,9 @@ proptest! {
         for i in 0..len {
             wr.insert(i);
             wor.insert(i);
-            prop_assert!(wr.memory_words() <= 6 * k + 2);
+            // WR: two 3-word samples + 1 skip index per instance + 3
+            // globals; WOR: two k-reservoirs + Algorithm L state.
+            prop_assert!(wr.memory_words() <= 7 * k + 3);
             prop_assert!(wor.memory_words() <= 6 * k + 16);
         }
     }

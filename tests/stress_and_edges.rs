@@ -96,7 +96,7 @@ fn long_stream_seq_invariants_hold() {
         wr.insert(i);
         wor.insert(i);
     }
-    assert!(wr.memory_words() <= 26);
+    assert!(wr.memory_words() <= 31); // 7k + 3 at k = 4
     assert!(wor.memory_words() <= 40);
     let lo = 300_000 - n;
     for smp in wr.sample_k().expect("nonempty") {

@@ -11,9 +11,10 @@ use swsample::core::{MemoryWords, WindowSampler};
 use swsample::stream::{AdversarialStream, UniformGen};
 
 /// Theorem 2.1 ceiling: each of the k instances holds at most two samples
-/// of 3 words, plus 2 global counters.
+/// of 3 words plus its skip-ahead next-acceptance index, plus 3 global
+/// counters. Still O(k), still deterministic.
 fn seq_wr_cap(k: usize) -> usize {
-    6 * k + 2
+    7 * k + 3
 }
 
 /// Theorem 2.2 ceiling: two k-reservoirs plus counters.

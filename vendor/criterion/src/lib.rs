@@ -11,6 +11,13 @@
 //! measurement loop is real, so `cargo bench` produces usable relative
 //! numbers. Swapping back to upstream criterion is a one-line manifest
 //! change; no bench source needs to change.
+//!
+//! Groups with a [`Throughput`] configured additionally report elements-
+//! or bytes-per-second, and when the `CRITERION_JSON` environment variable
+//! names a file, every measurement is appended to it as one JSON object
+//! per line (`{"label", "mean_ns", "min_ns", "throughput_per_sec"?}`) —
+//! the machine-readable trail the repo's `BENCH_*.json` perf trajectory
+//! builds on (run `CRITERION_JSON=out.jsonl cargo bench`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -261,6 +268,48 @@ fn run_one<F: FnMut(&mut Bencher)>(
         None => String::new(),
     };
     println!("  {label:<40} mean {mean:>10.1} ns/iter  (min {min:>10.1}){rate}");
+    if let Ok(path) = std::env::var("CRITERION_JSON") {
+        if !path.is_empty() {
+            append_json_line(&path, label, mean, min, throughput);
+        }
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Append one measurement as a JSON line to `path` (best-effort: bench
+/// reporting must never fail the bench).
+fn append_json_line(path: &str, label: &str, mean: f64, min: f64, throughput: Option<Throughput>) {
+    use std::io::Write as _;
+    let rate = match throughput {
+        Some(Throughput::Elements(e)) | Some(Throughput::Bytes(e)) => {
+            format!(",\"throughput_per_sec\":{:.1}", e as f64 * 1e9 / mean)
+        }
+        None => String::new(),
+    };
+    let line = format!(
+        "{{\"label\":\"{}\",\"mean_ns\":{mean:.1},\"min_ns\":{min:.1}{rate}}}\n",
+        json_escape(label)
+    );
+    if let Ok(mut f) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+    {
+        let _ = f.write_all(line.as_bytes());
+    }
 }
 
 /// Define a benchmark group function, as in upstream criterion.
@@ -314,5 +363,35 @@ mod tests {
     fn benchmark_id_display() {
         assert_eq!(BenchmarkId::new("f", 8).to_string(), "f/8");
         assert_eq!(BenchmarkId::from_parameter("p").to_string(), "p");
+    }
+
+    #[test]
+    fn json_escape_handles_specials() {
+        assert_eq!(json_escape("plain"), "plain");
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(json_escape("x\ny"), "x\\u000ay");
+    }
+
+    #[test]
+    fn json_lines_are_appended() {
+        let path = std::env::temp_dir().join(format!("criterion_json_test_{}", std::process::id()));
+        let path_str = path.to_str().expect("utf8 temp path");
+        let _ = std::fs::remove_file(&path);
+        append_json_line(
+            path_str,
+            "g/one",
+            123.45,
+            100.0,
+            Some(Throughput::Elements(2)),
+        );
+        append_json_line(path_str, "g/two", 50.0, 40.0, None);
+        let body = std::fs::read_to_string(&path).expect("file written");
+        let lines: Vec<&str> = body.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"label\":\"g/one\""));
+        assert!(lines[0].contains("\"throughput_per_sec\""));
+        assert!(lines[1].contains("\"label\":\"g/two\""));
+        assert!(!lines[1].contains("throughput_per_sec"));
+        let _ = std::fs::remove_file(&path);
     }
 }
