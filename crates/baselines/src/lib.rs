@@ -24,7 +24,10 @@
 //!
 //! Every baseline implements the same [`swsample_core::WindowSampler`] and
 //! [`swsample_core::MemoryWords`] traits as the paper's samplers, so the
-//! experiment harness can sweep them interchangeably. The point the
+//! experiment harness can sweep them interchangeably — and all of them are
+//! constructible declaratively through [`spec::build`], the full
+//! [`swsample_core::spec::SamplerSpec`] factory covering baseline and
+//! paper algorithms alike. The point the
 //! experiments make (E6): for the baselines, `memory_words()` is a random
 //! variable whose maximum grows with the stream; for the paper's samplers it
 //! has a hard deterministic ceiling.
@@ -36,6 +39,7 @@ pub mod chain;
 pub mod oversample;
 pub mod priority;
 pub mod priority_topk;
+pub mod spec;
 pub mod vitter;
 pub mod window_buffer;
 

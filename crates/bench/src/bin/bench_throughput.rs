@@ -16,7 +16,7 @@
 //! --bin bench_throughput`; always use `--release`, a debug-profile
 //! baseline would be meaningless.
 
-use swsample_bench::throughput::{params, run_with, speedup, to_json};
+use swsample_bench::throughput::{params, run_multi, run_with, speedup, to_json};
 use swsample_bench::{json, table_header, table_row};
 
 fn main() {
@@ -66,7 +66,32 @@ fn main() {
         }
     }
 
-    let doc = to_json(&rows, quick);
+    let multi = run_multi(&p);
+    table_header(
+        "multi-stream engine (zipf-keyed fleet, seq-WR template, batched keyed ingest)",
+        &[
+            "keys",
+            "k",
+            "shards",
+            "fleet elems/s",
+            "keys touched",
+            "fleet words",
+            "max key words",
+        ],
+    );
+    for r in &multi {
+        table_row(&[
+            r.keys.to_string(),
+            r.k.to_string(),
+            r.shards.to_string(),
+            format!("{:.0}", r.elems_per_sec),
+            r.keys_touched.to_string(),
+            r.memory_words.to_string(),
+            r.max_key_words.to_string(),
+        ]);
+    }
+
+    let doc = to_json(&rows, &multi, quick);
     if let Err(e) = json::validate(&doc) {
         eprintln!("bench_throughput: emitted invalid JSON ({e}) — refusing to write");
         std::process::exit(1);

@@ -6,16 +6,16 @@ use crate::{f3, pct, table_header, table_row};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use swsample_baselines::{
-    ChainSampler, OverSampler, PrioritySampler, PriorityTopK, StreamReservoir, WindowBuffer,
+    ChainSampler, OverSampler, PrioritySampler, PriorityTopK, StreamReservoir,
 };
 use swsample_core::seq::{SeqSamplerWor, SeqSamplerWr};
 use swsample_core::ts::{TsSamplerWor, TsSamplerWr};
-use swsample_core::{MemoryWords, WindowSampler};
+use swsample_core::{SamplerSpec, WindowSampler};
 use swsample_stats::Summary;
-use swsample_stream::WindowSpec;
 
-/// Collect {mean, p99, max} of the memory trajectory of a sequence sampler.
-fn seq_trace<S: WindowSampler<u64> + MemoryWords>(s: &mut S, len: u64, seed: u64) -> Summary {
+/// Collect {mean, p99, max} of the memory trajectory of a sequence
+/// sampler, through the erased interface.
+fn seq_trace(s: &mut dyn swsample_core::ErasedWindowSampler<u64>, len: u64, seed: u64) -> Summary {
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut trace = Vec::with_capacity(len as usize);
     for _ in 0..len {
@@ -25,8 +25,8 @@ fn seq_trace<S: WindowSampler<u64> + MemoryWords>(s: &mut S, len: u64, seed: u64
     Summary::of(&trace)
 }
 
-fn ts_trace<S: WindowSampler<u64> + MemoryWords>(
-    s: &mut S,
+fn ts_trace(
+    s: &mut dyn swsample_core::ErasedWindowSampler<u64>,
     ticks: u64,
     per_tick: u64,
     seed: u64,
@@ -43,133 +43,113 @@ fn ts_trace<S: WindowSampler<u64> + MemoryWords>(
     Summary::of(&trace)
 }
 
+/// Build one sampler from its spec flag surface, through the full
+/// factory (paper and baseline algorithms alike).
+fn from_spec(flags: &str) -> Box<dyn swsample_core::ErasedWindowSampler<u64>> {
+    let spec: SamplerSpec = flags.parse().unwrap_or_else(|e| panic!("{flags}: {e}"));
+    swsample_baselines::spec::build(&spec).unwrap_or_else(|e| panic!("{flags}: {e}"))
+}
+
 /// E6: the paper's central claim in one table — our samplers' max equals
 /// their typical usage (deterministic), the baselines' max drifts far above
 /// their mean (randomized).
 pub fn e6_deterministic_vs_randomized() {
-    let (n, k, stream) = (1024u64, 8usize, 200_000u64);
+    let stream = 200_000u64;
     table_header(
         "E6a — sequence windows, n = 1024, k = 8, 200k elements: memory words",
         &["algorithm", "mean", "p99", "max", "bound kind"],
     );
-    let rows: Vec<(&str, Summary, &str)> = vec![
+    // Spec-driven: the sweep is a list of *descriptions*; one erased loop
+    // profiles them all. OverSampler keeps concrete construction (its k'
+    // is outside the spec grammar) — the blanket impl erases it the same.
+    type Row = (
+        &'static str,
+        Box<dyn swsample_core::ErasedWindowSampler<u64>>,
+        u64,
+        &'static str,
+    );
+    let seq_rows: Vec<Row> = vec![
         (
             "SeqSamplerWr (Thm 2.1)",
-            seq_trace(
-                &mut SeqSamplerWr::new(n, k, SmallRng::seed_from_u64(1)),
-                stream,
-                2,
-            ),
+            from_spec("--window seq --n 1024 --mode wr --algo paper --k 8 --seed 1"),
+            2,
             "deterministic",
         ),
         (
             "SeqSamplerWor (Thm 2.2)",
-            seq_trace(
-                &mut SeqSamplerWor::new(n, k, SmallRng::seed_from_u64(3)),
-                stream,
-                4,
-            ),
+            from_spec("--window seq --n 1024 --mode wor --algo paper --k 8 --seed 3"),
+            4,
             "deterministic",
         ),
         (
             "ChainSampler (BDM'02)",
-            seq_trace(
-                &mut ChainSampler::new(n, k, SmallRng::seed_from_u64(5)),
-                stream,
-                6,
-            ),
+            from_spec("--window seq --n 1024 --mode wr --algo chain --k 8 --seed 5"),
+            6,
             "randomized",
         ),
         (
             "OverSampler k'=2k (BDM'02)",
-            seq_trace(
-                &mut OverSampler::new(n, k, 2 * k, SmallRng::seed_from_u64(7)),
-                stream,
-                8,
-            ),
+            Box::new(OverSampler::new(1024, 8, 16, SmallRng::seed_from_u64(7))),
+            8,
             "randomized",
         ),
         (
             "WindowBuffer (exact)",
-            seq_trace(
-                &mut WindowBuffer::new(WindowSpec::Sequence(n), k, SmallRng::seed_from_u64(9)),
-                stream,
-                10,
-            ),
+            from_spec("--window seq --n 1024 --mode wor --algo window-buffer --k 8 --seed 9"),
+            10,
             "Θ(n)",
         ),
         (
             "StreamReservoir (no window)",
-            seq_trace(
-                &mut StreamReservoir::new(k, SmallRng::seed_from_u64(11)),
-                stream,
-                12,
-            ),
+            from_spec("--window stream --mode wor --algo reservoir-l --k 8 --seed 11"),
+            12,
             "deterministic",
         ),
     ];
-    for (name, s, kind) in rows {
+    for (name, mut sampler, trace_seed, kind) in seq_rows {
+        let s = seq_trace(sampler.as_mut(), stream, trace_seed);
         table_row(&[name.into(), f3(s.mean), f3(s.p99), f3(s.max), kind.into()]);
     }
 
-    let (t0, per_tick, ticks) = (256u64, 4u64, 20_000u64);
+    let (per_tick, ticks) = (4u64, 20_000u64);
     table_header(
         "E6b — timestamp windows, t0 = 256, 4/tick (n = 1024), k = 8: memory words",
         &["algorithm", "mean", "p99", "max", "bound kind"],
     );
-    let rows: Vec<(&str, Summary, &str)> = vec![
+    let ts_rows: Vec<Row> = vec![
         (
             "TsSamplerWr (Thm 3.9)",
-            ts_trace(
-                &mut TsSamplerWr::new(t0, k, SmallRng::seed_from_u64(13)),
-                ticks,
-                per_tick,
-                14,
-            ),
+            from_spec("--window ts --w 256 --mode wr --algo paper --k 8 --seed 13"),
+            14,
             "deterministic",
         ),
         (
             "TsSamplerWor (Thm 4.4)",
-            ts_trace(
-                &mut TsSamplerWor::new(t0, k, SmallRng::seed_from_u64(15)),
-                ticks,
-                per_tick,
-                16,
-            ),
+            from_spec("--window ts --w 256 --mode wor --algo paper --k 8 --seed 15"),
+            16,
             "deterministic",
         ),
         (
             "PrioritySampler (BDM'02)",
-            ts_trace(
-                &mut PrioritySampler::new(t0, k, SmallRng::seed_from_u64(17)),
-                ticks,
-                per_tick,
-                18,
-            ),
+            from_spec("--window ts --w 256 --mode wr --algo priority --k 8 --seed 17"),
+            18,
             "randomized",
         ),
         (
             "PriorityTopK (GL'08)",
-            ts_trace(
-                &mut PriorityTopK::new(t0, k, SmallRng::seed_from_u64(19)),
-                ticks,
-                per_tick,
-                20,
-            ),
+            from_spec("--window ts --w 256 --mode wor --algo priority --k 8 --seed 19"),
+            20,
             "randomized",
         ),
         (
             "WindowBuffer (exact)",
-            ts_trace(
-                &mut WindowBuffer::new(WindowSpec::Timestamp(t0), k, SmallRng::seed_from_u64(21)),
-                ticks,
-                per_tick,
-                22,
-            ),
+            from_spec("--window ts --w 256 --mode wor --algo window-buffer --k 8 --seed 21"),
+            22,
             "Θ(n)",
         ),
     ];
-    for (name, s, kind) in rows {
+    for (name, mut sampler, trace_seed, kind) in ts_rows {
+        let s = ts_trace(sampler.as_mut(), ticks, per_tick, trace_seed);
         table_row(&[name.into(), f3(s.mean), f3(s.p99), f3(s.max), kind.into()]);
     }
 }

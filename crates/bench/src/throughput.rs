@@ -46,6 +46,30 @@ pub struct Row {
     pub rng_draws: u64,
 }
 
+/// One measured multi-stream (keyed fleet) configuration.
+#[derive(Debug, Clone)]
+pub struct MultiRow {
+    /// Key-domain size (number of logical streams).
+    pub keys: u64,
+    /// Per-key samples maintained.
+    pub k: usize,
+    /// Engine shard count.
+    pub shards: usize,
+    /// Keyed events driven through `MultiStreamEngine::ingest`.
+    pub elements: u64,
+    /// Wall-clock ingestion time.
+    pub seconds: f64,
+    /// Fleet-wide `elements / seconds`.
+    pub elems_per_sec: f64,
+    /// Keys that actually materialized a sampler.
+    pub keys_touched: usize,
+    /// Fleet-wide footprint in words.
+    pub memory_words: usize,
+    /// Hottest single key's footprint in words (the paper's per-window
+    /// deterministic cap applies here).
+    pub max_key_words: usize,
+}
+
 /// Suite dimensions; [`params`] builds the standard full/quick shapes.
 #[derive(Debug, Clone)]
 pub struct Params {
@@ -60,6 +84,12 @@ pub struct Params {
     pub ts_elements: u64,
     /// Chunk length fed to `insert_batch`.
     pub chunk: usize,
+    /// Key-domain sizes for the multi-stream section.
+    pub multi_keys: Vec<u64>,
+    /// Keyed events per multi-stream case.
+    pub multi_elements: u64,
+    /// Per-key `k` for the multi-stream section.
+    pub multi_k: usize,
 }
 
 /// The standard suite shapes. `quick` keeps the schema identical but
@@ -74,6 +104,9 @@ pub fn params(quick: bool) -> Params {
             seq_elements: 40_000,
             ts_elements: 20_000,
             chunk: 1024,
+            multi_keys: vec![1_000],
+            multi_elements: 50_000,
+            multi_k: 16,
         }
     } else {
         Params {
@@ -82,6 +115,9 @@ pub fn params(quick: bool) -> Params {
             seq_elements: 1_000_000,
             ts_elements: 200_000,
             chunk: 1024,
+            multi_keys: vec![1_000, 100_000],
+            multi_elements: 2_000_000,
+            multi_k: 16,
         }
     }
 }
@@ -195,6 +231,54 @@ pub fn run_with(p: &Params) -> Vec<Row> {
     rows
 }
 
+/// Run the multi-stream (keyed fleet) section: a zipf-keyed stream over
+/// each key-domain size, ingested through `MultiStreamEngine`'s batched
+/// grouped path with a paper seq-WR template (k = `multi_k`, n = 1000).
+pub fn run_multi(p: &Params) -> Vec<MultiRow> {
+    use swsample_core::SamplerSpec;
+    use swsample_stream::{MultiStreamEngine, ValueGen, ZipfGen};
+
+    let mut out = Vec::new();
+    for &keys in &p.multi_keys {
+        let template: SamplerSpec = format!("--window seq --n 1000 --k {} --seed 42", p.multi_k)
+            .parse()
+            .expect("template spec");
+        let mut engine: MultiStreamEngine<u64, u64> =
+            MultiStreamEngine::with_factory(template, 64, SamplerSpec::build::<u64>)
+                .expect("engine");
+        let mut rng = SmallRng::seed_from_u64(44);
+        let mut zipf = ZipfGen::new(keys, 1.1);
+        // Pre-generate the workload so the clock measures ingestion, not
+        // zipf inversion.
+        let mut batch: Vec<(u64, u64, u64)> = Vec::with_capacity(p.chunk);
+        let events: Vec<(u64, u64, u64)> = (0..p.multi_elements)
+            .map(|i| (zipf.next_value(&mut rng), i / 64, i))
+            .collect();
+        let start = Instant::now();
+        for ev in &events {
+            batch.push(*ev);
+            if batch.len() == p.chunk {
+                engine.ingest(&batch);
+                batch.clear();
+            }
+        }
+        engine.ingest(&batch);
+        let seconds = start.elapsed().as_secs_f64();
+        out.push(MultiRow {
+            keys,
+            k: p.multi_k,
+            shards: engine.num_shards(),
+            elements: p.multi_elements,
+            seconds,
+            elems_per_sec: p.multi_elements as f64 / seconds.max(1e-9),
+            keys_touched: engine.num_keys(),
+            memory_words: swsample_core::MemoryWords::memory_words(&engine),
+            max_key_words: engine.max_key_memory_words(),
+        });
+    }
+    out
+}
+
 /// Elems/sec ratio between two samplers at a given configuration.
 pub fn speedup(rows: &[Row], fast: &str, slow: &str, k: usize, n: u64) -> Option<f64> {
     let find = |name: &str| {
@@ -205,11 +289,13 @@ pub fn speedup(rows: &[Row], fast: &str, slow: &str, k: usize, n: u64) -> Option
     Some(find(fast)? / find(slow)?)
 }
 
-/// Render the suite result as the `BENCH_throughput.json` document.
-pub fn to_json(rows: &[Row], quick: bool) -> String {
+/// Render the suite result as the `BENCH_throughput.json` document
+/// (schema v2: v1's per-sampler `results` plus the keyed-fleet
+/// `multi_stream` section).
+pub fn to_json(rows: &[Row], multi: &[MultiRow], quick: bool) -> String {
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"schema\": \"swsample-bench-throughput/v1\",\n");
+    out.push_str("  \"schema\": \"swsample-bench-throughput/v2\",\n");
     out.push_str(&format!("  \"quick\": {quick},\n"));
     // The acceptance-tracked ratio, surfaced at top level so trajectory
     // diffs catch regressions without re-deriving it from the rows.
@@ -237,6 +323,25 @@ pub fn to_json(rows: &[Row], quick: bool) -> String {
             if i + 1 == rows.len() { "" } else { "," }
         ));
     }
+    out.push_str("  ],\n");
+    out.push_str("  \"multi_stream\": [\n");
+    for (i, r) in multi.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"keys\": {}, \"k\": {}, \"shards\": {}, \"elements\": {}, \
+             \"seconds\": {}, \"elems_per_sec\": {}, \"keys_touched\": {}, \
+             \"memory_words\": {}, \"max_key_words\": {}}}{}\n",
+            r.keys,
+            r.k,
+            r.shards,
+            r.elements,
+            json::number(r.seconds),
+            json::number(r.elems_per_sec),
+            r.keys_touched,
+            r.memory_words,
+            r.max_key_words,
+            if i + 1 == multi.len() { "" } else { "," }
+        ));
+    }
     out.push_str("  ]\n}\n");
     out
 }
@@ -252,6 +357,9 @@ mod tests {
             seq_elements: 4_000,
             ts_elements: 800,
             chunk: 128,
+            multi_keys: vec![64],
+            multi_elements: 4_000,
+            multi_k: 4,
         }
     }
 
@@ -262,8 +370,31 @@ mod tests {
         for r in &rows {
             assert!(r.elems_per_sec > 0.0, "{}: zero throughput", r.sampler);
         }
-        let doc = to_json(&rows, true);
+        let multi = run_multi(&micro_params());
+        let doc = to_json(&rows, &multi, true);
         json::validate(&doc).expect("emitted JSON must parse");
+        assert!(
+            doc.contains("\"multi_stream\""),
+            "schema v2 section present"
+        );
+    }
+
+    #[test]
+    fn multi_section_respects_per_key_caps() {
+        let p = micro_params();
+        let multi = run_multi(&p);
+        assert_eq!(multi.len(), 1);
+        let r = &multi[0];
+        assert!(r.elems_per_sec > 0.0);
+        assert!(r.keys_touched >= 1 && r.keys_touched as u64 <= r.keys);
+        // Paper seq-WR template: Theorem 2.1's 7k+3 ceiling per key.
+        let cap = 7 * p.multi_k + 3;
+        assert!(
+            r.max_key_words <= cap,
+            "hottest key {} words > cap {cap}",
+            r.max_key_words
+        );
+        assert!(r.memory_words <= r.keys_touched * cap);
     }
 
     #[test]

@@ -71,32 +71,57 @@ impl Args {
         Ok(Self { command, flags })
     }
 
+    /// Uniform parse-failure message: every typed accessor reports the
+    /// flag, the expected type, and the offending raw text the same way.
+    fn parsed<T: std::str::FromStr>(name: &str, what: &str, raw: &str) -> Result<T, ArgError> {
+        raw.parse()
+            .map_err(|_| ArgError(format!("--{name}: expected {what}, got `{raw}`")))
+    }
+
     /// Required flag as a parsed value.
     pub fn require<T: std::str::FromStr>(&self, name: &str) -> Result<T, ArgError> {
         let raw = self
             .flags
             .get(name)
             .ok_or_else(|| ArgError(format!("missing required flag --{name}")))?;
-        raw.parse()
-            .map_err(|_| ArgError(format!("--{name}: cannot parse `{raw}`")))
+        Self::parsed(name, "a value", raw)
     }
 
-    /// Optional flag with a default.
-    pub fn get_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, ArgError> {
+    /// Optional non-negative count (`--k`, `--batch-size`, `--shards`, …).
+    pub fn get_usize(&self, name: &str, default: usize) -> Result<usize, ArgError> {
         match self.flags.get(name) {
             None => Ok(default),
-            Some(raw) => raw
-                .parse()
-                .map_err(|_| ArgError(format!("--{name}: cannot parse `{raw}`"))),
+            Some(raw) => Self::parsed(name, "a non-negative integer", raw),
+        }
+    }
+
+    /// Optional 64-bit count (`--seed`, `--count`, `--report-every`, …).
+    pub fn get_u64(&self, name: &str, default: u64) -> Result<u64, ArgError> {
+        match self.flags.get(name) {
+            None => Ok(default),
+            Some(raw) => Self::parsed(name, "a non-negative integer", raw),
+        }
+    }
+
+    /// Optional float (`--epsilon`, `--theta`, …).
+    pub fn get_f64(&self, name: &str, default: f64) -> Result<f64, ArgError> {
+        match self.flags.get(name) {
+            None => Ok(default),
+            Some(raw) => Self::parsed(name, "a number", raw),
         }
     }
 
     /// Boolean flag (present, `=true`, or `=1`).
-    pub fn has(&self, name: &str) -> bool {
+    pub fn get_flag(&self, name: &str) -> bool {
         matches!(
             self.flags.get(name).map(String::as_str),
             Some("true") | Some("1")
         )
+    }
+
+    /// Raw string value of a flag, if present.
+    pub fn get_str(&self, name: &str) -> Option<&str> {
+        self.flags.get(name).map(String::as_str)
     }
 }
 
@@ -126,21 +151,21 @@ mod tests {
     #[test]
     fn bare_boolean_flags() {
         let a = Args::parse(argv("seq --wor --window 10")).expect("parse");
-        assert!(a.has("wor"));
+        assert!(a.get_flag("wor"));
         assert_eq!(a.require::<u64>("window").expect("window"), 10);
-        assert!(!a.has("missing"));
+        assert!(!a.get_flag("missing"));
     }
 
     #[test]
     fn trailing_bare_flag() {
         let a = Args::parse(argv("seq --window 10 --wor")).expect("parse");
-        assert!(a.has("wor"));
+        assert!(a.get_flag("wor"));
     }
 
     #[test]
     fn defaults() {
         let a = Args::parse(argv("seq")).expect("parse");
-        assert_eq!(a.get_or::<usize>("k", 7).expect("default"), 7);
+        assert_eq!(a.get_usize("k", 7).expect("default"), 7);
     }
 
     #[test]
@@ -153,5 +178,36 @@ mod tests {
     fn unparseable_value_is_error() {
         let a = Args::parse(argv("seq --window ten")).expect("parse");
         assert!(a.require::<u64>("window").is_err());
+    }
+
+    #[test]
+    fn typed_accessors_parse_and_default() {
+        let a = Args::parse(argv("run --k 5 --seed 9 --theta 1.25 --wor")).expect("parse");
+        assert_eq!(a.get_usize("k", 1).expect("k"), 5);
+        assert_eq!(a.get_usize("batch-size", 512).expect("default"), 512);
+        assert_eq!(a.get_u64("seed", 42).expect("seed"), 9);
+        assert_eq!(a.get_u64("count", 10).expect("default"), 10);
+        assert!((a.get_f64("theta", 1.1).expect("theta") - 1.25).abs() < 1e-12);
+        assert!(a.get_flag("wor"));
+        assert!(!a.get_flag("absent"));
+        assert_eq!(a.get_str("seed"), Some("9"));
+        assert_eq!(a.get_str("absent"), None);
+    }
+
+    #[test]
+    fn typed_accessor_errors_are_uniform() {
+        let a = Args::parse(argv("run --k five --seed -3 --theta much")).expect("parse");
+        let k = a.get_usize("k", 1).expect_err("bad usize");
+        assert_eq!(
+            k.to_string(),
+            "--k: expected a non-negative integer, got `five`"
+        );
+        let seed = a.get_u64("seed", 0).expect_err("bad u64");
+        assert_eq!(
+            seed.to_string(),
+            "--seed: expected a non-negative integer, got `-3`"
+        );
+        let theta = a.get_f64("theta", 1.0).expect_err("bad f64");
+        assert_eq!(theta.to_string(), "--theta: expected a number, got `much`");
     }
 }

@@ -1,28 +1,42 @@
 //! The CLI subcommands, written against generic readers/writers so the
 //! tests can drive them end-to-end in memory.
 //!
+//! Sampler construction is **spec-driven**: every sampling subcommand
+//! assembles a [`SamplerSpec`] (the `run` and `multi` subcommands expose
+//! its flag surface directly; `seq`/`ts` are legacy shorthands that fill
+//! one in) and builds it through the full factory
+//! `swsample_baselines::spec::build`, then ingests through the
+//! object-safe [`ErasedWindowSampler`] interface — one code path for
+//! every algorithm and window discipline in the workspace.
+//!
 //! Input formats:
-//! * `seq` — one value per line (arbitrary UTF-8 token).
-//! * `ts` — `<timestamp> <value>` per line, non-decreasing timestamps.
+//! * `seq` / `run` (seq or stream windows) — one value per line.
+//! * `ts` / `run` (ts windows) — `<timestamp> <value>` per line,
+//!   non-decreasing timestamps.
 //! * `agg` — `<timestamp> <numeric value>` per line.
 //! * `gen` — no input; emits a synthetic workload for piping.
+//! * `multi` — no input; drives a self-generated zipf-keyed workload
+//!   through a [`MultiStreamEngine`] fleet.
 
 use crate::args::{ArgError, Args};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::io::{BufRead, Write};
-use swsample_core::seq::{SeqSamplerWor, SeqSamplerWr};
-use swsample_core::ts::{TsSamplerWor, TsSamplerWr};
-use swsample_core::{MemoryWords, WindowSampler};
+use swsample_core::spec::{Algorithm, SamplerSpec, WindowKind};
+use swsample_core::{ErasedWindowSampler, MemoryWords};
 use swsample_query::TsAggregator;
-use swsample_stream::{BurstyArrivals, SteadyArrivals, UniformGen, ZipfGen};
+use swsample_stream::{
+    BurstyArrivals, MultiStreamEngine, SteadyArrivals, UniformGen, ValueGen, ZipfGen,
+};
 
 /// Run one subcommand against the given input/output. Returns an error
 /// message suitable for the user.
 pub fn run(args: &Args, input: &mut dyn BufRead, out: &mut dyn Write) -> Result<(), String> {
     let res = match args.command.as_str() {
-        "seq" => cmd_seq(args, input, out),
-        "ts" => cmd_ts(args, input, out),
+        "run" => cmd_run(args, input, out),
+        "seq" => cmd_legacy(args, input, out, false),
+        "ts" => cmd_legacy(args, input, out, true),
+        "multi" => cmd_multi(args, out),
         "agg" => cmd_agg(args, input, out),
         "gen" => cmd_gen(args, out),
         "help" | "--help" => write_help(out).map_err(|e| ArgError(e.to_string())),
@@ -41,10 +55,18 @@ pub fn write_help(out: &mut dyn Write) -> std::io::Result<()> {
          (Braverman–Ostrovsky–Zaniolo, PODS 2009)\n\n\
          USAGE: swsample <COMMAND> [--flag value]...\n\n\
          COMMANDS\n\
-           seq   sample the last N lines of stdin (chunked skip-ahead ingestion)\n\
+           run   sample stdin through any sampler spec\n\
+                 --window seq|ts|stream (--n N | --w T0) [--mode wr|wor]\n\
+                 [--algo paper|reservoir-l|chain|priority|window-buffer]\n\
+                 [--k K] [--seed S] [--report-every M] [--batch-size B]\n\
+                 (ts windows read `<ts> <value>` lines; others one value/line)\n\
+           multi run a keyed fleet: one window per key, zipf key skew\n\
+                 --keys K --count N + the spec flags of `run`\n\
+                 [--theta T] [--shards S] [--show H] [--workload-seed S]\n\
+           seq   shorthand: sample the last N lines of stdin\n\
                  --window N [--k K] [--wor] [--report-every M] [--seed S]\n\
                  [--batch-size B]\n\
-           ts    sample a timestamped stream (`<ts> <value>` lines)\n\
+           ts    shorthand: sample a timestamped stream (`<ts> <value>` lines)\n\
                  --window T0 [--k K] [--wor] [--report-every M] [--seed S]\n\
                  [--batch-size B]\n\
            agg   approximate aggregates over a timestamped numeric stream\n\
@@ -53,8 +75,8 @@ pub fn write_help(out: &mut dyn Write) -> std::io::Result<()> {
                  --kind uniform|zipf|bursty --count N [--domain D] [--theta T]\n\
                  [--max-burst B] [--seed S]\n\
            help  this text\n\n\
-         seq/ts ingest stdin in batches of --batch-size lines (default 512)\n\
-         and report end-of-run throughput on stderr."
+         Sampling commands ingest stdin in batches of --batch-size lines\n\
+         (default 512) and report end-of-run throughput on stderr."
     )
 }
 
@@ -75,102 +97,178 @@ fn report_throughput(count: u64, elapsed: std::time::Duration) {
 /// Parse and validate the `--batch-size` flag (chunk length for batched
 /// stdin ingestion).
 fn batch_size(args: &Args) -> Result<usize, ArgError> {
-    let b: usize = args.get_or("batch-size", 512)?;
+    let b = args.get_usize("batch-size", 512)?;
     if b == 0 {
         return Err(ArgError("--batch-size must be at least 1".into()));
     }
     Ok(b)
 }
 
-fn cmd_seq(args: &Args, input: &mut dyn BufRead, out: &mut dyn Write) -> Result<(), ArgError> {
+/// Assemble a [`SamplerSpec`] from the spec flags present on the command
+/// line, parsed through the one canonical grammar in `swsample-core`.
+fn spec_from_flags(args: &Args) -> Result<SamplerSpec, ArgError> {
+    let mut s = String::new();
+    for name in ["window", "n", "w", "mode", "algo", "k", "seed"] {
+        if let Some(v) = args.get_str(name) {
+            // The grammar is whitespace-separated; a value containing
+            // whitespace would silently re-tokenize into extra flags.
+            if v.chars().any(char::is_whitespace) {
+                return Err(ArgError(format!(
+                    "--{name}: value `{v}` contains whitespace"
+                )));
+            }
+            s.push_str("--");
+            s.push_str(name);
+            s.push(' ');
+            s.push_str(v);
+            s.push(' ');
+        }
+    }
+    s.parse()
+        .map_err(|e: swsample_core::SpecError| ArgError(e.to_string()))
+}
+
+/// Build a spec through the full factory (baseline algorithms included).
+fn build_sampler<T: Clone + 'static>(
+    spec: &SamplerSpec,
+) -> Result<Box<dyn ErasedWindowSampler<T>>, ArgError> {
+    swsample_baselines::spec::build(spec).map_err(|e| ArgError(e.to_string()))
+}
+
+/// How the memory line qualifies the reported figure.
+fn memory_note(spec: &SamplerSpec) -> &'static str {
+    match (spec.algorithm, spec.window) {
+        (Algorithm::Paper, WindowKind::Timestamp(_)) => "deterministic O(k log n)",
+        (Algorithm::Paper, _) | (Algorithm::ReservoirL, _) => "deterministic",
+        (Algorithm::WindowBuffer, _) => "exact O(n) buffer",
+        (Algorithm::Chain, _) | (Algorithm::Priority, _) => "randomized bound",
+    }
+}
+
+/// `run` — the full spec surface over stdin.
+fn cmd_run(args: &Args, input: &mut dyn BufRead, out: &mut dyn Write) -> Result<(), ArgError> {
+    let spec = spec_from_flags(args)?;
+    drive_stream(&spec, args, input, out)
+}
+
+/// `seq`/`ts` — legacy shorthands: numeric `--window`, `--wor`, paper
+/// algorithm. They fill in a spec and share `run`'s driver.
+fn cmd_legacy(
+    args: &Args,
+    input: &mut dyn BufRead,
+    out: &mut dyn Write,
+    timestamped: bool,
+) -> Result<(), ArgError> {
     let window: u64 = args.require("window")?;
-    let k: usize = args.get_or("k", 1)?;
-    let every: u64 = args.get_or("report-every", 0)?;
-    let seed: u64 = args.get_or("seed", 42)?;
-    let wor = args.has("wor");
+    let k = args.get_usize("k", 1)?;
+    let seed = args.get_u64("seed", 42)?;
+    let replacement = if args.get_flag("wor") {
+        swsample_core::spec::Replacement::Without
+    } else {
+        swsample_core::spec::Replacement::With
+    };
+    let spec = if timestamped {
+        SamplerSpec::ts(window, replacement, k, seed)
+    } else {
+        SamplerSpec::seq(window, replacement, k, seed)
+    };
+    drive_stream(&spec, args, input, out)
+}
+
+/// The one ingestion loop behind `run`, `seq`, and `ts`: chunked reads
+/// through the erased batch API, report-cadence-preserving flushes.
+fn drive_stream(
+    spec: &SamplerSpec,
+    args: &Args,
+    input: &mut dyn BufRead,
+    out: &mut dyn Write,
+) -> Result<(), ArgError> {
+    let timestamped = matches!(spec.window, WindowKind::Timestamp(_));
+    let every = args.get_u64("report-every", 0)?;
+    let batch = batch_size(args)?;
     let io_err = |e: std::io::Error| ArgError(format!("io error: {e}"));
 
-    let batch = batch_size(args)?;
-
-    let mut wr = (!wor).then(|| SeqSamplerWr::new(window, k, SmallRng::seed_from_u64(seed)));
-    let mut wo = wor.then(|| SeqSamplerWor::new(window, k, SmallRng::seed_from_u64(seed)));
+    let mut sampler = build_sampler::<String>(spec)?;
     let start = std::time::Instant::now();
+    // Chunked ingestion: lines accumulate into `buf` and enter the
+    // sampler through the batch fast paths. Chunks flush at
+    // `--batch-size`, at every report boundary (so `--report-every`
+    // cadence is unchanged from per-line ingestion) and, for timestamp
+    // windows, on a timestamp change.
     let mut buf: Vec<String> = Vec::with_capacity(batch);
+    let mut buf_ts = 0u64;
     let mut count = 0u64;
-    // Chunked ingestion: lines accumulate into `buf` and enter the sampler
-    // through the skip-ahead `insert_batch` path. Chunks are flushed at
-    // `--batch-size` and at every report boundary, so `--report-every`
-    // cadence is unchanged from per-line ingestion.
     for line in input.lines() {
-        let value = line.map_err(io_err)?;
-        if value.is_empty() {
+        let line = line.map_err(io_err)?;
+        if line.trim().is_empty() {
             continue;
         }
+        let (ts, value) = if timestamped {
+            let (ts, rest) = split_timestamped(&line)?;
+            (ts, rest.to_string())
+        } else {
+            (0, line)
+        };
+        if ts != buf_ts && !buf.is_empty() {
+            sampler.advance_and_insert(buf_ts, &buf);
+            buf.clear();
+        }
+        buf_ts = ts;
         buf.push(value);
         count += 1;
         let at_report = every > 0 && count.is_multiple_of(every);
         if buf.len() >= batch || at_report {
-            flush_seq(&mut wr, &mut wo, &mut buf);
+            sampler.advance_and_insert(buf_ts, &buf);
+            buf.clear();
             if at_report {
-                report_seq(out, count, &mut wr, &mut wo).map_err(io_err)?;
+                report_samples(out, count, sampler.as_mut(), timestamped).map_err(io_err)?;
             }
         }
     }
     if count == 0 {
         return Err(ArgError("no input".into()));
     }
-    flush_seq(&mut wr, &mut wo, &mut buf);
+    if !buf.is_empty() {
+        sampler.advance_and_insert(buf_ts, &buf);
+    }
     report_throughput(count, start.elapsed());
-    report_seq(out, count, &mut wr, &mut wo).map_err(io_err)?;
-    let words = wr
-        .as_ref()
-        .map(|s| s.memory_words())
-        .or(wo.as_ref().map(|s| s.memory_words()));
+    report_samples(out, count, sampler.as_mut(), timestamped).map_err(io_err)?;
     writeln!(
         out,
-        "# memory: {} words (deterministic)",
-        words.expect("one sampler")
+        "# memory: {} words ({})",
+        sampler.memory_words(),
+        memory_note(spec)
     )
     .map_err(io_err)?;
     Ok(())
 }
 
-fn flush_seq(
-    wr: &mut Option<SeqSamplerWr<String, SmallRng>>,
-    wo: &mut Option<SeqSamplerWor<String, SmallRng>>,
-    buf: &mut Vec<String>,
-) {
-    if buf.is_empty() {
-        return;
+/// Render one sample according to the window discipline.
+fn render_sample<T: std::fmt::Display>(s: &swsample_core::Sample<T>, timestamped: bool) -> String {
+    if timestamped {
+        format!("{}@t{}", s.value(), s.timestamp())
+    } else {
+        format!("{}@{}", s.value(), s.index())
     }
-    if let Some(s) = wr.as_mut() {
-        s.insert_batch(buf);
-    }
-    if let Some(s) = wo.as_mut() {
-        s.insert_batch(buf);
-    }
-    buf.clear();
 }
 
-fn report_seq(
+fn report_samples(
     out: &mut dyn Write,
     count: u64,
-    wr: &mut Option<SeqSamplerWr<String, SmallRng>>,
-    wo: &mut Option<SeqSamplerWor<String, SmallRng>>,
+    sampler: &mut dyn ErasedWindowSampler<String>,
+    timestamped: bool,
 ) -> std::io::Result<()> {
-    let samples = match (wr, wo) {
-        (Some(s), _) => s.sample_k(),
-        (_, Some(s)) => s.sample_k(),
-        _ => unreachable!("one sampler is always configured"),
-    };
-    if let Some(samples) = samples {
-        let rendered: Vec<String> = samples
-            .iter()
-            .map(|s| format!("{}@{}", s.value(), s.index()))
-            .collect();
-        writeln!(out, "{count}\t{}", rendered.join(" "))?;
+    match sampler.sample_k() {
+        Some(samples) => {
+            let rendered: Vec<String> = samples
+                .iter()
+                .map(|s| render_sample(s, timestamped))
+                .collect();
+            writeln!(out, "{count}\t{}", rendered.join(" "))
+        }
+        None if timestamped => writeln!(out, "{count}\t(window empty)"),
+        None => Ok(()),
     }
-    Ok(())
 }
 
 /// Parse a `<ts> <rest>` line.
@@ -187,113 +285,100 @@ fn split_timestamped(line: &str) -> Result<(u64, &str), ArgError> {
     Ok((ts, rest))
 }
 
-fn cmd_ts(args: &Args, input: &mut dyn BufRead, out: &mut dyn Write) -> Result<(), ArgError> {
-    let window: u64 = args.require("window")?;
-    let k: usize = args.get_or("k", 1)?;
-    let every: u64 = args.get_or("report-every", 0)?;
-    let seed: u64 = args.get_or("seed", 42)?;
-    let wor = args.has("wor");
+/// `multi` — a sharded fleet of per-key windows over a self-generated
+/// zipf-keyed workload: the serving shape (one independent window per
+/// user) at CLI scale.
+fn cmd_multi(args: &Args, out: &mut dyn Write) -> Result<(), ArgError> {
+    let keys: u64 = args.require("keys")?;
+    if keys == 0 {
+        return Err(ArgError("--keys must be at least 1".into()));
+    }
+    // The zipf inverse-CDF table is O(keys); engine memory is O(keys
+    // touched). Bound the table so absurd domains fail fast, not in the
+    // allocator.
+    const MAX_KEYS: u64 = 10_000_000;
+    if keys > MAX_KEYS {
+        return Err(ArgError(format!("--keys: at most {MAX_KEYS} supported")));
+    }
+    let count: u64 = args.require("count")?;
+    let theta = args.get_f64("theta", 1.1)?;
+    if !(theta.is_finite() && theta > 0.0) {
+        return Err(ArgError(format!(
+            "--theta: expected a positive number, got `{theta}`"
+        )));
+    }
+    let shards = args.get_usize("shards", 16)?;
+    let show = args.get_usize("show", 3)?;
+    let wseed = args.get_u64("workload-seed", 1)?;
+    let batch = batch_size(args)?;
     let io_err = |e: std::io::Error| ArgError(format!("io error: {e}"));
 
-    let batch = batch_size(args)?;
+    let spec = spec_from_flags(args)?;
+    let timestamped = matches!(spec.window, WindowKind::Timestamp(_));
+    let mut engine: MultiStreamEngine<u64, u64> =
+        MultiStreamEngine::with_factory(spec, shards, swsample_baselines::spec::build::<u64>)
+            .map_err(|e| ArgError(e.to_string()))?;
 
-    let mut wr = (!wor).then(|| TsSamplerWr::new(window, k, SmallRng::seed_from_u64(seed)));
-    let mut wo = wor.then(|| TsSamplerWor::new(window, k, SmallRng::seed_from_u64(seed)));
+    // Zipf-skewed keys, values = stream index, 64 arrivals per tick —
+    // deterministic given --workload-seed.
+    let mut rng = SmallRng::seed_from_u64(wseed);
+    let mut zipf = ZipfGen::new(keys, theta);
+    // Traffic counts sized by keys *touched*, matching the engine's lazy
+    // materialization, not by the key domain.
+    let mut traffic: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+    let mut chunk: Vec<(u64, u64, u64)> = Vec::with_capacity(batch);
     let start = std::time::Instant::now();
-    // Chunked ingestion: consecutive same-timestamp lines accumulate and
-    // enter the samplers through one `advance_and_insert` call. Chunks
-    // flush on a timestamp change, at `--batch-size`, and at report
-    // boundaries (keeping `--report-every` cadence identical to per-line
-    // ingestion).
-    let mut buf: Vec<String> = Vec::with_capacity(batch);
-    let mut buf_ts: u64 = 0;
-    let mut count = 0u64;
-    for line in input.lines() {
-        let line = line.map_err(io_err)?;
-        if line.trim().is_empty() {
-            continue;
-        }
-        let (ts, value) = split_timestamped(&line)?;
-        if ts != buf_ts && !buf.is_empty() {
-            flush_ts(&mut wr, &mut wo, buf_ts, &mut buf);
-        }
-        buf_ts = ts;
-        buf.push(value.to_string());
-        count += 1;
-        let at_report = every > 0 && count.is_multiple_of(every);
-        if buf.len() >= batch || at_report {
-            flush_ts(&mut wr, &mut wo, buf_ts, &mut buf);
-            if at_report {
-                report_ts(out, count, &mut wr, &mut wo).map_err(io_err)?;
-            }
+    for i in 0..count {
+        let key = zipf.next_value(&mut rng);
+        *traffic.entry(key).or_insert(0) += 1;
+        chunk.push((key, i / 64, i));
+        if chunk.len() >= batch {
+            engine.ingest(&chunk);
+            chunk.clear();
         }
     }
-    if count == 0 {
-        return Err(ArgError("no input".into()));
-    }
-    flush_ts(&mut wr, &mut wo, buf_ts, &mut buf);
+    engine.ingest(&chunk);
     report_throughput(count, start.elapsed());
-    report_ts(out, count, &mut wr, &mut wo).map_err(io_err)?;
-    let words = wr
-        .as_ref()
-        .map(|s| s.memory_words())
-        .or(wo.as_ref().map(|s| s.memory_words()));
+
+    // The hottest keys' current samples (deterministic order: traffic
+    // descending, key ascending as the tiebreak).
+    let mut by_traffic: Vec<(u64, u64)> = traffic.iter().map(|(&k, &c)| (k, c)).collect();
+    by_traffic.sort_unstable_by_key(|&(key, cnt)| (std::cmp::Reverse(cnt), key));
+    for &(key, cnt) in by_traffic.iter().take(show) {
+        let rendered = match engine.sample_k(&key) {
+            Some(samples) => samples
+                .iter()
+                .map(|s| render_sample(s, timestamped))
+                .collect::<Vec<_>>()
+                .join(" "),
+            None => "(window empty)".into(),
+        };
+        writeln!(out, "key {key}\t{cnt} arrivals\t{rendered}").map_err(io_err)?;
+    }
     writeln!(
         out,
-        "# memory: {} words (deterministic O(k log n))",
-        words.expect("one sampler")
+        "# keys: {}/{keys} materialized across {} shards",
+        engine.num_keys(),
+        engine.num_shards()
+    )
+    .map_err(io_err)?;
+    writeln!(
+        out,
+        "# memory: fleet {} words, max per key {} words ({})",
+        engine.memory_words(),
+        engine.max_key_memory_words(),
+        memory_note(engine.template())
     )
     .map_err(io_err)?;
     Ok(())
 }
 
-fn flush_ts(
-    wr: &mut Option<TsSamplerWr<String, SmallRng>>,
-    wo: &mut Option<TsSamplerWor<String, SmallRng>>,
-    ts: u64,
-    buf: &mut Vec<String>,
-) {
-    if buf.is_empty() {
-        return;
-    }
-    if let Some(s) = wr.as_mut() {
-        s.advance_and_insert(ts, buf);
-    }
-    if let Some(s) = wo.as_mut() {
-        s.advance_and_insert(ts, buf);
-    }
-    buf.clear();
-}
-
-fn report_ts(
-    out: &mut dyn Write,
-    count: u64,
-    wr: &mut Option<TsSamplerWr<String, SmallRng>>,
-    wo: &mut Option<TsSamplerWor<String, SmallRng>>,
-) -> std::io::Result<()> {
-    let samples = match (wr, wo) {
-        (Some(s), _) => s.sample_k(),
-        (_, Some(s)) => s.sample_k(),
-        _ => unreachable!("one sampler is always configured"),
-    };
-    match samples {
-        Some(samples) => {
-            let rendered: Vec<String> = samples
-                .iter()
-                .map(|s| format!("{}@t{}", s.value(), s.timestamp()))
-                .collect();
-            writeln!(out, "{count}\t{}", rendered.join(" "))
-        }
-        None => writeln!(out, "{count}\t(window empty)"),
-    }
-}
-
 fn cmd_agg(args: &Args, input: &mut dyn BufRead, out: &mut dyn Write) -> Result<(), ArgError> {
     let window: u64 = args.require("window")?;
-    let k: usize = args.get_or("k", 64)?;
-    let epsilon: f64 = args.get_or("epsilon", 0.05)?;
-    let every: u64 = args.get_or("report-every", 0)?;
-    let seed: u64 = args.get_or("seed", 42)?;
+    let k = args.get_usize("k", 64)?;
+    let epsilon = args.get_f64("epsilon", 0.05)?;
+    let every = args.get_u64("report-every", 0)?;
+    let seed = args.get_u64("seed", 42)?;
     let io_err = |e: std::io::Error| ArgError(format!("io error: {e}"));
 
     let mut agg = TsAggregator::new(window, k, epsilon, SmallRng::seed_from_u64(seed));
@@ -322,11 +407,7 @@ fn cmd_agg(args: &Args, input: &mut dyn BufRead, out: &mut dyn Write) -> Result<
     Ok(())
 }
 
-fn report_agg(
-    out: &mut dyn Write,
-    count: u64,
-    agg: &mut TsAggregator<SmallRng>,
-) -> std::io::Result<()> {
+fn report_agg(out: &mut dyn Write, count: u64, agg: &mut TsAggregator) -> std::io::Result<()> {
     match (agg.estimate(), agg.quantile(0.5), agg.quantile(0.99)) {
         (Some(est), Some(p50), Some(p99)) => writeln!(
             out,
@@ -340,8 +421,8 @@ fn report_agg(
 fn cmd_gen(args: &Args, out: &mut dyn Write) -> Result<(), ArgError> {
     let kind: String = args.require("kind")?;
     let count: u64 = args.require("count")?;
-    let domain: u64 = args.get_or("domain", 1000)?;
-    let seed: u64 = args.get_or("seed", 42)?;
+    let domain = args.get_u64("domain", 1000)?;
+    let seed = args.get_u64("seed", 42)?;
     let io_err = |e: std::io::Error| ArgError(format!("io error: {e}"));
     let mut rng = SmallRng::seed_from_u64(seed);
     match kind.as_str() {
@@ -353,7 +434,7 @@ fn cmd_gen(args: &Args, out: &mut dyn Write) -> Result<(), ArgError> {
             }
         }
         "zipf" => {
-            let theta: f64 = args.get_or("theta", 1.1)?;
+            let theta = args.get_f64("theta", 1.1)?;
             let mut gen = SteadyArrivals::new(ZipfGen::new(domain, theta));
             for _ in 0..count {
                 let ev = gen.next_event(&mut rng);
@@ -361,7 +442,7 @@ fn cmd_gen(args: &Args, out: &mut dyn Write) -> Result<(), ArgError> {
             }
         }
         "bursty" => {
-            let max_burst: u64 = args.get_or("max-burst", 8)?;
+            let max_burst = args.get_u64("max-burst", 8)?;
             let mut gen = BurstyArrivals::new(UniformGen::new(domain), max_burst);
             for _ in 0..count {
                 let ev = gen.next_event(&mut rng);
@@ -434,6 +515,186 @@ mod tests {
     }
 
     #[test]
+    fn legacy_shorthand_equals_run_spec_surface() {
+        // `seq --window N --wor` and `run --window seq --n N --mode wor`
+        // are the same spec — byte-identical output at equal seeds.
+        let input: String = (0..200).map(|i| format!("v{i}\n")).collect();
+        let legacy = run_cmd("seq --window 25 --k 4 --wor --seed 9", &input).expect("legacy");
+        let spec = run_cmd("run --window seq --n 25 --mode wor --k 4 --seed 9", &input)
+            .expect("spec surface");
+        assert_eq!(legacy, spec);
+
+        let mut ts_input = String::new();
+        for t in 0..60u64 {
+            ts_input.push_str(&format!("{t} item{t}\n"));
+        }
+        let legacy = run_cmd("ts --window 7 --k 2 --seed 4", &ts_input).expect("legacy ts");
+        let spec =
+            run_cmd("run --window ts --w 7 --mode wr --k 2 --seed 4", &ts_input).expect("spec ts");
+        assert_eq!(legacy, spec);
+    }
+
+    #[test]
+    fn run_supports_baseline_algorithms_and_stream_windows() {
+        let input: String = (0..300).map(|i| format!("{i}\n")).collect();
+        // Chain sampling through the same CLI path.
+        let out = run_cmd(
+            "run --window seq --n 50 --mode wr --algo chain --k 3 --seed 5",
+            &input,
+        )
+        .expect("chain runs");
+        assert!(out.contains("randomized bound"), "{out}");
+        // Whole-stream reservoir: samples may be arbitrarily old.
+        let out = run_cmd(
+            "run --window stream --mode wor --algo reservoir-l --k 4 --seed 5",
+            &input,
+        )
+        .expect("reservoir runs");
+        let line = out.lines().next().expect("report");
+        assert!(line.starts_with("300\t"));
+        // Priority sampling over a ts window.
+        let mut ts_input = String::new();
+        for t in 0..80u64 {
+            ts_input.push_str(&format!("{t} v{t}\n"));
+        }
+        let out = run_cmd(
+            "run --window ts --w 10 --mode wor --algo priority --k 3 --seed 6",
+            &ts_input,
+        )
+        .expect("priority runs");
+        for tok in out
+            .lines()
+            .next()
+            .expect("report")
+            .split_whitespace()
+            .skip(1)
+        {
+            let ts: u64 = tok.split("@t").nth(1).expect("@t").parse().expect("ts");
+            assert!(ts >= 70, "expired sample {tok}");
+        }
+    }
+
+    #[test]
+    fn run_rejects_invalid_specs() {
+        assert!(run_cmd("run --n 5", "x\n").is_err(), "missing --window");
+        assert!(
+            run_cmd("run --window seq --n 5 --algo priority", "x\n").is_err(),
+            "priority needs ts windows"
+        );
+        assert!(
+            run_cmd("run --window seq --n 5 --mode maybe", "x\n").is_err(),
+            "bad mode"
+        );
+    }
+
+    #[test]
+    fn multi_runs_a_fleet_end_to_end() {
+        let out = run_cmd(
+            "multi --keys 50 --count 4000 --window seq --n 20 --k 2 --seed 3 \
+             --theta 1.2 --shards 4 --show 2",
+            "",
+        )
+        .expect("multi runs");
+        // Two hottest keys with their windows.
+        let key_lines: Vec<&str> = out.lines().filter(|l| l.starts_with("key ")).collect();
+        assert_eq!(key_lines.len(), 2, "{out}");
+        for line in key_lines {
+            assert!(line.contains("arrivals"));
+            assert!(line.contains('@'), "samples rendered: {line}");
+        }
+        assert!(out.contains("# keys: "), "{out}");
+        assert!(out.contains("materialized across 4 shards"), "{out}");
+        assert!(out.contains("# memory: fleet "), "{out}");
+        assert!(out.contains("max per key"), "{out}");
+    }
+
+    #[test]
+    fn multi_fleet_respects_per_key_windows() {
+        // Regenerate the deterministic workload (--workload-seed default
+        // 1, zipf theta default 1.1, values = global stream index) and
+        // check every reported sample is one of that key's own last-n
+        // arrivals: cross-key routing would surface as a value the key
+        // never received, a stale sample as one outside its window.
+        let (keys, count, n) = (5u64, 2_000u64, 10usize);
+        let out = run_cmd(
+            "multi --keys 5 --count 2000 --window seq --n 10 --mode wor --k 3 --seed 8 --show 5",
+            "",
+        )
+        .expect("multi runs");
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut zipf = ZipfGen::new(keys, 1.1);
+        let mut arrivals: Vec<Vec<u64>> = vec![Vec::new(); keys as usize];
+        for i in 0..count {
+            arrivals[zipf.next_value(&mut rng) as usize].push(i);
+        }
+        let key_lines: Vec<&str> = out.lines().filter(|l| l.starts_with("key ")).collect();
+        assert_eq!(key_lines.len(), 5, "{out}");
+        for line in key_lines {
+            let mut parts = line.split('\t');
+            let key: usize = parts
+                .next()
+                .expect("key column")
+                .strip_prefix("key ")
+                .expect("key prefix")
+                .trim()
+                .parse()
+                .expect("key id");
+            let cnt: u64 = parts
+                .next()
+                .expect("traffic column")
+                .split_whitespace()
+                .next()
+                .expect("count")
+                .parse()
+                .expect("numeric count");
+            assert_eq!(cnt, arrivals[key].len() as u64, "traffic count, key {key}");
+            let window = &arrivals[key][arrivals[key].len().saturating_sub(n)..];
+            for tok in parts.next().expect("samples column").split_whitespace() {
+                let value: u64 = tok
+                    .split('@')
+                    .next()
+                    .expect("value")
+                    .parse()
+                    .expect("value");
+                assert!(
+                    window.contains(&value),
+                    "key {key}: sample {value} outside its window {window:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn multi_rejects_bad_fleets() {
+        assert!(
+            run_cmd("multi --count 10 --window seq --n 5", "").is_err(),
+            "missing --keys"
+        );
+        assert!(
+            run_cmd("multi --keys 0 --count 10 --window seq --n 5", "").is_err(),
+            "zero keys"
+        );
+        assert!(
+            run_cmd("multi --keys 5 --count 10 --window seq --n 5 --k 0", "").is_err(),
+            "invalid template"
+        );
+        for theta in ["0", "-1", "nan"] {
+            assert!(
+                run_cmd(
+                    &format!("multi --keys 5 --count 10 --window seq --n 5 --theta {theta}"),
+                    ""
+                )
+                .is_err(),
+                "theta {theta} must be rejected, not panic"
+            );
+        }
+        assert!(
+            run_cmd("multi --keys 99000000000 --count 10 --window seq --n 5", "").is_err(),
+            "absurd key domain rejected before allocation"
+        );
+    }
+
+    #[test]
     fn agg_reports_estimates() {
         let mut input = String::new();
         for t in 0..200u64 {
@@ -497,6 +758,8 @@ mod tests {
         assert!(out.contains("USAGE"));
         assert!(out.contains("seq"));
         assert!(out.contains("batch-size"));
+        assert!(out.contains("multi"));
+        assert!(out.contains("--algo"));
     }
 
     #[test]

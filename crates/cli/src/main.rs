@@ -11,6 +11,12 @@
 //! # approximate count/mean/quantiles over a 300-tick window
 //! swsample gen --kind zipf --count 100000 --domain 1000 \
 //!   | swsample agg --window 300 --k 128 --epsilon 0.05
+//!
+//! # any sampler spec, one command: chain sampling over the last 5000 lines
+//! tail -f app.log | swsample run --window seq --n 5000 --algo chain --k 8
+//!
+//! # a fleet: one independent 1000-arrival window per key, zipf key skew
+//! swsample multi --keys 100000 --count 1000000 --window seq --n 1000 --k 16
 //! ```
 
 mod args;

@@ -1,0 +1,188 @@
+//! The object-safe erased sampler surface: [`ErasedWindowSampler`].
+//!
+//! [`WindowSampler`] is the precise, generic
+//! interface; it is not object-safe-friendly for *fleets* — code that
+//! owns many windows of different concrete types (different algorithms,
+//! different window disciplines) would need one type parameter per
+//! sampler. `ErasedWindowSampler` is the companion dyn-compatible trait:
+//! batch-first ingestion, `k`-sample queries, word-exact memory
+//! accounting, and [`spec`](ErasedWindowSampler::spec) introspection,
+//! blanket-implemented for every `WindowSampler<T>` (which already
+//! carries `MemoryWords` as a supertrait). Anything that implements the
+//! precise trait is an erased sampler for free:
+//!
+//! ```
+//! use rand::{rngs::SmallRng, SeedableRng};
+//! use swsample_core::seq::SeqSamplerWr;
+//! use swsample_core::ts::TsSamplerWor;
+//! use swsample_core::ErasedWindowSampler;
+//!
+//! // A heterogeneous fleet: different algorithms, one element type.
+//! let mut fleet: Vec<Box<dyn ErasedWindowSampler<u64>>> = vec![
+//!     Box::new(SeqSamplerWr::new(100, 2, SmallRng::seed_from_u64(1))),
+//!     Box::new(TsSamplerWor::new(60, 4, SmallRng::seed_from_u64(2))),
+//! ];
+//! for s in &mut fleet {
+//!     s.advance_and_insert(1, &[10, 20, 30]);
+//!     assert!(s.sample_k().is_some());
+//! }
+//! let total_words: usize = fleet.iter().map(|s| s.memory_words()).sum();
+//! assert!(total_words > 0);
+//! ```
+//!
+//! Samplers constructed through [`SamplerSpec::build`](crate::spec::SamplerSpec::build)
+//! additionally answer [`spec`](ErasedWindowSampler::spec) with the record
+//! that built them; hand-boxed concrete samplers answer `None`.
+
+use crate::memory::MemoryWords;
+use crate::sample::Sample;
+use crate::spec::SamplerSpec;
+use crate::traits::WindowSampler;
+
+/// Object-safe view of any sliding-window sampler.
+///
+/// The contract is [`WindowSampler`]'s, restated
+/// without generic methods so `Box<dyn ErasedWindowSampler<T>>` works:
+/// optionally advance the clock, insert (batches preferred on hot
+/// paths — they are what the skip-ahead fast paths key on), query at any
+/// point.
+pub trait ErasedWindowSampler<T: Clone> {
+    /// Move the clock forward to `now`, expiring elements. No-op for
+    /// sequence-based and whole-stream samplers.
+    ///
+    /// # Panics
+    /// Panics if `now` is smaller than a previously supplied time.
+    fn advance_time(&mut self, now: u64);
+
+    /// Insert one arriving element.
+    fn insert(&mut self, value: T);
+
+    /// Insert a run of arrivals at once (all stamped with the current
+    /// clock for timestamp windows). Semantically one [`insert`] per
+    /// element, in order, but dispatches into the implementations'
+    /// skip-ahead / engine-major fast paths.
+    ///
+    /// [`insert`]: ErasedWindowSampler::insert
+    fn insert_batch(&mut self, values: &[T]);
+
+    /// Advance the clock to `now`, then insert `values`, all stamped
+    /// `now` — one dispatch per tick's worth of arrivals.
+    ///
+    /// # Panics
+    /// Panics if `now` is smaller than a previously supplied time.
+    fn advance_and_insert(&mut self, now: u64, values: &[T]);
+
+    /// Draw one uniform sample from the active window, or `None` if the
+    /// window is empty.
+    fn sample(&mut self) -> Option<Sample<T>>;
+
+    /// Draw the full `k`-sample; see
+    /// [`WindowSampler::sample_k`] for the
+    /// with/without-replacement contract.
+    fn sample_k(&mut self) -> Option<Vec<Sample<T>>>;
+
+    /// The configured number of samples `k`.
+    fn k(&self) -> usize;
+
+    /// Exact current footprint in the paper's §1.4 word model.
+    fn memory_words(&self) -> usize;
+
+    /// The [`SamplerSpec`] this sampler was built from, when it was built
+    /// through one (`SamplerSpec::build` or a
+    /// [`SamplerFactory`](crate::spec::SamplerFactory)); `None` for
+    /// hand-constructed samplers.
+    fn spec(&self) -> Option<&SamplerSpec>;
+}
+
+impl<T: Clone, S: WindowSampler<T>> ErasedWindowSampler<T> for S {
+    fn advance_time(&mut self, now: u64) {
+        WindowSampler::advance_time(self, now);
+    }
+
+    fn insert(&mut self, value: T) {
+        WindowSampler::insert(self, value);
+    }
+
+    fn insert_batch(&mut self, values: &[T]) {
+        WindowSampler::insert_batch(self, values);
+    }
+
+    fn advance_and_insert(&mut self, now: u64, values: &[T]) {
+        WindowSampler::advance_and_insert(self, now, values);
+    }
+
+    fn sample(&mut self) -> Option<Sample<T>> {
+        WindowSampler::sample(self)
+    }
+
+    fn sample_k(&mut self) -> Option<Vec<Sample<T>>> {
+        WindowSampler::sample_k(self)
+    }
+
+    fn k(&self) -> usize {
+        WindowSampler::k(self)
+    }
+
+    fn memory_words(&self) -> usize {
+        MemoryWords::memory_words(self)
+    }
+
+    fn spec(&self) -> Option<&SamplerSpec> {
+        WindowSampler::spec(self)
+    }
+}
+
+/// Boxed erased samplers report their inner footprint, so fleets
+/// (`Vec<Box<dyn ErasedWindowSampler<T>>>`, the multi-stream engine's
+/// shards) sum through the existing [`MemoryWords`] machinery.
+impl<T: Clone> MemoryWords for Box<dyn ErasedWindowSampler<T>> {
+    fn memory_words(&self) -> usize {
+        self.as_ref().memory_words()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seq::{SeqSamplerWor, SeqSamplerWr};
+    use crate::ts::TsSamplerWr;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn blanket_impl_erases_any_window_sampler() {
+        let mut fleet: Vec<Box<dyn ErasedWindowSampler<u64>>> = vec![
+            Box::new(SeqSamplerWr::new(10, 2, SmallRng::seed_from_u64(1))),
+            Box::new(SeqSamplerWor::new(10, 2, SmallRng::seed_from_u64(2))),
+            Box::new(TsSamplerWr::new(5, 2, SmallRng::seed_from_u64(3))),
+        ];
+        for s in &mut fleet {
+            assert_eq!(s.k(), 2);
+            assert!(s.sample().is_none(), "empty before arrivals");
+            s.advance_and_insert(1, &[7, 8, 9]);
+            s.insert(10);
+            s.insert_batch(&[11, 12]);
+            assert_eq!(s.sample_k().expect("nonempty").len(), 2);
+            assert!(s.memory_words() > 0);
+            assert!(s.spec().is_none(), "hand-boxed samplers carry no spec");
+        }
+        let v: Vec<Box<dyn ErasedWindowSampler<u64>>> = fleet;
+        assert!(MemoryWords::memory_words(&v) > 0, "Vec<Box<dyn ...>> sums");
+    }
+
+    #[test]
+    fn erased_matches_concrete_behaviour_exactly() {
+        // The erased path is the same object: equal seeds and streams give
+        // byte-identical samples through either interface.
+        let mut concrete = SeqSamplerWr::new(16, 3, SmallRng::seed_from_u64(9));
+        let mut erased: Box<dyn ErasedWindowSampler<u64>> =
+            Box::new(SeqSamplerWr::new(16, 3, SmallRng::seed_from_u64(9)));
+        let values: Vec<u64> = (0..200).collect();
+        for chunk in values.chunks(7) {
+            WindowSampler::insert_batch(&mut concrete, chunk);
+            erased.insert_batch(chunk);
+        }
+        assert_eq!(WindowSampler::sample_k(&mut concrete), erased.sample_k());
+        assert_eq!(MemoryWords::memory_words(&concrete), erased.memory_words());
+    }
+}

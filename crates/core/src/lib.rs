@@ -22,6 +22,14 @@
 //! [`MemoryWords`] accounting (§1.4's cost model), so the deterministic
 //! bounds are directly assertable — and asserted, in this crate's tests.
 //!
+//! For embedding, the concrete types need not be named at all: a
+//! [`spec::SamplerSpec`] is a plain-data description of any sampler in
+//! the workspace, and [`SamplerSpec::build`](spec::SamplerSpec::build)
+//! returns it as a boxed [`ErasedWindowSampler`] — the object-safe,
+//! batch-first companion of [`WindowSampler`] that heterogeneous fleets
+//! (the multi-stream engine in `swsample-stream`, the CLI) are written
+//! against.
+//!
 //! The building blocks are public as well: reservoir sampling over
 //! insertion-only streams ([`reservoir`], Vitter's Algorithm R and Li's
 //! Algorithm L), the covering decomposition and implicit-event machinery of
@@ -33,6 +41,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod erased;
 mod memory;
 pub mod reservoir;
 pub mod rng;
@@ -40,10 +49,13 @@ mod rngutil;
 mod sample;
 pub mod seq;
 pub mod skip;
+pub mod spec;
 pub mod track;
 mod traits;
 pub mod ts;
 
+pub use erased::ErasedWindowSampler;
 pub use memory::MemoryWords;
 pub use sample::Sample;
+pub use spec::{SamplerSpec, SpecError};
 pub use traits::WindowSampler;

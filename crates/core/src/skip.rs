@@ -20,7 +20,7 @@
 //! (m/2a)/(m/a) = 1/2` exactly, so one fair coin per doubling — with an
 //! integer rejection step inside the located octave, all realized through
 //! the exactly-uniform `gen_range` and the 128-bit
-//! [`bernoulli_ratio`](crate::rngutil) primitive. The naive per-arrival
+//! `bernoulli_ratio` (in the crate-private `rngutil` module) primitive. The naive per-arrival
 //! path and this skip path are therefore *distribution-identical*, not
 //! merely approximately so; the statistical tests in `seq::wr` hold both
 //! to the same chi-square thresholds.

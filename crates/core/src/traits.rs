@@ -2,6 +2,7 @@
 
 use crate::memory::MemoryWords;
 use crate::sample::Sample;
+use crate::spec::SamplerSpec;
 
 /// A uniform random sampler over a sliding window.
 ///
@@ -75,4 +76,13 @@ pub trait WindowSampler<T>: MemoryWords {
 
     /// The configured number of samples `k`.
     fn k(&self) -> usize;
+
+    /// The [`SamplerSpec`] this sampler was built from, if it was built
+    /// declaratively (via [`SamplerSpec::build`] or a
+    /// [`SamplerFactory`](crate::spec::SamplerFactory)). Hand-constructed
+    /// samplers report `None`; the [`spec::WithSpec`](crate::spec::WithSpec)
+    /// wrapper overrides this with its record.
+    fn spec(&self) -> Option<&SamplerSpec> {
+        None
+    }
 }

@@ -1,14 +1,28 @@
 //! Sample-based windowed aggregates.
 //!
-//! Everything here is estimated from a without-replacement `k`-sample of
-//! the window (Theorems 2.2 / 4.4): means and quantiles come straight from
-//! the sample; sums additionally need the window size — exact for sequence
+//! Everything here is estimated from a `k`-sample of the window
+//! (Theorems 2.2 / 4.4): means and quantiles come straight from the
+//! sample; sums additionally need the window size — exact for sequence
 //! windows, `(1±ε)`-approximate via DGIM for timestamp windows.
+//!
+//! The aggregators are written against the object-safe
+//! [`ErasedWindowSampler`] surface, so they work over **any** sampler in
+//! the workspace: the paper's (the default, and the only ones with
+//! deterministic memory) or a baseline built through
+//! `swsample_baselines::spec::build`. Construct with the classic
+//! `new(n, k, rng)` shape, from a [`SamplerSpec`], or adopt a boxed
+//! sampler with `from_sampler` — which expects a sampler that has not
+//! ingested yet, since all arrivals must flow through the aggregator's
+//! own counting. [`SeqAggregator::with_seen`] is the escape hatch for
+//! adopting a pre-fed sequence sampler; there is no timestamp
+//! equivalent — [`TsAggregator`]'s DGIM window counter cannot be
+//! backfilled, so its `from_sampler` strictly requires a fresh sampler.
 
 use rand::Rng;
 use swsample_core::seq::SeqSamplerWor;
+use swsample_core::spec::{SamplerSpec, SpecError, WindowKind};
 use swsample_core::ts::TsSamplerWor;
-use swsample_core::{MemoryWords, WindowSampler};
+use swsample_core::{ErasedWindowSampler, MemoryWords};
 use swsample_counting::WindowCounter;
 
 /// A snapshot of sample-based aggregate estimates over the active window.
@@ -51,6 +65,11 @@ fn sample_quantile(values: &[u64], q: f64) -> u64 {
     sorted[pos]
 }
 
+/// Drain a sampler's current `k`-sample into plain values.
+fn sampled_values(s: &mut dyn ErasedWindowSampler<u64>) -> Option<Vec<u64>> {
+    Some(s.sample_k()?.into_iter().map(|x| x.into_value()).collect())
+}
+
 /// Windowed aggregates over the last `n` arrivals (sequence discipline).
 ///
 /// ```
@@ -66,49 +85,105 @@ fn sample_quantile(values: &[u64], q: f64) -> u64 {
 /// assert!((est.mean - 4.5).abs() < 2.0);          // sample mean near 4.5
 /// assert!(agg.quantile(1.0).unwrap() <= 9);
 /// ```
-#[derive(Debug, Clone)]
-pub struct SeqAggregator<R> {
-    sampler: SeqSamplerWor<u64, R>,
+///
+/// Or declaratively, over any erased sampler:
+///
+/// ```
+/// use swsample_query::SeqAggregator;
+///
+/// let spec = "--window seq --n 100 --mode wor --k 32 --seed 4".parse().unwrap();
+/// let mut agg = SeqAggregator::from_spec(&spec).unwrap();
+/// agg.insert_batch(&(0..1_000u64).collect::<Vec<_>>());
+/// assert_eq!(agg.count(), 100);
+/// ```
+pub struct SeqAggregator {
+    sampler: Box<dyn ErasedWindowSampler<u64>>,
+    n: u64,
+    seen: u64,
 }
 
-impl<R: Rng> SeqAggregator<R> {
-    /// Aggregator over the last `n` arrivals using a `k`-sample.
-    pub fn new(n: u64, k: usize, rng: R) -> Self {
-        Self {
-            sampler: SeqSamplerWor::new(n, k, rng),
+impl std::fmt::Debug for SeqAggregator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SeqAggregator")
+            .field("n", &self.n)
+            .field("seen", &self.seen)
+            .field("k", &self.sampler.k())
+            .finish()
+    }
+}
+
+impl SeqAggregator {
+    /// Aggregator over the last `n` arrivals using a `k`-sample
+    /// (Theorem 2.2's sampler — `O(k)` deterministic words).
+    pub fn new<R: Rng + 'static>(n: u64, k: usize, rng: R) -> Self {
+        Self::from_sampler(Box::new(SeqSamplerWor::new(n, k, rng)), n)
+    }
+
+    /// Aggregator over any sequence-window spec (use
+    /// `swsample_baselines::spec::build` + [`SeqAggregator::from_sampler`]
+    /// for baseline algorithms).
+    pub fn from_spec(spec: &SamplerSpec) -> Result<Self, SpecError> {
+        match spec.window {
+            WindowKind::Sequence(n) => Ok(Self::from_sampler(spec.build()?, n)),
+            _ => Err(SpecError::Invalid(
+                "SeqAggregator needs --window seq".into(),
+            )),
         }
+    }
+
+    /// Adopt an erased sampler maintaining a window of the last `n`
+    /// arrivals. The sampler must not have ingested yet — the aggregator
+    /// counts arrivals itself (the erased surface exposes no stream
+    /// position), so every insert must flow through it; to adopt a
+    /// sampler that has already seen `s` elements (e.g. one borrowed
+    /// from a fleet), follow with [`SeqAggregator::with_seen`]`(s)`.
+    /// Without-replacement samplers give the tightest estimates;
+    /// with-replacement ones remain individually uniform, so
+    /// means/quantiles stay unbiased.
+    pub fn from_sampler(sampler: Box<dyn ErasedWindowSampler<u64>>, n: u64) -> Self {
+        assert!(n >= 1, "SeqAggregator: empty window");
+        Self {
+            sampler,
+            n,
+            seen: 0,
+        }
+    }
+
+    /// Declare that the adopted sampler has already ingested `seen`
+    /// arrivals, so [`count`](SeqAggregator::count) (and through it the
+    /// `sum` estimate) accounts for them.
+    pub fn with_seen(mut self, seen: u64) -> Self {
+        self.seen = seen;
+        self
     }
 
     /// Feed the next arrival.
     pub fn insert(&mut self, value: u64) {
+        self.seen += 1;
         self.sampler.insert(value);
+    }
+
+    /// Feed a run of arrivals through the sampler's batch fast path.
+    pub fn insert_batch(&mut self, values: &[u64]) {
+        self.seen += values.len() as u64;
+        self.sampler.insert_batch(values);
     }
 
     /// Exact number of active elements.
     pub fn count(&self) -> u64 {
-        self.sampler.len_seen().min(self.sampler.window())
+        self.seen.min(self.n)
     }
 
     /// Current aggregate estimates; `None` before any arrival.
     pub fn estimate(&mut self) -> Option<AggregateEstimate> {
         let count = self.count() as f64;
-        let values: Vec<u64> = self
-            .sampler
-            .sample_k()?
-            .into_iter()
-            .map(|s| s.into_value())
-            .collect();
+        let values = sampled_values(self.sampler.as_mut())?;
         Some(estimate_from(&values, count))
     }
 
     /// Sample `q`-quantile of the window; `None` before any arrival.
     pub fn quantile(&mut self, q: f64) -> Option<u64> {
-        let values: Vec<u64> = self
-            .sampler
-            .sample_k()?
-            .into_iter()
-            .map(|s| s.into_value())
-            .collect();
+        let values = sampled_values(self.sampler.as_mut())?;
         Some(sample_quantile(&values, q))
     }
 
@@ -120,27 +195,51 @@ impl<R: Rng> SeqAggregator<R> {
     }
 }
 
-impl<R> MemoryWords for SeqAggregator<R> {
+impl MemoryWords for SeqAggregator {
     fn memory_words(&self) -> usize {
-        self.sampler.memory_words()
+        self.sampler.memory_words() + 1 // + the `seen` counter
     }
 }
 
 /// Windowed aggregates over the last `t0` ticks (timestamp discipline):
-/// a without-replacement sampler (Theorem 4.4) plus a DGIM counter as the
+/// a window sampler (Theorem 4.4 by default) plus a DGIM counter as the
 /// window-size oracle.
-#[derive(Debug, Clone)]
-pub struct TsAggregator<R> {
-    sampler: TsSamplerWor<u64, R>,
+pub struct TsAggregator {
+    sampler: Box<dyn ErasedWindowSampler<u64>>,
     counter: WindowCounter,
 }
 
-impl<R: Rng> TsAggregator<R> {
+impl std::fmt::Debug for TsAggregator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TsAggregator")
+            .field("k", &self.sampler.k())
+            .field("count_estimate", &self.counter.estimate())
+            .finish()
+    }
+}
+
+impl TsAggregator {
     /// Aggregator over the last `t0` ticks with a `k`-sample and a
     /// `(1±epsilon)` window-size counter.
-    pub fn new(t0: u64, k: usize, epsilon: f64, rng: R) -> Self {
+    pub fn new<R: Rng + 'static>(t0: u64, k: usize, epsilon: f64, rng: R) -> Self {
+        Self::from_sampler(Box::new(TsSamplerWor::new(t0, k, rng)), t0, epsilon)
+    }
+
+    /// Aggregator over any timestamp-window spec.
+    pub fn from_spec(spec: &SamplerSpec, epsilon: f64) -> Result<Self, SpecError> {
+        match spec.window {
+            WindowKind::Timestamp(t0) => Ok(Self::from_sampler(spec.build()?, t0, epsilon)),
+            _ => Err(SpecError::Invalid("TsAggregator needs --window ts".into())),
+        }
+    }
+
+    /// Adopt an existing erased sampler over a `t0`-tick window, pairing
+    /// it with a **fresh** `(1±epsilon)` DGIM counter — so the sampler
+    /// must not have ingested yet: the counter only counts arrivals that
+    /// flow through the aggregator.
+    pub fn from_sampler(sampler: Box<dyn ErasedWindowSampler<u64>>, t0: u64, epsilon: f64) -> Self {
         Self {
-            sampler: TsSamplerWor::new(t0, k, rng),
+            sampler,
             counter: WindowCounter::with_epsilon(t0, epsilon),
         }
     }
@@ -157,6 +256,16 @@ impl<R: Rng> TsAggregator<R> {
         self.counter.insert();
     }
 
+    /// Advance the clock to `now` and feed a tick's worth of arrivals in
+    /// one dispatch.
+    pub fn advance_and_insert(&mut self, now: u64, values: &[u64]) {
+        self.sampler.advance_and_insert(now, values);
+        self.counter.advance_time(now);
+        for _ in values {
+            self.counter.insert();
+        }
+    }
+
     /// `(1±ε)` estimate of the number of active elements.
     pub fn count_estimate(&self) -> u64 {
         self.counter.estimate()
@@ -164,23 +273,13 @@ impl<R: Rng> TsAggregator<R> {
 
     /// Current aggregate estimates; `None` when the window is empty.
     pub fn estimate(&mut self) -> Option<AggregateEstimate> {
-        let values: Vec<u64> = self
-            .sampler
-            .sample_k()?
-            .into_iter()
-            .map(|s| s.into_value())
-            .collect();
+        let values = sampled_values(self.sampler.as_mut())?;
         Some(estimate_from(&values, self.counter.estimate() as f64))
     }
 
     /// Sample `q`-quantile of the window; `None` when the window is empty.
     pub fn quantile(&mut self, q: f64) -> Option<u64> {
-        let values: Vec<u64> = self
-            .sampler
-            .sample_k()?
-            .into_iter()
-            .map(|s| s.into_value())
-            .collect();
+        let values = sampled_values(self.sampler.as_mut())?;
         Some(sample_quantile(&values, q))
     }
 
@@ -192,7 +291,7 @@ impl<R: Rng> TsAggregator<R> {
     }
 }
 
-impl<R> MemoryWords for TsAggregator<R> {
+impl MemoryWords for TsAggregator {
     fn memory_words(&self) -> usize {
         self.sampler.memory_words() + self.counter.memory_words()
     }
@@ -287,6 +386,47 @@ mod tests {
     }
 
     #[test]
+    fn seq_from_spec_equals_classic_construction() {
+        // Same seed, same stream: the spec path is construction sugar,
+        // not a different sampler.
+        let spec = "--window seq --n 64 --mode wor --k 8 --seed 11"
+            .parse()
+            .expect("spec");
+        let mut via_spec = SeqAggregator::from_spec(&spec).expect("builds");
+        let mut classic = SeqAggregator::new(64, 8, SmallRng::seed_from_u64(11));
+        let values: Vec<u64> = (0..500).map(|i| i * 3 % 101).collect();
+        via_spec.insert_batch(&values);
+        classic.insert_batch(&values);
+        assert_eq!(via_spec.count(), classic.count());
+        assert_eq!(via_spec.estimate(), classic.estimate());
+        assert_eq!(via_spec.quantile(0.5), classic.quantile(0.5));
+    }
+
+    #[test]
+    fn adopting_a_pre_fed_sampler_via_with_seen() {
+        // A sampler that already ingested 1000 arrivals (e.g. borrowed
+        // from a fleet): with_seen restores the count/sum accounting.
+        let spec: SamplerSpec = "--window seq --n 100 --mode wor --k 16 --seed 5"
+            .parse()
+            .expect("spec");
+        let mut pre_fed = spec.build::<u64>().expect("builds");
+        pre_fed.insert_batch(&(0..1_000u64).collect::<Vec<_>>());
+        let mut agg = SeqAggregator::from_sampler(pre_fed, 100).with_seen(1_000);
+        assert_eq!(agg.count(), 100);
+        let est = agg.estimate().expect("nonempty");
+        assert_eq!(est.count, 100.0);
+        assert!(est.sum > 0.0, "sum reflects the full window, not 0");
+    }
+
+    #[test]
+    fn seq_from_spec_rejects_other_windows() {
+        let ts = "--window ts --w 9 --mode wor".parse().expect("spec");
+        assert!(SeqAggregator::from_spec(&ts).is_err());
+        let ts2 = "--window seq --n 9 --mode wor".parse().expect("spec");
+        assert!(TsAggregator::from_spec(&ts2, 0.1).is_err());
+    }
+
+    #[test]
     fn ts_aggregator_combines_counter_and_sampler() {
         let mut a = TsAggregator::new(16, 8, 0.1, SmallRng::seed_from_u64(2));
         for tick in 0..100u64 {
@@ -302,6 +442,22 @@ mod tests {
             est.count
         );
         assert!(est.mean > 0.0 && est.sum > 0.0);
+    }
+
+    #[test]
+    fn ts_advance_and_insert_matches_per_element_feeding() {
+        let mut batched = TsAggregator::new(8, 4, 0.1, SmallRng::seed_from_u64(3));
+        let mut single = TsAggregator::new(8, 4, 0.1, SmallRng::seed_from_u64(3));
+        for tick in 0..60u64 {
+            let values = [tick, tick + 1, tick + 2];
+            batched.advance_and_insert(tick, &values);
+            single.advance_time(tick);
+            for v in values {
+                single.insert(v);
+            }
+        }
+        assert_eq!(batched.count_estimate(), single.count_estimate());
+        assert_eq!(batched.memory_words(), single.memory_words());
     }
 
     #[test]

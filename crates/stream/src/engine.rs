@@ -1,0 +1,499 @@
+//! [`MultiStreamEngine`] — a sharded fleet of per-key window samplers.
+//!
+//! The paper maintains *one* window sample; a serving system maintains
+//! one **per user**: millions of independent logical streams multiplexed
+//! over one physical event feed, each answering the same window queries.
+//! This engine is that shape. It owns a sharded registry of
+//! [`ErasedWindowSampler`]s, one per key, all built lazily from a single
+//! template [`SamplerSpec`] (each key gets its own derived RNG seed, so
+//! per-key sample streams are mutually independent), and ingests a keyed
+//! batch in shard-major, key-major order so the per-sampler batch fast
+//! paths (skip-ahead hops, engine-major timestamp ingestion) still fire
+//! even when arrivals interleave keys.
+//!
+//! Memory scales as the paper promises per key: a fleet of `m` active
+//! keys with a sequence-WR template costs at most `m · (7k + 3)` words —
+//! deterministic, because every per-key sampler inherits its theorem's
+//! hard ceiling. [`MultiStreamEngine::memory_words`] and
+//! [`MultiStreamEngine::max_key_memory_words`] expose both sides of that
+//! accounting.
+//!
+//! ```
+//! use swsample_core::spec::SamplerSpec;
+//! use swsample_stream::MultiStreamEngine;
+//!
+//! // One 100-arrival WR window per user key.
+//! let spec: SamplerSpec = "--window seq --n 100 --k 4 --seed 7".parse().unwrap();
+//! let mut engine: MultiStreamEngine<u64, u64> = MultiStreamEngine::new(spec).unwrap();
+//! engine.ingest(&[(17, 0, 111), (42, 0, 222), (17, 1, 333)]);
+//! assert_eq!(engine.num_keys(), 2);
+//! assert_eq!(engine.sample_k(&17).unwrap().len(), 4);
+//! assert!(engine.sample_k(&7).is_none(), "untouched key has no window");
+//! ```
+//!
+//! Sharding uses an FxHash-style multiply-rotate hash (the rustc /
+//! Firefox workhorse) implemented locally — fast, deterministic across
+//! runs, and dependency-free.
+
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hash, Hasher};
+
+use swsample_core::spec::{SamplerFactory, SamplerSpec, SpecError};
+use swsample_core::{ErasedWindowSampler, MemoryWords, Sample};
+
+/// FxHash: multiply-rotate hashing as used by rustc. Not cryptographic —
+/// exactly what a shard selector wants.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    state: u64,
+}
+
+const FX_SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl Hasher for FxHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.add(b as u64);
+        }
+    }
+
+    fn write_u8(&mut self, i: u8) {
+        self.add(i as u64);
+    }
+
+    fn write_u16(&mut self, i: u16) {
+        self.add(i as u64);
+    }
+
+    fn write_u32(&mut self, i: u32) {
+        self.add(i as u64);
+    }
+
+    fn write_u64(&mut self, i: u64) {
+        self.add(i);
+    }
+
+    fn write_usize(&mut self, i: usize) {
+        self.add(i as u64);
+    }
+
+    fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.state = (self.state.rotate_left(5) ^ word).wrapping_mul(FX_SEED);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`], usable as a `HashMap` hasher.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+#[inline]
+fn fx_hash_key<K: Hash>(key: &K) -> u64 {
+    let mut h = FxHasher::default();
+    key.hash(&mut h);
+    h.finish()
+}
+
+/// SplitMix64 finalizer: decorrelates the per-key seed from the raw key
+/// hash so adjacent keys do not get adjacent RNG streams.
+#[inline]
+fn mix_seed(template_seed: u64, key_hash: u64) -> u64 {
+    let mut z = template_seed ^ key_hash.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A sharded registry of independent per-key window samplers, all
+/// described by one template [`SamplerSpec`]. See the [module
+/// docs](self) for the model and an example.
+pub struct MultiStreamEngine<K, T: Clone> {
+    template: SamplerSpec,
+    factory: SamplerFactory<T>,
+    shards: Vec<HashMap<K, Box<dyn ErasedWindowSampler<T>>, FxBuildHasher>>,
+    shard_mask: u64,
+    keys: usize,
+}
+
+impl<K, T: Clone> std::fmt::Debug for MultiStreamEngine<K, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MultiStreamEngine")
+            .field("template", &self.template)
+            .field("shards", &self.shards.len())
+            .field("keys", &self.keys)
+            .finish()
+    }
+}
+
+impl<K: Hash + Eq + Clone, T: Clone + 'static> MultiStreamEngine<K, T> {
+    /// Default shard count: enough to keep per-shard maps small without
+    /// bloating empty engines.
+    pub const DEFAULT_SHARDS: usize = 16;
+
+    /// Engine whose per-key samplers are built by
+    /// [`SamplerSpec::build`] — i.e. the template must use a core-owned
+    /// algorithm (paper or reservoir-l). Validates (and test-builds) the
+    /// template eagerly.
+    pub fn new(template: SamplerSpec) -> Result<Self, SpecError> {
+        Self::with_factory(template, Self::DEFAULT_SHARDS, SamplerSpec::build::<T>)
+    }
+
+    /// Engine with an explicit shard count and sampler factory. Pass
+    /// `swsample_baselines::spec::build` to allow baseline-algorithm
+    /// templates. `shards` is rounded up to a power of two.
+    pub fn with_factory(
+        template: SamplerSpec,
+        shards: usize,
+        factory: SamplerFactory<T>,
+    ) -> Result<Self, SpecError> {
+        // Fail now, not on the millionth event: the factory must accept
+        // the template (validity + algorithm coverage in one probe).
+        factory(&template)?;
+        let shards = shards.max(1).next_power_of_two();
+        let mut maps = Vec::with_capacity(shards);
+        maps.resize_with(shards, HashMap::default);
+        Ok(Self {
+            template,
+            factory,
+            shard_mask: shards as u64 - 1,
+            shards: maps,
+            keys: 0,
+        })
+    }
+
+    /// The template every per-key sampler is built from (per-key seeds
+    /// are derived from its `seed`).
+    pub fn template(&self) -> &SamplerSpec {
+        &self.template
+    }
+
+    /// Number of shards (a power of two).
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Number of keys with materialized samplers.
+    pub fn num_keys(&self) -> usize {
+        self.keys
+    }
+
+    #[inline]
+    fn shard_of(&self, hash: u64) -> usize {
+        // Fx mixes well in the high bits; fold them down before masking.
+        ((hash >> 32) ^ hash) as usize & self.shard_mask as usize
+    }
+
+    fn sampler_entry(&mut self, hash: u64, key: &K) -> &mut Box<dyn ErasedWindowSampler<T>> {
+        let shard = self.shard_of(hash);
+        let (template, factory, keys) = (&self.template, self.factory, &mut self.keys);
+        self.shards[shard].entry(key.clone()).or_insert_with(|| {
+            let mut spec = template.clone();
+            spec.seed = mix_seed(template.seed, hash);
+            *keys += 1;
+            factory(&spec).expect("template was validated at construction")
+        })
+    }
+
+    /// Ingest a keyed batch: `(key, now, value)` triples with
+    /// non-decreasing `now` per key (for timestamp-window templates;
+    /// sequence templates ignore `now`).
+    ///
+    /// Elements are regrouped shard-major then key-major — preserving
+    /// per-key arrival order — and each key's consecutive same-timestamp
+    /// run enters its sampler through one `advance_and_insert` call, so
+    /// the skip/batch fast paths fire even on heavily interleaved feeds.
+    /// Samplers for unseen keys are created lazily from the template.
+    ///
+    /// # Panics
+    /// Panics if a key's timestamps run backwards (the per-key sampler's
+    /// clock contract).
+    pub fn ingest(&mut self, batch: &[(K, u64, T)]) {
+        // (shard, key-hash, batch index): sorting groups shard-major then
+        // key-major while the index keeps per-key arrival order. Distinct
+        // keys that collide on hash are separated by the equality check
+        // in the run loop below.
+        let mut order: Vec<(u64, u32)> = batch
+            .iter()
+            .enumerate()
+            .map(|(i, (key, _, _))| (fx_hash_key(key), i as u32))
+            .collect();
+        order.sort_unstable_by_key(|&(hash, i)| (self.shard_of(hash), hash, i));
+
+        let mut run: Vec<T> = Vec::new();
+        let mut pos = 0usize;
+        while pos < order.len() {
+            let (hash, first) = order[pos];
+            let key = &batch[first as usize].0;
+            // One maximal same-key stretch.
+            let mut end = pos;
+            while end < order.len()
+                && order[end].0 == hash
+                && batch[order[end].1 as usize].0 == *key
+            {
+                end += 1;
+            }
+            let sampler = self.sampler_entry(hash, key);
+            // Split the stretch into maximal same-timestamp runs.
+            let mut i = pos;
+            while i < end {
+                let now = batch[order[i].1 as usize].1;
+                run.clear();
+                while i < end && batch[order[i].1 as usize].1 == now {
+                    run.push(batch[order[i].1 as usize].2.clone());
+                    i += 1;
+                }
+                sampler.advance_and_insert(now, &run);
+            }
+            pos = end;
+        }
+    }
+
+    /// The key's current `k`-sample, or `None` if the key has never
+    /// arrived or its window is empty.
+    pub fn sample_k(&mut self, key: &K) -> Option<Vec<Sample<T>>> {
+        self.sampler_mut(key)?.sample_k()
+    }
+
+    /// One uniform sample from the key's window, or `None` as in
+    /// [`sample_k`](MultiStreamEngine::sample_k).
+    pub fn sample(&mut self, key: &K) -> Option<Sample<T>> {
+        self.sampler_mut(key)?.sample()
+    }
+
+    /// Direct access to a key's sampler (queries take `&mut` — see
+    /// [`swsample_core::WindowSampler`] on why).
+    pub fn sampler_mut(&mut self, key: &K) -> Option<&mut Box<dyn ErasedWindowSampler<T>>> {
+        let hash = fx_hash_key(key);
+        let shard = self.shard_of(hash);
+        self.shards[shard].get_mut(key)
+    }
+
+    /// Has this key a materialized sampler?
+    pub fn contains_key(&self, key: &K) -> bool {
+        let hash = fx_hash_key(key);
+        self.shards[self.shard_of(hash)].contains_key(key)
+    }
+
+    /// Iterate over all materialized keys (shard order, unspecified
+    /// within a shard).
+    pub fn keys(&self) -> impl Iterator<Item = &K> {
+        self.shards.iter().flat_map(|s| s.keys())
+    }
+
+    /// Largest single-key footprint in words — the quantity the paper's
+    /// per-window theorems cap deterministically.
+    pub fn max_key_memory_words(&self) -> usize {
+        self.shards
+            .iter()
+            .flat_map(|s| s.values())
+            .map(|b| b.memory_words())
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+impl<K, T: Clone> MemoryWords for MultiStreamEngine<K, T> {
+    /// Fleet-wide footprint: the sum of every per-key sampler's words.
+    /// Registry scaffolding (hash-map tables, boxes) is bookkeeping
+    /// outside the paper's §1.4 stream-element model, exactly as RNG
+    /// state is excluded for single samplers.
+    fn memory_words(&self) -> usize {
+        self.shards
+            .iter()
+            .flat_map(|s| s.values())
+            .map(|b| b.memory_words())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::values::{ValueGen, ZipfGen};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn seq_wr_spec(n: u64, k: usize, seed: u64) -> SamplerSpec {
+        format!("--window seq --n {n} --k {k} --seed {seed}")
+            .parse()
+            .expect("spec")
+    }
+
+    #[test]
+    fn fx_hash_is_deterministic_and_spreads() {
+        let a = fx_hash_key(&1234u64);
+        assert_eq!(a, fx_hash_key(&1234u64));
+        assert_ne!(a, fx_hash_key(&1235u64));
+        // Spread check: 4096 consecutive keys across 16 shards.
+        let mut counts = [0usize; 16];
+        for key in 0..4096u64 {
+            let h = fx_hash_key(&key);
+            counts[(((h >> 32) ^ h) & 15) as usize] += 1;
+        }
+        for (shard, &c) in counts.iter().enumerate() {
+            assert!(
+                (128..=384).contains(&c),
+                "shard {shard} got {c} of 4096 keys"
+            );
+        }
+    }
+
+    #[test]
+    fn lazy_creation_and_per_key_windows() {
+        let mut e: MultiStreamEngine<&str, u64> =
+            MultiStreamEngine::new(seq_wr_spec(3, 2, 1)).expect("engine");
+        assert_eq!(e.num_keys(), 0);
+        e.ingest(&[
+            ("alice", 0, 1),
+            ("bob", 0, 100),
+            ("alice", 0, 2),
+            ("alice", 0, 3),
+            ("alice", 0, 4),
+        ]);
+        assert_eq!(e.num_keys(), 2);
+        assert!(e.contains_key(&"alice") && e.contains_key(&"bob"));
+        // Alice's window is her last 3 arrivals — untouched by Bob's.
+        for s in e.sample_k(&"alice").expect("nonempty") {
+            assert!((2..=4).contains(s.value()), "stale sample {s:?}");
+        }
+        for s in e.sample_k(&"bob").expect("nonempty") {
+            assert_eq!(*s.value(), 100);
+        }
+        assert!(e.sample_k(&"carol").is_none());
+        assert!(e.sample(&"carol").is_none());
+        assert_eq!(e.keys().count(), 2);
+    }
+
+    #[test]
+    fn interleaved_ingest_equals_per_key_ingest() {
+        // The grouped batched path must produce exactly the samples a
+        // dedicated per-key sampler produces: grouping is a reordering
+        // of already-commuting operations, and seeds are derived purely
+        // from (template seed, key).
+        let template = seq_wr_spec(10, 3, 99);
+        let mut e: MultiStreamEngine<u64, u64> =
+            MultiStreamEngine::new(template.clone()).expect("engine");
+        let keys = [3u64, 17, 290_017];
+        let mut batch = Vec::new();
+        for round in 0..200u64 {
+            for &k in &keys {
+                batch.push((k, 0u64, round * 10 + k));
+            }
+        }
+        e.ingest(&batch);
+
+        for &key in &keys {
+            let mut spec = template.clone();
+            spec.seed = mix_seed(template.seed, fx_hash_key(&key));
+            let mut solo = spec.build::<u64>().expect("builds");
+            let values: Vec<u64> = (0..200u64).map(|r| r * 10 + key).collect();
+            solo.insert_batch(&values);
+            assert_eq!(
+                e.sample_k(&key),
+                solo.sample_k(),
+                "key {key}: engine diverges from dedicated sampler"
+            );
+        }
+    }
+
+    #[test]
+    fn timestamp_template_expires_per_key() {
+        let spec: SamplerSpec = "--window ts --w 5 --mode wor --k 2 --seed 4"
+            .parse()
+            .expect("spec");
+        let mut e: MultiStreamEngine<u8, u64> = MultiStreamEngine::new(spec).expect("engine");
+        let mut batch = Vec::new();
+        for t in 0..50u64 {
+            batch.push((1u8, t, t));
+            if t % 3 == 0 {
+                batch.push((2u8, t, 1000 + t));
+            }
+        }
+        e.ingest(&batch);
+        for s in e.sample_k(&1).expect("nonempty") {
+            assert!(s.timestamp() >= 45, "expired sample {s:?}");
+        }
+        for s in e.sample_k(&2).expect("nonempty") {
+            assert!(s.timestamp() >= 45 && *s.value() >= 1000);
+        }
+    }
+
+    #[test]
+    fn distinct_keys_get_distinct_seeds() {
+        let template = seq_wr_spec(100, 4, 7);
+        let mut e: MultiStreamEngine<u64, u64> = MultiStreamEngine::new(template).expect("engine");
+        let batch: Vec<(u64, u64, u64)> = (0..64u64).map(|k| (k, 0, 1)).collect();
+        e.ingest(&batch);
+        let mut seeds: Vec<u64> = (0..64u64)
+            .map(|k| {
+                e.sampler_mut(&k)
+                    .expect("present")
+                    .spec()
+                    .expect("built via spec")
+                    .seed
+            })
+            .collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), 64, "per-key seed collision");
+    }
+
+    #[test]
+    fn rejects_bad_templates_eagerly() {
+        // k = 0 is invalid; chain needs the baselines factory.
+        let bad: SamplerSpec = "--window seq --n 5 --k 0".parse().expect("parses");
+        assert!(MultiStreamEngine::<u64, u64>::new(bad).is_err());
+        let chain: SamplerSpec = "--window seq --n 5 --algo chain".parse().expect("parses");
+        assert!(MultiStreamEngine::<u64, u64>::new(chain).is_err());
+    }
+
+    /// The acceptance-criterion test: a 100k-key zipf-skewed stream
+    /// through the batched keyed path, with every per-key footprint under
+    /// the Theorem 2.1 cap and fleet memory under `keys · cap`.
+    #[test]
+    fn hundred_thousand_keys_within_paper_caps() {
+        let (keys, k, n) = (100_000u64, 16usize, 1_000u64);
+        let seq_wr_cap = 7 * k + 3; // Theorem 2.1 ceiling (see tests/theorem_bounds.rs)
+        let mut e: MultiStreamEngine<u64, u64> =
+            MultiStreamEngine::with_factory(seq_wr_spec(n, k, 42), 64, SamplerSpec::build::<u64>)
+                .expect("engine");
+
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut zipf = ZipfGen::new(keys, 1.05);
+        let mut batch: Vec<(u64, u64, u64)> = Vec::with_capacity(1024);
+        let total = 400_000u64;
+        for i in 0..total {
+            batch.push((zipf.next_value(&mut rng), i / 64, i));
+            if batch.len() == 1024 {
+                e.ingest(&batch);
+                batch.clear();
+            }
+        }
+        e.ingest(&batch);
+
+        assert!(
+            e.num_keys() > 40_000,
+            "zipf(1.05) over 100k keys, 400k draws: expected ~48k distinct keys, got {}",
+            e.num_keys()
+        );
+        assert!(
+            e.max_key_memory_words() <= seq_wr_cap,
+            "hottest key {} words > deterministic cap {seq_wr_cap}",
+            e.max_key_memory_words()
+        );
+        assert!(
+            e.memory_words() <= e.num_keys() * seq_wr_cap,
+            "fleet {} words > {} keys x {seq_wr_cap}",
+            e.memory_words(),
+            e.num_keys()
+        );
+        // And the fleet still answers per-key queries.
+        let hot = e.sample_k(&0).expect("hottest key nonempty");
+        assert_eq!(hot.len(), k);
+    }
+}

@@ -14,6 +14,10 @@
 //!   used to exhibit the `Ω(log n)` lower bound.
 //! * [`graph`] — random-graph edge streams with planted triangles for the
 //!   Corollary 5.3 experiments, plus exact in-window triangle counting.
+//! * [`engine`] — the serving-shaped side: [`MultiStreamEngine`], a
+//!   sharded registry of independent per-key window samplers built
+//!   lazily from one `SamplerSpec` template, with keyed batched
+//!   ingestion and fleet-level memory accounting.
 //!
 //! All generators are deterministic given a seed, so every experiment in
 //! `EXPERIMENTS.md` is exactly reproducible.
@@ -22,11 +26,13 @@
 #![warn(missing_docs)]
 
 pub mod arrivals;
+pub mod engine;
 pub mod event;
 pub mod graph;
 pub mod values;
 
 pub use arrivals::{AdversarialStream, BurstyArrivals, SteadyArrivals, TimedEvent};
+pub use engine::{FxBuildHasher, FxHasher, MultiStreamEngine};
 pub use event::{Timestamp, WindowSpec};
 pub use graph::{count_triangles, Edge, EdgeStreamGen};
 pub use values::{ConstantGen, RoundRobinGen, UniformGen, ValueGen, ZipfGen};

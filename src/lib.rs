@@ -12,7 +12,8 @@
 //!   (Theorem 2.1), [`core::seq::SeqSamplerWor`] (Theorem 2.2),
 //!   [`core::ts::TsSamplerWr`] (§3, Theorem 3.9), and
 //!   [`core::ts::TsSamplerWor`] (§4, Theorem 4.4).
-//! * [`stream`] — workload generators and timestamp models.
+//! * [`stream`] — workload generators, timestamp models, and the
+//!   [`stream::MultiStreamEngine`] keyed fleet of per-key windows.
 //! * [`baselines`] — the prior methods the paper improves on.
 //! * [`apps`] — §5 applications (frequency moments, entropy, triangles).
 //! * [`stats`] — the statistical test machinery used for validation.
@@ -37,6 +38,12 @@
 //! }
 //! ```
 #![forbid(unsafe_code)]
+
+// Compile README code blocks as doctests, so the documented embedding
+// examples (quickstart, SamplerSpec, MultiStreamEngine) cannot rot.
+#[cfg(doctest)]
+#[doc = include_str!("../README.md")]
+mod readme_doctests {}
 
 pub use swsample_apps as apps;
 pub use swsample_baselines as baselines;
