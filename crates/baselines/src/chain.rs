@@ -19,11 +19,15 @@
 //! events are independent Bernoulli(1/min(count, n+1)), so each instance
 //! precomputes its next-adoption count (exact record-process skip during
 //! warm-up, geometric skip in the constant-probability tail) and
-//! non-adopted arrivals cost zero RNG draws.
+//! non-adopted arrivals cost zero RNG draws. The warm-up skips draw their
+//! octave-search coins from one sampler-wide [`BitSource`] — 64 coins
+//! per RNG word across all `k` chains (`draws_pack_warmup_coins` below
+//! pins the saving).
 
 use rand::Rng;
 use std::collections::VecDeque;
-use swsample_core::skip::{geometric_skip, record_skip};
+use swsample_core::rngutil::BitSource;
+use swsample_core::skip::{geometric_skip, record_skip_with_bits};
 use swsample_core::{MemoryWords, Sample, WindowSampler};
 
 /// One chain: the current sample at the front, successors behind it, plus
@@ -60,10 +64,10 @@ impl<T: Clone> ChainInstance<T> {
     /// for uniformity gives p = 1/(n+1). (With 1/n the newest elements
     /// are over-sampled by ≈1/n — the bias is measurable, and the test
     /// `uniform_over_window` below catches it.)
-    fn schedule_next_adopt<R: Rng>(&mut self, rng: &mut R, m: u64, n: u64) {
+    fn schedule_next_adopt<R: Rng>(&mut self, rng: &mut R, bits: &mut BitSource, m: u64, n: u64) {
         let den = n + 1;
         let base = if m < den {
-            match record_skip(rng, m, den) {
+            match record_skip_with_bits(rng, bits, m, den) {
                 Some(c) => {
                     self.next_adopt = c;
                     return;
@@ -78,14 +82,14 @@ impl<T: Clone> ChainInstance<T> {
         self.next_adopt = base + 1 + geometric_skip(rng, den);
     }
 
-    fn insert<R: Rng>(&mut self, rng: &mut R, value: &T, idx: u64, n: u64) {
+    fn insert<R: Rng>(&mut self, rng: &mut R, bits: &mut BitSource, value: &T, idx: u64, n: u64) {
         let count = idx + 1;
         if count == self.next_adopt {
             self.links.clear();
             let succ = idx + 1 + rng.gen_range(0..n);
             self.links
                 .push_back((Sample::new(value.clone(), idx, idx), succ));
-            self.schedule_next_adopt(rng, count, n);
+            self.schedule_next_adopt(rng, bits, count, n);
         } else if self.links.back().is_some_and(|(_, succ)| *succ == idx) {
             // The awaited successor arrived: extend the chain.
             let succ = idx + 1 + rng.gen_range(0..n);
@@ -123,6 +127,10 @@ pub struct ChainSampler<T, R> {
     n: u64,
     count: u64,
     rng: R,
+    /// Shared coin buffer for every instance's record-process octave
+    /// search — one RNG word serves 64 coins across all k chains (RNG
+    /// state, excluded from the word accounting).
+    bits: BitSource,
     chains: Vec<ChainInstance<T>>,
 }
 
@@ -136,6 +144,7 @@ impl<T: Clone, R: Rng> ChainSampler<T, R> {
             n,
             count: 0,
             rng,
+            bits: BitSource::new(),
             chains: (0..k).map(|_| ChainInstance::new()).collect(),
         }
     }
@@ -156,7 +165,7 @@ impl<T: Clone, R: Rng> WindowSampler<T> for ChainSampler<T, R> {
     fn insert(&mut self, value: T) {
         let idx = self.count;
         for c in &mut self.chains {
-            c.insert(&mut self.rng, &value, idx, self.n);
+            c.insert(&mut self.rng, &mut self.bits, &value, idx, self.n);
         }
         self.count += 1;
     }
@@ -171,7 +180,7 @@ impl<T: Clone, R: Rng> WindowSampler<T> for ChainSampler<T, R> {
         let n = self.n;
         for c in &mut self.chains {
             for (j, v) in values.iter().enumerate() {
-                c.insert(&mut self.rng, v, first + j as u64, n);
+                c.insert(&mut self.rng, &mut self.bits, v, first + j as u64, n);
             }
         }
         self.count += values.len() as u64;
@@ -232,6 +241,34 @@ mod tests {
             out.p_value > 1e-4,
             "chain sampling not uniform: p = {}",
             out.p_value
+        );
+    }
+
+    #[test]
+    fn draws_pack_warmup_coins() {
+        use swsample_core::rng::CountingRng;
+        // Warm-up regime (count ≤ n+1): every adoption schedules the next
+        // one through a record skip whose octave coins now come from the
+        // shared BitSource. Per chain the warm-up costs ~H(n) ≈ 11.7
+        // adoptions and a similar number of chain extensions; each pays
+        // ~1 successor draw plus ~2.6 rejection-phase words, while the
+        // ~2 octave coins per skip cost 1/64 word each instead of a full
+        // word. With n = 2¹⁶, k = 8 the packed total must stay under
+        // k·(5·H(n) + 16) ≈ 595 words; unpacked octave coins alone add
+        // back ≈ 2·H(n)·k ≈ 190 words and push past it.
+        let n = 1u64 << 16;
+        let k = 8usize;
+        let rng = CountingRng::new(SmallRng::seed_from_u64(7));
+        let mut s = ChainSampler::new(n, k, rng);
+        for i in 0..n {
+            s.insert(i);
+        }
+        let words = s.rng.words();
+        let h_n = (n as f64).ln() + 0.5772;
+        let cap = (k as f64 * (5.0 * h_n + 16.0)) as u64;
+        assert!(
+            words <= cap,
+            "warm-up drew {words} words > packed cap {cap}"
         );
     }
 

@@ -19,6 +19,27 @@
 //! no floating-point conversion (ties have probability ≈ n²·2⁻⁶⁴,
 //! statistically invisible) — and (b) ingests batches instance-major so
 //! each right-maxima deque stays hot in cache.
+//!
+//! # Why the `k` priorities per element cannot be shared
+//!
+//! The `k` draws per arrival (`draws_per_element = k` in
+//! `BENCH_throughput.json`) look redundant next to
+//! [`PriorityTopK`](crate::PriorityTopK), which draws **one** priority per
+//! element for a whole `k`-sample. The difference is the sampling mode.
+//! `PriorityTopK` answers the *without-replacement* query: the top-`k`
+//! priorities of distinct elements are automatically distinct elements,
+//! so one priority per element suffices. `PrioritySampler` answers the
+//! *with-replacement* query of BDM'02: `k` **mutually independent**
+//! uniform samples. An element's priority is the sole source of
+//! randomness in an instance's answer — two instances fed identical
+//! priorities maintain identical right-maxima lists and return the *same*
+//! element forever, collapsing the joint distribution from the product of
+//! uniforms to its diagonal (every WR estimator built on independence,
+//! e.g. variance via independent replicas, silently breaks). So the
+//! replication is load-bearing, not waste:
+//! `shared_priorities_collapse_the_joint_distribution` below demonstrates
+//! the collapse, and `k_instances_are_mutually_independent` pins the
+//! product law that the per-instance draws buy.
 
 use rand::Rng;
 use std::collections::VecDeque;
@@ -206,6 +227,72 @@ mod tests {
             "priority sampling not uniform: p = {}",
             out.p_value
         );
+    }
+
+    #[test]
+    fn k_instances_are_mutually_independent() {
+        // k = 2 over a 4-element window: the joint law over the 16 cells
+        // must be the product of uniforms — this is what the k priority
+        // draws per element pay for (see the module docs).
+        let t0 = 4u64;
+        let ticks = 12u64;
+        let trials = 40_000u64;
+        let mut counts = vec![0u64; (t0 * t0) as usize];
+        for t in 0..trials {
+            let mut s = PrioritySampler::new(t0, 2, SmallRng::seed_from_u64(70_000 + t));
+            for tick in 0..ticks {
+                s.advance_time(tick);
+                s.insert(tick);
+            }
+            let got = s.sample_k().expect("nonempty");
+            let a = got[0].index() - (ticks - t0);
+            let b = got[1].index() - (ticks - t0);
+            counts[(a * t0 + b) as usize] += 1;
+        }
+        let out = chi_square_uniform_test(&counts);
+        assert!(
+            out.p_value > 1e-4,
+            "k=2 joint not product-uniform: p = {}",
+            out.p_value
+        );
+    }
+
+    #[test]
+    fn shared_priorities_collapse_the_joint_distribution() {
+        // The "optimization" the bench numbers suggest — one shared
+        // priority per element across instances — is exactly two instances
+        // consuming the same priority stream. Identically-seeded k = 1
+        // samplers realize that: they agree on *every* query over a long
+        // bursty stream, i.e. the joint distribution degenerates to the
+        // diagonal instead of the 1/n² product. This is why
+        // PrioritySampler must draw k priorities per element while
+        // PriorityTopK (WOR semantics) needs only one.
+        let mut a = PrioritySampler::new(16, 1, SmallRng::seed_from_u64(42));
+        let mut b = PrioritySampler::new(16, 1, SmallRng::seed_from_u64(42));
+        let mut sched = SmallRng::seed_from_u64(5);
+        let mut idx = 0u64;
+        let mut queries = 0u64;
+        for tick in 0..500u64 {
+            a.advance_time(tick);
+            b.advance_time(tick);
+            for _ in 0..sched.gen_range(0..4u64) {
+                a.insert(idx);
+                b.insert(idx);
+                idx += 1;
+            }
+            if let (Some(sa), Some(sb)) = (a.sample(), b.sample()) {
+                assert_eq!(
+                    sa.index(),
+                    sb.index(),
+                    "shared priorities must force identical samples (tick {tick})"
+                );
+                queries += 1;
+            }
+        }
+        // With n ≈ 16·2 active elements, independent instances would agree
+        // on ≈ 1/n of queries; perfect agreement over hundreds of queries
+        // is the collapse.
+        assert!(queries > 400, "collapse demo needs many nonempty queries");
     }
 
     #[test]

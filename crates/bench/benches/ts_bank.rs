@@ -1,0 +1,80 @@
+//! Criterion group `e8_ts_bank`: per-element ingestion cost of the fused
+//! `TsEngineBank` samplers against the retained independent-engine
+//! construction, across `k` — the ablation behind the `ts_wr_speedup_k64`
+//! field of `BENCH_throughput.json`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use std::time::Duration;
+use swsample_core::ts::{TsSamplerWor, TsSamplerWr};
+use swsample_core::WindowSampler;
+
+fn bench_bank_vs_independent(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8_ts_bank");
+    group.throughput(Throughput::Elements(1));
+    let t0 = 1024u64;
+    for &k in &[16usize, 64] {
+        for (label, fused) in [("fused", true), ("independent", false)] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("wr_{label}"), format!("k{k}")),
+                &k,
+                |b, &k| {
+                    let mut s = if fused {
+                        TsSamplerWr::new(t0, k, SmallRng::seed_from_u64(1))
+                    } else {
+                        TsSamplerWr::independent(t0, k, SmallRng::seed_from_u64(1))
+                    };
+                    let mut tick = 0u64;
+                    let mut i = 0u64;
+                    b.iter(|| {
+                        // 4 arrivals per tick.
+                        if i.is_multiple_of(4) {
+                            tick += 1;
+                            s.advance_time(tick);
+                        }
+                        s.insert(black_box(i));
+                        i += 1;
+                    });
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("wor_{label}"), format!("k{k}")),
+                &k,
+                |b, &k| {
+                    let mut s = if fused {
+                        TsSamplerWor::new(t0, k, SmallRng::seed_from_u64(2))
+                    } else {
+                        TsSamplerWor::independent(t0, k, SmallRng::seed_from_u64(2))
+                    };
+                    let mut tick = 0u64;
+                    let mut i = 0u64;
+                    b.iter(|| {
+                        if i.is_multiple_of(4) {
+                            tick += 1;
+                            s.advance_time(tick);
+                        }
+                        s.insert(black_box(i));
+                        i += 1;
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_bank_vs_independent
+}
+criterion_main!(benches);

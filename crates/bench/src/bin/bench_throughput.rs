@@ -37,7 +37,7 @@ fn main() {
     eprintln!(
         "running throughput suite ({}; {} configurations)...",
         if quick { "quick" } else { "full" },
-        p.ks.len() * (p.ns.len() * 10 + 2)
+        p.ks.len() * (p.ns.len() * 12 + 2)
     );
     let rows = run_with(&p);
 
@@ -62,6 +62,37 @@ fn main() {
             // acceptance bar (tests/skip_equivalence.rs re-checks the
             // committed file, so a regression cannot slip through either).
             eprintln!("bench_throughput: skip-path speedup {s:.1}x below the 5x acceptance bar");
+            std::process::exit(1);
+        }
+    }
+    for (fused, indep, label) in [
+        ("ts_wr", "ts_wr_indep", "ts-WR"),
+        ("ts_wor", "ts_wor_indep", "ts-WOR"),
+    ] {
+        if let Some(s) = speedup(&rows, fused, indep, 64, 100_000) {
+            println!("{label} fused bank vs independent engines at k=64, n=1e5: {s:.1}x elems/sec");
+            if s < 5.0 {
+                eprintln!(
+                    "bench_throughput: {label} bank speedup {s:.1}x below the 5x acceptance bar"
+                );
+                std::process::exit(1);
+            }
+        }
+    }
+    // The fused ts rows are draw-gated: ingestion must cost at most
+    // k/32 + 1 RNG words per element (packed merge-coin bits), in quick
+    // and full shapes alike. CI re-asserts this on the emitted JSON.
+    for r in rows
+        .iter()
+        .filter(|r| r.sampler == "ts_wr" || r.sampler == "ts_wor")
+    {
+        let dpe = r.rng_draws as f64 / r.elements as f64;
+        let bound = r.k as f64 / 32.0 + 1.0;
+        if dpe > bound {
+            eprintln!(
+                "bench_throughput: {} k={} draws/element {dpe:.4} above the k/32+1 bound {bound}",
+                r.sampler, r.k
+            );
             std::process::exit(1);
         }
     }

@@ -223,7 +223,9 @@ pub fn run_with(p: &Params) -> Vec<Row> {
                 rng
             ));
             ts_case!("ts_wr", k, n, TsSamplerWr::new);
+            ts_case!("ts_wr_indep", k, n, TsSamplerWr::independent);
             ts_case!("ts_wor", k, n, TsSamplerWor::new);
+            ts_case!("ts_wor_indep", k, n, TsSamplerWor::independent);
             ts_case!("priority", k, n, PrioritySampler::new);
             ts_case!("priority_topk", k, n, PriorityTopK::new);
         }
@@ -297,13 +299,21 @@ pub fn to_json(rows: &[Row], multi: &[MultiRow], quick: bool) -> String {
     out.push_str("{\n");
     out.push_str("  \"schema\": \"swsample-bench-throughput/v2\",\n");
     out.push_str(&format!("  \"quick\": {quick},\n"));
-    // The acceptance-tracked ratio, surfaced at top level so trajectory
-    // diffs catch regressions without re-deriving it from the rows.
+    // The acceptance-tracked ratios, surfaced at top level so trajectory
+    // diffs catch regressions without re-deriving them from the rows.
     if let Some(s) = speedup(rows, "seq_wr_skip", "seq_wr_naive", 64, 100_000) {
         out.push_str(&format!(
             "  \"seq_wr_speedup_k64_n100000\": {},\n",
             json::number(s)
         ));
+    }
+    // Fused TsEngineBank vs the retained per-engine construction, at the
+    // acceptance configuration (k = 64, n = 10^5).
+    if let Some(s) = speedup(rows, "ts_wr", "ts_wr_indep", 64, 100_000) {
+        out.push_str(&format!("  \"ts_wr_speedup_k64\": {},\n", json::number(s)));
+    }
+    if let Some(s) = speedup(rows, "ts_wor", "ts_wor_indep", 64, 100_000) {
+        out.push_str(&format!("  \"ts_wor_speedup_k64\": {},\n", json::number(s)));
     }
     out.push_str("  \"results\": [\n");
     for (i, r) in rows.iter().enumerate() {
@@ -366,7 +376,7 @@ mod tests {
     #[test]
     fn suite_runs_and_emits_valid_json() {
         let rows = run_with(&micro_params());
-        assert_eq!(rows.len(), 12, "one row per sampler");
+        assert_eq!(rows.len(), 14, "one row per sampler");
         for r in &rows {
             assert!(r.elems_per_sec > 0.0, "{}: zero throughput", r.sampler);
         }
@@ -417,6 +427,30 @@ mod tests {
         );
         assert!(draws("seq_wor_skip") < draws("seq_wor_naive"));
         assert!(draws("vitter_l") < draws("vitter_r"));
+    }
+
+    #[test]
+    fn ts_bank_rows_meet_the_draw_bound() {
+        // The fused ts samplers must ingest in ≤ k/32 + 1 words per
+        // element (2k merge-coin bits per amortized merge), far below the
+        // independent construction's per-word coins of old; the
+        // independent rows now pack coins per engine and land low too,
+        // but the fused rows are the gated ones.
+        let p = micro_params();
+        let rows = run_with(&p);
+        for r in rows
+            .iter()
+            .filter(|r| r.sampler == "ts_wr" || r.sampler == "ts_wor")
+        {
+            let dpe = r.rng_draws as f64 / r.elements as f64;
+            let bound = r.k as f64 / 32.0 + 1.0;
+            assert!(
+                dpe <= bound,
+                "{} k={}: {dpe} draws/element > {bound}",
+                r.sampler,
+                r.k
+            );
+        }
     }
 
     #[test]

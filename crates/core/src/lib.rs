@@ -45,7 +45,7 @@ pub mod erased;
 mod memory;
 pub mod reservoir;
 pub mod rng;
-mod rngutil;
+pub mod rngutil;
 mod sample;
 pub mod seq;
 pub mod skip;

@@ -5,8 +5,90 @@
 //! through `f64` would introduce platform-dependent rounding into the very
 //! distribution the paper proves exact, so we generate them with exact
 //! 128-bit integer comparisons instead.
+//!
+//! [`BitSource`] is the fair-coin companion: hot paths that consume single
+//! random *bits* (the `Incr` merge coins of the covering decomposition, the
+//! octave search of [`crate::skip::record_skip`]) would otherwise burn a
+//! full 64-bit RNG word per coin. A `BitSource` buffers one `next_u64` and
+//! hands out its 64 bits one at a time — each bit is an exactly-fair,
+//! mutually independent coin, so the consuming distribution is unchanged
+//! while the draw count drops by up to 64×. This is what lets the fused
+//! [`crate::ts::TsEngineBank`] service all `k` lanes' merge coins from
+//! `O(k/64)` words per arrival.
 
-use rand::Rng;
+use rand::{Rng, RngCore};
+
+/// Buffered exactly-fair coin flips: one `next_u64` yields 64 independent
+/// bits.
+///
+/// The buffer is RNG state, not sampler state — like the generator it
+/// wraps, it is excluded from the §1.4 word accounting. Cloning a holder
+/// clones the buffered bits (the clone replays the same coins, exactly as
+/// a cloned RNG replays the same words).
+#[derive(Debug, Clone, Default)]
+pub struct BitSource {
+    buf: u64,
+    left: u8,
+}
+
+impl BitSource {
+    /// An empty buffer; the first [`bit`](BitSource::bit) draws one word.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The next fair coin, refilling the 64-bit buffer from `rng` when
+    /// drained.
+    #[inline]
+    pub fn bit<R: RngCore + ?Sized>(&mut self, rng: &mut R) -> bool {
+        if self.left == 0 {
+            self.buf = rng.next_u64();
+            self.left = 64;
+        }
+        let b = self.buf & 1 == 1;
+        self.buf >>= 1;
+        self.left -= 1;
+        b
+    }
+
+    /// The next `nbits` fair coins at once, packed into the low bits of a
+    /// `u64` (bit `j` = coin `j`). Equivalent to `nbits` calls of
+    /// [`bit`](BitSource::bit) — same bits, same order — but lets hot
+    /// loops consume coins as a mask: iterate the set bits instead of
+    /// branching per coin, which is what keeps the fused bank's merge
+    /// loop free of 50/50 branch mispredicts.
+    ///
+    /// # Panics
+    /// Debug-panics unless `1 ≤ nbits ≤ 64`.
+    #[inline]
+    pub fn mask<R: RngCore + ?Sized>(&mut self, rng: &mut R, nbits: u32) -> u64 {
+        debug_assert!((1..=64).contains(&nbits), "mask: need 1..=64 bits");
+        let mut out: u64 = 0;
+        let mut got: u32 = 0;
+        while got < nbits {
+            if self.left == 0 {
+                self.buf = rng.next_u64();
+                self.left = 64;
+            }
+            let take = (nbits - got).min(self.left as u32);
+            let chunk = if take == 64 {
+                self.buf
+            } else {
+                self.buf & ((1u64 << take) - 1)
+            };
+            out |= chunk << got;
+            self.buf = if take == 64 { 0 } else { self.buf >> take };
+            self.left -= take as u8;
+            got += take;
+        }
+        out
+    }
+
+    /// Bits still buffered (diagnostic).
+    pub fn buffered(&self) -> u8 {
+        self.left
+    }
+}
 
 /// Bernoulli event with probability exactly `num / den`.
 ///
@@ -63,6 +145,48 @@ mod tests {
             .count();
         let rate = hits as f64 / trials as f64;
         assert!((rate - 3.0 / 7.0).abs() < 0.005, "rate = {rate}");
+    }
+
+    #[test]
+    fn bit_source_is_fair_and_packs_64_per_word() {
+        use crate::rng::CountingRng;
+        let mut rng = CountingRng::new(SmallRng::seed_from_u64(9));
+        let mut bits = BitSource::new();
+        let trials = 64 * 1000;
+        let heads = (0..trials).filter(|_| bits.bit(&mut rng)).count();
+        // Exactly one word per 64 bits.
+        assert_eq!(rng.words(), trials as u64 / 64);
+        let rate = heads as f64 / trials as f64;
+        assert!((rate - 0.5).abs() < 0.01, "rate = {rate}");
+    }
+
+    #[test]
+    fn mask_is_exactly_the_next_bits() {
+        // mask(n) must hand out the same coin stream as n bit() calls,
+        // across refill boundaries and mixed call sizes.
+        let mut a = SmallRng::seed_from_u64(11);
+        let mut b = SmallRng::seed_from_u64(11);
+        let mut bits_a = BitSource::new();
+        let mut bits_b = BitSource::new();
+        for &n in &[1u32, 64, 7, 33, 64, 64, 5, 61, 64, 2] {
+            let m = bits_a.mask(&mut a, n);
+            for j in 0..n {
+                assert_eq!((m >> j) & 1 == 1, bits_b.bit(&mut b), "n={n}, bit {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn bit_source_bits_match_the_word_it_buffered() {
+        // The bits must be the literal bits of the drawn word, LSB first —
+        // i.e. the source adds buffering, not transformation.
+        let mut a = SmallRng::seed_from_u64(4);
+        let word = SmallRng::seed_from_u64(4).next_u64();
+        let mut bits = BitSource::new();
+        for i in 0..64 {
+            assert_eq!(bits.bit(&mut a), (word >> i) & 1 == 1, "bit {i}");
+        }
+        assert_eq!(bits.buffered(), 0);
     }
 
     #[test]

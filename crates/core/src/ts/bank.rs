@@ -1,0 +1,1155 @@
+//! The fused `k`-lane timestamp engine: one covering decomposition,
+//! `k` independent sample lanes.
+//!
+//! Theorem 3.9 maintains `k` independent copies of the §3 single-sample
+//! engine. The key structural fact — proved by the determinism of the
+//! `Incr` walk (Lemma 3.4) and of the Lemma 3.5 expiry transitions — is
+//! that the engines' randomness never touches their *bucket boundaries*:
+//!
+//! * `Incr`'s merge decisions depend only on the covered index range
+//!   (`⌊log⌋` comparisons), never on a coin;
+//! * expiry transitions (`split_straddle`, head discard, total expiry)
+//!   depend only on bucket first-timestamps and the clock;
+//! * the coins decide *which element occupies each bucket's `R`/`Q` slot*,
+//!   nothing else.
+//!
+//! So `k` independent engines driven by the same stream hold **byte
+//! identical** bucket boundaries at every moment and differ only in their
+//! per-bucket sample slots. [`TsEngineBank`] de-duplicates everything
+//! deterministic: one boundary list (`a`, `b`, `T(p_a)` stored once), with
+//! structure-of-arrays sample slots `r[lane]`, `q[lane]`, `r_stat[lane]`
+//! per bucket. Per arrival, boundary maintenance runs **once** instead of
+//! `k` times; each (amortized `O(1)`) merge spends `2k` fair coin *bits*
+//! served from a [`BitSource`] — one `next_u64` covers 64 lane-coins — so
+//! ingestion costs amortized `O(k/32)` RNG words per element instead of
+//! the `2k` full words of `k` independent engines.
+//!
+//! Why per-lane distributions are untouched (the Theorem 3.9 independence
+//! argument): fix a lane `i`. Its slot contents evolve by exactly the
+//! single-engine rules — on a merge, the lane keeps its left or right
+//! sample by an exactly-fair coin, independently for `R` and `Q` — with
+//! coins taken from bit positions of the shared words that no other lane
+//! reads. Marginally, lane `i` is therefore *the same Markov chain* as a
+//! solo [`super::TsEngine`]; jointly, distinct lanes consume disjoint,
+//! mutually independent bits (and disjoint query-time draws), so the `k`
+//! lane samples are independent — exactly the product distribution of `k`
+//! separate engines. The retained [`super::TsSamplerWr::independent`]
+//! implementation and `tests/ts_bank_equivalence.rs` hold both to the
+//! same lockstep-boundary and chi-square standards.
+//!
+//! A freshly inserted arrival is stored **once** (all lanes' `r = q =`
+//! the element — a new singleton bucket is lane-degenerate); per-lane
+//! storage materializes lazily at the bucket's first merge, cloning the
+//! element only into the lanes whose coins adopt it.
+
+use super::bucket::BucketStruct;
+use super::covering::Covering;
+use super::engine::{State, TsEngine};
+use crate::memory::MemoryWords;
+use crate::rngutil::{bernoulli_ratio, floor_log2, BitSource};
+use crate::sample::Sample;
+use crate::track::{NullTracker, SampleTracker};
+use rand::Rng;
+
+/// Per-bucket sample slots for all `k` lanes.
+///
+/// Lazy materialization ladder: a singleton stores its element once
+/// (`Shared`); a width-2 bucket stores its *two* candidates plus the
+/// merge-coin masks themselves as per-lane selectors (`Pair` —
+/// `2·⌈k/64⌉` words instead of `2k` sample records); only from width 4 on
+/// do lanes hold materialized slots (`PerLane`). Merges pair equal
+/// widths, so the reachable shapes are width 1 = `Shared`, width 2 =
+/// `Pair`, width ≥ 4 = `PerLane`.
+#[derive(Debug, Clone)]
+enum LaneSamples<T, S> {
+    /// Never merged: every lane's `R` and `Q` is this same element, stored
+    /// once (a singleton bucket's two samples are both the element itself).
+    Shared { item: Sample<T>, stat: S },
+    /// One merge deep: two candidates; bit `lane` of `rsel` / `qsel`
+    /// picks `hi` for that lane's `R` / `Q` (the stored masks *are* the
+    /// merge coins, verbatim). Used for `2 ≤ k ≤ 64`; beyond one mask
+    /// word (or at `k = 1`, where it would cost more words than it
+    /// saves) merges materialize directly.
+    Pair {
+        lo: Sample<T>,
+        lo_stat: S,
+        hi: Sample<T>,
+        hi_stat: S,
+        rsel: u64,
+        qsel: u64,
+    },
+    /// Two or more merges deep: per-lane slots.
+    PerLane {
+        r: Vec<Sample<T>>,
+        r_stat: Vec<S>,
+        q: Vec<Sample<T>>,
+    },
+}
+
+/// Recycled per-lane slot buffers. Bucket merges consume the right
+/// operand's three lane vectors; instead of freeing them, the bank parks
+/// them here (cleared) and the next singleton-pair materialization reuses
+/// them — steady-state ingestion runs allocation-free. Allocator-level
+/// reuse, like `Vec` spare capacity: not part of the §1.4 word accounting.
+/// One recycled buffer triple: `(r, r_stat, q)` lane slots.
+type LaneBufs<T, S> = (Vec<Sample<T>>, Vec<S>, Vec<Sample<T>>);
+
+#[derive(Debug, Clone)]
+struct SparePool<T, S> {
+    bufs: Vec<LaneBufs<T, S>>,
+}
+
+impl<T, S> Default for SparePool<T, S> {
+    fn default() -> Self {
+        Self { bufs: Vec::new() }
+    }
+}
+
+/// Cascaded merges can park several buffers before the next
+/// materialization drains one; a handful is plenty.
+const SPARE_POOL_CAP: usize = 8;
+
+impl<T, S> SparePool<T, S> {
+    fn take(&mut self, lanes: usize) -> LaneBufs<T, S> {
+        self.bufs.pop().unwrap_or_else(|| {
+            (
+                Vec::with_capacity(lanes),
+                Vec::with_capacity(lanes),
+                Vec::with_capacity(lanes),
+            )
+        })
+    }
+
+    fn put(&mut self, mut bufs: LaneBufs<T, S>) {
+        if self.bufs.len() < SPARE_POOL_CAP {
+            bufs.0.clear();
+            bufs.1.clear();
+            bufs.2.clear();
+            self.bufs.push(bufs);
+        }
+    }
+}
+
+impl<T: Clone, S: Clone> LaneSamples<T, S> {
+    /// Materialize any shape into dense per-lane slot vectors (pushed into
+    /// `r`/`r_stat`/`q`, which must be empty).
+    fn materialize_into(
+        self,
+        lanes: usize,
+        r: &mut Vec<Sample<T>>,
+        r_stat: &mut Vec<S>,
+        q: &mut Vec<Sample<T>>,
+    ) {
+        match self {
+            LaneSamples::Shared { item, stat } => {
+                for _ in 0..lanes {
+                    r.push(item.clone());
+                    r_stat.push(stat.clone());
+                    q.push(item.clone());
+                }
+            }
+            LaneSamples::Pair {
+                lo,
+                lo_stat,
+                hi,
+                hi_stat,
+                rsel,
+                qsel,
+            } => {
+                for lane in 0..lanes {
+                    if (rsel >> lane) & 1 == 1 {
+                        r.push(hi.clone());
+                        r_stat.push(hi_stat.clone());
+                    } else {
+                        r.push(lo.clone());
+                        r_stat.push(lo_stat.clone());
+                    }
+                    q.push(if (qsel >> lane) & 1 == 1 {
+                        hi.clone()
+                    } else {
+                        lo.clone()
+                    });
+                }
+            }
+            LaneSamples::PerLane {
+                r: pr,
+                r_stat: prs,
+                q: pq,
+            } => {
+                r.extend(pr);
+                r_stat.extend(prs);
+                q.extend(pq);
+            }
+        }
+    }
+
+    /// The `Incr` union step for all lanes at once: per lane, `R` (and,
+    /// independently, `Q`) is taken from the right operand on a fair coin
+    /// bit. Coins are drawn as 64-lane masks — the hot shapes consume them
+    /// either verbatim (a `Pair`'s selectors *are* the coins) or by
+    /// branchless selects / set-bit iteration, so the loop carries no
+    /// 50/50-mispredicting branches. Clones happen only where a lane
+    /// adopts an element it does not own; lane-owned slots move (swap).
+    ///
+    /// In a canonical covering merges pair equal widths, so the live
+    /// shapes are `Shared`+`Shared` (width 1+1 → `Pair`), `Pair`+`Pair`
+    /// (2+2 → materialized `PerLane`), and `PerLane`+`PerLane` (≥ 4).
+    /// Anything else falls back to materialize-then-merge.
+    fn merge<R: Rng>(
+        self,
+        right: Self,
+        lanes: usize,
+        rng: &mut R,
+        bits: &mut BitSource,
+        pool: &mut SparePool<T, S>,
+    ) -> Self {
+        use LaneSamples::*;
+        match (self, right) {
+            // Width-1 + width-1: store both candidates and keep the coin
+            // masks as the per-lane selectors — two words, no clones, no
+            // allocation. (At k = 1 a Pair costs more words than
+            // materialized slots and buys nothing; past 64 lanes it would
+            // need spill storage; both fall through to materialization.)
+            (Shared { item: li, stat: ls }, Shared { item: ri, stat: rs })
+                if (2..=64).contains(&lanes) =>
+            {
+                let rsel = bits.mask(rng, lanes as u32);
+                let qsel = bits.mask(rng, lanes as u32);
+                Pair {
+                    lo: li,
+                    lo_stat: ls,
+                    hi: ri,
+                    hi_stat: rs,
+                    rsel,
+                    qsel,
+                }
+            }
+            // k = 1 singletons: one coin each, materialized directly.
+            (Shared { item: li, stat: ls }, Shared { item: ri, stat: rs }) if lanes == 1 => {
+                let (mut r, mut r_stat, mut q) = pool.take(1);
+                if bits.bit(rng) {
+                    r.push(ri.clone());
+                    r_stat.push(rs);
+                } else {
+                    r.push(li.clone());
+                    r_stat.push(ls);
+                }
+                q.push(if bits.bit(rng) { ri } else { li });
+                PerLane { r, r_stat, q }
+            }
+            // Width-2 + width-2: lanes materialize. Per slot the final
+            // candidate index is computed branchlessly — the coin mask
+            // picks which pair, a word-level combine picks that pair's
+            // stored selector bit — then a 4-way indexed clone.
+            (
+                Pair {
+                    lo: llo,
+                    lo_stat: llos,
+                    hi: lhi,
+                    hi_stat: lhis,
+                    rsel: lrsel,
+                    qsel: lqsel,
+                },
+                Pair {
+                    lo: rlo,
+                    lo_stat: rlos,
+                    hi: rhi,
+                    hi_stat: rhis,
+                    rsel: rrsel,
+                    qsel: rqsel,
+                },
+            ) => {
+                let (mut r, mut r_stat, mut q) = pool.take(lanes);
+                debug_assert!(lanes <= 64, "Pair only exists for <= 64 lanes");
+                let rmask = bits.mask(rng, lanes as u32);
+                let qmask = bits.mask(rng, lanes as u32);
+                // Bit-parallel: the selector of the chosen pair, per lane.
+                let rsel = (rrsel & rmask) | (lrsel & !rmask);
+                let qsel = (rqsel & qmask) | (lqsel & !qmask);
+                let cand = [&llo, &lhi, &rlo, &rhi];
+                let cand_stat = [&llos, &lhis, &rlos, &rhis];
+                for j in 0..lanes {
+                    let ridx = ((((rmask >> j) & 1) << 1) | ((rsel >> j) & 1)) as usize;
+                    r.push(cand[ridx].clone());
+                    r_stat.push(cand_stat[ridx].clone());
+                    let qidx = ((((qmask >> j) & 1) << 1) | ((qsel >> j) & 1)) as usize;
+                    q.push(cand[qidx].clone());
+                }
+                PerLane { r, r_stat, q }
+            }
+            // Width ≥ 4: only adopting lanes do any work — iterate the set
+            // bits of the coin masks, swapping in the right operand's
+            // slots; its buffers go back to the pool.
+            (
+                PerLane {
+                    mut r,
+                    mut r_stat,
+                    mut q,
+                },
+                PerLane {
+                    r: mut rr,
+                    r_stat: mut rrs,
+                    q: mut rq,
+                },
+            ) => {
+                let mut lane0 = 0usize;
+                while lane0 < lanes {
+                    let n = (lanes - lane0).min(64);
+                    let mut rmask = bits.mask(rng, n as u32);
+                    let mut qmask = bits.mask(rng, n as u32);
+                    while rmask != 0 {
+                        let lane = lane0 + rmask.trailing_zeros() as usize;
+                        rmask &= rmask - 1;
+                        std::mem::swap(&mut r[lane], &mut rr[lane]);
+                        std::mem::swap(&mut r_stat[lane], &mut rrs[lane]);
+                    }
+                    while qmask != 0 {
+                        let lane = lane0 + qmask.trailing_zeros() as usize;
+                        qmask &= qmask - 1;
+                        std::mem::swap(&mut q[lane], &mut rq[lane]);
+                    }
+                    lane0 += n;
+                }
+                pool.put((rr, rrs, rq));
+                PerLane { r, r_stat, q }
+            }
+            // Mixed shapes (unreachable under the covering invariants,
+            // plus the k = 1 singleton pair): materialize both sides,
+            // then mask-merge.
+            (left, right) => {
+                let (mut r, mut r_stat, mut q) = pool.take(lanes);
+                left.materialize_into(lanes, &mut r, &mut r_stat, &mut q);
+                let (mut rr, mut rrs, mut rq) = pool.take(lanes);
+                right.materialize_into(lanes, &mut rr, &mut rrs, &mut rq);
+                PerLane { r, r_stat, q }.merge(
+                    PerLane {
+                        r: rr,
+                        r_stat: rrs,
+                        q: rq,
+                    },
+                    lanes,
+                    rng,
+                    bits,
+                    pool,
+                )
+            }
+        }
+    }
+}
+
+/// A bucket structure with shared boundaries and `k`-lane sample slots.
+#[derive(Debug, Clone)]
+struct BankBucket<T, S> {
+    /// First covered index (`x`).
+    a: u64,
+    /// One past the last covered index (`y`).
+    b: u64,
+    /// Timestamp of the first covered element `T(p_a)` — shared, stored
+    /// once for all lanes.
+    ts_first: u64,
+    samples: LaneSamples<T, S>,
+}
+
+impl<T: Clone, S: Clone> BankBucket<T, S> {
+    fn singleton(item: Sample<T>, stat: S) -> Self {
+        let idx = item.index();
+        let ts = item.timestamp();
+        Self {
+            a: idx,
+            b: idx + 1,
+            ts_first: ts,
+            samples: LaneSamples::Shared { item, stat },
+        }
+    }
+
+    fn width(&self) -> u64 {
+        self.b - self.a
+    }
+
+    fn r(&self, lane: usize) -> &Sample<T> {
+        match &self.samples {
+            LaneSamples::Shared { item, .. } => item,
+            LaneSamples::Pair { lo, hi, rsel, .. } => {
+                if (rsel >> lane) & 1 == 1 {
+                    hi
+                } else {
+                    lo
+                }
+            }
+            LaneSamples::PerLane { r, .. } => &r[lane],
+        }
+    }
+
+    fn r_stat(&self, lane: usize) -> &S {
+        match &self.samples {
+            LaneSamples::Shared { stat, .. } => stat,
+            LaneSamples::Pair {
+                lo_stat,
+                hi_stat,
+                rsel,
+                ..
+            } => {
+                if (rsel >> lane) & 1 == 1 {
+                    hi_stat
+                } else {
+                    lo_stat
+                }
+            }
+            LaneSamples::PerLane { r_stat, .. } => &r_stat[lane],
+        }
+    }
+
+    fn q(&self, lane: usize) -> &Sample<T> {
+        match &self.samples {
+            LaneSamples::Shared { item, .. } => item,
+            LaneSamples::Pair { lo, hi, qsel, .. } => {
+                if (qsel >> lane) & 1 == 1 {
+                    hi
+                } else {
+                    lo
+                }
+            }
+            LaneSamples::PerLane { q, .. } => &q[lane],
+        }
+    }
+
+    fn merge_right<R: Rng>(
+        &mut self,
+        right: BankBucket<T, S>,
+        lanes: usize,
+        rng: &mut R,
+        bits: &mut BitSource,
+        pool: &mut SparePool<T, S>,
+    ) {
+        debug_assert_eq!(self.b, right.a, "merge of non-adjacent buckets");
+        debug_assert_eq!(
+            self.width(),
+            right.width(),
+            "merge of unequal-width buckets"
+        );
+        let left = std::mem::replace(
+            &mut self.samples,
+            LaneSamples::PerLane {
+                r: Vec::new(),
+                r_stat: Vec::new(),
+                q: Vec::new(),
+            },
+        );
+        self.samples = left.merge(right.samples, lanes, rng, bits, pool);
+        self.b = right.b;
+    }
+
+    /// Park this bucket's lane buffers (if differentiated) for reuse.
+    fn recycle(self, pool: &mut SparePool<T, S>) {
+        if let LaneSamples::PerLane { r, r_stat, q } = self.samples {
+            pool.put((r, r_stat, q));
+        }
+    }
+
+    /// One lane's view as a plain `BucketStruct` (cloned).
+    fn lane_bucket(&self, lane: usize) -> BucketStruct<T, S> {
+        BucketStruct {
+            a: self.a,
+            b: self.b,
+            ts_first: self.ts_first,
+            r: self.r(lane).clone(),
+            r_stat: self.r_stat(lane).clone(),
+            q: self.q(lane).clone(),
+        }
+    }
+
+    fn observe_stats(&mut self, mut observe: impl FnMut(&mut S)) {
+        match &mut self.samples {
+            LaneSamples::Shared { stat, .. } => observe(stat),
+            LaneSamples::Pair {
+                lo_stat, hi_stat, ..
+            } => {
+                observe(lo_stat);
+                observe(hi_stat);
+            }
+            LaneSamples::PerLane { r_stat, .. } => {
+                for st in r_stat {
+                    observe(st);
+                }
+            }
+        }
+    }
+}
+
+impl<T, S> MemoryWords for BankBucket<T, S> {
+    fn memory_words(&self) -> usize {
+        // Boundaries (a, b, ts_first) stored once; samples as held: a
+        // never-merged bucket stores its element once for all lanes, a
+        // differentiated one stores k R-samples and k Q-samples.
+        3 + match &self.samples {
+            LaneSamples::Shared { .. } => Sample::<T>::WORDS,
+            LaneSamples::Pair { .. } => 2 * Sample::<T>::WORDS + 2,
+            LaneSamples::PerLane { r, q, .. } => (r.len() + q.len()) * Sample::<T>::WORDS,
+        }
+    }
+}
+
+/// The covering decomposition over shared boundaries — `Covering`'s exact
+/// `Incr`/split logic, lifted to `k`-lane buckets.
+#[derive(Debug, Clone)]
+struct BankCovering<T, S> {
+    buckets: Vec<BankBucket<T, S>>,
+}
+
+impl<T: Clone, S: Clone> BankCovering<T, S> {
+    fn new(bucket: BankBucket<T, S>) -> Self {
+        Self {
+            buckets: vec![bucket],
+        }
+    }
+
+    fn start(&self) -> u64 {
+        self.buckets[0].a
+    }
+
+    fn end(&self) -> u64 {
+        self.buckets.last().expect("covering is never empty").b
+    }
+
+    fn covered_len(&self) -> u64 {
+        self.end() - self.start()
+    }
+
+    fn newest_ts(&self) -> u64 {
+        let last = self.buckets.last().expect("covering is never empty");
+        debug_assert_eq!(last.width(), 1, "canonical covering ends in width 1");
+        last.ts_first
+    }
+
+    fn oldest_ts(&self) -> u64 {
+        self.buckets[0].ts_first
+    }
+
+    /// `Incr` (Lemma 3.4) — the same front-to-back walk as
+    /// `Covering::incr`, with each merge resolving all `k` lanes at once.
+    #[allow(clippy::too_many_arguments)]
+    fn incr<R: Rng>(
+        &mut self,
+        item: Sample<T>,
+        stat: S,
+        lanes: usize,
+        rng: &mut R,
+        bits: &mut BitSource,
+        pool: &mut SparePool<T, S>,
+    ) {
+        debug_assert_eq!(item.index(), self.end(), "Incr: non-consecutive index");
+        debug_assert!(
+            item.timestamp() >= self.newest_ts(),
+            "Incr: timestamps must be non-decreasing"
+        );
+        // Closed-form Lemma 3.4 walk. Bucket start offsets are canonical
+        // in the covered length `l`, so the walk's suffix-length chain
+        // (`l → l − head_width`) is pure arithmetic, and a merge fires
+        // exactly at chain values of the form 2^j − 1 (where the `⌊log⌋`
+        // jumps). Three facts collapse the walk to O(1) + O(#merges):
+        //
+        // 1. The chain from even `l` stays even until 2 → 1, and every
+        //    trigger 2^j − 1 (j ≥ 2) is odd — so even lengths never
+        //    merge: the insert is a single push.
+        // 2. Merges cascade: a merge at chain value m = 2^j − 1 is
+        //    followed by chain value (m−1)/2 = 2^{j−1} − 1, another
+        //    trigger — so the merges are a contiguous suffix of the walk,
+        //    starting at the *largest* trigger the chain reaches: `l`
+        //    itself when all-ones, else 2^{t+1} − 1 for `t` trailing
+        //    ones of `l` (odd `l` always reaches 3 = 2^2 − 1 at worst).
+        // 3. A canonical covering of length m has exactly
+        //    popcount(m) + ⌊log₂ m⌋ buckets, which converts the cascade's
+        //    suffix length into its bucket index.
+        //
+        // The retained reference walk (`Covering::incr`) and the lockstep
+        // boundary tests pin the equivalence.
+        let l = self.covered_len();
+        if l & 1 == 1 && l > 1 {
+            let first = if (l + 1).is_power_of_two() {
+                l
+            } else {
+                (1u64 << (l.trailing_ones() + 1)) - 1
+            };
+            let bucket_count = |m: u64| m.count_ones() + floor_log2(m);
+            let mut i = (bucket_count(l) - bucket_count(first)) as usize;
+            let mut m = first;
+            while m > 1 {
+                let right = self.buckets.remove(i + 1);
+                self.buckets[i].merge_right(right, lanes, rng, bits, pool);
+                m = (m - 1) / 2;
+                i += 1;
+            }
+        }
+        self.buckets.push(BankBucket::singleton(item, stat));
+        debug_assert!(self.is_canonical(), "Incr broke canonical form");
+    }
+
+    /// The Lemma 3.5 case-2 split — identical to `Covering::split_straddle`.
+    fn split_straddle(&mut self, active: impl Fn(u64) -> bool) -> BankBucket<T, S> {
+        debug_assert!(
+            !active(self.buckets[0].ts_first),
+            "split: first bucket still active"
+        );
+        debug_assert!(active(self.newest_ts()), "split: newest element expired");
+        let j = self
+            .buckets
+            .iter()
+            .position(|b| active(b.ts_first))
+            .expect("newest element is active, so an active bucket exists");
+        debug_assert!(j >= 1);
+        let mut tail = self.buckets.split_off(j);
+        std::mem::swap(&mut self.buckets, &mut tail);
+        tail.pop().expect("prefix is non-empty")
+    }
+
+    /// Uniform sample of the covered range for one lane: bucket chosen
+    /// proportional to width, that bucket's lane-`R` output.
+    fn sample_uniform_lane<R: Rng>(&self, lane: usize, rng: &mut R) -> (Sample<T>, S) {
+        let total = self.covered_len();
+        let mut x = rng.gen_range(0..total);
+        for b in &self.buckets {
+            if x < b.width() {
+                return (b.r(lane).clone(), b.r_stat(lane).clone());
+            }
+            x -= b.width();
+        }
+        unreachable!("widths sum to covered_len")
+    }
+
+    fn observe_stats(&mut self, mut observe: impl FnMut(&mut S)) {
+        for b in &mut self.buckets {
+            b.observe_stats(&mut observe);
+        }
+    }
+
+    fn is_canonical(&self) -> bool {
+        let end = self.end();
+        let mut expect_a = self.start();
+        for (i, b) in self.buckets.iter().enumerate() {
+            if b.a != expect_a || b.b <= b.a {
+                return false;
+            }
+            let suffix_len = end - b.a;
+            let want = if i == self.buckets.len() - 1 {
+                1
+            } else {
+                1u64 << (floor_log2(suffix_len) - 1)
+            };
+            if b.width() != want {
+                return false;
+            }
+            expect_a = b.b;
+        }
+        expect_a == end
+    }
+}
+
+impl<T, S> MemoryWords for BankCovering<T, S> {
+    fn memory_words(&self) -> usize {
+        self.buckets.iter().map(MemoryWords::memory_words).sum()
+    }
+}
+
+/// Lemma 3.5 state over the shared boundaries.
+#[derive(Debug, Clone)]
+enum BankState<T, S> {
+    Empty,
+    Full(BankCovering<T, S>),
+    Straddle {
+        head: BankBucket<T, S>,
+        tail: BankCovering<T, S>,
+    },
+}
+
+/// `k` fused single-sample engines over one timestamp window: one shared
+/// covering decomposition, `k` independent sample lanes.
+///
+/// Equivalent in distribution to `k` independent [`TsEngine`]s driven by
+/// the same stream (see the [module docs](self) for the argument), at
+/// `1/k` of the boundary-maintenance work and amortized `O(k/32)` RNG
+/// words per arrival. [`super::TsSamplerWr`] and [`super::TsSamplerWor`]
+/// are built on it; the per-engine construction is retained as their
+/// `independent` constructors.
+#[derive(Debug, Clone)]
+pub struct TsEngineBank<T, K: SampleTracker<T> = NullTracker> {
+    t0: u64,
+    now: u64,
+    lanes: usize,
+    tracker: K,
+    bits: BitSource,
+    spare: SparePool<T, K::Stat>,
+    state: BankState<T, K::Stat>,
+}
+
+impl<T: Clone> TsEngineBank<T, NullTracker> {
+    /// Bank of `lanes ≥ 1` fused engines over windows of width `t0 ≥ 1`,
+    /// clock starting at 0, no tracking.
+    pub fn new(t0: u64, lanes: usize) -> Self {
+        Self::with_tracker(t0, lanes, NullTracker)
+    }
+}
+
+impl<T: Clone, K: SampleTracker<T>> TsEngineBank<T, K> {
+    /// Like [`TsEngineBank::new`] with a per-sample suffix tracker
+    /// (Theorem 5.1 support). One tracker serves all lanes; a fresh
+    /// arrival's statistic is computed once and shared until lanes
+    /// differentiate at the bucket's first merge.
+    pub fn with_tracker(t0: u64, lanes: usize, tracker: K) -> Self {
+        assert!(t0 >= 1, "TsEngineBank: window width must be at least 1");
+        assert!(lanes >= 1, "TsEngineBank: need at least one lane");
+        Self {
+            t0,
+            now: 0,
+            lanes,
+            tracker,
+            bits: BitSource::new(),
+            spare: SparePool::default(),
+            state: BankState::Empty,
+        }
+    }
+
+    /// Window width `t0`.
+    pub fn window(&self) -> u64 {
+        self.t0
+    }
+
+    /// Current clock.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Number of fused lanes.
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// `true` when a query returns `None` (nothing stored is active).
+    pub fn is_empty(&self) -> bool {
+        matches!(self.state, BankState::Empty)
+    }
+
+    fn is_active(&self, ts: u64) -> bool {
+        debug_assert!(ts <= self.now);
+        self.now - ts < self.t0
+    }
+
+    /// Advance the clock and run the Lemma 3.5 expiry transitions — once,
+    /// for all lanes.
+    ///
+    /// # Panics
+    /// Panics if `now` moves backwards.
+    pub fn advance_time(&mut self, now: u64) {
+        assert!(
+            now >= self.now,
+            "TsEngineBank: clock moved backwards ({} -> {now})",
+            self.now
+        );
+        self.now = now;
+        let t0 = self.t0;
+        let active = |ts: u64| now - ts < t0;
+        let state = std::mem::replace(&mut self.state, BankState::Empty);
+        self.state = match state {
+            BankState::Empty => BankState::Empty,
+            BankState::Full(mut cov) => {
+                if !active(cov.newest_ts()) {
+                    BankState::Empty
+                } else if !active(cov.oldest_ts()) {
+                    let head = cov.split_straddle(active);
+                    BankState::Straddle { head, tail: cov }
+                } else {
+                    BankState::Full(cov)
+                }
+            }
+            BankState::Straddle { head, mut tail } => {
+                if !active(tail.newest_ts()) {
+                    head.recycle(&mut self.spare);
+                    BankState::Empty
+                } else if !active(tail.oldest_ts()) {
+                    head.recycle(&mut self.spare);
+                    let head = tail.split_straddle(active);
+                    BankState::Straddle { head, tail }
+                } else {
+                    BankState::Straddle { head, tail }
+                }
+            }
+        };
+        self.debug_check_invariants();
+    }
+
+    /// Insert an element arriving at timestamp `ts` with stream index
+    /// `index` — one boundary walk for all `k` lanes.
+    ///
+    /// Same contract as [`TsEngine::insert`]: indices consecutive while
+    /// non-empty, already-expired arrivals only ever offered when the bank
+    /// has emptied (the §4 delayed-ingestion path, Lemma 4.1).
+    pub fn insert<R: Rng>(&mut self, rng: &mut R, value: T, index: u64, ts: u64) {
+        assert!(
+            ts <= self.now,
+            "TsEngineBank: element from the future (ts {ts} > now {})",
+            self.now
+        );
+        if !self.is_active(ts) {
+            debug_assert!(matches!(self.state, BankState::Empty));
+            return;
+        }
+        if K::TRACKS {
+            let tracker = &mut self.tracker;
+            match &mut self.state {
+                BankState::Empty => {}
+                BankState::Full(cov) => cov.observe_stats(|stat| tracker.observe(stat, &value)),
+                BankState::Straddle { head, tail } => {
+                    head.observe_stats(|stat| tracker.observe(stat, &value));
+                    tail.observe_stats(|stat| tracker.observe(stat, &value));
+                }
+            }
+        }
+        let stat = self.tracker.fresh(&value, index);
+        let item = Sample::new(value, index, ts);
+        let lanes = self.lanes;
+        let bits = &mut self.bits;
+        let pool = &mut self.spare;
+        match &mut self.state {
+            BankState::Empty => {
+                self.state = BankState::Full(BankCovering::new(BankBucket::singleton(item, stat)))
+            }
+            BankState::Full(cov) => cov.incr(item, stat, lanes, rng, bits, pool),
+            BankState::Straddle { tail, .. } => tail.incr(item, stat, lanes, rng, bits, pool),
+        }
+        self.debug_check_invariants();
+    }
+
+    /// Lane `lane`'s uniform sample of the active elements (Lemma 3.8 /
+    /// Theorem 3.9); `None` when the window is empty. Query-time draws
+    /// (bucket choice, implicit events) are per-lane, exactly as for a
+    /// solo engine.
+    pub fn sample_lane<R: Rng>(&self, lane: usize, rng: &mut R) -> Option<Sample<T>> {
+        self.sample_lane_with_stat(lane, rng).map(|(s, _)| s)
+    }
+
+    /// Like [`TsEngineBank::sample_lane`], returning the tracker statistic
+    /// carried by the sampled element.
+    pub fn sample_lane_with_stat<R: Rng>(
+        &self,
+        lane: usize,
+        rng: &mut R,
+    ) -> Option<(Sample<T>, K::Stat)> {
+        assert!(lane < self.lanes, "lane {lane} out of range");
+        match &self.state {
+            BankState::Empty => None,
+            BankState::Full(cov) => Some(cov.sample_uniform_lane(lane, rng)),
+            BankState::Straddle { head, tail } => {
+                Some(self.sample_straddle_lane(head, tail, lane, rng))
+            }
+        }
+    }
+
+    /// The case-2 sampling rule (Lemmas 3.6–3.8) for one lane — a verbatim
+    /// lift of `TsEngine::sample_straddle` onto lane-indexed slots.
+    fn sample_straddle_lane<R: Rng>(
+        &self,
+        head: &BankBucket<T, K::Stat>,
+        tail: &BankCovering<T, K::Stat>,
+        lane: usize,
+        rng: &mut R,
+    ) -> (Sample<T>, K::Stat) {
+        let alpha = head.width();
+        let beta = tail.covered_len();
+        debug_assert!(
+            alpha <= beta,
+            "case-2 invariant α ≤ β violated ({alpha} > {beta})"
+        );
+        let r2 = tail.sample_uniform_lane(lane, rng);
+
+        let q1 = head.q(lane);
+        let i = head.b - q1.index();
+        debug_assert!(i >= 1 && i <= alpha);
+        let y_expired = if i < alpha {
+            let num = alpha as u128 * beta as u128;
+            let den = (beta + i) as u128 * (beta + i - 1) as u128;
+            if bernoulli_ratio(rng, num, den) {
+                !self.is_active(q1.timestamp())
+            } else {
+                !self.is_active(head.ts_first)
+            }
+        } else {
+            !self.is_active(head.ts_first)
+        };
+
+        let x = y_expired && bernoulli_ratio(rng, alpha as u128, beta as u128);
+
+        if x && self.is_active(head.r(lane).timestamp()) {
+            (head.r(lane).clone(), head.r_stat(lane).clone())
+        } else {
+            r2
+        }
+    }
+
+    /// The shared bucket-boundary profile — `(a, b, T(p_a))` per bucket,
+    /// oldest first, straddling head included. By construction identical
+    /// for every lane; lockstep-equal to [`TsEngine::boundaries`] of an
+    /// independent engine fed the same stream (asserted in
+    /// `tests/ts_bank_equivalence.rs`).
+    pub fn boundaries(&self) -> Vec<(u64, u64, u64)> {
+        match &self.state {
+            BankState::Empty => Vec::new(),
+            BankState::Full(cov) => cov.buckets.iter().map(|b| (b.a, b.b, b.ts_first)).collect(),
+            BankState::Straddle { head, tail } => std::iter::once((head.a, head.b, head.ts_first))
+                .chain(tail.buckets.iter().map(|b| (b.a, b.b, b.ts_first)))
+                .collect(),
+        }
+    }
+
+    /// `true` in the Lemma 3.5 case-2 (straddling-bucket) state.
+    pub fn is_straddling(&self) -> bool {
+        matches!(self.state, BankState::Straddle { .. })
+    }
+
+    /// Extract one lane as a standalone [`TsEngine`] (cloned boundaries +
+    /// that lane's slots). Used by the §4 without-replacement sampler to
+    /// extend a lane with its delay-deficit arrivals at query time.
+    pub(crate) fn lane_engine(&self, lane: usize) -> TsEngine<T, K>
+    where
+        K: Clone,
+    {
+        assert!(lane < self.lanes, "lane {lane} out of range");
+        let state = match &self.state {
+            BankState::Empty => State::Empty,
+            BankState::Full(cov) => State::Full(Covering::from_buckets(
+                cov.buckets.iter().map(|b| b.lane_bucket(lane)).collect(),
+            )),
+            BankState::Straddle { head, tail } => State::Straddle {
+                head: head.lane_bucket(lane),
+                tail: Covering::from_buckets(
+                    tail.buckets.iter().map(|b| b.lane_bucket(lane)).collect(),
+                ),
+            },
+        };
+        TsEngine::from_parts(self.t0, self.now, self.tracker.clone(), state)
+    }
+
+    #[cfg(debug_assertions)]
+    fn debug_check_invariants(&self) {
+        match &self.state {
+            BankState::Empty => {}
+            BankState::Full(cov) => {
+                debug_assert!(cov.is_canonical());
+                debug_assert!(
+                    self.is_active(cov.oldest_ts()),
+                    "case-1 covering must be all-active"
+                );
+            }
+            BankState::Straddle { head, tail } => {
+                debug_assert!(tail.is_canonical());
+                debug_assert_eq!(head.b, tail.start(), "head must abut the tail");
+                debug_assert!(
+                    !self.is_active(head.ts_first),
+                    "head's first element must be expired"
+                );
+                debug_assert!(self.is_active(tail.oldest_ts()), "tail must be all-active");
+                debug_assert!(head.width() <= tail.covered_len(), "α ≤ β invariant");
+            }
+        }
+    }
+
+    #[cfg(not(debug_assertions))]
+    fn debug_check_invariants(&self) {}
+}
+
+impl<T, K: SampleTracker<T>> MemoryWords for TsEngineBank<T, K> {
+    fn memory_words(&self) -> usize {
+        let state = match &self.state {
+            BankState::Empty => 0,
+            BankState::Full(cov) => cov.memory_words(),
+            BankState::Straddle { head, tail } => head.memory_words() + tail.memory_words(),
+        };
+        state + 2 // t0, now
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::CountingRng;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use swsample_stats::chi_square_uniform_test;
+
+    fn drive(
+        t0: u64,
+        lanes: usize,
+        schedule: &[(u64, u64)],
+        rng: &mut SmallRng,
+    ) -> TsEngineBank<u64> {
+        let mut bank = TsEngineBank::new(t0, lanes);
+        let mut idx = 0u64;
+        for &(ts, burst) in schedule {
+            bank.advance_time(ts);
+            for _ in 0..burst {
+                bank.insert(rng, idx, idx, ts);
+                idx += 1;
+            }
+        }
+        bank
+    }
+
+    #[test]
+    fn empty_bank_returns_none() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let bank: TsEngineBank<u64> = TsEngineBank::new(5, 4);
+        for lane in 0..4 {
+            assert!(bank.sample_lane(lane, &mut rng).is_none());
+        }
+        assert!(bank.is_empty());
+    }
+
+    #[test]
+    fn boundaries_match_an_independent_engine_in_lockstep() {
+        // The load-bearing structural claim: the shared skeleton equals a
+        // solo engine's at every single tick, straddle state included.
+        let mut rng_bank = SmallRng::seed_from_u64(1);
+        let mut rng_engine = SmallRng::seed_from_u64(99); // different coins on purpose
+        let mut bank: TsEngineBank<u64> = TsEngineBank::new(7, 8);
+        let mut engine: TsEngine<u64> = TsEngine::new(7);
+        let mut sched = SmallRng::seed_from_u64(3);
+        let mut idx = 0u64;
+        for tick in 0..400u64 {
+            bank.advance_time(tick);
+            engine.advance_time(tick);
+            for _ in 0..sched.gen_range(0..4u64) {
+                bank.insert(&mut rng_bank, idx, idx, tick);
+                engine.insert(&mut rng_engine, idx, idx, tick);
+                idx += 1;
+            }
+            assert_eq!(bank.boundaries(), engine.boundaries(), "tick {tick}");
+            assert_eq!(bank.is_straddling(), engine.is_straddling(), "tick {tick}");
+        }
+    }
+
+    #[test]
+    fn every_lane_is_uniform_case2() {
+        // Steady stream, query in the straddling state: each of 3 lanes
+        // must be uniform over the 16 active elements.
+        let t0 = 16u64;
+        let last_tick = 40u64;
+        let lanes = 3usize;
+        let trials = 20_000u64;
+        let mut counts = vec![vec![0u64; t0 as usize]; lanes];
+        for t in 0..trials {
+            let mut rng = SmallRng::seed_from_u64(100_000 + t);
+            let schedule: Vec<(u64, u64)> = (0..=last_tick).map(|i| (i, 1)).collect();
+            let bank = drive(t0, lanes, &schedule, &mut rng);
+            let lo = last_tick - t0 + 1;
+            for (lane, lane_counts) in counts.iter_mut().enumerate() {
+                let s = bank.sample_lane(lane, &mut rng).expect("nonempty");
+                assert!(s.index() >= lo);
+                lane_counts[(s.index() - lo) as usize] += 1;
+            }
+        }
+        for (lane, lane_counts) in counts.iter().enumerate() {
+            let out = chi_square_uniform_test(lane_counts);
+            assert!(
+                out.p_value > 1e-4,
+                "lane {lane} not uniform: p = {}",
+                out.p_value
+            );
+        }
+    }
+
+    #[test]
+    fn lanes_are_mutually_independent() {
+        // 2 lanes over a 3-element window: the joint law over 9 cells must
+        // be the product of uniforms.
+        let trials = 40_000u64;
+        let mut counts = vec![0u64; 9];
+        for t in 0..trials {
+            let mut rng = SmallRng::seed_from_u64(50_000 + t);
+            let schedule: Vec<(u64, u64)> = (0..10).map(|i| (i, 1)).collect();
+            let bank = drive(3, 2, &schedule, &mut rng);
+            let a = bank.sample_lane(0, &mut rng).expect("nonempty").index() - 7;
+            let b = bank.sample_lane(1, &mut rng).expect("nonempty").index() - 7;
+            counts[(a * 3 + b) as usize] += 1;
+        }
+        let out = chi_square_uniform_test(&counts);
+        assert!(
+            out.p_value > 1e-4,
+            "lanes not independent: p = {}",
+            out.p_value
+        );
+    }
+
+    #[test]
+    fn ingestion_draws_are_amortized_bits() {
+        // 2k coin bits per merge, ~1 merge per arrival: ≤ k/32 + ε words
+        // per element, two orders below the 2k words of independent
+        // engines.
+        let lanes = 64usize;
+        let mut rng = CountingRng::new(SmallRng::seed_from_u64(4));
+        let mut bank: TsEngineBank<u64> = TsEngineBank::new(1 << 20, lanes);
+        bank.advance_time(0);
+        let n = 40_000u64;
+        for i in 0..n {
+            bank.insert(&mut rng, i, i, 0);
+        }
+        let per_elem = rng.words() as f64 / n as f64;
+        assert!(
+            per_elem <= lanes as f64 / 32.0 + 1.0,
+            "draws/element {per_elem} above k/32 + 1"
+        );
+    }
+
+    #[test]
+    fn lane_engine_extraction_round_trips() {
+        // An extracted lane must be a valid engine whose boundaries match
+        // the bank and whose sample is active.
+        let mut rng = SmallRng::seed_from_u64(5);
+        let schedule: Vec<(u64, u64)> = (0..60).map(|i| (i, 2)).collect();
+        let bank = drive(9, 4, &schedule, &mut rng);
+        for lane in 0..4 {
+            let mut e = bank.lane_engine(lane);
+            assert_eq!(e.boundaries(), bank.boundaries());
+            let s = e.sample(&mut rng).expect("nonempty");
+            assert!(bank.now() - s.timestamp() < 9);
+        }
+    }
+
+    #[test]
+    fn memory_never_exceeds_independent_engines() {
+        // Shared boundaries: (6k+3) words per differentiated bucket vs 9k
+        // for k engines; Shared singletons are cheaper still.
+        let mut rng = SmallRng::seed_from_u64(6);
+        let lanes = 5usize;
+        let mut bank: TsEngineBank<u64> = TsEngineBank::new(64, lanes);
+        let mut engine: TsEngine<u64> = TsEngine::new(64);
+        let mut idx = 0u64;
+        for tick in 0..500u64 {
+            bank.advance_time(tick);
+            engine.advance_time(tick);
+            for _ in 0..3 {
+                bank.insert(&mut rng, idx, idx, tick);
+                engine.insert(&mut rng, idx, idx, tick);
+                idx += 1;
+            }
+            let independent = lanes * engine.memory_words();
+            assert!(
+                bank.memory_words() <= independent,
+                "tick {tick}: bank {} > {independent}",
+                bank.memory_words()
+            );
+        }
+    }
+
+    #[test]
+    fn total_expiry_resets_all_lanes() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut bank: TsEngineBank<u64> = TsEngineBank::new(3, 2);
+        bank.advance_time(0);
+        bank.insert(&mut rng, 1, 0, 0);
+        bank.advance_time(100);
+        assert!(bank.is_empty());
+        bank.insert(&mut rng, 2, 1, 100);
+        for lane in 0..2 {
+            let s = bank.sample_lane(lane, &mut rng).expect("restarted");
+            assert_eq!(s.index(), 1);
+        }
+    }
+}

@@ -1,6 +1,7 @@
 //! Bucket structures `BS(x, y)` — the atoms of the covering decomposition.
 
 use crate::memory::MemoryWords;
+use crate::rngutil::BitSource;
 use crate::sample::Sample;
 use rand::Rng;
 
@@ -63,19 +64,26 @@ impl<T: Clone, S: Clone> BucketStruct<T, S> {
     /// Merge with the adjacent right neighbour of equal width (the `Incr`
     /// union step): each of the merged `R`, `Q` is taken from the left or
     /// right bucket with probability 1/2, independently, preserving both
-    /// uniformity and the R/Q independence.
-    pub fn merge_right<R: Rng>(&mut self, right: BucketStruct<T, S>, rng: &mut R) {
+    /// uniformity and the R/Q independence. The two fair coins come from a
+    /// caller-held [`BitSource`], so a merge costs 2 *bits* instead of 2
+    /// RNG words — one `next_u64` services 32 merges.
+    pub fn merge_right<R: Rng>(
+        &mut self,
+        right: BucketStruct<T, S>,
+        rng: &mut R,
+        bits: &mut BitSource,
+    ) {
         debug_assert_eq!(self.b, right.a, "merge of non-adjacent buckets");
         debug_assert_eq!(
             self.width(),
             right.width(),
             "merge of unequal-width buckets"
         );
-        if rng.gen_bool(0.5) {
+        if bits.bit(rng) {
             self.r = right.r;
             self.r_stat = right.r_stat;
         }
-        if rng.gen_bool(0.5) {
+        if bits.bit(rng) {
             self.q = right.q;
         }
         self.b = right.b;
@@ -112,9 +120,10 @@ mod tests {
     #[test]
     fn merge_right_combines_ranges() {
         let mut rng = SmallRng::seed_from_u64(1);
+        let mut bits = BitSource::new();
         let mut left = BucketStruct::singleton(item(0));
         let right = BucketStruct::singleton(item(1));
-        left.merge_right(right, &mut rng);
+        left.merge_right(right, &mut rng, &mut bits);
         assert_eq!((left.a, left.b), (0, 2));
         assert_eq!(left.ts_first, 0);
         assert!(left.r.index() <= 1);
@@ -123,12 +132,13 @@ mod tests {
     #[test]
     fn merge_picks_each_side_half_the_time() {
         let mut rng = SmallRng::seed_from_u64(2);
+        let mut bits = BitSource::new();
         let trials = 20_000;
         let mut left_wins = 0u64;
         for _ in 0..trials {
             let mut l = BucketStruct::singleton(item(0));
             let r = BucketStruct::singleton(item(1));
-            l.merge_right(r, &mut rng);
+            l.merge_right(r, &mut rng, &mut bits);
             if l.r.index() == 0 {
                 left_wins += 1;
             }
@@ -140,12 +150,13 @@ mod tests {
     #[test]
     fn r_and_q_merge_independently() {
         let mut rng = SmallRng::seed_from_u64(3);
+        let mut bits = BitSource::new();
         let trials = 20_000;
         let mut joint = [[0u64; 2]; 2];
         for _ in 0..trials {
             let mut l = BucketStruct::singleton(item(0));
             let r = BucketStruct::singleton(item(1));
-            l.merge_right(r, &mut rng);
+            l.merge_right(r, &mut rng, &mut bits);
             joint[l.r.index() as usize][l.q.index() as usize] += 1;
         }
         // Each of the 4 cells should hold about a quarter.
@@ -161,9 +172,10 @@ mod tests {
     #[should_panic]
     fn merge_rejects_unequal_widths() {
         let mut rng = SmallRng::seed_from_u64(4);
+        let mut bits = BitSource::new();
         let mut wide = BucketStruct::singleton(item(0));
-        wide.merge_right(BucketStruct::singleton(item(1)), &mut rng);
+        wide.merge_right(BucketStruct::singleton(item(1)), &mut rng, &mut bits);
         // width-2 merged with width-1 must panic (debug assertions on).
-        wide.merge_right(BucketStruct::singleton(item(2)), &mut rng);
+        wide.merge_right(BucketStruct::singleton(item(2)), &mut rng, &mut bits);
     }
 }

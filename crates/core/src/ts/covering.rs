@@ -17,7 +17,7 @@
 
 use super::bucket::BucketStruct;
 use crate::memory::MemoryWords;
-use crate::rngutil::floor_log2;
+use crate::rngutil::{floor_log2, BitSource};
 use crate::sample::Sample;
 use rand::Rng;
 
@@ -67,9 +67,17 @@ impl<T: Clone, S: Clone> Covering<T, S> {
     }
 
     /// The buckets, oldest first.
-    #[cfg_attr(not(test), allow(dead_code))]
     pub fn buckets(&self) -> &[BucketStruct<T, S>] {
         &self.buckets
+    }
+
+    /// Rebuild a covering from raw buckets (the fused bank extracting one
+    /// lane as a standalone engine). The caller must supply a canonical
+    /// list.
+    pub fn from_buckets(buckets: Vec<BucketStruct<T, S>>) -> Self {
+        let c = Self { buckets };
+        debug_assert!(c.is_canonical(), "from_buckets: non-canonical list");
+        c
     }
 
     /// Timestamp of the newest covered element (= `ts_first` of the final
@@ -98,16 +106,22 @@ impl<T: Clone, S: Clone> Covering<T, S> {
     /// shows have equal width) merge. The recursion bottoms out at the
     /// final width-1 bucket, where the new element is appended.
     #[cfg_attr(not(test), allow(dead_code))]
-    pub fn incr<R: Rng>(&mut self, item: Sample<T>, rng: &mut R)
+    pub fn incr<R: Rng>(&mut self, item: Sample<T>, rng: &mut R, bits: &mut BitSource)
     where
         S: Default,
     {
-        self.incr_with_stat(item, S::default(), rng);
+        self.incr_with_stat(item, S::default(), rng, bits);
     }
 
     /// [`Covering::incr`] carrying the tracker statistic of the appended
     /// element.
-    pub fn incr_with_stat<R: Rng>(&mut self, item: Sample<T>, stat: S, rng: &mut R) {
+    pub fn incr_with_stat<R: Rng>(
+        &mut self,
+        item: Sample<T>,
+        stat: S,
+        rng: &mut R,
+        bits: &mut BitSource,
+    ) {
         debug_assert_eq!(item.index(), self.end(), "Incr: non-consecutive index");
         debug_assert!(
             item.timestamp() >= self.newest_ts(),
@@ -130,7 +144,7 @@ impl<T: Clone, S: Clone> Covering<T, S> {
                 // ⌊log⌋ jumped: b+1−a = 2^j − 1 and the first two buckets
                 // have equal width; unify them.
                 let right = self.buckets.remove(i + 1);
-                self.buckets[i].merge_right(right, rng);
+                self.buckets[i].merge_right(right, rng, bits);
                 i += 1;
             }
         }
@@ -236,9 +250,10 @@ mod tests {
     }
 
     fn build(len: u64, rng: &mut SmallRng) -> Covering<u64> {
+        let mut bits = BitSource::new();
         let mut c = Covering::new(item(0));
         for i in 1..len {
-            c.incr(item(i), rng);
+            c.incr(item(i), rng, &mut bits);
         }
         c
     }
@@ -342,9 +357,10 @@ mod tests {
     #[test]
     fn newest_ts_tracks_last_item() {
         let mut rng = SmallRng::seed_from_u64(5);
+        let mut bits = BitSource::new();
         let mut c = Covering::new(item(0));
         for i in 1..50 {
-            c.incr(Sample::new(i, i, i * 3), &mut rng);
+            c.incr(Sample::new(i, i, i * 3), &mut rng, &mut bits);
             assert_eq!(c.newest_ts(), i * 3);
         }
     }

@@ -21,14 +21,14 @@
 use super::bucket::BucketStruct;
 use super::covering::Covering;
 use crate::memory::MemoryWords;
-use crate::rngutil::bernoulli_ratio;
+use crate::rngutil::{bernoulli_ratio, BitSource};
 use crate::sample::Sample;
 use crate::track::{NullTracker, SampleTracker};
 use rand::Rng;
 
 /// Lemma 3.5 state.
 #[derive(Debug, Clone)]
-enum State<T, S> {
+pub(crate) enum State<T, S> {
     /// No stored elements (empty window, or everything stored has expired).
     Empty,
     /// Case 1: the covering spans exactly the active elements.
@@ -53,6 +53,9 @@ pub struct TsEngine<T, K: SampleTracker<T> = NullTracker> {
     t0: u64,
     now: u64,
     tracker: K,
+    /// Coin buffer for the `Incr` merge steps — RNG state, excluded from
+    /// the word accounting like the generator it draws from.
+    bits: BitSource,
     state: State<T, K::Stat>,
 }
 
@@ -71,8 +74,23 @@ impl<T: Clone, K: SampleTracker<T>> TsEngine<T, K> {
             t0,
             now: 0,
             tracker,
+            bits: BitSource::new(),
             state: State::Empty,
         }
+    }
+
+    /// Reassemble an engine from raw parts — the fused bank extracting one
+    /// of its lanes as a standalone engine (the §4 query-time extension).
+    pub(crate) fn from_parts(t0: u64, now: u64, tracker: K, state: State<T, K::Stat>) -> Self {
+        let e = Self {
+            t0,
+            now,
+            tracker,
+            bits: BitSource::new(),
+            state,
+        };
+        e.debug_check_invariants();
+        e
     }
 
     /// Window width `t0`.
@@ -173,10 +191,11 @@ impl<T: Clone, K: SampleTracker<T>> TsEngine<T, K> {
         // ... then the arrival enters with a fresh statistic of its own.
         let stat = self.tracker.fresh(&value, index);
         let item = Sample::new(value, index, ts);
+        let bits = &mut self.bits;
         match &mut self.state {
             State::Empty => self.state = State::Full(Covering::new_with_stat(item, stat)),
-            State::Full(cov) => cov.incr_with_stat(item, stat, rng),
-            State::Straddle { tail, .. } => tail.incr_with_stat(item, stat, rng),
+            State::Full(cov) => cov.incr_with_stat(item, stat, rng, bits),
+            State::Straddle { tail, .. } => tail.incr_with_stat(item, stat, rng, bits),
         }
         self.debug_check_invariants();
     }
@@ -250,6 +269,31 @@ impl<T: Clone, K: SampleTracker<T>> TsEngine<T, K> {
     /// means a query returns `None`.)
     pub fn is_empty(&self) -> bool {
         matches!(self.state, State::Empty)
+    }
+
+    /// The bucket-boundary profile of the current state — `(a, b, T(p_a))`
+    /// per bucket, oldest first, with the straddling head included when
+    /// present. The profile is a *deterministic* function of the ingested
+    /// stream (the merge coins pick which samples survive, never where the
+    /// boundaries sit) — the invariant the fused [`super::TsEngineBank`]
+    /// exploits, exposed so the lockstep equivalence tests can assert it.
+    pub fn boundaries(&self) -> Vec<(u64, u64, u64)> {
+        match &self.state {
+            State::Empty => Vec::new(),
+            State::Full(cov) => cov
+                .buckets()
+                .iter()
+                .map(|b| (b.a, b.b, b.ts_first))
+                .collect(),
+            State::Straddle { head, tail } => std::iter::once((head.a, head.b, head.ts_first))
+                .chain(tail.buckets().iter().map(|b| (b.a, b.b, b.ts_first)))
+                .collect(),
+        }
+    }
+
+    /// `true` in the Lemma 3.5 case-2 (straddling-bucket) state.
+    pub fn is_straddling(&self) -> bool {
+        matches!(self.state, State::Straddle { .. })
     }
 
     #[cfg(debug_assertions)]

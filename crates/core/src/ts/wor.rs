@@ -1,33 +1,83 @@
 //! Sampling **without replacement** from timestamp-based windows via the §4
 //! black-box reduction (Lemmas 4.1–4.3, Theorem 4.4).
 //!
-//! The construction maintains `k` *delayed* single-sample engines: engine
-//! `i` samples uniformly from all active elements **except the last `i`
-//! arrivals** — an element enters engine `i`'s covering decomposition only
-//! once more than `i` elements have arrived after it (Lemma 4.1). Together
-//! with an auxiliary array of the last `k` arrivals (shared across engines),
-//! a `k`-sample without replacement is assembled at query time by the
-//! Lemma 4.2 recurrence:
+//! The construction needs, at query time, samples `R_i` uniform over the
+//! active elements **minus the last `i` arrivals**, for `i = k−1 .. 0`,
+//! mutually independent — assembled into a `k`-sample without replacement
+//! by the Lemma 4.2 recurrence (the *cross-lane rejection*: lane `i`'s
+//! draw is replaced by the newest element of its domain whenever it
+//! collides with the set built so far):
 //!
 //! ```text
 //! S^{b+1}_{a+1} = S^b_a ∪ {element b+1}   if S^{b+1}_1 ∈ S^b_a
 //!               = S^b_a ∪ S^{b+1}_1        otherwise
 //! ```
 //!
-//! iterated from `S^{n−k+1}_1 = R_{k−1}` up to `S^n_k` (Lemma 4.3). Total
-//! memory: `Θ(k + k log n)` words, deterministic.
+//! PR 3 realized the `R_i` as `k` *delayed* engines: engine `i` ingests an
+//! arrival once `i` newer ones exist (Lemma 4.1). Those engines see
+//! `k` different stream prefixes, so their bucket boundaries differ and
+//! they cannot share a [`TsEngineBank`] directly. The fused construction
+//! here shifts where the delay lives:
+//!
+//! * **Ingestion**: all `k` lanes run at the *same* delay `k−1` — one bank
+//!   ingests each arrival exactly once, `k−1` arrivals late. Boundaries
+//!   are shared; per-arrival cost collapses from `k` covering walks to
+//!   one.
+//! * **Query**: lane `k−1` already has the right domain (it seeds the
+//!   recurrence). For `i < k−1`, lane `i` is extracted as a standalone
+//!   engine and *extended* with its delay-deficit — the `k−1−i` stored
+//!   recent arrivals it has not seen — before sampling.
+//!
+//! This is distribution-exact, not approximate: a §3 engine's sample is
+//! uniform over whatever elements it ingested, for **any** valid
+//! insert/advance schedule (Theorem 3.9 is schedule-free), so the
+//! extended lane `i` — having ingested precisely the active elements
+//! minus the last `i` — has exactly the law of PR 3's delayed engine `i`.
+//! Independence across lanes holds because lanes consume disjoint coin
+//! bits at ingestion and disjoint RNG draws at extension. The PR-3
+//! construction is retained as [`TsSamplerWor::independent`] and held to
+//! the same chi-square thresholds in `tests/ts_bank_equivalence.rs`.
+//!
+//! Total memory: `Θ(k + k log n)` words, deterministic (shared boundaries
+//! make the bank *smaller* than the `k` separate delayed engines).
+//!
+//! The trade is ingestion-for-query: the fused path makes every arrival
+//! ~20× cheaper, while a full `sample_k` pays `O(k·(log n + k))` clone
+//! work to materialize and extend the lanes (the independent path paid
+//! `O(k log n)` RNG draws with no clones). Streaming workloads are
+//! ingestion-dominated by orders of magnitude, which is why the fusion is
+//! the default; a query-heavy caller can construct with
+//! [`TsSamplerWor::independent`].
 
+use super::bank::TsEngineBank;
 use super::engine::TsEngine;
 use crate::memory::MemoryWords;
 use crate::sample::Sample;
+use crate::track::NullTracker;
 use crate::traits::WindowSampler;
 use rand::Rng;
 use std::collections::VecDeque;
+
+/// The two interchangeable backends: the fused bank at uniform delay
+/// `k−1` (default) and PR 3's per-engine delayed construction (retained
+/// as the reference and benchmark baseline `ts_wor_indep`).
+#[derive(Debug, Clone)]
+enum WorBackend<T> {
+    Bank(TsEngineBank<T, NullTracker>),
+    /// `engines[i]` samples the active elements minus the last `i`
+    /// arrivals.
+    Independent(Vec<TsEngine<T>>),
+}
 
 /// A uniform `k`-sample *without replacement* over a timestamp window of
 /// width `t0` — Theorem 4.4, `O(k log n)` memory words, deterministic.
 ///
 /// When fewer than `k` elements are active the sample is all of them.
+/// Ingestion runs on one fused [`TsEngineBank`] with every lane at delay
+/// `k−1`, extended per lane at query time (see the `ts::wor` source
+/// module docs for the full construction and its equivalence argument);
+/// the per-engine PR-3 shape stays available as
+/// [`TsSamplerWor::independent`].
 ///
 /// ```
 /// use swsample_core::ts::TsSamplerWor;
@@ -48,10 +98,10 @@ use std::collections::VecDeque;
 #[derive(Debug, Clone)]
 pub struct TsSamplerWor<T, R> {
     k: usize,
-    /// `engines[i]` samples the active elements minus the last `i` arrivals.
-    engines: Vec<TsEngine<T>>,
+    backend: WorBackend<T>,
     /// The last `k` arrivals (the paper's auxiliary array), newest at the
-    /// back.
+    /// back. On the fused path its front element is the one the bank has
+    /// just ingested; the newer `k−1` feed the query-time lane extensions.
     recent: VecDeque<Sample<T>>,
     rng: R,
     now: u64,
@@ -60,12 +110,27 @@ pub struct TsSamplerWor<T, R> {
 
 impl<T: Clone, R: Rng> TsSamplerWor<T, R> {
     /// Sampler over windows of width `t0 ≥ 1` maintaining a `k ≥ 1`-sample
-    /// without replacement.
+    /// without replacement, on the fused-bank fast path.
     pub fn new(t0: u64, k: usize, rng: R) -> Self {
         assert!(k >= 1, "TsSamplerWor: k must be at least 1");
         Self {
             k,
-            engines: (0..k).map(|_| TsEngine::new(t0)).collect(),
+            backend: WorBackend::Bank(TsEngineBank::new(t0, k)),
+            recent: VecDeque::with_capacity(k),
+            rng,
+            now: 0,
+            next_index: 0,
+        }
+    }
+
+    /// Like [`TsSamplerWor::new`] but running `k` physically independent
+    /// delayed engines — the PR-3 construction. Distribution-identical;
+    /// kept as the reference implementation and benchmark baseline.
+    pub fn independent(t0: u64, k: usize, rng: R) -> Self {
+        assert!(k >= 1, "TsSamplerWor: k must be at least 1");
+        Self {
+            k,
+            backend: WorBackend::Independent((0..k).map(|_| TsEngine::new(t0)).collect()),
             recent: VecDeque::with_capacity(k),
             rng,
             now: 0,
@@ -75,7 +140,10 @@ impl<T: Clone, R: Rng> TsSamplerWor<T, R> {
 
     /// Window width `t0`.
     pub fn window(&self) -> u64 {
-        self.engines[0].window()
+        match &self.backend {
+            WorBackend::Bank(bank) => bank.window(),
+            WorBackend::Independent(engines) => engines[0].window(),
+        }
     }
 
     /// Current clock.
@@ -86,6 +154,22 @@ impl<T: Clone, R: Rng> TsSamplerWor<T, R> {
     /// Total arrivals observed.
     pub fn len_seen(&self) -> u64 {
         self.next_index
+    }
+
+    /// `true` when ingestion runs on the fused `TsEngineBank`.
+    pub fn is_fused(&self) -> bool {
+        matches!(self.backend, WorBackend::Bank(_))
+    }
+
+    /// The bucket-boundary profile of the delay-(k−1) state: the bank's
+    /// shared skeleton on the fused path, engine `k−1`'s on the
+    /// independent path — the two are lockstep-equal (asserted in
+    /// `tests/ts_bank_equivalence.rs`).
+    pub fn boundaries(&self) -> Vec<(u64, u64, u64)> {
+        match &self.backend {
+            WorBackend::Bank(bank) => bank.boundaries(),
+            WorBackend::Independent(engines) => engines[self.k - 1].boundaries(),
+        }
     }
 
     /// The still-active suffix of the last-`k` array.
@@ -99,9 +183,41 @@ impl<T: Clone, R: Rng> TsSamplerWor<T, R> {
     }
 }
 
+/// Materialize lane `lane` of the fused bank as a standalone engine,
+/// extend it with its delay-deficit (the stored recent arrivals it has
+/// not ingested), and draw one sample — exactly the law of a PR-3
+/// delayed engine `lane` (see the module docs).
+fn extended_lane_sample<T: Clone, R: Rng>(
+    bank: &TsEngineBank<T, NullTracker>,
+    recent: &VecDeque<Sample<T>>,
+    rng: &mut R,
+    next_index: u64,
+    k: usize,
+    lane: usize,
+) -> Option<Sample<T>> {
+    let mut e = bank.lane_engine(lane);
+    // recent[p] holds stream index `base + p`; the bank has ingested
+    // every index below `released`. Lane `lane` must additionally see
+    // all but the last `lane` arrivals.
+    let base = next_index - recent.len() as u64;
+    let released = next_index.saturating_sub(k as u64 - 1);
+    let start = (released - base) as usize;
+    let stop = recent.len().saturating_sub(lane);
+    for s in recent.iter().take(stop).skip(start) {
+        // Lemma 4.1: the engine itself skips arrivals that expired while
+        // waiting in the array (only possible when it is empty).
+        e.insert(rng, s.value().clone(), s.index(), s.timestamp());
+    }
+    e.sample(rng)
+}
+
 impl<T, R> MemoryWords for TsSamplerWor<T, R> {
     fn memory_words(&self) -> usize {
-        self.engines.memory_words() + self.recent.len() * Sample::<T>::WORDS + 3
+        let backend = match &self.backend {
+            WorBackend::Bank(bank) => bank.memory_words(),
+            WorBackend::Independent(engines) => engines.memory_words(),
+        };
+        backend + self.recent.len() * Sample::<T>::WORDS + 3
     }
 }
 
@@ -109,39 +225,68 @@ impl<T: Clone, R: Rng> WindowSampler<T> for TsSamplerWor<T, R> {
     fn advance_time(&mut self, now: u64) {
         assert!(now >= self.now, "TsSamplerWor: clock moved backwards");
         self.now = now;
-        for e in &mut self.engines {
-            e.advance_time(now);
+        match &mut self.backend {
+            WorBackend::Bank(bank) => bank.advance_time(now),
+            WorBackend::Independent(engines) => {
+                for e in engines {
+                    e.advance_time(now);
+                }
+            }
         }
     }
 
     fn insert(&mut self, value: T) {
         let item = Sample::new(value, self.next_index, self.now);
         self.next_index += 1;
-        // Engine 0 sees the arrival immediately.
-        self.engines[0].insert(
-            &mut self.rng,
-            item.value().clone(),
-            item.index(),
-            item.timestamp(),
-        );
-        // Push into the auxiliary array *before* feeding the delayed
-        // engines: afterwards, recent[len−1−i] is exactly the element with
-        // `i` arrivals after it — the one engine `i` is now allowed to see.
-        self.recent.push_back(item);
-        if self.recent.len() > self.k {
-            self.recent.pop_front();
-        }
-        for i in 1..self.k {
-            if self.recent.len() > i {
-                let delayed = self.recent[self.recent.len() - 1 - i].clone();
-                // Lemma 4.1: the engine itself skips arrivals that have
-                // already expired while waiting in the array.
-                self.engines[i].insert(
+        match &mut self.backend {
+            WorBackend::Bank(bank) => {
+                // The bank runs `k−1` arrivals behind: each arrival enters
+                // the auxiliary array now and the bank once it is the
+                // element with exactly `k−1` newer ones — i.e. whenever
+                // the array is full, its front is due.
+                self.recent.push_back(item);
+                if self.recent.len() > self.k {
+                    self.recent.pop_front();
+                }
+                if self.recent.len() == self.k {
+                    let due = &self.recent[0];
+                    // Lemma 4.1: the bank skips arrivals that expired
+                    // while waiting (only ever offered when it is empty).
+                    bank.insert(
+                        &mut self.rng,
+                        due.value().clone(),
+                        due.index(),
+                        due.timestamp(),
+                    );
+                }
+            }
+            WorBackend::Independent(engines) => {
+                // Engine 0 sees the arrival immediately.
+                engines[0].insert(
                     &mut self.rng,
-                    delayed.value().clone(),
-                    delayed.index(),
-                    delayed.timestamp(),
+                    item.value().clone(),
+                    item.index(),
+                    item.timestamp(),
                 );
+                // Push into the auxiliary array *before* feeding the
+                // delayed engines: afterwards, recent[len−1−i] is exactly
+                // the element with `i` arrivals after it — the one engine
+                // `i` is now allowed to see.
+                self.recent.push_back(item);
+                if self.recent.len() > self.k {
+                    self.recent.pop_front();
+                }
+                for (i, engine) in engines.iter_mut().enumerate().skip(1) {
+                    if self.recent.len() > i {
+                        let delayed = self.recent[self.recent.len() - 1 - i].clone();
+                        engine.insert(
+                            &mut self.rng,
+                            delayed.value().clone(),
+                            delayed.index(),
+                            delayed.timestamp(),
+                        );
+                    }
+                }
             }
         }
     }
@@ -153,44 +298,79 @@ impl<T: Clone, R: Rng> WindowSampler<T> for TsSamplerWor<T, R> {
         if values.is_empty() {
             return;
         }
-        let first = self.next_index;
-        self.next_index += values.len() as u64;
-        let now = self.now;
-        // Materialize the combined auxiliary view (old last-k array + the
-        // batch) once, then run engine-major: engine `i` sees arrival `j`
-        // as soon as `i` newer arrivals exist, i.e. element
-        // `combined[old_len + j − i]` — exactly what the per-arrival path
-        // feeds it, but with each engine's covering hot in cache.
-        let old_len = self.recent.len();
-        let mut combined: Vec<Sample<T>> = Vec::with_capacity(old_len + values.len());
-        combined.extend(self.recent.iter().cloned());
-        for (j, v) in values.iter().enumerate() {
-            combined.push(Sample::new(v.clone(), first + j as u64, now));
+        if self.is_fused() {
+            // The bank is one shared structure ingesting each element
+            // once; the per-arrival path is already single-dispatch.
+            for v in values {
+                self.insert(v.clone());
+            }
+            return;
         }
-        for (i, engine) in self.engines.iter_mut().enumerate() {
-            for j in 0..values.len() {
-                let pos = old_len + j;
-                if pos >= i {
-                    let s = &combined[pos - i];
-                    engine.insert(&mut self.rng, s.value().clone(), s.index(), s.timestamp());
+        match &mut self.backend {
+            WorBackend::Bank(_) => unreachable!("handled above"),
+            WorBackend::Independent(engines) => {
+                let first = self.next_index;
+                self.next_index += values.len() as u64;
+                let now = self.now;
+                // Materialize the combined auxiliary view (old last-k
+                // array + the batch) once, then run engine-major: engine
+                // `i` sees arrival `j` as soon as `i` newer arrivals
+                // exist, i.e. element `combined[old_len + j − i]` —
+                // exactly what the per-arrival path feeds it, but with
+                // each engine's covering hot in cache.
+                let old_len = self.recent.len();
+                let mut combined: Vec<Sample<T>> = Vec::with_capacity(old_len + values.len());
+                combined.extend(self.recent.iter().cloned());
+                for (j, v) in values.iter().enumerate() {
+                    combined.push(Sample::new(v.clone(), first + j as u64, now));
                 }
+                for (i, engine) in engines.iter_mut().enumerate() {
+                    for j in 0..values.len() {
+                        let pos = old_len + j;
+                        if pos >= i {
+                            let s = &combined[pos - i];
+                            engine.insert(
+                                &mut self.rng,
+                                s.value().clone(),
+                                s.index(),
+                                s.timestamp(),
+                            );
+                        }
+                    }
+                }
+                // The auxiliary array keeps the last k arrivals.
+                let keep = combined.len().min(self.k);
+                self.recent = combined.split_off(combined.len() - keep).into();
             }
         }
-        // The auxiliary array keeps the last k arrivals.
-        let keep = combined.len().min(self.k);
-        self.recent = combined.split_off(combined.len() - keep).into();
     }
 
     fn sample(&mut self) -> Option<Sample<T>> {
-        // Engine 0 is an undelayed §3 sampler of the full window.
-        self.engines[0].sample(&mut self.rng)
+        match &mut self.backend {
+            // Lane 0 extended with everything pending = an undelayed §3
+            // sampler of the full window.
+            WorBackend::Bank(bank) => extended_lane_sample(
+                bank,
+                &self.recent,
+                &mut self.rng,
+                self.next_index,
+                self.k,
+                0,
+            ),
+            WorBackend::Independent(engines) => engines[0].sample(&mut self.rng),
+        }
     }
 
     fn sample_k(&mut self) -> Option<Vec<Sample<T>>> {
         let active_recent = self.active_recent();
+        let k = self.k;
         // R_{k−1} samples the window minus the last k−1 arrivals; if that
         // domain is empty the whole window fits in the auxiliary array.
-        let seed = match self.engines[self.k - 1].sample(&mut self.rng) {
+        let seed = match &mut self.backend {
+            WorBackend::Bank(bank) => bank.sample_lane(k - 1, &mut self.rng),
+            WorBackend::Independent(engines) => engines[k - 1].sample(&mut self.rng),
+        };
+        let seed = match seed {
             Some(s) => s,
             None => {
                 return if active_recent.is_empty() {
@@ -202,14 +382,18 @@ impl<T: Clone, R: Rng> WindowSampler<T> for TsSamplerWor<T, R> {
         };
         // n ≥ k: the last k arrivals are all active.
         debug_assert_eq!(active_recent.len(), self.k);
-        // Lemma 4.3: fold in R_{k−2}, …, R_0.
+        // Lemma 4.3: fold in R_{k−2}, …, R_0 (the cross-lane rejection).
         let mut set: Vec<Sample<T>> = vec![seed];
-        for j in 2..=self.k {
-            let i = self.k - j; // engine index supplying S^{n−k+j}_1
-            let r = self.engines[i]
-                .sample(&mut self.rng)
-                .expect("engine i's domain contains engine k-1's domain");
-            // "Element b+1" of Lemma 4.2: the newest element of engine i's
+        for j in 2..=k {
+            let i = k - j; // lane supplying S^{n−k+j}_1
+            let r = match &mut self.backend {
+                WorBackend::Bank(bank) => {
+                    extended_lane_sample(bank, &self.recent, &mut self.rng, self.next_index, k, i)
+                }
+                WorBackend::Independent(engines) => engines[i].sample(&mut self.rng),
+            }
+            .expect("lane i's domain contains lane k-1's domain");
+            // "Element b+1" of Lemma 4.2: the newest element of lane i's
             // domain = the arrival with exactly i newer arrivals.
             let newcomer = active_recent[active_recent.len() - 1 - i].clone();
             if set.iter().any(|s| s.index() == r.index()) {
@@ -261,7 +445,12 @@ mod tests {
     #[test]
     fn empty_returns_none() {
         let mut s: TsSamplerWor<u64, _> = TsSamplerWor::new(5, 3, SmallRng::seed_from_u64(0));
+        assert!(s.is_fused());
         assert!(s.sample_k().is_none());
+        let mut ind: TsSamplerWor<u64, _> =
+            TsSamplerWor::independent(5, 3, SmallRng::seed_from_u64(0));
+        assert!(!ind.is_fused());
+        assert!(ind.sample_k().is_none());
     }
 
     #[test]
@@ -339,23 +528,32 @@ mod tests {
 
     #[test]
     fn bursty_stream_stays_distinct() {
-        let mut s = TsSamplerWor::new(6, 4, SmallRng::seed_from_u64(11));
-        let mut rng = SmallRng::seed_from_u64(12);
-        let mut idx = 0u64;
-        for tick in 0..300u64 {
-            s.advance_time(tick);
-            for _ in 0..rng.gen_range(0..5u64) {
-                s.insert(idx);
-                idx += 1;
-            }
-            if let Some(out) = s.sample_k() {
-                let mut seen: Vec<u64> = out.iter().map(|x| x.index()).collect();
-                seen.sort_unstable();
-                let len = seen.len();
-                seen.dedup();
-                assert_eq!(seen.len(), len, "duplicates at tick {tick}");
-                for smp in &out {
-                    assert!(tick - smp.timestamp() < 6, "expired sample at tick {tick}");
+        for fused in [true, false] {
+            let mut s = if fused {
+                TsSamplerWor::new(6, 4, SmallRng::seed_from_u64(11))
+            } else {
+                TsSamplerWor::independent(6, 4, SmallRng::seed_from_u64(11))
+            };
+            let mut rng = SmallRng::seed_from_u64(12);
+            let mut idx = 0u64;
+            for tick in 0..300u64 {
+                s.advance_time(tick);
+                for _ in 0..rng.gen_range(0..5u64) {
+                    s.insert(idx);
+                    idx += 1;
+                }
+                if let Some(out) = s.sample_k() {
+                    let mut seen: Vec<u64> = out.iter().map(|x| x.index()).collect();
+                    seen.sort_unstable();
+                    let len = seen.len();
+                    seen.dedup();
+                    assert_eq!(seen.len(), len, "duplicates at tick {tick} (fused={fused})");
+                    for smp in &out {
+                        assert!(
+                            tick - smp.timestamp() < 6,
+                            "expired sample at tick {tick} (fused={fused})"
+                        );
+                    }
                 }
             }
         }
@@ -375,7 +573,8 @@ mod tests {
             }
             peaks.push(peak);
         }
-        // Deterministic cap: k engines × 9·(2 log2(n)+3) + k aux + slack.
+        // Deterministic cap: k engines × 9·(2 log2(n)+3) + k aux + slack —
+        // the fused bank stays far below it (shared boundaries).
         let log_n = 8; // log2(256)
         for (i, &k) in [1usize, 2, 4, 8].iter().enumerate() {
             let bound = k * 9 * (2 * log_n + 3) + 3 * k + 16;
@@ -392,5 +591,63 @@ mod tests {
         let (mut s, _) = drive(10, 3, 40, 21);
         let one = s.sample().expect("nonempty");
         assert!(one.index() >= 30);
+    }
+
+    #[test]
+    fn fused_and_independent_agree_on_small_windows() {
+        // Whenever fewer than k elements are active, the k-sample is
+        // deterministic (the complete active set), so both backends must
+        // return the identical index set. A bursty schedule with gaps
+        // repeatedly drops the active count below k mid-stream, so the
+        // degenerate path is exercised long after warm-up too.
+        for k in [2usize, 4, 6] {
+            let mut fused = TsSamplerWor::new(4, k, SmallRng::seed_from_u64(31));
+            let mut indep = TsSamplerWor::independent(4, k, SmallRng::seed_from_u64(32));
+            let mut sched = SmallRng::seed_from_u64(33);
+            let mut compared = 0u32;
+            let mut now = 0u64;
+            let mut idx = 0u64;
+            let mut arrivals: Vec<(u64, u64)> = Vec::new(); // (index, ts)
+            for _ in 0..200u64 {
+                // Occasional jumps empty most (or all) of the window.
+                now += sched.gen_range(1..6u64);
+                fused.advance_time(now);
+                indep.advance_time(now);
+                for _ in 0..sched.gen_range(0..3u64) {
+                    fused.insert(idx);
+                    indep.insert(idx);
+                    arrivals.push((idx, now));
+                    idx += 1;
+                }
+                let active: Vec<u64> = arrivals
+                    .iter()
+                    .filter(|&&(_, ts)| now - ts < 4)
+                    .map(|&(i, _)| i)
+                    .collect();
+                if active.len() < k {
+                    let sorted = |v: Option<Vec<Sample<u64>>>| {
+                        v.map(|v| {
+                            let mut ix: Vec<u64> = v.iter().map(|s| s.index()).collect();
+                            ix.sort_unstable();
+                            ix
+                        })
+                    };
+                    let f = sorted(fused.sample_k());
+                    let i = sorted(indep.sample_k());
+                    let want = if active.is_empty() {
+                        None
+                    } else {
+                        Some(active)
+                    };
+                    assert_eq!(f, want, "fused at now={now}, k={k}");
+                    assert_eq!(i, want, "independent at now={now}, k={k}");
+                    compared += 1;
+                }
+            }
+            assert!(
+                compared > 50,
+                "schedule exercised the degenerate path only {compared} times"
+            );
+        }
     }
 }

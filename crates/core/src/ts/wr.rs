@@ -1,6 +1,8 @@
 //! Sampling **with replacement** from timestamp-based windows
-//! (§3, Theorem 3.9): `k` independent single-sample engines.
+//! (§3, Theorem 3.9): `k` independent single-sample engines, fused into a
+//! [`TsEngineBank`] sharing one covering decomposition.
 
+use super::bank::TsEngineBank;
 use super::engine::TsEngine;
 use crate::memory::MemoryWords;
 use crate::sample::Sample;
@@ -8,8 +10,27 @@ use crate::track::{NullTracker, SampleTracker};
 use crate::traits::WindowSampler;
 use rand::Rng;
 
+/// The two interchangeable backends: the fused bank (default) and the
+/// PR-3 per-engine construction (retained for equivalence tests, draw
+/// audits, and as the benchmark baseline `ts_wr_indep`).
+#[derive(Debug, Clone)]
+enum WrBackend<T, K: SampleTracker<T>> {
+    Bank(TsEngineBank<T, K>),
+    Independent(Vec<TsEngine<T, K>>),
+}
+
 /// `k` independent uniform samples, *with replacement*, over a timestamp
 /// window of width `t0` — `O(k log n)` memory words, deterministic.
+///
+/// The `k` engines of Theorem 3.9 share one covering decomposition (their
+/// bucket boundaries are a deterministic function of the stream; see the
+/// [`super::bank`] module docs), so boundary maintenance runs once per
+/// arrival and merge coins are served as packed bits: amortized `O(k/32)`
+/// RNG words per element instead of the `2k` words of `k` separate
+/// engines. The per-engine construction stays available as
+/// [`TsSamplerWr::independent`] (mirroring `SeqSamplerWr::naive`) and is
+/// distribution-identical — `tests/ts_bank_equivalence.rs` holds both to
+/// lockstep boundary equality and the same chi-square thresholds.
 ///
 /// ```
 /// use swsample_core::ts::TsSamplerWr;
@@ -29,7 +50,7 @@ use rand::Rng;
 /// ```
 #[derive(Debug, Clone)]
 pub struct TsSamplerWr<T, R, K: SampleTracker<T> = NullTracker> {
-    engines: Vec<TsEngine<T, K>>,
+    backend: WrBackend<T, K>,
     rng: R,
     now: u64,
     next_index: u64,
@@ -37,21 +58,53 @@ pub struct TsSamplerWr<T, R, K: SampleTracker<T> = NullTracker> {
 
 impl<T: Clone, R: Rng> TsSamplerWr<T, R, NullTracker> {
     /// Sampler over windows of width `t0 ≥ 1` keeping `k ≥ 1` independent
-    /// samples.
+    /// samples, on the fused-bank fast path.
     pub fn new(t0: u64, k: usize, rng: R) -> Self {
-        Self::with_tracker(t0, k, rng, NullTracker)
+        assert!(k >= 1, "TsSamplerWr: k must be at least 1");
+        Self {
+            backend: WrBackend::Bank(TsEngineBank::new(t0, k)),
+            rng,
+            now: 0,
+            next_index: 0,
+        }
+    }
+
+    /// Like [`TsSamplerWr::new`] but running `k` physically independent
+    /// engines — the PR-3 construction. Distribution-identical to the
+    /// fused bank; kept as the reference implementation for the
+    /// equivalence tests and as the benchmark baseline (`ts_wr_indep` in
+    /// `BENCH_throughput.json`).
+    pub fn independent(t0: u64, k: usize, rng: R) -> Self {
+        Self::independent_with_tracker(t0, k, rng, NullTracker)
     }
 }
 
-impl<T: Clone, R: Rng, K: SampleTracker<T> + Clone> TsSamplerWr<T, R, K> {
+impl<T: Clone, R: Rng, K: SampleTracker<T>> TsSamplerWr<T, R, K> {
     /// Like [`TsSamplerWr::new`] with a per-candidate suffix tracker
-    /// (Theorem 5.1 support — each engine gets a clone of `tracker`).
+    /// (Theorem 5.1 support), on the fused bank.
     pub fn with_tracker(t0: u64, k: usize, rng: R, tracker: K) -> Self {
         assert!(k >= 1, "TsSamplerWr: k must be at least 1");
         Self {
-            engines: (0..k)
-                .map(|_| TsEngine::with_tracker(t0, tracker.clone()))
-                .collect(),
+            backend: WrBackend::Bank(TsEngineBank::with_tracker(t0, k, tracker)),
+            rng,
+            now: 0,
+            next_index: 0,
+        }
+    }
+
+    /// [`TsSamplerWr::independent`] with a tracker — each engine gets a
+    /// clone of `tracker`, exactly the PR-3 shape.
+    pub fn independent_with_tracker(t0: u64, k: usize, rng: R, tracker: K) -> Self
+    where
+        K: Clone,
+    {
+        assert!(k >= 1, "TsSamplerWr: k must be at least 1");
+        Self {
+            backend: WrBackend::Independent(
+                (0..k)
+                    .map(|_| TsEngine::with_tracker(t0, tracker.clone()))
+                    .collect(),
+            ),
             rng,
             now: 0,
             next_index: 0,
@@ -61,16 +114,30 @@ impl<T: Clone, R: Rng, K: SampleTracker<T> + Clone> TsSamplerWr<T, R, K> {
     /// Draw the `k` samples together with their tracker statistics;
     /// `None` when the window is empty.
     pub fn sample_k_with_stats(&mut self) -> Option<Vec<(Sample<T>, K::Stat)>> {
-        let mut out = Vec::with_capacity(self.engines.len());
-        for e in &mut self.engines {
-            out.push(e.sample_with_stat(&mut self.rng)?);
+        match &mut self.backend {
+            WrBackend::Bank(bank) => {
+                let mut out = Vec::with_capacity(bank.lanes());
+                for lane in 0..bank.lanes() {
+                    out.push(bank.sample_lane_with_stat(lane, &mut self.rng)?);
+                }
+                Some(out)
+            }
+            WrBackend::Independent(engines) => {
+                let mut out = Vec::with_capacity(engines.len());
+                for e in &mut *engines {
+                    out.push(e.sample_with_stat(&mut self.rng)?);
+                }
+                Some(out)
+            }
         }
-        Some(out)
     }
 
     /// Window width `t0`.
     pub fn window(&self) -> u64 {
-        self.engines[0].window()
+        match &self.backend {
+            WrBackend::Bank(bank) => bank.window(),
+            WrBackend::Independent(engines) => engines[0].window(),
+        }
     }
 
     /// Current clock.
@@ -82,11 +149,38 @@ impl<T: Clone, R: Rng, K: SampleTracker<T> + Clone> TsSamplerWr<T, R, K> {
     pub fn len_seen(&self) -> u64 {
         self.next_index
     }
+
+    /// `true` when ingestion runs on the fused `TsEngineBank`.
+    pub fn is_fused(&self) -> bool {
+        matches!(self.backend, WrBackend::Bank(_))
+    }
+
+    /// The bucket-boundary profile (shared across all lanes on the fused
+    /// path; engine 0's on the independent path — all engines hold the
+    /// same one). See [`TsEngine::boundaries`].
+    pub fn boundaries(&self) -> Vec<(u64, u64, u64)> {
+        match &self.backend {
+            WrBackend::Bank(bank) => bank.boundaries(),
+            WrBackend::Independent(engines) => engines[0].boundaries(),
+        }
+    }
+
+    /// `true` in the Lemma 3.5 case-2 (straddling) state.
+    pub fn is_straddling(&self) -> bool {
+        match &self.backend {
+            WrBackend::Bank(bank) => bank.is_straddling(),
+            WrBackend::Independent(engines) => engines[0].is_straddling(),
+        }
+    }
 }
 
 impl<T, R, K: SampleTracker<T>> MemoryWords for TsSamplerWr<T, R, K> {
     fn memory_words(&self) -> usize {
-        self.engines.memory_words() + 2 // + (now, next_index)
+        let backend = match &self.backend {
+            WrBackend::Bank(bank) => bank.memory_words(),
+            WrBackend::Independent(engines) => engines.memory_words(),
+        };
+        backend + 2 // + (now, next_index)
     }
 }
 
@@ -94,16 +188,26 @@ impl<T: Clone, R: Rng, K: SampleTracker<T>> WindowSampler<T> for TsSamplerWr<T, 
     fn advance_time(&mut self, now: u64) {
         assert!(now >= self.now, "TsSamplerWr: clock moved backwards");
         self.now = now;
-        for e in &mut self.engines {
-            e.advance_time(now);
+        match &mut self.backend {
+            WrBackend::Bank(bank) => bank.advance_time(now),
+            WrBackend::Independent(engines) => {
+                for e in engines {
+                    e.advance_time(now);
+                }
+            }
         }
     }
 
     fn insert(&mut self, value: T) {
         let idx = self.next_index;
         self.next_index += 1;
-        for e in &mut self.engines {
-            e.insert(&mut self.rng, value.clone(), idx, self.now);
+        match &mut self.backend {
+            WrBackend::Bank(bank) => bank.insert(&mut self.rng, value, idx, self.now),
+            WrBackend::Independent(engines) => {
+                for e in engines {
+                    e.insert(&mut self.rng, value.clone(), idx, self.now);
+                }
+            }
         }
     }
 
@@ -111,35 +215,48 @@ impl<T: Clone, R: Rng, K: SampleTracker<T>> WindowSampler<T> for TsSamplerWr<T, 
     where
         T: Clone,
     {
-        // Engine-major iteration: each engine ingests the whole run while
-        // its covering decomposition is hot in cache, instead of touching
-        // all k coverings per arrival. Engines are independent, so the
-        // reordering of RNG consumption across engines leaves every
-        // engine's distribution unchanged.
         let first = self.next_index;
         self.next_index += values.len() as u64;
         let now = self.now;
-        for e in &mut self.engines {
-            for (j, v) in values.iter().enumerate() {
-                e.insert(&mut self.rng, v.clone(), first + j as u64, now);
+        match &mut self.backend {
+            // The bank is already one shared structure: a single pass over
+            // the batch keeps it hot.
+            WrBackend::Bank(bank) => {
+                for (j, v) in values.iter().enumerate() {
+                    bank.insert(&mut self.rng, v.clone(), first + j as u64, now);
+                }
+            }
+            // Engine-major iteration: each engine ingests the whole run
+            // while its covering decomposition is hot in cache. Engines
+            // are independent, so the reordering of RNG consumption across
+            // engines leaves every engine's distribution unchanged.
+            WrBackend::Independent(engines) => {
+                for e in engines {
+                    for (j, v) in values.iter().enumerate() {
+                        e.insert(&mut self.rng, v.clone(), first + j as u64, now);
+                    }
+                }
             }
         }
     }
 
     fn sample(&mut self) -> Option<Sample<T>> {
-        self.engines[0].sample(&mut self.rng)
+        match &mut self.backend {
+            WrBackend::Bank(bank) => bank.sample_lane(0, &mut self.rng),
+            WrBackend::Independent(engines) => engines[0].sample(&mut self.rng),
+        }
     }
 
     fn sample_k(&mut self) -> Option<Vec<Sample<T>>> {
-        let mut out = Vec::with_capacity(self.engines.len());
-        for e in &mut self.engines {
-            out.push(e.sample(&mut self.rng)?);
-        }
-        Some(out)
+        self.sample_k_with_stats()
+            .map(|v| v.into_iter().map(|(s, _)| s).collect())
     }
 
     fn k(&self) -> usize {
-        self.engines.len()
+        match &self.backend {
+            WrBackend::Bank(bank) => bank.lanes(),
+            WrBackend::Independent(engines) => engines.len(),
+        }
     }
 }
 
@@ -153,27 +270,40 @@ mod tests {
     #[test]
     fn empty_returns_none() {
         let mut s: TsSamplerWr<u64, _> = TsSamplerWr::new(5, 3, SmallRng::seed_from_u64(0));
+        assert!(s.is_fused());
         assert!(s.sample().is_none());
         assert!(s.sample_k().is_none());
+        let mut ind: TsSamplerWr<u64, _> =
+            TsSamplerWr::independent(5, 3, SmallRng::seed_from_u64(0));
+        assert!(!ind.is_fused());
+        assert!(ind.sample_k().is_none());
     }
 
     #[test]
     fn k_samples_all_active() {
-        let mut s = TsSamplerWr::new(8, 4, SmallRng::seed_from_u64(1));
-        for tick in 0..100u64 {
-            s.advance_time(tick);
-            s.insert(tick);
-            let got = s.sample_k().expect("nonempty");
-            assert_eq!(got.len(), 4);
-            for smp in got {
-                assert!(tick - smp.timestamp() < 8);
+        for fused in [true, false] {
+            let mut s = if fused {
+                TsSamplerWr::new(8, 4, SmallRng::seed_from_u64(1))
+            } else {
+                TsSamplerWr::independent(8, 4, SmallRng::seed_from_u64(1))
+            };
+            for tick in 0..100u64 {
+                s.advance_time(tick);
+                s.insert(tick);
+                let got = s.sample_k().expect("nonempty");
+                assert_eq!(got.len(), 4);
+                for smp in got {
+                    assert!(tick - smp.timestamp() < 8, "fused={fused}");
+                }
             }
         }
     }
 
     #[test]
     fn joint_distribution_of_two_engines_is_product() {
-        // k = 2 independent engines over a 3-element window.
+        // k = 2 fused lanes over a 3-element window: the merge coins come
+        // from disjoint bits of shared words, so the joint law must still
+        // be the product of uniforms.
         let trials = 40_000u64;
         let mut counts = vec![0u64; 9];
         for t in 0..trials {
@@ -212,6 +342,28 @@ mod tests {
     }
 
     #[test]
+    fn fused_memory_is_below_independent() {
+        // Shared boundaries shrink the footprint: 6k+3 words per
+        // differentiated bucket against 9k across independent engines.
+        let mut fused = TsSamplerWr::new(32, 8, SmallRng::seed_from_u64(21));
+        let mut indep = TsSamplerWr::independent(32, 8, SmallRng::seed_from_u64(21));
+        for tick in 0..300u64 {
+            fused.advance_time(tick);
+            indep.advance_time(tick);
+            for _ in 0..3 {
+                fused.insert(tick);
+                indep.insert(tick);
+            }
+            assert!(
+                fused.memory_words() <= indep.memory_words(),
+                "tick {tick}: fused {} > independent {}",
+                fused.memory_words(),
+                indep.memory_words()
+            );
+        }
+    }
+
+    #[test]
     fn expiry_empties_sampler() {
         let mut s = TsSamplerWr::new(5, 2, SmallRng::seed_from_u64(4));
         s.advance_time(0);
@@ -245,24 +397,41 @@ mod tests {
         use crate::track::OccurrenceTracker;
         // Mixed values; the stat must always count occurrences of the
         // sampled value from its position onward, whatever bucket merges or
-        // case-2 transitions happened in between.
-        let mut s = TsSamplerWr::with_tracker(6, 1, SmallRng::seed_from_u64(6), OccurrenceTracker);
-        let mut values = Vec::new();
-        let mut idx = 0u64;
-        for tick in 0..60u64 {
-            s.advance_time(tick);
-            for j in 0..(tick % 3) + 1 {
-                let v = (tick + j) % 4;
-                s.insert(v);
-                values.push(v);
-                idx += 1;
-            }
-            if let Some((smp, (val, count))) = s.sample_k_with_stats().and_then(|mut v| v.pop()) {
-                let truth = values[smp.index() as usize..]
-                    .iter()
-                    .filter(|&&x| x == val)
-                    .count() as u64;
-                assert_eq!(count, truth, "stat mismatch at tick {tick} (idx {idx})");
+        // case-2 transitions happened in between — on both backends, and
+        // now with multiple fused lanes sharing singleton stats.
+        for fused in [true, false] {
+            for k in [1usize, 3] {
+                let mut s = if fused {
+                    TsSamplerWr::with_tracker(6, k, SmallRng::seed_from_u64(6), OccurrenceTracker)
+                } else {
+                    TsSamplerWr::independent_with_tracker(
+                        6,
+                        k,
+                        SmallRng::seed_from_u64(6),
+                        OccurrenceTracker,
+                    )
+                };
+                let mut values = Vec::new();
+                for tick in 0..60u64 {
+                    s.advance_time(tick);
+                    for j in 0..(tick % 3) + 1 {
+                        let v = (tick + j) % 4;
+                        s.insert(v);
+                        values.push(v);
+                    }
+                    if let Some(all) = s.sample_k_with_stats() {
+                        for (smp, (val, count)) in all {
+                            let truth = values[smp.index() as usize..]
+                                .iter()
+                                .filter(|&&x| x == val)
+                                .count() as u64;
+                            assert_eq!(
+                                count, truth,
+                                "stat mismatch at tick {tick} (fused={fused}, k={k})"
+                            );
+                        }
+                    }
+                }
             }
         }
     }
