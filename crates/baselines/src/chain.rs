@@ -22,10 +22,16 @@
 //! non-adopted arrivals cost zero RNG draws. The warm-up skips draw their
 //! octave-search coins from one sampler-wide [`BitSource`] — 64 coins
 //! per RNG word across all `k` chains (`draws_pack_warmup_coins` below
-//! pins the saving).
+//! pins the saving). Batched ingestion is **event-driven**: a min-heap
+//! over the lanes' next-event counts (scheduled adoption or awaited
+//! successor arrival) jumps from event to event, so a batch costs
+//! O(events · log k) instead of O(batch · k) lane scans — and, because
+//! events process in (count, lane) order, is bit-identical to
+//! per-element ingestion (`batch_is_bit_identical_to_per_element`).
 
 use rand::Rng;
-use std::collections::VecDeque;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
 use swsample_core::rngutil::BitSource;
 use swsample_core::skip::{geometric_skip, record_skip_with_bits};
 use swsample_core::{MemoryWords, Sample, WindowSampler};
@@ -110,6 +116,19 @@ impl<T: Clone> ChainInstance<T> {
     fn sample(&self) -> Option<&Sample<T>> {
         self.links.front().map(|(s, _)| s)
     }
+
+    /// 1-based arrival count of this chain's next *event* — the earlier
+    /// of its scheduled adoption and its awaited successor's arrival
+    /// (`u64::MAX` when no successor is pending). Arrivals before this
+    /// count leave the chain untouched apart from front expiry, which
+    /// commutes with everything and can be applied at batch end.
+    fn next_event(&self) -> u64 {
+        let succ = self
+            .links
+            .back()
+            .map_or(u64::MAX, |&(_, succ)| succ.saturating_add(1));
+        self.next_adopt.min(succ)
+    }
 }
 
 impl<T> ChainInstance<T> {
@@ -174,16 +193,70 @@ impl<T: Clone, R: Rng> WindowSampler<T> for ChainSampler<T, R> {
     where
         T: Clone,
     {
-        // Chain-major iteration: each chain's deque (and skip counter)
-        // stays hot while it consumes the whole run.
+        // Event-driven: a chain only does work at its *events* —
+        // scheduled adoptions and awaited successor arrivals, both known
+        // in advance — so instead of scanning every lane for every
+        // element (O(batch·k)), a min-heap over the lanes' next-event
+        // counts jumps straight from event to event:
+        // O(events · log k + k) per batch, with adoptions arriving at
+        // rate 1/min(count, n+1) per lane and successor arrivals at a
+        // comparable rate. Front expiry is deferred to batch end — it
+        // only pops links that the final count expires anyway, and the
+        // awaited *back* link can never be expiry-popped before its
+        // successor arrives (succ ≤ idx + n, so the successor lands at
+        // count ≤ idx + n + 1, exactly when per-element code would trim
+        // idx — and it trims *after* extending).
+        if values.is_empty() {
+            return;
+        }
         let first = self.count;
         let n = self.n;
-        for c in &mut self.chains {
-            for (j, v) in values.iter().enumerate() {
-                c.insert(&mut self.rng, &mut self.bits, v, first + j as u64, n);
+        let end_count = first + values.len() as u64;
+        // Lanes with an event inside this batch, keyed (count, lane) so
+        // same-count events process in lane order — the per-element
+        // path's lane iteration order, keeping RNG consumption aligned.
+        let mut events: BinaryHeap<Reverse<(u64, u32)>> =
+            BinaryHeap::with_capacity(self.chains.len());
+        for (ci, c) in self.chains.iter().enumerate() {
+            let ev = c.next_event();
+            if ev <= end_count {
+                events.push(Reverse((ev, ci as u32)));
             }
         }
-        self.count += values.len() as u64;
+        while let Some(Reverse((count, ci))) = events.pop() {
+            let c = &mut self.chains[ci as usize];
+            debug_assert_eq!(c.next_event(), count, "stale heap entry");
+            let idx = count - 1;
+            let value = &values[(idx - first) as usize];
+            let succ = idx + 1 + self.rng.gen_range(0..n);
+            if count == c.next_adopt {
+                c.links.clear();
+                c.links
+                    .push_back((Sample::new(value.clone(), idx, idx), succ));
+                c.schedule_next_adopt(&mut self.rng, &mut self.bits, count, n);
+            } else {
+                // The awaited successor arrived: extend the chain.
+                c.links
+                    .push_back((Sample::new(value.clone(), idx, idx), succ));
+            }
+            let next = c.next_event();
+            if next <= end_count {
+                events.push(Reverse((next, ci)));
+            }
+        }
+        self.count = end_count;
+        // Deferred front expiry: identical final state to per-element
+        // trimming (trim sets only grow with the count).
+        let oldest_active = end_count.saturating_sub(n);
+        for c in &mut self.chains {
+            while c
+                .links
+                .front()
+                .is_some_and(|(s, _)| s.index() < oldest_active)
+            {
+                c.links.pop_front();
+            }
+        }
     }
 
     fn sample(&mut self) -> Option<Sample<T>> {
@@ -270,6 +343,57 @@ mod tests {
             words <= cap,
             "warm-up drew {words} words > packed cap {cap}"
         );
+    }
+
+    /// The event-driven batch path consumes RNG in exactly the
+    /// per-element order ((count, lane) ascending — the same order the
+    /// per-element loop visits lanes), so batch and per-element
+    /// ingestion are bit-identical for any chunking — a stronger
+    /// property than the pre-event-driven chain-major batch path had.
+    #[test]
+    fn batch_is_bit_identical_to_per_element() {
+        for chunk in [1usize, 7, 64, 1000] {
+            let (n, k) = (50u64, 5usize);
+            let mut single = ChainSampler::new(n, k, SmallRng::seed_from_u64(21));
+            let mut batched = ChainSampler::new(n, k, SmallRng::seed_from_u64(21));
+            let values: Vec<u64> = (0..3_000).collect();
+            for &v in &values {
+                single.insert(v);
+            }
+            for c in values.chunks(chunk) {
+                batched.insert_batch(c);
+            }
+            assert_eq!(
+                single.sample_k(),
+                batched.sample_k(),
+                "chunk={chunk}: batch diverges from per-element"
+            );
+            assert_eq!(single.memory_words(), batched.memory_words());
+            assert_eq!(single.max_chain_len(), batched.max_chain_len());
+        }
+    }
+
+    /// Event-driven batches do O(events) work, and events cost O(1)
+    /// draws — so the draw count must stay tiny relative to batch·k.
+    #[test]
+    fn batch_draw_count_tracks_events_not_elements() {
+        use swsample_core::rng::CountingRng;
+        let (n, k, total) = (10_000u64, 16usize, 100_000u64);
+        let rng = CountingRng::new(SmallRng::seed_from_u64(4));
+        let mut s = ChainSampler::new(n, k, rng);
+        let values: Vec<u64> = (0..total).collect();
+        for c in values.chunks(1024) {
+            s.insert_batch(c);
+        }
+        let words = s.rng.words();
+        // Steady state: ~1/(n+1) adoptions per lane per element, each
+        // O(1) draws, plus comparable successor extensions and warm-up.
+        // 8·k·(total/n + H(n)) is a generous ceiling; the per-element
+        // path consumed the same (the paths are bit-identical) but the
+        // *time* no longer scales with batch·k.
+        let h_n = (n as f64).ln() + 0.58;
+        let cap = (8.0 * k as f64 * (total as f64 / n as f64 + h_n)) as u64;
+        assert!(words <= cap, "batch ingestion drew {words} words > {cap}");
     }
 
     #[test]

@@ -26,7 +26,9 @@ use swsample_stream::WindowSpec;
 /// The constructed sampler's RNG is a `SmallRng` seeded from
 /// `spec.seed`, exactly as in `SamplerSpec::build`, and the returned
 /// object answers [`ErasedWindowSampler::spec`] introspection.
-pub fn build<T: Clone + 'static>(
+/// `T: Send` mirrors `SamplerSpec::build` — erased samplers are `Send`
+/// so fleets can shard them across worker threads.
+pub fn build<T: Clone + Send + 'static>(
     spec: &SamplerSpec,
 ) -> Result<Box<dyn ErasedWindowSampler<T>>, SpecError> {
     spec.validate()?;

@@ -16,7 +16,9 @@
 //! --bin bench_throughput`; always use `--release`, a debug-profile
 //! baseline would be meaningless.
 
-use swsample_bench::throughput::{params, run_multi, run_with, speedup, to_json};
+use swsample_bench::throughput::{
+    multi_100k_speedup, params, run_multi, run_parallel, run_with, speedup, to_json,
+};
 use swsample_bench::{json, table_header, table_row};
 
 fn main() {
@@ -28,12 +30,20 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .cloned()
         .unwrap_or_else(|| "BENCH_throughput.json".to_string());
+    let max_threads = args
+        .iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.parse::<usize>().expect("--threads: numeric"));
     if args.iter().any(|a| a == "--help" || a == "-h") {
-        eprintln!("usage: bench_throughput [--quick] [--out PATH]");
+        eprintln!("usage: bench_throughput [--quick] [--out PATH] [--threads MAX]");
         return;
     }
 
-    let p = params(quick);
+    let mut p = params(quick);
+    if let Some(max) = max_threads {
+        p.multi_threads.retain(|&t| t <= max.max(1));
+    }
     eprintln!(
         "running throughput suite ({}; {} configurations)...",
         if quick { "quick" } else { "full" },
@@ -96,6 +106,20 @@ fn main() {
             std::process::exit(1);
         }
     }
+    // The priority_topk lazy-eviction rebuild: 1 draw/element sampling
+    // must never be slower than full k-draw priority sampling at k = 64
+    // (the PR-4 artifact had it *under* — 0.88M vs 1.1M elems/s).
+    for &n in &p.ns {
+        if let Some(s) = speedup(&rows, "priority_topk", "priority", 64, n) {
+            println!("GL top-k vs k-draw priority at k=64, n={n}: {s:.1}x elems/sec");
+            if s < 1.0 {
+                eprintln!(
+                    "bench_throughput: priority_topk {s:.2}x slower than priority at k=64, n={n}"
+                );
+                std::process::exit(1);
+            }
+        }
+    }
 
     let multi = run_multi(&p);
     table_header(
@@ -122,7 +146,36 @@ fn main() {
         ]);
     }
 
-    let doc = to_json(&rows, &multi, quick);
+    let parallel = run_parallel(&p);
+    table_header(
+        "parallel ingestion (slab registry + shard worker pool, seq-WR template)",
+        &["keys", "k", "shards", "threads", "batch", "fleet elems/s"],
+    );
+    for r in &parallel {
+        table_row(&[
+            r.keys.to_string(),
+            r.k.to_string(),
+            r.shards.to_string(),
+            r.threads.to_string(),
+            r.batch.to_string(),
+            format!("{:.0}", r.elems_per_sec),
+        ]);
+    }
+    if let Some(s) = multi_100k_speedup(&parallel) {
+        println!(
+            "\nslab+parallel engine vs PR-3 committed baseline at 100k keys, k=16: {s:.2}x \
+             (best thread count)"
+        );
+        if s < 2.0 {
+            // Hard gate: the engine redesign's acceptance bar. Like the
+            // other gates, it only fires when the sweep includes the
+            // acceptance configuration (full mode).
+            eprintln!("bench_throughput: multi_100k_speedup {s:.2}x below the 2x acceptance bar");
+            std::process::exit(1);
+        }
+    }
+
+    let doc = to_json(&rows, &multi, &parallel, quick);
     if let Err(e) = json::validate(&doc) {
         eprintln!("bench_throughput: emitted invalid JSON ({e}) — refusing to write");
         std::process::exit(1);

@@ -70,6 +70,28 @@ pub struct MultiRow {
     pub max_key_words: usize,
 }
 
+/// One measured parallel-ingestion (worker pool) configuration.
+#[derive(Debug, Clone)]
+pub struct ParallelRow {
+    /// Key-domain size (number of logical streams).
+    pub keys: u64,
+    /// Per-key samples maintained.
+    pub k: usize,
+    /// Engine shard count.
+    pub shards: usize,
+    /// Worker threads (`1` = the inline serial path).
+    pub threads: usize,
+    /// Chunk length fed to `ingest_parallel` (larger than the serial
+    /// section's: each chunk amortizes one partition + pool round trip).
+    pub batch: usize,
+    /// Keyed events driven through `MultiStreamEngine::ingest_parallel`.
+    pub elements: u64,
+    /// Wall-clock ingestion time.
+    pub seconds: f64,
+    /// Fleet-wide `elements / seconds`.
+    pub elems_per_sec: f64,
+}
+
 /// Suite dimensions; [`params`] builds the standard full/quick shapes.
 #[derive(Debug, Clone)]
 pub struct Params {
@@ -90,7 +112,23 @@ pub struct Params {
     pub multi_elements: u64,
     /// Per-key `k` for the multi-stream section.
     pub multi_k: usize,
+    /// Worker-thread counts for the parallel section.
+    pub multi_threads: Vec<usize>,
+    /// Chunk length fed to `ingest_parallel` in the parallel section.
+    pub parallel_chunk: usize,
+    /// Repetitions per parallel configuration; the row keeps the best
+    /// (fastest) run. Throughput on a shared host is best-of noise:
+    /// scheduler steal only ever *adds* time, so the minimum is the
+    /// faithful capability measurement for a gated artifact.
+    pub parallel_reps: usize,
 }
+
+/// The PR-3 committed `multi_stream` baseline at 100k keys, k = 16 —
+/// the pre-slab, pre-parallel `HashMap<K, Box<dyn …>>` engine
+/// (`BENCH_throughput.json` as of commit 6b5c5b7). `multi_100k_speedup`
+/// is measured against this fixed reference so the gate tracks the
+/// engine redesign, not run-to-run drift of a moving baseline.
+pub const PR3_MULTI_100K_ELEMS_PER_SEC: f64 = 2_744_568.83;
 
 /// The standard suite shapes. `quick` keeps the schema identical but
 /// shrinks the sweep so a CI smoke run finishes in seconds; the committed
@@ -107,6 +145,9 @@ pub fn params(quick: bool) -> Params {
             multi_keys: vec![1_000],
             multi_elements: 50_000,
             multi_k: 16,
+            multi_threads: vec![1, 2],
+            parallel_chunk: 2_048,
+            parallel_reps: 1,
         }
     } else {
         Params {
@@ -118,6 +159,9 @@ pub fn params(quick: bool) -> Params {
             multi_keys: vec![1_000, 100_000],
             multi_elements: 2_000_000,
             multi_k: 16,
+            multi_threads: vec![1, 2, 4, 8],
+            parallel_chunk: 32_768,
+            parallel_reps: 5,
         }
     }
 }
@@ -281,6 +325,78 @@ pub fn run_multi(p: &Params) -> Vec<MultiRow> {
     out
 }
 
+/// Run the parallel-scaling section: the same zipf-keyed workload as
+/// [`run_multi`], driven through `MultiStreamEngine::ingest_parallel` at
+/// each worker-thread count (seq-WR template, k = `multi_k`, n = 1000,
+/// 64 shards). Thread count 1 is the inline serial path; per-key output
+/// is bit-identical across all rows (asserted in
+/// `tests/parallel_engine.rs`), so the rows measure pure scheduling.
+pub fn run_parallel(p: &Params) -> Vec<ParallelRow> {
+    use swsample_core::SamplerSpec;
+    use swsample_stream::{MultiStreamEngine, ValueGen, ZipfGen};
+
+    let mut out = Vec::new();
+    for &keys in &p.multi_keys {
+        // Pre-generate once per key domain; every thread count replays
+        // the identical workload.
+        let mut rng = SmallRng::seed_from_u64(44);
+        let mut zipf = ZipfGen::new(keys, 1.1);
+        let events: Vec<(u64, u64, u64)> = (0..p.multi_elements)
+            .map(|i| (zipf.next_value(&mut rng), i / 64, i))
+            .collect();
+        for &threads in &p.multi_threads {
+            // Best of `parallel_reps` identical runs (fresh engine each
+            // time — the workload and results are deterministic, only
+            // host scheduling noise varies).
+            let mut seconds = f64::INFINITY;
+            for _ in 0..p.parallel_reps.max(1) {
+                let template: SamplerSpec =
+                    format!("--window seq --n 1000 --k {} --seed 42", p.multi_k)
+                        .parse()
+                        .expect("template spec");
+                let mut engine: MultiStreamEngine<u64, u64> = MultiStreamEngine::with_threads(
+                    template,
+                    64,
+                    SamplerSpec::build::<u64>,
+                    threads,
+                )
+                .expect("engine");
+                let start = Instant::now();
+                for chunk in events.chunks(p.parallel_chunk) {
+                    engine.ingest_parallel(chunk);
+                }
+                seconds = seconds.min(start.elapsed().as_secs_f64());
+            }
+            out.push(ParallelRow {
+                keys,
+                k: p.multi_k,
+                shards: 64,
+                threads: threads.min(64),
+                batch: p.parallel_chunk,
+                elements: p.multi_elements,
+                seconds,
+                elems_per_sec: p.multi_elements as f64 / seconds.max(1e-9),
+            });
+        }
+    }
+    out
+}
+
+/// The gated engine-redesign headline: best parallel-section elems/sec
+/// at 100k keys over the fixed PR-3 baseline
+/// ([`PR3_MULTI_100K_ELEMS_PER_SEC`]). `None` when the sweep did not
+/// include a 100k-key row (the quick shape).
+pub fn multi_100k_speedup(parallel: &[ParallelRow]) -> Option<f64> {
+    parallel
+        .iter()
+        .filter(|r| r.keys == 100_000)
+        .map(|r| r.elems_per_sec)
+        .fold(None, |acc: Option<f64>, x| {
+            Some(acc.map_or(x, |a| a.max(x)))
+        })
+        .map(|best| best / PR3_MULTI_100K_ELEMS_PER_SEC)
+}
+
 /// Elems/sec ratio between two samplers at a given configuration.
 pub fn speedup(rows: &[Row], fast: &str, slow: &str, k: usize, n: u64) -> Option<f64> {
     let find = |name: &str| {
@@ -292,12 +408,13 @@ pub fn speedup(rows: &[Row], fast: &str, slow: &str, k: usize, n: u64) -> Option
 }
 
 /// Render the suite result as the `BENCH_throughput.json` document
-/// (schema v2: v1's per-sampler `results` plus the keyed-fleet
-/// `multi_stream` section).
-pub fn to_json(rows: &[Row], multi: &[MultiRow], quick: bool) -> String {
+/// (schema v3: v2's per-sampler `results` + keyed-fleet `multi_stream`
+/// sections, plus the `parallel` thread-scaling section and the gated
+/// `multi_100k_speedup` field).
+pub fn to_json(rows: &[Row], multi: &[MultiRow], parallel: &[ParallelRow], quick: bool) -> String {
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"schema\": \"swsample-bench-throughput/v2\",\n");
+    out.push_str("  \"schema\": \"swsample-bench-throughput/v3\",\n");
     out.push_str(&format!("  \"quick\": {quick},\n"));
     // The acceptance-tracked ratios, surfaced at top level so trajectory
     // diffs catch regressions without re-deriving them from the rows.
@@ -314,6 +431,11 @@ pub fn to_json(rows: &[Row], multi: &[MultiRow], quick: bool) -> String {
     }
     if let Some(s) = speedup(rows, "ts_wor", "ts_wor_indep", 64, 100_000) {
         out.push_str(&format!("  \"ts_wor_speedup_k64\": {},\n", json::number(s)));
+    }
+    // Slab registry + parallel ingestion vs the pinned PR-3 engine
+    // (best thread count, 100k keys, k = 16) — the PR-5 gated headline.
+    if let Some(s) = multi_100k_speedup(parallel) {
+        out.push_str(&format!("  \"multi_100k_speedup\": {},\n", json::number(s)));
     }
     out.push_str("  \"results\": [\n");
     for (i, r) in rows.iter().enumerate() {
@@ -352,6 +474,23 @@ pub fn to_json(rows: &[Row], multi: &[MultiRow], quick: bool) -> String {
             if i + 1 == multi.len() { "" } else { "," }
         ));
     }
+    out.push_str("  ],\n");
+    out.push_str("  \"parallel\": [\n");
+    for (i, r) in parallel.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"keys\": {}, \"k\": {}, \"shards\": {}, \"threads\": {}, \
+             \"batch\": {}, \"elements\": {}, \"seconds\": {}, \"elems_per_sec\": {}}}{}\n",
+            r.keys,
+            r.k,
+            r.shards,
+            r.threads,
+            r.batch,
+            r.elements,
+            json::number(r.seconds),
+            json::number(r.elems_per_sec),
+            if i + 1 == parallel.len() { "" } else { "," }
+        ));
+    }
     out.push_str("  ]\n}\n");
     out
 }
@@ -370,6 +509,9 @@ mod tests {
             multi_keys: vec![64],
             multi_elements: 4_000,
             multi_k: 4,
+            multi_threads: vec![1, 2],
+            parallel_chunk: 256,
+            parallel_reps: 2,
         }
     }
 
@@ -381,12 +523,25 @@ mod tests {
             assert!(r.elems_per_sec > 0.0, "{}: zero throughput", r.sampler);
         }
         let multi = run_multi(&micro_params());
-        let doc = to_json(&rows, &multi, true);
+        let parallel = run_parallel(&micro_params());
+        assert_eq!(parallel.len(), 2, "one row per (keys, threads)");
+        for r in &parallel {
+            assert!(
+                r.elems_per_sec > 0.0,
+                "threads={}: zero throughput",
+                r.threads
+            );
+        }
+        let doc = to_json(&rows, &multi, &parallel, true);
         json::validate(&doc).expect("emitted JSON must parse");
         assert!(
-            doc.contains("\"multi_stream\""),
-            "schema v2 section present"
+            doc.contains("\"multi_stream\"") && doc.contains("\"parallel\""),
+            "schema v3 sections present"
         );
+        // 64-key micro sweep has no 100k row, so the gated field stays
+        // out of the document rather than gating on noise.
+        assert!(multi_100k_speedup(&parallel).is_none());
+        assert!(!doc.contains("multi_100k_speedup"));
     }
 
     #[test]

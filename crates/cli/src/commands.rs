@@ -62,7 +62,10 @@ pub fn write_help(out: &mut dyn Write) -> std::io::Result<()> {
                  (ts windows read `<ts> <value>` lines; others one value/line)\n\
            multi run a keyed fleet: one window per key, zipf key skew\n\
                  --keys K --count N + the spec flags of `run`\n\
-                 [--theta T] [--shards S] [--show H] [--workload-seed S]\n\
+                 [--theta T] [--shards S] [--threads W] [--show H]\n\
+                 [--workload-seed S]\n\
+                 (--threads > 1 ingests shards on a worker pool; output\n\
+                 is bit-identical for every thread count)\n\
            seq   shorthand: sample the last N lines of stdin\n\
                  --window N [--k K] [--wor] [--report-every M] [--seed S]\n\
                  [--batch-size B]\n\
@@ -129,7 +132,7 @@ fn spec_from_flags(args: &Args) -> Result<SamplerSpec, ArgError> {
 }
 
 /// Build a spec through the full factory (baseline algorithms included).
-fn build_sampler<T: Clone + 'static>(
+fn build_sampler<T: Clone + Send + 'static>(
     spec: &SamplerSpec,
 ) -> Result<Box<dyn ErasedWindowSampler<T>>, ArgError> {
     swsample_baselines::spec::build(spec).map_err(|e| ArgError(e.to_string()))
@@ -308,6 +311,10 @@ fn cmd_multi(args: &Args, out: &mut dyn Write) -> Result<(), ArgError> {
         )));
     }
     let shards = args.get_usize("shards", 16)?;
+    let threads = args.get_usize("threads", 1)?;
+    if threads == 0 {
+        return Err(ArgError("--threads must be at least 1".into()));
+    }
     let show = args.get_usize("show", 3)?;
     let wseed = args.get_u64("workload-seed", 1)?;
     let batch = batch_size(args)?;
@@ -315,9 +322,13 @@ fn cmd_multi(args: &Args, out: &mut dyn Write) -> Result<(), ArgError> {
 
     let spec = spec_from_flags(args)?;
     let timestamped = matches!(spec.window, WindowKind::Timestamp(_));
-    let mut engine: MultiStreamEngine<u64, u64> =
-        MultiStreamEngine::with_factory(spec, shards, swsample_baselines::spec::build::<u64>)
-            .map_err(|e| ArgError(e.to_string()))?;
+    let mut engine: MultiStreamEngine<u64, u64> = MultiStreamEngine::with_threads(
+        spec,
+        shards,
+        swsample_baselines::spec::build::<u64>,
+        threads,
+    )
+    .map_err(|e| ArgError(e.to_string()))?;
 
     // Zipf-skewed keys, values = stream index, 64 arrivals per tick —
     // deterministic given --workload-seed.
@@ -333,11 +344,11 @@ fn cmd_multi(args: &Args, out: &mut dyn Write) -> Result<(), ArgError> {
         *traffic.entry(key).or_insert(0) += 1;
         chunk.push((key, i / 64, i));
         if chunk.len() >= batch {
-            engine.ingest(&chunk);
+            engine.ingest_parallel(&chunk);
             chunk.clear();
         }
     }
-    engine.ingest(&chunk);
+    engine.ingest_parallel(&chunk);
     report_throughput(count, start.elapsed());
 
     // The hottest keys' current samples (deterministic order: traffic
@@ -664,6 +675,30 @@ mod tests {
         }
     }
 
+    /// The determinism contract `--threads` rides on: per-key samples
+    /// are bit-identical for every worker count, so the whole stdout
+    /// report (samples, key census, memory) must match byte for byte.
+    #[test]
+    fn multi_threads_output_is_bit_identical() {
+        let base = "multi --keys 200 --count 6000 --window seq --n 25 --k 3 --seed 5 \
+             --theta 1.2 --shards 8 --show 4";
+        let serial = run_cmd(base, "").expect("serial fleet runs");
+        for threads in [2usize, 8] {
+            let parallel =
+                run_cmd(&format!("{base} --threads {threads}"), "").expect("parallel fleet runs");
+            assert_eq!(
+                serial, parallel,
+                "--threads {threads} output diverges from --threads 1"
+            );
+        }
+        // Timestamp templates cross the pool too.
+        let ts_base = "multi --keys 50 --count 4000 --window ts --w 10 --mode wor --k 2 \
+             --seed 6 --shards 4 --show 3";
+        let serial = run_cmd(ts_base, "").expect("serial ts fleet runs");
+        let parallel = run_cmd(&format!("{ts_base} --threads 4"), "").expect("parallel ts fleet");
+        assert_eq!(serial, parallel, "ts template diverges across threads");
+    }
+
     #[test]
     fn multi_rejects_bad_fleets() {
         assert!(
@@ -677,6 +712,14 @@ mod tests {
         assert!(
             run_cmd("multi --keys 5 --count 10 --window seq --n 5 --k 0", "").is_err(),
             "invalid template"
+        );
+        assert!(
+            run_cmd(
+                "multi --keys 5 --count 10 --window seq --n 5 --threads 0",
+                ""
+            )
+            .is_err(),
+            "zero threads"
         );
         for theta in ["0", "-1", "nan"] {
             assert!(

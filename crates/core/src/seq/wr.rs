@@ -63,21 +63,33 @@ impl<T, S> Instance<T, S> {
 /// ```
 #[derive(Debug, Clone)]
 pub struct SeqSamplerWr<T, R, K: SampleTracker<T> = NullTracker> {
+    // Declaration order groups the skip fast path's fields
+    // (`n`/`count`/`min_next`/`next_rotate`/`naive`) ahead of the cold
+    // ones so the common non-accept insert in a 10⁵-key fleet *tends* to
+    // stay within the box's first cache line. `repr(Rust)` does not
+    // guarantee layout follows declaration — this is a nudge the
+    // compiler is free to ignore, not a pinned layout.
     n: u64,
     /// Total arrivals so far (`N` in the paper).
     count: u64,
+    /// Cached minimum of `next_accept` — the skip path's only per-arrival
+    /// comparison.
+    min_next: u64,
+    /// The count at which the next bucket rotation happens — the cached
+    /// next multiple of `n`, so the per-arrival boundary check is a
+    /// compare instead of a `u64` division. Pure arithmetic function of
+    /// `count` (which is counted), so excluded from the §1.4 word
+    /// accounting like the RNG state.
+    next_rotate: u64,
+    /// `true` forces the per-arrival reference path (required when the
+    /// tracker observes every arrival).
+    naive: bool,
     rng: R,
     tracker: K,
     instances: Vec<Instance<T, K::Stat>>,
     /// Absolute stream index at which each instance next accepts
     /// (`u64::MAX` = no further acceptance in the current bucket).
     next_accept: Vec<u64>,
-    /// Cached minimum of `next_accept` — the skip path's only per-arrival
-    /// comparison.
-    min_next: u64,
-    /// `true` forces the per-arrival reference path (required when the
-    /// tracker observes every arrival).
-    naive: bool,
     /// Total acceptance events so far (diagnostic; not counted as memory).
     accepts: u64,
 }
@@ -119,6 +131,7 @@ impl<T: Clone, R: Rng, K: SampleTracker<T>> SeqSamplerWr<T, R, K> {
             // with probability 1.
             next_accept: vec![0; k],
             min_next: 0,
+            next_rotate: n,
             naive: K::TRACKS,
             accepts: 0,
         }
@@ -160,8 +173,9 @@ impl<T: Clone, R: Rng, K: SampleTracker<T>> SeqSamplerWr<T, R, K> {
                 self.accept_at(idx, value);
             }
             self.count += 1;
-            if self.count.is_multiple_of(self.n) {
+            if self.count == self.next_rotate {
                 self.rotate_buckets();
+                self.next_rotate += self.n;
             }
         }
     }
@@ -189,8 +203,9 @@ impl<T: Clone, R: Rng, K: SampleTracker<T>> SeqSamplerWr<T, R, K> {
             }
         }
         self.count += 1;
-        if self.count.is_multiple_of(self.n) {
+        if self.count == self.next_rotate {
             self.rotate_buckets();
+            self.next_rotate += self.n;
         }
     }
 
@@ -330,8 +345,9 @@ impl<T: Clone, R: Rng, K: SampleTracker<T>> WindowSampler<T> for SeqSamplerWr<T,
                 self.count += hop;
                 i += hop as usize;
             }
-            if self.count.is_multiple_of(self.n) {
+            if self.count == self.next_rotate {
                 self.rotate_buckets();
+                self.next_rotate += self.n;
             }
         }
     }

@@ -238,7 +238,13 @@ impl SamplerSpec {
     /// them. The sampler's RNG is a `SmallRng` seeded from `self.seed`,
     /// so equal specs produce identically-distributed (indeed identical)
     /// samplers.
-    pub fn build<T: Clone + 'static>(&self) -> Result<Box<dyn ErasedWindowSampler<T>>, SpecError> {
+    ///
+    /// `T: Send` because [`ErasedWindowSampler`] is `Send` (erased
+    /// samplers cross worker threads in parallel fleets) and the built
+    /// sampler stores values of `T`.
+    pub fn build<T: Clone + Send + 'static>(
+        &self,
+    ) -> Result<Box<dyn ErasedWindowSampler<T>>, SpecError> {
         self.validate()?;
         let rng = SmallRng::seed_from_u64(self.seed);
         let k = self.k;
@@ -415,8 +421,14 @@ fn parse_num<T: std::str::FromStr>(name: &str, raw: &str) -> Result<T, SpecError
 /// reports exactly its inner sampler's footprint.
 #[derive(Debug, Clone)]
 pub struct WithSpec<S> {
-    spec: SamplerSpec,
+    // Inner first: the spec is cold configuration read only by
+    // introspection, while every insert dispatches into `inner` — keyed
+    // fleets hold 10⁵ boxed `WithSpec`s, so the sampler's hot fields
+    // belong at the front of the box rather than behind ~50 bytes of
+    // spec. Declaration order is only a nudge under `repr(Rust)` (the
+    // compiler may reorder), but it costs nothing to point the right way.
     inner: S,
+    spec: SamplerSpec,
 }
 
 impl<S> WithSpec<S> {

@@ -1,4 +1,5 @@
-//! [`MultiStreamEngine`] — a sharded fleet of per-key window samplers.
+//! [`MultiStreamEngine`] — a sharded, multi-core fleet of per-key window
+//! samplers over a slab key registry.
 //!
 //! The paper maintains *one* window sample; a serving system maintains
 //! one **per user**: millions of independent logical streams multiplexed
@@ -11,12 +12,48 @@
 //! paths (skip-ahead hops, engine-major timestamp ingestion) still fire
 //! even when arrivals interleave keys.
 //!
+//! # The slab key registry
+//!
+//! Each shard keeps its keys in an **open-addressing index table**
+//! (linear probing, `u32` slot ids, load factor ≤ ½) over a **contiguous
+//! slot slab**: per key one `(hash, key, sampler)` entry, appended in
+//! first-touch order. Two properties make this fast at 10⁵+ keys where a
+//! per-shard `HashMap<K, Box<dyn …>>` collapses:
+//!
+//! * the hot loop touches two dense arrays (table, slab) instead of
+//!   hash-map nodes scattered across the heap, and
+//! * under skewed (zipf) traffic the hottest keys arrive first, so their
+//!   slab entries — and the sampler state allocated while materializing
+//!   them — cluster at the front of the slab and stay resident in cache.
+//!
+//! Batched ingestion resolves every event to its slot id up front, then
+//! groups events per slot with one `u64` sort (`slot << 32 | position`,
+//! preserving per-key arrival order), so each sampler receives its whole
+//! run through one batched call.
+//!
+//! # Parallel ingestion
+//!
+//! Shard-ownership makes multi-core ingestion embarrassingly safe: a
+//! key's sampler lives in exactly one shard, so processing different
+//! shards on different threads cannot race. [`MultiStreamEngine::ingest_parallel`]
+//! partitions a keyed batch by shard and feeds a persistent
+//! `ShardWorkerPool` of `std::thread` workers over channels (shard `s`
+//! always goes to worker `s % threads`), then waits for every sub-batch
+//! to complete. Per-key RNG seeds are splitmix-derived from the key
+//! alone, and each shard's events are processed in batch order by a
+//! single worker, so the resulting per-key samples are **bit-identical
+//! for every thread count** — including the serial
+//! [`ingest`](MultiStreamEngine::ingest) path. `threads = 1` (the
+//! default) never spawns a pool.
+//!
 //! Memory scales as the paper promises per key: a fleet of `m` active
 //! keys with a sequence-WR template costs at most `m · (7k + 3)` words —
 //! deterministic, because every per-key sampler inherits its theorem's
 //! hard ceiling. [`MultiStreamEngine::memory_words`] and
 //! [`MultiStreamEngine::max_key_memory_words`] expose both sides of that
-//! accounting.
+//! accounting, and [`MultiStreamEngine::registry_overhead_words`]
+//! reports the registry scaffolding (index table + slab bookkeeping)
+//! that the paper's §1.4 model excludes.
 //!
 //! ```
 //! use swsample_core::spec::SamplerSpec;
@@ -35,10 +72,11 @@
 //! Firefox workhorse) implemented locally — fast, deterministic across
 //! runs, and dependency-free.
 
-use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hash, Hasher};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
 
-use swsample_core::spec::{SamplerFactory, SamplerSpec, SpecError};
+use swsample_core::spec::{SamplerFactory, SamplerSpec, SpecError, WindowKind};
 use swsample_core::{ErasedWindowSampler, MemoryWords, Sample};
 
 /// FxHash: multiply-rotate hashing as used by rustc. Not cryptographic —
@@ -109,15 +147,308 @@ fn mix_seed(template_seed: u64, key_hash: u64) -> u64 {
     z ^ (z >> 31)
 }
 
-/// A sharded registry of independent per-key window samplers, all
-/// described by one template [`SamplerSpec`]. See the [module
-/// docs](self) for the model and an example.
-pub struct MultiStreamEngine<K, T: Clone> {
+/// One keyed event: `(key, now, value)`. `now` is the arrival timestamp
+/// for timestamp-window templates; sequence templates ignore it.
+pub type KeyedEvent<K, T> = (K, u64, T);
+
+/// A shard's per-batch routing entry: `(position, key hash)`. Positions
+/// index into the batch handed to [`Shard::ingest`] alongside the route.
+type Route = Vec<(u32, u64)>;
+
+/// Empty-bucket sentinel in the open-addressing index table. A real
+/// bucket word is `tag | slot` with `slot < u32::MAX`, so all-ones can
+/// never collide with one.
+const EMPTY: u64 = u64::MAX;
+
+/// High half of a bucket word: the key hash's top 32 bits. Probes
+/// compare tags in-register and only touch a slab entry on a tag match,
+/// so collision probes stay inside the (dense, cache-resident) table.
+const TAG_MASK: u64 = 0xffff_ffff_0000_0000;
+
+/// Low half of a bucket word: the slab slot id.
+const SLOT_MASK: u64 = 0x0000_0000_ffff_ffff;
+
+/// One materialized key: the key and its boxed sampler. Entries live
+/// contiguously in the shard slab in first-touch order. The key's hash
+/// is *not* cached: the bucket word's 32-bit tag already filters
+/// non-matches down to 2⁻³² noise, so key equality is checked directly,
+/// and the rare rehash recomputes hashes from the keys.
+struct Slot<K, T: Clone> {
+    key: K,
+    sampler: Box<dyn ErasedWindowSampler<T>>,
+}
+
+/// One shard: an open-addressing `key → u32` index table over a
+/// contiguous slab of per-key samplers, plus everything needed to
+/// materialize new keys without consulting the engine (so a worker
+/// thread can run a shard in isolation).
+struct Shard<K, T: Clone> {
+    // Hot fields first: every probe reads the two Vec headers.
+    /// `tag | slot` words ([`EMPTY`] = vacant), linear probing,
+    /// power-of-two capacity, load factor ≤ ½.
+    buckets: Vec<u64>,
+    /// The slab: one entry per materialized key, first-touch order.
+    slots: Vec<Slot<K, T>>,
+    /// Timestamp-window template: key runs must be split into
+    /// same-timestamp sub-runs and enter through `advance_and_insert`.
+    /// Sequence / whole-stream templates ignore the clock entirely, so
+    /// their runs take one `insert_batch` regardless of timestamps.
+    split_ts: bool,
+    /// Grouping scratch: `slot << 32 | position`, sorted per batch.
+    order: Vec<u64>,
+    /// Run scratch: the values of one per-key (sub-)run.
+    run: Vec<T>,
     template: SamplerSpec,
     factory: SamplerFactory<T>,
-    shards: Vec<HashMap<K, Box<dyn ErasedWindowSampler<T>>, FxBuildHasher>>,
+}
+
+impl<K: Hash + Eq + Clone, T: Clone + 'static> Shard<K, T> {
+    fn new(template: SamplerSpec, factory: SamplerFactory<T>) -> Self {
+        let split_ts = matches!(template.window, WindowKind::Timestamp(_));
+        Self {
+            buckets: vec![EMPTY; 8],
+            slots: Vec::new(),
+            split_ts,
+            order: Vec::new(),
+            run: Vec::new(),
+            template,
+            factory,
+        }
+    }
+
+    /// Probe for `key` without materializing.
+    fn find(&self, hash: u64, key: &K) -> Option<usize> {
+        let mask = self.buckets.len() - 1;
+        let tag = hash & TAG_MASK;
+        let mut i = hash as usize & mask;
+        loop {
+            let b = self.buckets[i];
+            if b == EMPTY {
+                return None;
+            }
+            if b & TAG_MASK == tag && self.slots[(b & SLOT_MASK) as usize].key == *key {
+                return Some((b & SLOT_MASK) as usize);
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// Probe for `key`, materializing a fresh sampler from the template
+    /// on first touch. Returns the slab index.
+    fn slot_index(&mut self, hash: u64, key: &K) -> usize {
+        let mask = self.buckets.len() - 1;
+        let tag = hash & TAG_MASK;
+        let mut i = hash as usize & mask;
+        loop {
+            let b = self.buckets[i];
+            if b == EMPTY {
+                return self.materialize(i, hash, key);
+            }
+            if b & TAG_MASK == tag && self.slots[(b & SLOT_MASK) as usize].key == *key {
+                return (b & SLOT_MASK) as usize;
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// Append a new slab entry for `key` and index it; `bucket` is the
+    /// vacant probe position under the *current* table size.
+    fn materialize(&mut self, bucket: usize, hash: u64, key: &K) -> usize {
+        let id = self.slots.len();
+        assert!(id < SLOT_MASK as usize, "shard exceeds u32 slot ids");
+        let mut spec = self.template.clone();
+        spec.seed = mix_seed(self.template.seed, hash);
+        let sampler = (self.factory)(&spec).expect("template was validated at construction");
+        self.slots.push(Slot {
+            key: key.clone(),
+            sampler,
+        });
+        // Keep load factor ≤ ½ so probe chains stay short.
+        if (id + 1) * 2 > self.buckets.len() {
+            self.grow(); // re-homes every slot, the new one included
+        } else {
+            self.buckets[bucket] = (hash & TAG_MASK) | id as u64;
+        }
+        id
+    }
+
+    /// Double the index table and re-home every slot, recomputing each
+    /// key's hash (the slab itself never moves entries; doublings are
+    /// O(log keys) events, so the rehash cost is amortized noise).
+    fn grow(&mut self) {
+        let cap = (self.buckets.len() * 2).max(16);
+        self.buckets.clear();
+        self.buckets.resize(cap, EMPTY);
+        let mask = cap - 1;
+        for (id, slot) in self.slots.iter().enumerate() {
+            let hash = fx_hash_key(&slot.key);
+            let mut i = hash as usize & mask;
+            while self.buckets[i] != EMPTY {
+                i = (i + 1) & mask;
+            }
+            self.buckets[i] = (hash & TAG_MASK) | id as u64;
+        }
+    }
+
+    /// Ingest this shard's portion of a keyed batch. `route` lists the
+    /// shard's events as `(position into batch, key hash)` in arrival
+    /// order; grouping per slot preserves that order, so the result is
+    /// independent of how the batch was interleaved or which thread runs
+    /// the shard.
+    fn ingest(&mut self, batch: &[KeyedEvent<K, T>], route: &[(u32, u64)]) {
+        // Probe loop first, dispatch loop second: probe iterations are
+        // independent (table + slab-entry loads), so their cache misses
+        // overlap, and the dispatch loop then starts from warm slab
+        // entries with its sampler-state misses overlapping each other
+        // instead of queueing behind each element's probe chain.
+        let mut order = std::mem::take(&mut self.order);
+        order.clear();
+        for &(pos, hash) in route {
+            let slot = self.slot_index(hash, &batch[pos as usize].0) as u64;
+            order.push(slot << 32 | pos as u64);
+        }
+        if !self.split_ts {
+            // Sequence / whole-stream templates dispatch per element in
+            // arrival order: `insert` is the reference path (`insert_batch`
+            // is defined as its exact repetition — PR 2 pins draw
+            // exactness), so this is bit-identical to any grouping — and
+            // measurably faster: the skip fast path is two compares, so
+            // grouping runs saves less than the slot sort plus run
+            // assembly cost, even under zipf skew.
+            for &word in &order {
+                let (slot, pos) = ((word >> 32) as usize, (word & SLOT_MASK) as usize);
+                self.slots[slot].sampler.insert(batch[pos].2.clone());
+            }
+            self.order = order;
+            return;
+        }
+        // Timestamp templates group: their engine-major batch path is
+        // the fast path *and* orders RNG draws differently from
+        // per-element ingestion, so every thread count (and the serial
+        // path) must use the same grouped dispatch. Slot-major, then
+        // arrival order within a slot: one u64 sort.
+        order.sort_unstable();
+        let mut run = std::mem::take(&mut self.run);
+        let mut i = 0;
+        while i < order.len() {
+            let slot = (order[i] >> 32) as usize;
+            let mut end = i + 1;
+            while end < order.len() && (order[end] >> 32) as usize == slot {
+                end += 1;
+            }
+            let sampler = self.slots[slot].sampler.as_mut();
+            // Maximal same-timestamp sub-runs, one dispatch each.
+            let mut j = i;
+            while j < end {
+                let now = batch[(order[j] & SLOT_MASK) as usize].1;
+                run.clear();
+                while j < end {
+                    let ev = &batch[(order[j] & SLOT_MASK) as usize];
+                    if ev.1 != now {
+                        break;
+                    }
+                    run.push(ev.2.clone());
+                    j += 1;
+                }
+                sampler.advance_and_insert(now, &run);
+            }
+            i = end;
+        }
+        run.clear();
+        self.order = order;
+        self.run = run;
+    }
+
+    /// Index-table + slab bookkeeping in words (8 bytes): the tagged
+    /// bucket words plus, per slot, the key and the boxed sampler's fat
+    /// pointer.
+    fn overhead_words(&self) -> usize {
+        let key_words = std::mem::size_of::<K>().div_ceil(8);
+        self.buckets.len() + self.slots.len() * (key_words + 2)
+    }
+}
+
+/// One parallel-ingestion work item: a shard plus its portion of the
+/// batch (with the route precomputed by the dispatching thread).
+struct IngestJob<K, T: Clone> {
+    shard: Arc<Mutex<Shard<K, T>>>,
+    batch: Vec<KeyedEvent<K, T>>,
+    route: Route,
+    done: mpsc::Sender<()>,
+}
+
+/// A persistent pool of `std::thread` ingestion workers fed
+/// [`IngestJob`]s over channels.
+///
+/// Shard-ownership is the safety argument: within one
+/// [`MultiStreamEngine::ingest_parallel`] call each shard appears in at
+/// most one job, and calls are separated by a completion barrier, so no
+/// two jobs ever contend on a shard (the per-shard mutex is uncontended
+/// bookkeeping, not a synchronization hot spot). Workers hold nothing
+/// between jobs; the pool dies with the engine (dropping the senders
+/// ends every worker loop).
+struct ShardWorkerPool<K, T: Clone> {
+    senders: Vec<mpsc::Sender<IngestJob<K, T>>>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl<K, T> ShardWorkerPool<K, T>
+where
+    K: Hash + Eq + Clone + Send + 'static,
+    T: Clone + Send + 'static,
+{
+    fn spawn(threads: usize) -> Self {
+        let mut senders = Vec::with_capacity(threads);
+        let mut handles = Vec::with_capacity(threads);
+        for w in 0..threads {
+            let (tx, rx) = mpsc::channel::<IngestJob<K, T>>();
+            let handle = std::thread::Builder::new()
+                .name(format!("swsample-shard-worker-{w}"))
+                .spawn(move || {
+                    while let Ok(job) = rx.recv() {
+                        job.shard
+                            .lock()
+                            .expect("shard lock poisoned")
+                            .ingest(&job.batch, &job.route);
+                        // Receiver gone means the dispatcher already
+                        // panicked; nothing left to signal.
+                        let _ = job.done.send(());
+                    }
+                })
+                .expect("spawn shard worker");
+            senders.push(tx);
+            handles.push(handle);
+        }
+        Self { senders, handles }
+    }
+
+    fn threads(&self) -> usize {
+        self.senders.len()
+    }
+}
+
+impl<K, T: Clone> Drop for ShardWorkerPool<K, T> {
+    fn drop(&mut self) {
+        self.senders.clear(); // closes every channel; workers exit
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// A sharded registry of independent per-key window samplers, all
+/// described by one template [`SamplerSpec`]. See the [module
+/// docs](self) for the registry layout and the parallel-ingestion model.
+pub struct MultiStreamEngine<K, T: Clone> {
+    template: SamplerSpec,
+    shards: Vec<Arc<Mutex<Shard<K, T>>>>,
     shard_mask: u64,
-    keys: usize,
+    /// Worker threads `ingest_parallel` uses (1 = inline, no pool).
+    threads: usize,
+    pool: Option<ShardWorkerPool<K, T>>,
+    /// Serial-path scratch: per-shard routes into the caller's batch,
+    /// reused across batches.
+    routes: Vec<Route>,
 }
 
 impl<K, T: Clone> std::fmt::Debug for MultiStreamEngine<K, T> {
@@ -125,14 +456,14 @@ impl<K, T: Clone> std::fmt::Debug for MultiStreamEngine<K, T> {
         f.debug_struct("MultiStreamEngine")
             .field("template", &self.template)
             .field("shards", &self.shards.len())
-            .field("keys", &self.keys)
+            .field("threads", &self.threads)
             .finish()
     }
 }
 
-impl<K: Hash + Eq + Clone, T: Clone + 'static> MultiStreamEngine<K, T> {
-    /// Default shard count: enough to keep per-shard maps small without
-    /// bloating empty engines.
+impl<K: Hash + Eq + Clone, T: Clone + Send + 'static> MultiStreamEngine<K, T> {
+    /// Default shard count: enough to keep per-shard tables small (and
+    /// parallel ingestion balanced) without bloating empty engines.
     pub const DEFAULT_SHARDS: usize = 16;
 
     /// Engine whose per-key samplers are built by
@@ -156,13 +487,16 @@ impl<K: Hash + Eq + Clone, T: Clone + 'static> MultiStreamEngine<K, T> {
         factory(&template)?;
         let shards = shards.max(1).next_power_of_two();
         let mut maps = Vec::with_capacity(shards);
-        maps.resize_with(shards, HashMap::default);
+        for _ in 0..shards {
+            maps.push(Arc::new(Mutex::new(Shard::new(template.clone(), factory))));
+        }
         Ok(Self {
             template,
-            factory,
             shard_mask: shards as u64 - 1,
             shards: maps,
-            keys: 0,
+            threads: 1,
+            pool: None,
+            routes: (0..shards).map(|_| Vec::new()).collect(),
         })
     }
 
@@ -179,7 +513,12 @@ impl<K: Hash + Eq + Clone, T: Clone + 'static> MultiStreamEngine<K, T> {
 
     /// Number of keys with materialized samplers.
     pub fn num_keys(&self) -> usize {
-        self.keys
+        self.shards.iter().map(|s| self.lock(s).slots.len()).sum()
+    }
+
+    /// Worker threads [`ingest_parallel`](Self::ingest_parallel) uses.
+    pub fn num_threads(&self) -> usize {
+        self.threads
     }
 
     #[inline]
@@ -188,101 +527,113 @@ impl<K: Hash + Eq + Clone, T: Clone + 'static> MultiStreamEngine<K, T> {
         ((hash >> 32) ^ hash) as usize & self.shard_mask as usize
     }
 
-    fn sampler_entry(&mut self, hash: u64, key: &K) -> &mut Box<dyn ErasedWindowSampler<T>> {
-        let shard = self.shard_of(hash);
-        let (template, factory, keys) = (&self.template, self.factory, &mut self.keys);
-        self.shards[shard].entry(key.clone()).or_insert_with(|| {
-            let mut spec = template.clone();
-            spec.seed = mix_seed(template.seed, hash);
-            *keys += 1;
-            factory(&spec).expect("template was validated at construction")
-        })
+    #[inline]
+    #[allow(clippy::type_complexity)]
+    fn lock<'a>(
+        &self,
+        shard: &'a Arc<Mutex<Shard<K, T>>>,
+    ) -> std::sync::MutexGuard<'a, Shard<K, T>> {
+        shard.lock().expect("shard lock poisoned")
     }
 
     /// Ingest a keyed batch: `(key, now, value)` triples with
     /// non-decreasing `now` per key (for timestamp-window templates;
     /// sequence templates ignore `now`).
     ///
-    /// Elements are regrouped shard-major then key-major — preserving
-    /// per-key arrival order — and each key's consecutive same-timestamp
-    /// run enters its sampler through one `advance_and_insert` call, so
-    /// the skip/batch fast paths fire even on heavily interleaved feeds.
-    /// Samplers for unseen keys are created lazily from the template.
+    /// Events are routed per shard, resolved to slab slots, and grouped
+    /// slot-major (preserving per-key arrival order), so each key's run
+    /// enters its sampler through one batched call and the skip/batch
+    /// fast paths fire even on heavily interleaved feeds. Samplers for
+    /// unseen keys are created lazily from the template. The result is
+    /// bit-identical to [`ingest_parallel`](Self::ingest_parallel) at
+    /// any thread count.
     ///
     /// # Panics
     /// Panics if a key's timestamps run backwards (the per-key sampler's
-    /// clock contract).
-    pub fn ingest(&mut self, batch: &[(K, u64, T)]) {
-        // (shard, key-hash, batch index): sorting groups shard-major then
-        // key-major while the index keeps per-key arrival order. Distinct
-        // keys that collide on hash are separated by the equality check
-        // in the run loop below.
-        let mut order: Vec<(u64, u32)> = batch
-            .iter()
-            .enumerate()
-            .map(|(i, (key, _, _))| (fx_hash_key(key), i as u32))
-            .collect();
-        order.sort_unstable_by_key(|&(hash, i)| (self.shard_of(hash), hash, i));
-
-        let mut run: Vec<T> = Vec::new();
-        let mut pos = 0usize;
-        while pos < order.len() {
-            let (hash, first) = order[pos];
-            let key = &batch[first as usize].0;
-            // One maximal same-key stretch.
-            let mut end = pos;
-            while end < order.len()
-                && order[end].0 == hash
-                && batch[order[end].1 as usize].0 == *key
-            {
-                end += 1;
+    /// clock contract), or if the batch exceeds `u32::MAX` events.
+    pub fn ingest(&mut self, batch: &[KeyedEvent<K, T>]) {
+        if batch.is_empty() {
+            return;
+        }
+        assert!(
+            batch.len() <= u32::MAX as usize,
+            "batch exceeds u32 positions"
+        );
+        // Route without copying: each shard's route holds (position into
+        // the caller's batch, key hash), so the serial path clones a key
+        // only on first-touch materialization and a value only at its
+        // sampler dispatch — owned per-shard copies are a shipping cost
+        // the parallel path alone pays. Shards still run one at a time to
+        // completion, keeping the working set (one index table + one slab
+        // + its hot samplers) small.
+        let mask = self.shard_mask;
+        for route in &mut self.routes {
+            route.clear();
+        }
+        for (pos, (key, _, _)) in batch.iter().enumerate() {
+            let hash = fx_hash_key(key);
+            let s = (((hash >> 32) ^ hash) & mask) as usize;
+            self.routes[s].push((pos as u32, hash));
+        }
+        for (shard, route) in self.shards.iter().zip(&self.routes) {
+            if !route.is_empty() {
+                shard
+                    .lock()
+                    .expect("shard lock poisoned")
+                    .ingest(batch, route);
             }
-            let sampler = self.sampler_entry(hash, key);
-            // Split the stretch into maximal same-timestamp runs.
-            let mut i = pos;
-            while i < end {
-                let now = batch[order[i].1 as usize].1;
-                run.clear();
-                while i < end && batch[order[i].1 as usize].1 == now {
-                    run.push(batch[order[i].1 as usize].2.clone());
-                    i += 1;
-                }
-                sampler.advance_and_insert(now, &run);
-            }
-            pos = end;
         }
     }
 
     /// The key's current `k`-sample, or `None` if the key has never
     /// arrived or its window is empty.
-    pub fn sample_k(&mut self, key: &K) -> Option<Vec<Sample<T>>> {
-        self.sampler_mut(key)?.sample_k()
+    pub fn sample_k(&self, key: &K) -> Option<Vec<Sample<T>>> {
+        self.with_sampler(key, |s| s.sample_k())?
     }
 
     /// One uniform sample from the key's window, or `None` as in
     /// [`sample_k`](MultiStreamEngine::sample_k).
-    pub fn sample(&mut self, key: &K) -> Option<Sample<T>> {
-        self.sampler_mut(key)?.sample()
+    pub fn sample(&self, key: &K) -> Option<Sample<T>> {
+        self.with_sampler(key, |s| s.sample())?
     }
 
-    /// Direct access to a key's sampler (queries take `&mut` — see
-    /// [`swsample_core::WindowSampler`] on why).
-    pub fn sampler_mut(&mut self, key: &K) -> Option<&mut Box<dyn ErasedWindowSampler<T>>> {
+    /// Run `f` against a key's sampler (queries take `&mut` access — see
+    /// [`swsample_core::WindowSampler`] on why); `None` if the key has
+    /// no materialized sampler. This replaces returning a raw `&mut`
+    /// reference: samplers live behind per-shard locks so worker threads
+    /// can run shards.
+    pub fn with_sampler<R>(
+        &self,
+        key: &K,
+        f: impl FnOnce(&mut dyn ErasedWindowSampler<T>) -> R,
+    ) -> Option<R> {
         let hash = fx_hash_key(key);
-        let shard = self.shard_of(hash);
-        self.shards[shard].get_mut(key)
+        let mut shard = self.lock(&self.shards[self.shard_of(hash)]);
+        let idx = shard.find(hash, key)?;
+        Some(f(shard.slots[idx].sampler.as_mut()))
     }
 
     /// Has this key a materialized sampler?
     pub fn contains_key(&self, key: &K) -> bool {
         let hash = fx_hash_key(key);
-        self.shards[self.shard_of(hash)].contains_key(key)
+        self.lock(&self.shards[self.shard_of(hash)])
+            .find(hash, key)
+            .is_some()
     }
 
-    /// Iterate over all materialized keys (shard order, unspecified
-    /// within a shard).
-    pub fn keys(&self) -> impl Iterator<Item = &K> {
-        self.shards.iter().flat_map(|s| s.keys())
+    /// All materialized keys (shard order, first-touch order within a
+    /// shard). Cloned out because keys live behind the shard locks.
+    pub fn keys(&self) -> Vec<K> {
+        self.shards
+            .iter()
+            .flat_map(|s| {
+                self.lock(s)
+                    .slots
+                    .iter()
+                    .map(|e| e.key.clone())
+                    .collect::<Vec<_>>()
+            })
+            .collect()
     }
 
     /// Largest single-key footprint in words — the quantity the paper's
@@ -290,23 +641,144 @@ impl<K: Hash + Eq + Clone, T: Clone + 'static> MultiStreamEngine<K, T> {
     pub fn max_key_memory_words(&self) -> usize {
         self.shards
             .iter()
-            .flat_map(|s| s.values())
-            .map(|b| b.memory_words())
+            .map(|s| {
+                let shard = self.lock(s);
+                shard
+                    .slots
+                    .iter()
+                    .map(|e| e.sampler.memory_words())
+                    .max()
+                    .unwrap_or(0)
+            })
             .max()
             .unwrap_or(0)
+    }
+
+    /// Registry scaffolding in words (8 bytes): the tagged index-table
+    /// words plus per-slot hash/key/box-pointer bookkeeping. Outside the
+    /// paper's §1.4 stream-element model — reported separately so fleet
+    /// sizing can account for it; at the ≤ ½ load factor this is
+    /// `2..=4` bucket words (depending on where the table sits between
+    /// doublings) plus `2 + size_of::<K>()/8` slot words per
+    /// materialized key.
+    pub fn registry_overhead_words(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| self.lock(s).overhead_words())
+            .sum()
+    }
+}
+
+impl<K, T> MultiStreamEngine<K, T>
+where
+    K: Hash + Eq + Clone + Send + 'static,
+    T: Clone + Send + 'static,
+{
+    /// Engine with an explicit shard count, factory, and worker-thread
+    /// count for [`ingest_parallel`](Self::ingest_parallel).
+    pub fn with_threads(
+        template: SamplerSpec,
+        shards: usize,
+        factory: SamplerFactory<T>,
+        threads: usize,
+    ) -> Result<Self, SpecError> {
+        let mut engine = Self::with_factory(template, shards, factory)?;
+        engine.set_threads(threads);
+        Ok(engine)
+    }
+
+    /// Set the worker-thread count for subsequent
+    /// [`ingest_parallel`](Self::ingest_parallel) calls. `1` (the
+    /// default) ingests inline; higher counts spawn a persistent
+    /// `ShardWorkerPool` lazily on the first parallel batch. Capped at
+    /// the shard count (extra workers would never receive a shard).
+    pub fn set_threads(&mut self, threads: usize) {
+        let threads = threads.clamp(1, self.shards.len());
+        if threads != self.threads {
+            self.threads = threads;
+            self.pool = None; // respawned lazily at the new width
+        }
+    }
+
+    /// Multi-core [`ingest`](Self::ingest): partition the batch by shard
+    /// and run the shards on the persistent worker pool, returning when
+    /// every sub-batch has been applied. Because a shard is processed by
+    /// exactly one worker and per-key seeds derive from the key alone,
+    /// the per-key samples are **bit-identical for every thread count**
+    /// (equal to the serial path's). With `threads == 1` this *is* the
+    /// serial path.
+    ///
+    /// # Panics
+    /// Propagates per-key sampler panics (e.g. a key's timestamps
+    /// running backwards) from the worker threads.
+    pub fn ingest_parallel(&mut self, batch: &[KeyedEvent<K, T>]) {
+        if batch.is_empty() {
+            return;
+        }
+        if self.threads <= 1 || self.shards.len() == 1 {
+            return self.ingest(batch);
+        }
+        assert!(
+            batch.len() <= u32::MAX as usize,
+            "batch exceeds u32 positions"
+        );
+        if self.pool.is_none() {
+            self.pool = Some(ShardWorkerPool::spawn(self.threads));
+        }
+        let nshards = self.shards.len();
+        let mask = self.shard_mask;
+        let mut parts: Vec<Vec<KeyedEvent<K, T>>> = (0..nshards).map(|_| Vec::new()).collect();
+        let mut routes: Vec<Route> = (0..nshards).map(|_| Vec::new()).collect();
+        for (key, now, value) in batch {
+            let hash = fx_hash_key(key);
+            let s = (((hash >> 32) ^ hash) & mask) as usize;
+            routes[s].push((parts[s].len() as u32, hash));
+            parts[s].push((key.clone(), *now, value.clone()));
+        }
+        let pool = self.pool.as_ref().expect("pool just spawned");
+        let (done_tx, done_rx) = mpsc::channel();
+        let mut jobs = 0usize;
+        for (s, (part, route)) in parts.into_iter().zip(routes).enumerate() {
+            if part.is_empty() {
+                continue;
+            }
+            jobs += 1;
+            pool.senders[s % pool.threads()]
+                .send(IngestJob {
+                    shard: Arc::clone(&self.shards[s]),
+                    batch: part,
+                    route,
+                    done: done_tx.clone(),
+                })
+                .expect("shard worker alive");
+        }
+        drop(done_tx);
+        for _ in 0..jobs {
+            // A worker that panicked (poisoned sampler contract) drops
+            // its `done` sender without sending; surface that instead of
+            // silently losing the sub-batch.
+            done_rx.recv().expect("shard ingestion worker panicked");
+        }
     }
 }
 
 impl<K, T: Clone> MemoryWords for MultiStreamEngine<K, T> {
     /// Fleet-wide footprint: the sum of every per-key sampler's words.
-    /// Registry scaffolding (hash-map tables, boxes) is bookkeeping
+    /// Registry scaffolding (index tables, slab bookkeeping, boxes) is
     /// outside the paper's §1.4 stream-element model, exactly as RNG
-    /// state is excluded for single samplers.
+    /// state is excluded for single samplers — see
+    /// [`MultiStreamEngine::registry_overhead_words`] for that side.
     fn memory_words(&self) -> usize {
         self.shards
             .iter()
-            .flat_map(|s| s.values())
-            .map(|b| b.memory_words())
+            .map(|s| {
+                s.lock()
+                    .expect("shard lock poisoned")
+                    .slots
+                    .iter()
+                    .map(|e| e.sampler.memory_words())
+                    .sum::<usize>()
+            })
             .sum()
     }
 }
@@ -366,7 +838,7 @@ mod tests {
         }
         assert!(e.sample_k(&"carol").is_none());
         assert!(e.sample(&"carol").is_none());
-        assert_eq!(e.keys().count(), 2);
+        assert_eq!(e.keys().len(), 2);
     }
 
     #[test]
@@ -431,11 +903,8 @@ mod tests {
         e.ingest(&batch);
         let mut seeds: Vec<u64> = (0..64u64)
             .map(|k| {
-                e.sampler_mut(&k)
+                e.with_sampler(&k, |s| s.spec().expect("built via spec").seed)
                     .expect("present")
-                    .spec()
-                    .expect("built via spec")
-                    .seed
             })
             .collect();
         seeds.sort_unstable();
@@ -450,6 +919,56 @@ mod tests {
         assert!(MultiStreamEngine::<u64, u64>::new(bad).is_err());
         let chain: SamplerSpec = "--window seq --n 5 --algo chain".parse().expect("parses");
         assert!(MultiStreamEngine::<u64, u64>::new(chain).is_err());
+    }
+
+    #[test]
+    fn slab_registry_survives_growth_and_collisions() {
+        // One shard forces every key through one table; enough keys to
+        // trigger several doublings, interleaved with lookups.
+        let mut e: MultiStreamEngine<u64, u64> =
+            MultiStreamEngine::with_factory(seq_wr_spec(4, 1, 3), 1, SamplerSpec::build::<u64>)
+                .expect("engine");
+        for round in 0..4u64 {
+            let batch: Vec<(u64, u64, u64)> =
+                (0..500u64).map(|k| (k, 0, round * 1000 + k)).collect();
+            e.ingest(&batch);
+            assert_eq!(e.num_keys(), 500, "round {round}");
+        }
+        for k in (0..500u64).step_by(97) {
+            let got = e.sample_k(&k).expect("key present");
+            assert!(got.iter().all(|s| *s.value() % 1000 == k));
+        }
+        assert!(e.registry_overhead_words() >= 500 * 4);
+    }
+
+    #[test]
+    fn parallel_ingest_is_bit_identical_to_serial() {
+        let template = seq_wr_spec(50, 4, 11);
+        let mut serial: MultiStreamEngine<u64, u64> =
+            MultiStreamEngine::with_factory(template.clone(), 8, SamplerSpec::build::<u64>)
+                .expect("engine");
+        let mut parallel: MultiStreamEngine<u64, u64> =
+            MultiStreamEngine::with_threads(template, 8, SamplerSpec::build::<u64>, 4)
+                .expect("engine");
+        assert_eq!(parallel.num_threads(), 4);
+
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut zipf = ZipfGen::new(200, 1.2);
+        let events: Vec<(u64, u64, u64)> = (0..20_000u64)
+            .map(|i| (zipf.next_value(&mut rng), i / 32, i))
+            .collect();
+        for chunk in events.chunks(777) {
+            serial.ingest(chunk);
+            parallel.ingest_parallel(chunk);
+        }
+        assert_eq!(serial.num_keys(), parallel.num_keys());
+        for key in serial.keys() {
+            assert_eq!(
+                serial.sample_k(&key),
+                parallel.sample_k(&key),
+                "key {key}: parallel diverges from serial"
+            );
+        }
     }
 
     /// The acceptance-criterion test: a 100k-key zipf-skewed stream
