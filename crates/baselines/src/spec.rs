@@ -28,7 +28,7 @@ use swsample_stream::WindowSpec;
 /// object answers [`ErasedWindowSampler::spec`] introspection.
 /// `T: Send` mirrors `SamplerSpec::build` — erased samplers are `Send`
 /// so fleets can shard them across worker threads.
-pub fn build<T: Clone + Send + 'static>(
+pub fn build<T: Clone + Send + Sync + 'static>(
     spec: &SamplerSpec,
 ) -> Result<Box<dyn ErasedWindowSampler<T>>, SpecError> {
     spec.validate()?;

@@ -22,7 +22,7 @@ use crate::args::{ArgError, Args};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::io::{BufRead, Write};
-use swsample_core::spec::{Algorithm, SamplerSpec, WindowKind};
+use swsample_core::spec::{Algorithm, FleetBackend, SamplerSpec, WindowKind};
 use swsample_core::{ErasedWindowSampler, MemoryWords};
 use swsample_query::TsAggregator;
 use swsample_stream::{
@@ -63,9 +63,10 @@ pub fn write_help(out: &mut dyn Write) -> std::io::Result<()> {
            multi run a keyed fleet: one window per key, zipf key skew\n\
                  --keys K --count N + the spec flags of `run`\n\
                  [--theta T] [--shards S] [--threads W] [--show H]\n\
-                 [--workload-seed S]\n\
+                 [--workload-seed S] [--backend auto|erased|soa]\n\
                  (--threads > 1 ingests shards on a worker pool; output\n\
-                 is bit-identical for every thread count)\n\
+                 is bit-identical for every thread count and backend;\n\
+                 auto picks soa for homogeneous paper/reservoir-l fleets)\n\
            seq   shorthand: sample the last N lines of stdin\n\
                  --window N [--k K] [--wor] [--report-every M] [--seed S]\n\
                  [--batch-size B]\n\
@@ -132,7 +133,7 @@ fn spec_from_flags(args: &Args) -> Result<SamplerSpec, ArgError> {
 }
 
 /// Build a spec through the full factory (baseline algorithms included).
-fn build_sampler<T: Clone + Send + 'static>(
+fn build_sampler<T: Clone + Send + Sync + 'static>(
     spec: &SamplerSpec,
 ) -> Result<Box<dyn ErasedWindowSampler<T>>, ArgError> {
     swsample_baselines::spec::build(spec).map_err(|e| ArgError(e.to_string()))
@@ -318,17 +319,27 @@ fn cmd_multi(args: &Args, out: &mut dyn Write) -> Result<(), ArgError> {
     let show = args.get_usize("show", 3)?;
     let wseed = args.get_u64("workload-seed", 1)?;
     let batch = batch_size(args)?;
+    let backend: FleetBackend = match args.get_str("backend") {
+        Some(v) => v
+            .parse()
+            .map_err(|e: swsample_core::SpecError| ArgError(e.to_string()))?,
+        None => FleetBackend::Auto,
+    };
     let io_err = |e: std::io::Error| ArgError(format!("io error: {e}"));
 
     let spec = spec_from_flags(args)?;
     let timestamped = matches!(spec.window, WindowKind::Timestamp(_));
-    let mut engine: MultiStreamEngine<u64, u64> = MultiStreamEngine::with_threads(
+    let engine: MultiStreamEngine<u64, u64> = MultiStreamEngine::with_backend(
         spec,
         shards,
         swsample_baselines::spec::build::<u64>,
         threads,
+        backend,
     )
     .map_err(|e| ArgError(e.to_string()))?;
+    // Stderr, like the throughput line: diagnostics never mix with the
+    // sample stream (stdout is bit-identical across backends anyway).
+    eprintln!("# backend: {}", engine.backend());
 
     // Zipf-skewed keys, values = stream index, 64 arrivals per tick —
     // deterministic given --workload-seed.
@@ -697,6 +708,46 @@ mod tests {
         let serial = run_cmd(ts_base, "").expect("serial ts fleet runs");
         let parallel = run_cmd(&format!("{ts_base} --threads 4"), "").expect("parallel ts fleet");
         assert_eq!(serial, parallel, "ts template diverges across threads");
+    }
+
+    /// The backend contract `--backend` rides on: the SoA fleet is
+    /// sample-for-sample bit-identical to the erased fleet, so the whole
+    /// stdout report must match byte for byte — for a sequence-window
+    /// and a timestamp-window template, at every worker count.
+    #[test]
+    fn multi_backend_output_is_bit_identical() {
+        for base in [
+            "multi --keys 200 --count 6000 --window seq --n 25 --k 3 --seed 5 \
+             --theta 1.2 --shards 8 --show 4",
+            "multi --keys 50 --count 4000 --window ts --w 10 --mode wor --k 2 \
+             --seed 6 --shards 4 --show 3",
+        ] {
+            for threads in [1usize, 2, 8] {
+                let erased = run_cmd(&format!("{base} --threads {threads} --backend erased"), "")
+                    .expect("erased fleet runs");
+                let soa = run_cmd(&format!("{base} --threads {threads} --backend soa"), "")
+                    .expect("soa fleet runs");
+                assert_eq!(
+                    erased, soa,
+                    "--backend soa output diverges from erased at --threads {threads}"
+                );
+            }
+        }
+        // And the default (auto) resolves to one of the two, so it
+        // matches them as well.
+        let base = "multi --keys 50 --count 2000 --window seq --n 25 --k 3 --seed 5";
+        let auto = run_cmd(base, "").expect("auto fleet runs");
+        let soa = run_cmd(&format!("{base} --backend soa"), "").expect("soa fleet runs");
+        assert_eq!(auto, soa, "auto backend diverges from explicit soa");
+        // An unknown backend token is a flag error, not a panic.
+        assert!(
+            run_cmd(
+                "multi --keys 5 --count 10 --window seq --n 5 --backend hybrid",
+                ""
+            )
+            .is_err(),
+            "unknown backend token rejected"
+        );
     }
 
     #[test]

@@ -47,15 +47,19 @@ use crate::traits::WindowSampler;
 /// paths — they are what the skip-ahead fast paths key on), query at any
 /// point.
 ///
-/// `Send` is a supertrait: erased samplers are what fleets hold, and
-/// fleets shard across worker threads (`MultiStreamEngine`'s parallel
+/// `Send + Sync` are supertraits: erased samplers are what fleets hold,
+/// and fleets shard across worker threads (`MultiStreamEngine`'s parallel
 /// ingestion), so every erased sampler must be free to cross a thread
-/// boundary. The blanket impl therefore covers every `WindowSampler<T>`
-/// that is itself `Send` — which is all of them in this workspace: the
-/// samplers own plain data plus a `SmallRng`. A hypothetical non-`Send`
-/// sampler (e.g. one holding `Rc` state) keeps the precise generic
-/// interface and simply cannot be erased.
-pub trait ErasedWindowSampler<T: Clone>: Send {
+/// boundary — and, since shards sit behind `RwLock` so read-only queries
+/// can proceed concurrently, to be *referenced* from several threads at
+/// once (`&self` access only ever happens under a read guard; all
+/// mutation takes the write guard). The blanket impl therefore covers
+/// every `WindowSampler<T>` that is itself `Send + Sync` — which is all
+/// of them in this workspace: the samplers own plain data plus a
+/// `SmallRng`. A hypothetical non-thread-safe sampler (e.g. one holding
+/// `Rc` state) keeps the precise generic interface and simply cannot be
+/// erased.
+pub trait ErasedWindowSampler<T: Clone>: Send + Sync {
     /// Move the clock forward to `now`, expiring elements. No-op for
     /// sequence-based and whole-stream samplers.
     ///
@@ -103,7 +107,7 @@ pub trait ErasedWindowSampler<T: Clone>: Send {
     fn spec(&self) -> Option<&SamplerSpec>;
 }
 
-impl<T: Clone, S: WindowSampler<T> + Send> ErasedWindowSampler<T> for S {
+impl<T: Clone, S: WindowSampler<T> + Send + Sync> ErasedWindowSampler<T> for S {
     fn advance_time(&mut self, now: u64) {
         WindowSampler::advance_time(self, now);
     }

@@ -49,6 +49,7 @@ pub mod rngutil;
 mod sample;
 pub mod seq;
 pub mod skip;
+pub mod soa;
 pub mod spec;
 pub mod track;
 mod traits;
@@ -57,5 +58,5 @@ pub mod ts;
 pub use erased::ErasedWindowSampler;
 pub use memory::MemoryWords;
 pub use sample::Sample;
-pub use spec::{SamplerSpec, SpecError};
+pub use spec::{FleetBackend, SamplerSpec, SpecError};
 pub use traits::WindowSampler;

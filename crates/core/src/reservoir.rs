@@ -180,16 +180,7 @@ impl<T> ReservoirL<T> {
     }
 
     fn advance_skip<R: Rng>(&mut self, rng: &mut R) {
-        // W *= U^{1/k}; skip ~ Geometric(W).
-        self.w *= random_unit(rng).powf(1.0 / self.cap as f64);
-        let u = random_unit(rng);
-        let skip = (u.ln() / (1.0 - self.w).ln()).floor();
-        let skip = if skip.is_finite() && skip >= 0.0 {
-            skip.min(u64::MAX as f64 / 4.0) as u64
-        } else {
-            0
-        };
-        self.next_accept = self.next_accept.saturating_add(skip).saturating_add(1);
+        advance_skip_state(rng, self.cap, &mut self.w, &mut self.next_accept);
     }
 
     /// Offer the next stream element.
@@ -219,23 +210,39 @@ impl<T> ReservoirL<T> {
     where
         T: Clone,
     {
-        let mut i = 0usize;
-        while i < values.len() {
+        self.insert_run(rng, first_index, values.len() as u64, |i| {
+            values[i as usize].clone()
+        });
+    }
+
+    /// [`ReservoirL::insert_batch`] for callers whose values are not
+    /// contiguous in memory: offer `m` consecutive elements with
+    /// indices/timestamps `first_index..first_index + m`, materializing a
+    /// value via `value_at(offset)` only when it is actually stored.
+    pub fn insert_run<R: Rng>(
+        &mut self,
+        rng: &mut R,
+        first_index: u64,
+        m: u64,
+        mut value_at: impl FnMut(u64) -> T,
+    ) {
+        let mut i = 0u64;
+        while i < m {
             if self.entries.len() < self.cap {
                 // Warm-up: every element is stored.
-                let idx = first_index + i as u64;
-                self.insert(rng, values[i].clone(), idx, idx);
+                let idx = first_index + i;
+                self.insert(rng, value_at(i), idx, idx);
                 i += 1;
                 continue;
             }
             if self.seen + 1 < self.next_accept {
-                let hop = (self.next_accept - self.seen - 1).min((values.len() - i) as u64);
+                let hop = (self.next_accept - self.seen - 1).min(m - i);
                 self.seen += hop;
-                i += hop as usize;
+                i += hop;
                 continue;
             }
-            let idx = first_index + i as u64;
-            self.insert(rng, values[i].clone(), idx, idx);
+            let idx = first_index + i;
+            self.insert(rng, value_at(i), idx, idx);
             i += 1;
         }
     }
@@ -276,6 +283,29 @@ impl<T> MemoryWords for ReservoirL<T> {
     fn memory_words(&self) -> usize {
         self.entries.len() * Sample::<T>::WORDS + 4 // entries + (seen, cap, next, w)
     }
+}
+
+/// Algorithm L's skip advance as a free kernel over borrowed state:
+/// `W *= U^{1/k}`, then `next_accept += Geometric(W) + 1`. [`ReservoirL`]
+/// calls it on its own fields; the struct-of-arrays fleets
+/// ([`crate::soa::SeqWorFleet`]) call it on per-key state slots so both
+/// paths consume the RNG stream identically — bit-for-bit, which the
+/// SoA-vs-erased equivalence tests rely on.
+pub(crate) fn advance_skip_state<R: Rng>(
+    rng: &mut R,
+    cap: usize,
+    w: &mut f64,
+    next_accept: &mut u64,
+) {
+    *w *= random_unit(rng).powf(1.0 / cap as f64);
+    let u = random_unit(rng);
+    let skip = (u.ln() / (1.0 - *w).ln()).floor();
+    let skip = if skip.is_finite() && skip >= 0.0 {
+        skip.min(u64::MAX as f64 / 4.0) as u64
+    } else {
+        0
+    };
+    *next_accept = next_accept.saturating_add(skip).saturating_add(1);
 }
 
 /// Uniform draw in the open interval `(0, 1)` — Algorithm L needs logs of it.

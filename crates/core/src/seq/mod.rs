@@ -18,5 +18,6 @@
 mod wor;
 mod wr;
 
+pub(crate) use wor::choose_distinct;
 pub use wor::SeqSamplerWor;
 pub use wr::SeqSamplerWr;

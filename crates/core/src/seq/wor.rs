@@ -157,20 +157,27 @@ impl<T: Clone, R: Rng> SeqSamplerWor<T, R> {
             self.prev = self.cur.take();
         }
     }
+}
 
-    /// Choose `i` distinct entries uniformly from `pool` (partial
-    /// Fisher–Yates).
-    fn choose_distinct(rng: &mut R, pool: &[Sample<T>], i: usize) -> Vec<Sample<T>> {
-        debug_assert!(i <= pool.len(), "choose_distinct: {i} > {}", pool.len());
-        let mut scratch: Vec<&Sample<T>> = pool.iter().collect();
-        let mut out = Vec::with_capacity(i);
-        for step in 0..i {
-            let j = rng.gen_range(step..scratch.len());
-            scratch.swap(step, j);
-            out.push(scratch[step].clone());
-        }
-        out
+/// Choose `i` distinct entries uniformly from `pool` (partial
+/// Fisher–Yates). A free kernel so [`SeqSamplerWor`] and the
+/// struct-of-arrays fleet ([`crate::soa::SeqWorFleet`]) draw the exact
+/// same RNG words for the same query — the SoA-vs-erased equivalence
+/// tests pin that.
+pub(crate) fn choose_distinct<T: Clone, R: Rng>(
+    rng: &mut R,
+    pool: &[Sample<T>],
+    i: usize,
+) -> Vec<Sample<T>> {
+    debug_assert!(i <= pool.len(), "choose_distinct: {i} > {}", pool.len());
+    let mut scratch: Vec<&Sample<T>> = pool.iter().collect();
+    let mut out = Vec::with_capacity(i);
+    for step in 0..i {
+        let j = rng.gen_range(step..scratch.len());
+        scratch.swap(step, j);
+        out.push(scratch[step].clone());
     }
+    out
 }
 
 impl<T, R> MemoryWords for SeqSamplerWor<T, R> {
@@ -238,7 +245,7 @@ impl<T: Clone, R: Rng> WindowSampler<T> for SeqSamplerWor<T, R> {
         }
         // Top up with a uniform expired_count-subset of X_V. The paper
         // guarantees expired_count <= min(k, |V_a|) = |X_V| entries.
-        let top_up = Self::choose_distinct(&mut self.rng, self.cur.entries(), expired_count);
+        let top_up = choose_distinct(&mut self.rng, self.cur.entries(), expired_count);
         let mut out = retained;
         out.extend(top_up);
         Some(out)

@@ -1,0 +1,975 @@
+//! Struct-of-arrays **fleet** state: one homogeneous template, many keys,
+//! no per-key heap boxes.
+//!
+//! A keyed fleet of `10⁵+` boxed [`ErasedWindowSampler`]s collapses on a
+//! cache-miss chain per event: slot → box pointer → sampler header →
+//! interior `Vec`s, with each key's ~200-byte box scattered across the
+//! heap (one TLB entry per touch, one cache line used per ~3 loaded).
+//! When every key shares one [`SamplerSpec`] template, none of that
+//! indirection carries information — the algorithm, window size, and `k`
+//! are fleet-wide constants, and only the *per-key state* differs. This
+//! module stores that state **field-major**:
+//!
+//! * one dense array of plain-data hot heads ([`SeqWrState`],
+//!   [`SeqWorState`]) — the few words the non-accept fast path reads, at
+//!   24–40 bytes per key instead of a cache line per box;
+//! * `k`-slot sample blocks (`prev`/`cur` candidates, next-acceptance
+//!   indices) laid out contiguously per key, inline in the slab — touched
+//!   only on the `Θ(log n)`-per-bucket acceptance events and at rotation;
+//! * a cold lane of per-key RNGs, read only when a draw actually happens.
+//!
+//! The batch kernels ([`SeqWrFleet::insert`] and friends) are verbatim
+//! transcriptions of the boxed samplers' update rules — same branch
+//! structure, same RNG-draw order ([`crate::skip::record_skip`] per
+//! acceptor in instance order, Algorithm L's shared skip kernel, the
+//! partial Fisher–Yates top-up) — so a fleet slot and a boxed sampler
+//! seeded identically produce **bit-identical** samples forever. That
+//! equivalence is the refactor's safety net and is pinned by
+//! `tests/soa_fleet_equivalence.rs` plus the engine's SoA-vs-erased CI
+//! gates.
+//!
+//! The timestamp families ([`TsWrFleet`], [`TsWorFleet`]) store the
+//! concrete samplers inline (no box, no vtable): a ts-bank's boundary
+//! skeleton is already one contiguous per-key structure of `O(k log n)`
+//! words, so the win at fleet scale is removing the per-key box
+//! indirection and the per-element virtual dispatch, not re-laying-out
+//! the bank's interior.
+//!
+//! [`ErasedWindowSampler`]: crate::erased::ErasedWindowSampler
+//! [`SamplerSpec`]: crate::spec::SamplerSpec
+
+use crate::memory::MemoryWords;
+use crate::reservoir::{advance_skip_state, ReservoirL};
+use crate::sample::Sample;
+use crate::seq::choose_distinct;
+use crate::skip::record_skip;
+use crate::traits::WindowSampler;
+use crate::ts::{TsSamplerWor, TsSamplerWr};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Hot per-key head of a sequence-WR sampler (Theorem 2.1): exactly the
+/// words the skip fast path compares on every arrival. 24 bytes, so a
+/// 64-byte cache line holds the heads of ~2.7 keys — under zipf traffic
+/// the hot keys' heads stay L1-resident where scattered boxes thrash.
+#[derive(Debug, Clone, Copy)]
+pub struct SeqWrState {
+    /// Total arrivals so far (`N` in the paper).
+    pub count: u64,
+    /// Cached minimum of the key's next-acceptance indices.
+    pub min_next: u64,
+    /// The count at which the next bucket rotation happens.
+    pub next_rotate: u64,
+}
+
+/// Field-major fleet of [`SeqSamplerWr`]-equivalent samplers
+/// (`--window seq --mode wr --algo paper`), one slot per key.
+///
+/// [`SeqSamplerWr`]: crate::seq::SeqSamplerWr
+#[derive(Debug, Clone)]
+pub struct SeqWrFleet<T> {
+    n: u64,
+    k: usize,
+    /// One hot head per key — the dense fast-path array.
+    heads: Vec<SeqWrState>,
+    /// Cold lane: per-key RNG, touched only on acceptance events.
+    rngs: Vec<SmallRng>,
+    /// `k`-slot blocks: absolute next-acceptance index per instance.
+    next_accept: Vec<u64>,
+    /// `k`-slot blocks: sample of the last complete bucket (`X_U`).
+    prev: Vec<Option<Sample<T>>>,
+    /// `k`-slot blocks: reservoir candidate of the partial bucket (`X_V`).
+    cur: Vec<Option<Sample<T>>>,
+}
+
+impl<T: Clone> SeqWrFleet<T> {
+    /// Empty fleet with the template's window size `n ≥ 1` and `k ≥ 1`.
+    pub fn new(n: u64, k: usize) -> Self {
+        assert!(n >= 1, "SeqWrFleet: window size must be at least 1");
+        assert!(n <= 1 << 62, "SeqWrFleet: window size too large");
+        assert!(k >= 1, "SeqWrFleet: k must be at least 1");
+        Self {
+            n,
+            k,
+            heads: Vec::new(),
+            rngs: Vec::new(),
+            next_accept: Vec::new(),
+            prev: Vec::new(),
+            cur: Vec::new(),
+        }
+    }
+
+    /// Number of keys in the fleet.
+    pub fn len(&self) -> usize {
+        self.heads.len()
+    }
+
+    /// `true` when no key has been materialized.
+    pub fn is_empty(&self) -> bool {
+        self.heads.is_empty()
+    }
+
+    /// Samples per key.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Append a fresh key slot seeded like `SeqSamplerWr::new(n, k,
+    /// SmallRng::seed_from_u64(seed))`: every instance accepts the first
+    /// arrival with probability 1.
+    pub fn push_key(&mut self, seed: u64) -> usize {
+        let slot = self.heads.len();
+        self.heads.push(SeqWrState {
+            count: 0,
+            min_next: 0,
+            next_rotate: self.n,
+        });
+        self.rngs.push(SmallRng::seed_from_u64(seed));
+        self.next_accept.extend(std::iter::repeat_n(0, self.k));
+        self.prev
+            .extend(std::iter::repeat_with(|| None).take(self.k));
+        self.cur
+            .extend(std::iter::repeat_with(|| None).take(self.k));
+        slot
+    }
+
+    /// Insert the next arrival for `slot` — the transcription of
+    /// `SeqSamplerWr::push` over the field-major arrays. The common
+    /// non-accept case reads one head and writes one counter.
+    #[inline]
+    pub fn insert(&mut self, slot: usize, value: T) {
+        let head = &mut self.heads[slot];
+        let idx = head.count;
+        if idx >= head.min_next {
+            let base = slot * self.k;
+            head.min_next = accept_at(
+                &mut self.rngs[slot],
+                self.n,
+                idx,
+                value,
+                &mut self.next_accept[base..base + self.k],
+                &mut self.cur[base..base + self.k],
+            );
+        }
+        let head = &mut self.heads[slot];
+        head.count += 1;
+        if head.count == head.next_rotate {
+            // rotate_buckets: V becomes U; re-arm every instance to accept
+            // the next bucket's first arrival with probability 1.
+            let base = slot * self.k;
+            for i in base..base + self.k {
+                self.prev[i] = self.cur[i].take();
+            }
+            for na in &mut self.next_accept[base..base + self.k] {
+                *na = head.count;
+            }
+            head.min_next = head.count;
+            head.next_rotate += self.n;
+        }
+    }
+
+    /// Ingest `m` consecutive arrivals for `slot` in one call —
+    /// element-for-element (and RNG-draw-for-draw) equivalent to `m`
+    /// [`insert`](SeqWrFleet::insert)s of `value_at(0), …, value_at(m-1)`,
+    /// but the stretches the skip counters already prove inactive are
+    /// hopped in O(1): total work is O(acceptances + rotations + 1), and
+    /// `value_at` runs only at accepted offsets. This is the fleet-level
+    /// payoff of Lemma 2.5's skip counters — with the batch grouped
+    /// key-major, a key's whole run costs one head load plus its
+    /// (logarithmically rare) acceptances.
+    pub fn insert_run(&mut self, slot: usize, m: u64, mut value_at: impl FnMut(u64) -> T) {
+        if m == 0 {
+            return;
+        }
+        let base = slot * self.k;
+        let mut head = self.heads[slot];
+        let start = head.count;
+        let end = start + m;
+        loop {
+            // Next index where the per-element loop would do real work: a
+            // bucket boundary (rotation fires when count *reaches*
+            // next_rotate, so a boundary at exactly `end` still fires) or
+            // an acceptance at min_next (in-bucket, so always below the
+            // boundary when one is pending).
+            if head.next_rotate <= head.min_next.min(end) {
+                head.count = head.next_rotate;
+                for i in base..base + self.k {
+                    self.prev[i] = self.cur[i].take();
+                }
+                for na in &mut self.next_accept[base..base + self.k] {
+                    *na = head.count;
+                }
+                head.min_next = head.count;
+                head.next_rotate += self.n;
+                continue;
+            }
+            if head.min_next >= end {
+                break;
+            }
+            let idx = head.min_next;
+            head.min_next = accept_at(
+                &mut self.rngs[slot],
+                self.n,
+                idx,
+                value_at(idx - start),
+                &mut self.next_accept[base..base + self.k],
+                &mut self.cur[base..base + self.k],
+            );
+        }
+        head.count = end;
+        self.heads[slot] = head;
+    }
+
+    /// The key's current `k`-sample (RNG-free, so shared `&self` access —
+    /// concurrent readers never contend).
+    pub fn sample_k(&self, slot: usize) -> Option<Vec<Sample<T>>> {
+        let head = &self.heads[slot];
+        if head.count == 0 {
+            return None;
+        }
+        let oldest_active = head.count.saturating_sub(self.n);
+        let within_first_bucket = head.count < self.n;
+        let aligned = head.count.is_multiple_of(self.n);
+        let base = slot * self.k;
+        let picks = (0..self.k)
+            .map(|i| {
+                let cur = self.cur[base + i].as_ref();
+                let prev = self.prev[base + i].as_ref();
+                let pick = if within_first_bucket {
+                    cur.expect("partial bucket nonempty")
+                } else if aligned {
+                    prev.expect("complete bucket exists")
+                } else {
+                    let prev = prev.expect("complete bucket exists");
+                    if prev.index() >= oldest_active {
+                        prev
+                    } else {
+                        cur.expect("partial bucket nonempty")
+                    }
+                };
+                pick.clone()
+            })
+            .collect();
+        Some(picks)
+    }
+
+    /// One uniform sample: the first instance's (matching
+    /// `SeqSamplerWr::sample`, which draws no randomness).
+    pub fn sample(&self, slot: usize) -> Option<Sample<T>> {
+        self.sample_k(slot).map(|mut v| v.swap_remove(0))
+    }
+
+    /// The key's §1.4 footprint in words — identical to the boxed
+    /// sampler's accounting (held samples, the `k` skip indices, and the
+    /// `(n, count, min_next)` globals; RNG and derived counters excluded).
+    pub fn memory_words(&self, slot: usize) -> usize {
+        let base = slot * self.k;
+        let held: usize = (base..base + self.k)
+            .map(|i| {
+                self.prev[i].as_ref().map_or(0, |_| Sample::<T>::WORDS)
+                    + self.cur[i].as_ref().map_or(0, |_| Sample::<T>::WORDS)
+            })
+            .sum();
+        held + self.k + 3
+    }
+}
+
+/// Skip-path acceptance over one key's `k`-slot block — the verbatim
+/// kernel of `SeqSamplerWr::accept_at`: adopt `value` into every instance
+/// whose next-acceptance index is `idx` (in instance order, so RNG draws
+/// line up with the boxed path), redraw their gaps via
+/// [`record_skip`], and return the new cached minimum.
+fn accept_at<T: Clone>(
+    rng: &mut SmallRng,
+    n: u64,
+    idx: u64,
+    value: T,
+    next_accept: &mut [u64],
+    cur: &mut [Option<Sample<T>>],
+) -> u64 {
+    let pos = idx % n;
+    let bucket_start = idx - pos;
+    let accepting = next_accept.iter().filter(|&&na| na == idx).count();
+    debug_assert!(accepting >= 1, "accept_at called with no acceptor");
+    let mut value = Some(value);
+    let mut remaining = accepting;
+    for i in 0..next_accept.len() {
+        if next_accept[i] != idx {
+            continue;
+        }
+        remaining -= 1;
+        let v = if remaining == 0 {
+            value.take().expect("value present for the final acceptor")
+        } else {
+            value.as_ref().expect("value present").clone()
+        };
+        cur[i] = Some(Sample::new(v, idx, idx));
+        next_accept[i] = match record_skip(rng, pos + 1, n) {
+            Some(c) => bucket_start + c - 1,
+            None => u64::MAX, // instance is done until the next bucket
+        };
+    }
+    next_accept
+        .iter()
+        .copied()
+        .min()
+        .expect("at least one instance")
+}
+
+/// Hot per-key head of a sequence-WOR sampler (Theorem 2.2): the stream
+/// counter plus the partial bucket's Algorithm L reservoir scalars.
+#[derive(Debug, Clone, Copy)]
+pub struct SeqWorState {
+    /// Total arrivals so far.
+    pub count: u64,
+    /// Elements offered to the partial bucket's reservoir.
+    pub seen: u64,
+    /// Next 1-based offer count at which the reservoir replaces.
+    pub next_accept: u64,
+    /// Algorithm L's running `W` state.
+    pub w: f64,
+    /// Entries held for the complete bucket (`X_U`), ≤ `k`.
+    pub prev_len: u32,
+    /// Entries held in the partial bucket's reservoir (`X_V`), ≤ `k`.
+    pub cur_len: u32,
+}
+
+/// Field-major fleet of [`SeqSamplerWor`]-equivalent samplers
+/// (`--window seq --mode wor --algo paper`, Algorithm L bucket
+/// reservoirs), one slot per key.
+///
+/// [`SeqSamplerWor`]: crate::seq::SeqSamplerWor
+#[derive(Debug, Clone)]
+pub struct SeqWorFleet<T> {
+    n: u64,
+    k: usize,
+    heads: Vec<SeqWorState>,
+    rngs: Vec<SmallRng>,
+    /// `k`-slot blocks, dense prefix of length `prev_len`.
+    prev: Vec<Option<Sample<T>>>,
+    /// `k`-slot blocks, dense prefix of length `cur_len` — the reservoir
+    /// entries in Algorithm L's slot order.
+    cur: Vec<Option<Sample<T>>>,
+}
+
+impl<T: Clone> SeqWorFleet<T> {
+    /// Empty fleet with the template's window size `n ≥ 1` and `k ≥ 1`.
+    pub fn new(n: u64, k: usize) -> Self {
+        assert!(n >= 1, "SeqWorFleet: window size must be at least 1");
+        assert!(k >= 1, "SeqWorFleet: k must be at least 1");
+        Self {
+            n,
+            k,
+            heads: Vec::new(),
+            rngs: Vec::new(),
+            prev: Vec::new(),
+            cur: Vec::new(),
+        }
+    }
+
+    /// Number of keys in the fleet.
+    pub fn len(&self) -> usize {
+        self.heads.len()
+    }
+
+    /// `true` when no key has been materialized.
+    pub fn is_empty(&self) -> bool {
+        self.heads.is_empty()
+    }
+
+    /// Samples per key.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Append a fresh key slot seeded like `SeqSamplerWor::new(n, k,
+    /// SmallRng::seed_from_u64(seed))`.
+    pub fn push_key(&mut self, seed: u64) -> usize {
+        let slot = self.heads.len();
+        self.heads.push(SeqWorState {
+            count: 0,
+            seen: 0,
+            next_accept: 0,
+            w: 1.0,
+            prev_len: 0,
+            cur_len: 0,
+        });
+        self.rngs.push(SmallRng::seed_from_u64(seed));
+        self.prev
+            .extend(std::iter::repeat_with(|| None).take(self.k));
+        self.cur
+            .extend(std::iter::repeat_with(|| None).take(self.k));
+        slot
+    }
+
+    /// Insert the next arrival for `slot` — `SeqSamplerWor::push` with
+    /// the partial bucket's [`ReservoirL`] inlined over the `k`-slot
+    /// block (same branches, same draws via the shared skip kernel).
+    #[inline]
+    pub fn insert(&mut self, slot: usize, value: T) {
+        let base = slot * self.k;
+        let head = &mut self.heads[slot];
+        let idx = head.count;
+        // ReservoirL::insert(rng, value, idx, idx) over the cur block.
+        head.seen += 1;
+        if (head.cur_len as usize) < self.k {
+            self.cur[base + head.cur_len as usize] = Some(Sample::new(value, idx, idx));
+            head.cur_len += 1;
+            if head.cur_len as usize == self.k {
+                head.next_accept = head.seen;
+                advance_skip_state(
+                    &mut self.rngs[slot],
+                    self.k,
+                    &mut head.w,
+                    &mut head.next_accept,
+                );
+            }
+        } else if head.seen == head.next_accept {
+            let j = self.rngs[slot].gen_range(0..self.k);
+            self.cur[base + j] = Some(Sample::new(value, idx, idx));
+            advance_skip_state(
+                &mut self.rngs[slot],
+                self.k,
+                &mut head.w,
+                &mut head.next_accept,
+            );
+        }
+        head.count += 1;
+        if head.count.is_multiple_of(self.n) {
+            // prev = cur.take(): the bucket just completed.
+            for i in 0..self.k {
+                self.prev[base + i] = self.cur[base + i].take();
+            }
+            head.prev_len = head.cur_len;
+            head.cur_len = 0;
+            head.seen = 0;
+            head.next_accept = 0;
+            head.w = 1.0;
+        }
+    }
+
+    /// Ingest `m` consecutive arrivals for `slot` in one call —
+    /// equivalent (branches, RNG draws, samples) to `m`
+    /// [`insert`](SeqWorFleet::insert)s, with Algorithm L's geometric
+    /// gaps and the dead stretch before each bucket boundary hopped in
+    /// O(1). `value_at` runs only at stored offsets (the reservoir
+    /// warm-up after each rotation, then one per acceptance).
+    pub fn insert_run(&mut self, slot: usize, m: u64, mut value_at: impl FnMut(u64) -> T) {
+        if m == 0 {
+            return;
+        }
+        let base = slot * self.k;
+        let mut head = self.heads[slot];
+        let start = head.count;
+        let end = start + m;
+        while head.count < end {
+            if (head.cur_len as usize) < self.k {
+                // Reservoir warm-up: every arrival is stored.
+                let idx = head.count;
+                head.seen += 1;
+                self.cur[base + head.cur_len as usize] =
+                    Some(Sample::new(value_at(idx - start), idx, idx));
+                head.cur_len += 1;
+                if head.cur_len as usize == self.k {
+                    head.next_accept = head.seen;
+                    advance_skip_state(
+                        &mut self.rngs[slot],
+                        self.k,
+                        &mut head.w,
+                        &mut head.next_accept,
+                    );
+                }
+                head.count += 1;
+                if head.count.is_multiple_of(self.n) {
+                    Self::rotate(&mut head, &mut self.prev, &mut self.cur, base, self.k);
+                }
+                continue;
+            }
+            // Steady state: hop straight to whichever comes first — the
+            // accepting arrival (`seen` reaching `next_accept`), the
+            // bucket boundary, or the end of the run.
+            let to_accept = head.next_accept - head.seen;
+            let to_boundary = self.n - head.count % self.n;
+            let to_end = end - head.count;
+            let hop = to_accept.min(to_boundary).min(to_end);
+            head.seen += hop;
+            head.count += hop;
+            if hop == to_accept {
+                let idx = head.count - 1;
+                let j = self.rngs[slot].gen_range(0..self.k);
+                self.cur[base + j] = Some(Sample::new(value_at(idx - start), idx, idx));
+                advance_skip_state(
+                    &mut self.rngs[slot],
+                    self.k,
+                    &mut head.w,
+                    &mut head.next_accept,
+                );
+            }
+            if hop == to_boundary {
+                Self::rotate(&mut head, &mut self.prev, &mut self.cur, base, self.k);
+            }
+        }
+        self.heads[slot] = head;
+    }
+
+    /// The bucket-boundary rotation (`prev = cur.take()`, reservoir
+    /// re-armed), shared by the per-element and run paths.
+    fn rotate(
+        head: &mut SeqWorState,
+        prev: &mut [Option<Sample<T>>],
+        cur: &mut [Option<Sample<T>>],
+        base: usize,
+        k: usize,
+    ) {
+        for i in 0..k {
+            prev[base + i] = cur[base + i].take();
+        }
+        head.prev_len = head.cur_len;
+        head.cur_len = 0;
+        head.seen = 0;
+        head.next_accept = 0;
+        head.w = 1.0;
+    }
+
+    fn block(entries: &[Option<Sample<T>>], len: u32) -> Vec<Sample<T>> {
+        entries[..len as usize]
+            .iter()
+            .map(|s| s.as_ref().expect("dense prefix").clone())
+            .collect()
+    }
+
+    /// The key's current distinct `k`-sample. Takes `&mut` because the
+    /// straddling-window case tops up with a Fisher–Yates draw, exactly
+    /// like the boxed sampler.
+    pub fn sample_k(&mut self, slot: usize) -> Option<Vec<Sample<T>>> {
+        let base = slot * self.k;
+        let head = self.heads[slot];
+        if head.count == 0 {
+            return None;
+        }
+        if head.count < self.n {
+            return Some(Self::block(&self.cur[base..base + self.k], head.cur_len));
+        }
+        if head.count.is_multiple_of(self.n) {
+            return Some(Self::block(&self.prev[base..base + self.k], head.prev_len));
+        }
+        let oldest_active = head.count - self.n;
+        let mut retained: Vec<Sample<T>> = Vec::with_capacity(head.prev_len as usize);
+        for s in &self.prev[base..base + head.prev_len as usize] {
+            let s = s.as_ref().expect("dense prefix");
+            if s.index() >= oldest_active {
+                retained.push(s.clone());
+            }
+        }
+        let expired_count = head.prev_len as usize - retained.len();
+        if expired_count == 0 {
+            return Some(retained);
+        }
+        let pool = Self::block(&self.cur[base..base + self.k], head.cur_len);
+        let top_up = choose_distinct(&mut self.rngs[slot], &pool, expired_count);
+        retained.extend(top_up);
+        Some(retained)
+    }
+
+    /// One uniform sample, drawn from the `k`-set like
+    /// `SeqSamplerWor::sample` (query-time draw ordering preserved).
+    pub fn sample(&mut self, slot: usize) -> Option<Sample<T>> {
+        self.sample_k(slot).map(|mut v| {
+            let j = self.rngs[slot].gen_range(0..v.len());
+            v.swap_remove(j)
+        })
+    }
+
+    /// The key's §1.4 footprint in words — `X_U` entries + the Algorithm
+    /// L reservoir + the `(n, k, count)` globals, matching the boxed
+    /// sampler's accounting exactly.
+    pub fn memory_words(&self, slot: usize) -> usize {
+        let head = &self.heads[slot];
+        head.prev_len as usize * Sample::<T>::WORDS
+            + (head.cur_len as usize * Sample::<T>::WORDS + 4)
+            + 3
+    }
+}
+
+/// Inline fleet of concrete timestamp-WR samplers (Theorem 3.9 fused
+/// banks) — no per-key box, no vtable; see the [module docs](self) on why
+/// the bank's interior stays as-is.
+#[derive(Debug, Clone)]
+pub struct TsWrFleet<T> {
+    t0: u64,
+    k: usize,
+    lanes: Vec<TsSamplerWr<T, SmallRng>>,
+}
+
+/// Inline fleet of concrete timestamp-WOR samplers (Theorem 4.4 delayed
+/// banks).
+#[derive(Debug, Clone)]
+pub struct TsWorFleet<T> {
+    t0: u64,
+    k: usize,
+    lanes: Vec<TsSamplerWor<T, SmallRng>>,
+}
+
+macro_rules! ts_fleet_impl {
+    ($fleet:ident, $sampler:ident) => {
+        impl<T: Clone> $fleet<T> {
+            /// Empty fleet with the template's window width `t0 ≥ 1` and
+            /// `k ≥ 1`.
+            pub fn new(t0: u64, k: usize) -> Self {
+                assert!(
+                    t0 >= 1,
+                    concat!(stringify!($fleet), ": width must be at least 1")
+                );
+                assert!(
+                    k >= 1,
+                    concat!(stringify!($fleet), ": k must be at least 1")
+                );
+                Self {
+                    t0,
+                    k,
+                    lanes: Vec::new(),
+                }
+            }
+
+            /// Number of keys in the fleet.
+            pub fn len(&self) -> usize {
+                self.lanes.len()
+            }
+
+            /// `true` when no key has been materialized.
+            pub fn is_empty(&self) -> bool {
+                self.lanes.is_empty()
+            }
+
+            /// Samples per key.
+            pub fn k(&self) -> usize {
+                self.k
+            }
+
+            /// Append a fresh key slot seeded like the boxed construction.
+            pub fn push_key(&mut self, seed: u64) -> usize {
+                let slot = self.lanes.len();
+                self.lanes.push($sampler::new(
+                    self.t0,
+                    self.k,
+                    SmallRng::seed_from_u64(seed),
+                ));
+                slot
+            }
+
+            /// Advance the key's clock to `now` and ingest the run — the
+            /// grouped engine-major dispatch shape, statically dispatched.
+            #[inline]
+            pub fn advance_and_insert(&mut self, slot: usize, now: u64, values: &[T]) {
+                WindowSampler::advance_and_insert(&mut self.lanes[slot], now, values);
+            }
+
+            /// The key's current `k`-sample (consumes query randomness —
+            /// timestamp queries synthesize §3.3's implicit events).
+            pub fn sample_k(&mut self, slot: usize) -> Option<Vec<Sample<T>>> {
+                WindowSampler::sample_k(&mut self.lanes[slot])
+            }
+
+            /// One uniform sample from the key's window.
+            pub fn sample(&mut self, slot: usize) -> Option<Sample<T>> {
+                WindowSampler::sample(&mut self.lanes[slot])
+            }
+
+            /// The key's §1.4 footprint in words.
+            pub fn memory_words(&self, slot: usize) -> usize {
+                MemoryWords::memory_words(&self.lanes[slot])
+            }
+        }
+    };
+}
+
+ts_fleet_impl!(TsWrFleet, TsSamplerWr);
+ts_fleet_impl!(TsWorFleet, TsSamplerWor);
+
+/// One whole-stream Algorithm L slot: the state of the spec-built
+/// `reservoir-l` sampler (reservoir + RNG + running index), stored inline.
+#[derive(Debug, Clone)]
+struct StreamLCell<T> {
+    inner: ReservoirL<T>,
+    rng: SmallRng,
+    next_index: u64,
+}
+
+/// Inline fleet of whole-stream Algorithm L reservoirs
+/// (`--window stream --algo reservoir-l`), bit-identical to the
+/// spec-built boxed sampler.
+#[derive(Debug, Clone)]
+pub struct StreamLFleet<T> {
+    k: usize,
+    cells: Vec<StreamLCell<T>>,
+}
+
+impl<T: Clone> StreamLFleet<T> {
+    /// Empty fleet keeping `k ≥ 1` distinct samples per key.
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 1, "StreamLFleet: k must be at least 1");
+        Self {
+            k,
+            cells: Vec::new(),
+        }
+    }
+
+    /// Number of keys in the fleet.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// `true` when no key has been materialized.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Samples per key.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Append a fresh key slot.
+    pub fn push_key(&mut self, seed: u64) -> usize {
+        let slot = self.cells.len();
+        self.cells.push(StreamLCell {
+            inner: ReservoirL::new(self.k),
+            rng: SmallRng::seed_from_u64(seed),
+            next_index: 0,
+        });
+        slot
+    }
+
+    /// Offer the key's next stream element.
+    #[inline]
+    pub fn insert(&mut self, slot: usize, value: T) {
+        let cell = &mut self.cells[slot];
+        let idx = cell.next_index;
+        cell.next_index += 1;
+        cell.inner.insert(&mut cell.rng, value, idx, idx);
+    }
+
+    /// Offer `m` consecutive elements for `slot` in one call, hopping
+    /// Algorithm L's geometric gaps (equivalent to `m`
+    /// [`insert`](StreamLFleet::insert)s; `value_at` runs only at stored
+    /// offsets).
+    pub fn insert_run(&mut self, slot: usize, m: u64, value_at: impl FnMut(u64) -> T) {
+        let cell = &mut self.cells[slot];
+        let start = cell.next_index;
+        cell.next_index += m;
+        cell.inner.insert_run(&mut cell.rng, start, m, value_at);
+    }
+
+    /// The key's current reservoir (RNG-free: shared `&self` access).
+    pub fn sample_k(&self, slot: usize) -> Option<Vec<Sample<T>>> {
+        let entries = self.cells[slot].inner.entries();
+        if entries.is_empty() {
+            None
+        } else {
+            Some(entries.to_vec())
+        }
+    }
+
+    /// One uniform sample (draws the pick index, like the boxed path).
+    pub fn sample(&mut self, slot: usize) -> Option<Sample<T>> {
+        let cell = &mut self.cells[slot];
+        let entries = cell.inner.entries();
+        if entries.is_empty() {
+            return None;
+        }
+        let j = cell.rng.gen_range(0..entries.len());
+        Some(entries[j].clone())
+    }
+
+    /// The key's §1.4 footprint in words (reservoir + the index counter).
+    pub fn memory_words(&self, slot: usize) -> usize {
+        self.cells[slot].inner.memory_words() + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seq::{SeqSamplerWor, SeqSamplerWr};
+
+    /// The flagship guarantee: a fleet slot and a boxed sampler with the
+    /// same seed agree sample-for-sample at every step, including the
+    /// memory accounting.
+    #[test]
+    fn seq_wr_fleet_is_bit_identical_to_sampler() {
+        let (n, k, seed) = (13u64, 4usize, 99u64);
+        let mut fleet: SeqWrFleet<u64> = SeqWrFleet::new(n, k);
+        let slot = fleet.push_key(seed);
+        let mut solo = SeqSamplerWr::new(n, k, SmallRng::seed_from_u64(seed));
+        assert!(fleet.sample_k(slot).is_none());
+        for i in 0..500u64 {
+            fleet.insert(slot, i);
+            solo.insert(i);
+            assert_eq!(
+                fleet.sample_k(slot),
+                WindowSampler::sample_k(&mut solo),
+                "step {i}"
+            );
+            assert_eq!(
+                fleet.memory_words(slot),
+                MemoryWords::memory_words(&solo),
+                "step {i}"
+            );
+        }
+        assert_eq!(fleet.sample(slot), WindowSampler::sample(&mut solo));
+    }
+
+    #[test]
+    fn seq_wor_fleet_is_bit_identical_to_sampler() {
+        let (n, k, seed) = (16u64, 5usize, 7u64);
+        let mut fleet: SeqWorFleet<u64> = SeqWorFleet::new(n, k);
+        let slot = fleet.push_key(seed);
+        let mut solo = SeqSamplerWor::new(n, k, SmallRng::seed_from_u64(seed));
+        assert!(fleet.sample_k(slot).is_none());
+        for i in 0..500u64 {
+            fleet.insert(slot, i);
+            solo.insert(i);
+            // Queries consume randomness in the straddling case; querying
+            // both keeps their RNG streams lockstep.
+            assert_eq!(
+                fleet.sample_k(slot),
+                WindowSampler::sample_k(&mut solo),
+                "step {i}"
+            );
+            assert_eq!(
+                fleet.memory_words(slot),
+                MemoryWords::memory_words(&solo),
+                "step {i}"
+            );
+        }
+        assert_eq!(fleet.sample(slot), WindowSampler::sample(&mut solo));
+    }
+
+    #[test]
+    fn ts_fleets_are_bit_identical_to_samplers() {
+        let (t0, k, seed) = (8u64, 3usize, 31u64);
+        let mut wr_fleet: TsWrFleet<u64> = TsWrFleet::new(t0, k);
+        let mut wor_fleet: TsWorFleet<u64> = TsWorFleet::new(t0, k);
+        let wr_slot = wr_fleet.push_key(seed);
+        let wor_slot = wor_fleet.push_key(seed);
+        let mut wr_solo = TsSamplerWr::new(t0, k, SmallRng::seed_from_u64(seed));
+        let mut wor_solo = TsSamplerWor::new(t0, k, SmallRng::seed_from_u64(seed));
+        for t in 0..120u64 {
+            let run: Vec<u64> = (0..1 + t % 3).map(|j| t * 10 + j).collect();
+            wr_fleet.advance_and_insert(wr_slot, t, &run);
+            wor_fleet.advance_and_insert(wor_slot, t, &run);
+            WindowSampler::advance_and_insert(&mut wr_solo, t, &run);
+            WindowSampler::advance_and_insert(&mut wor_solo, t, &run);
+            assert_eq!(
+                wr_fleet.sample_k(wr_slot),
+                WindowSampler::sample_k(&mut wr_solo),
+                "wr tick {t}"
+            );
+            assert_eq!(
+                wor_fleet.sample_k(wor_slot),
+                WindowSampler::sample_k(&mut wor_solo),
+                "wor tick {t}"
+            );
+            assert_eq!(
+                wr_fleet.memory_words(wr_slot),
+                MemoryWords::memory_words(&wr_solo)
+            );
+            assert_eq!(
+                wor_fleet.memory_words(wor_slot),
+                MemoryWords::memory_words(&wor_solo)
+            );
+        }
+    }
+
+    #[test]
+    fn stream_l_fleet_matches_spec_built_reservoir() {
+        use crate::spec::SamplerSpec;
+        let spec: SamplerSpec = "--window stream --mode wor --algo reservoir-l --k 6 --seed 44"
+            .parse()
+            .expect("spec");
+        let mut boxed = spec.build::<u64>().expect("builds");
+        let mut fleet: StreamLFleet<u64> = StreamLFleet::new(6);
+        let slot = fleet.push_key(44);
+        assert!(fleet.sample_k(slot).is_none());
+        for i in 0..2_000u64 {
+            fleet.insert(slot, i);
+            boxed.insert(i);
+        }
+        assert_eq!(fleet.sample_k(slot), boxed.sample_k());
+        assert_eq!(fleet.memory_words(slot), boxed.memory_words());
+        assert_eq!(fleet.sample(slot), boxed.sample());
+    }
+
+    /// The run kernels must replay the per-element path exactly: same
+    /// RNG draws, same stored samples, for every carve-up of the stream
+    /// into runs — including runs that span bucket boundaries and runs
+    /// shorter than the warm-up.
+    #[test]
+    fn insert_run_equals_per_element_for_every_carving() {
+        let (n, k, seed) = (13u64, 4usize, 5u64);
+        // Deterministic ragged run lengths covering 1..=2n+3.
+        let carvings: Vec<Vec<u64>> = (0..6u64)
+            .map(|c| (0..60).map(|i| 1 + (i * 7 + c * 3) % (2 * n + 3)).collect())
+            .collect();
+        for carving in &carvings {
+            let mut wr_run: SeqWrFleet<u64> = SeqWrFleet::new(n, k);
+            let mut wr_ref: SeqWrFleet<u64> = SeqWrFleet::new(n, k);
+            let mut wor_run: SeqWorFleet<u64> = SeqWorFleet::new(n, k);
+            let mut wor_ref: SeqWorFleet<u64> = SeqWorFleet::new(n, k);
+            let mut sl_run: StreamLFleet<u64> = StreamLFleet::new(k);
+            let mut sl_ref: StreamLFleet<u64> = StreamLFleet::new(k);
+            let slot = wr_run.push_key(seed);
+            wr_ref.push_key(seed);
+            wor_run.push_key(seed);
+            wor_ref.push_key(seed);
+            sl_run.push_key(seed);
+            sl_ref.push_key(seed);
+            let mut next = 0u64;
+            for &m in carving {
+                let start = next;
+                next += m;
+                wr_run.insert_run(slot, m, |off| start + off);
+                wor_run.insert_run(slot, m, |off| start + off);
+                sl_run.insert_run(slot, m, |off| start + off);
+                for v in start..next {
+                    wr_ref.insert(slot, v);
+                    wor_ref.insert(slot, v);
+                    sl_ref.insert(slot, v);
+                }
+                assert_eq!(wr_run.sample_k(slot), wr_ref.sample_k(slot), "wr @{next}");
+                assert_eq!(sl_run.sample_k(slot), sl_ref.sample_k(slot), "sl @{next}");
+                assert_eq!(
+                    wor_run.memory_words(slot),
+                    wor_ref.memory_words(slot),
+                    "wor words @{next}"
+                );
+            }
+            // WOR queries draw randomness, so compare once at the end
+            // (querying mid-stream would desync nothing — both sides
+            // would draw — but end-state equality is the point here).
+            assert_eq!(wor_run.sample_k(slot), wor_ref.sample_k(slot), "wor end");
+        }
+    }
+
+    #[test]
+    fn fleets_hold_many_independent_keys() {
+        // Two keys in one fleet never share state or randomness.
+        let mut fleet: SeqWrFleet<u64> = SeqWrFleet::new(5, 2);
+        let a = fleet.push_key(1);
+        let b = fleet.push_key(2);
+        assert_eq!(fleet.len(), 2);
+        for i in 0..40u64 {
+            fleet.insert(a, i);
+        }
+        assert!(fleet.sample_k(b).is_none(), "untouched key stays empty");
+        for s in fleet.sample_k(a).expect("nonempty") {
+            assert!(s.index() >= 35);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be at least 1")]
+    fn zero_k_panics() {
+        let _ = SeqWrFleet::<u64>::new(5, 0);
+    }
+}

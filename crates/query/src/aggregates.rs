@@ -115,7 +115,7 @@ impl std::fmt::Debug for SeqAggregator {
 impl SeqAggregator {
     /// Aggregator over the last `n` arrivals using a `k`-sample
     /// (Theorem 2.2's sampler — `O(k)` deterministic words).
-    pub fn new<R: Rng + Send + 'static>(n: u64, k: usize, rng: R) -> Self {
+    pub fn new<R: Rng + Send + Sync + 'static>(n: u64, k: usize, rng: R) -> Self {
         Self::from_sampler(Box::new(SeqSamplerWor::new(n, k, rng)), n)
     }
 
@@ -221,7 +221,7 @@ impl std::fmt::Debug for TsAggregator {
 impl TsAggregator {
     /// Aggregator over the last `t0` ticks with a `k`-sample and a
     /// `(1±epsilon)` window-size counter.
-    pub fn new<R: Rng + Send + 'static>(t0: u64, k: usize, epsilon: f64, rng: R) -> Self {
+    pub fn new<R: Rng + Send + Sync + 'static>(t0: u64, k: usize, epsilon: f64, rng: R) -> Self {
         Self::from_sampler(Box::new(TsSamplerWor::new(t0, k, rng)), t0, epsilon)
     }
 

@@ -1,0 +1,63 @@
+//! The boxed-sampler store: one `Box<dyn ErasedWindowSampler>` per key.
+//!
+//! This is the fallback fleet backend ([`FleetBackend::Erased`]): fully
+//! general — any template any [`SamplerFactory`] can build, including the
+//! baseline algorithm families — at the cost of one heap box and one
+//! vtable dispatch per key per event. The homogeneous-template fast path
+//! lives in [`super::soa`].
+//!
+//! [`FleetBackend::Erased`]: swsample_core::spec::FleetBackend::Erased
+
+use swsample_core::spec::{SamplerFactory, SamplerSpec};
+use swsample_core::{ErasedWindowSampler, Sample};
+
+/// Per-key boxed samplers, slot-aligned with the shard's
+/// [`KeyRegistry`](super::registry::KeyRegistry).
+pub(crate) struct ErasedStore<T: Clone> {
+    samplers: Vec<Box<dyn ErasedWindowSampler<T>>>,
+    template: SamplerSpec,
+    factory: SamplerFactory<T>,
+}
+
+impl<T: Clone + 'static> ErasedStore<T> {
+    pub(crate) fn new(template: SamplerSpec, factory: SamplerFactory<T>) -> Self {
+        Self {
+            samplers: Vec::new(),
+            template,
+            factory,
+        }
+    }
+
+    /// Materialize the next key slot with the given derived seed.
+    pub(crate) fn push_key(&mut self, seed: u64) {
+        let mut spec = self.template.clone();
+        spec.seed = seed;
+        let sampler = (self.factory)(&spec).expect("template was validated at construction");
+        self.samplers.push(sampler);
+    }
+
+    /// Mutable access to one key's sampler (the per-element dispatch the
+    /// SoA backend exists to avoid).
+    #[inline]
+    pub(crate) fn sampler_mut(&mut self, slot: usize) -> &mut dyn ErasedWindowSampler<T> {
+        self.samplers[slot].as_mut()
+    }
+
+    pub(crate) fn sample_k(&mut self, slot: usize) -> Option<Vec<Sample<T>>> {
+        self.samplers[slot].sample_k()
+    }
+
+    pub(crate) fn sample(&mut self, slot: usize) -> Option<Sample<T>> {
+        self.samplers[slot].sample()
+    }
+
+    pub(crate) fn memory_words(&self, slot: usize) -> usize {
+        self.samplers[slot].memory_words()
+    }
+
+    /// Store scaffolding per the §1.4 exclusions: each boxed sampler's
+    /// fat pointer (2 words).
+    pub(crate) fn overhead_words(&self) -> usize {
+        self.samplers.len() * 2
+    }
+}

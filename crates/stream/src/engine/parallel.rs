@@ -1,0 +1,81 @@
+//! The persistent shard-worker pool behind
+//! [`MultiStreamEngine::ingest_parallel`](super::MultiStreamEngine::ingest_parallel).
+
+use std::hash::Hash;
+use std::sync::mpsc;
+use std::sync::{Arc, RwLock};
+
+use super::{KeyedEvent, Route, Shard};
+
+/// One parallel-ingestion work item: a shard plus its portion of the
+/// batch (with the route precomputed by the dispatching thread).
+pub(crate) struct IngestJob<K, T: Clone> {
+    pub(crate) shard: Arc<RwLock<Shard<K, T>>>,
+    pub(crate) batch: Vec<KeyedEvent<K, T>>,
+    pub(crate) route: Route,
+    pub(crate) done: mpsc::Sender<()>,
+}
+
+/// A persistent pool of `std::thread` ingestion workers fed
+/// [`IngestJob`]s over channels.
+///
+/// Shard-ownership is the safety argument: within one
+/// `ingest_parallel` call each shard appears in at most one job, and
+/// calls are separated by a completion barrier, so no two jobs of one
+/// call ever contend on a shard — each worker takes the shard's write
+/// lock for the duration of its job, which also lets read-only queries
+/// on *other* shards proceed concurrently. Workers hold nothing between
+/// jobs; the pool dies with the engine (dropping the senders ends every
+/// worker loop).
+pub(crate) struct ShardWorkerPool<K, T: Clone> {
+    senders: Vec<mpsc::Sender<IngestJob<K, T>>>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl<K, T> ShardWorkerPool<K, T>
+where
+    K: Hash + Eq + Clone + Send + Sync + 'static,
+    T: Clone + Send + Sync + 'static,
+{
+    pub(crate) fn spawn(threads: usize) -> Self {
+        let mut senders = Vec::with_capacity(threads);
+        let mut handles = Vec::with_capacity(threads);
+        for w in 0..threads {
+            let (tx, rx) = mpsc::channel::<IngestJob<K, T>>();
+            let handle = std::thread::Builder::new()
+                .name(format!("swsample-shard-worker-{w}"))
+                .spawn(move || {
+                    while let Ok(job) = rx.recv() {
+                        job.shard
+                            .write()
+                            .expect("shard lock poisoned")
+                            .ingest(&job.batch, &job.route);
+                        // Receiver gone means the dispatcher already
+                        // panicked; nothing left to signal.
+                        let _ = job.done.send(());
+                    }
+                })
+                .expect("spawn shard worker");
+            senders.push(tx);
+            handles.push(handle);
+        }
+        Self { senders, handles }
+    }
+
+    pub(crate) fn threads(&self) -> usize {
+        self.senders.len()
+    }
+
+    pub(crate) fn sender(&self, worker: usize) -> &mpsc::Sender<IngestJob<K, T>> {
+        &self.senders[worker]
+    }
+}
+
+impl<K, T: Clone> Drop for ShardWorkerPool<K, T> {
+    fn drop(&mut self) {
+        self.senders.clear(); // closes every channel; workers exit
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}

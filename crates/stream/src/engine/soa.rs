@@ -1,0 +1,132 @@
+//! The struct-of-arrays store: one monomorphized fleet per shard.
+//!
+//! [`SoaStore`] is the [`FleetBackend::Soa`] side of a shard: a single
+//! enum dispatch **per batch** selects the template's family, and the
+//! chosen arm runs a tight monomorphized loop over the fleet's
+//! field-major slabs ([`swsample_core::soa`]) — per-key hot heads dense
+//! in one array, `k`-slot sample blocks inline, per-key RNGs in a cold
+//! lane. Compare the erased store, which pays a vtable call and a
+//! scattered ~3-cache-line box per *element*.
+//!
+//! Slot ids are assigned by the shard's
+//! [`KeyRegistry`](super::registry::KeyRegistry); this store only ever
+//! appends (`push_key`) and indexes, so the two stay aligned by
+//! construction.
+//!
+//! [`FleetBackend::Soa`]: swsample_core::spec::FleetBackend::Soa
+
+use swsample_core::soa::{SeqWorFleet, SeqWrFleet, StreamLFleet, TsWorFleet, TsWrFleet};
+use swsample_core::spec::{Algorithm, Replacement, SamplerSpec, SpecError, WindowKind};
+use swsample_core::Sample;
+
+/// A shard's homogeneous fleet, monomorphized per template family.
+pub(crate) enum SoaStore<T: Clone> {
+    SeqWr(SeqWrFleet<T>),
+    SeqWor(SeqWorFleet<T>),
+    TsWr(TsWrFleet<T>),
+    TsWor(TsWorFleet<T>),
+    StreamL(StreamLFleet<T>),
+}
+
+impl<T: Clone> SoaStore<T> {
+    /// Build the empty fleet for a template, or explain why the template
+    /// has no fleet kernel (callers check
+    /// [`SamplerSpec::soa_eligible`] first; this error surfaces an
+    /// explicit `--backend soa` request over a baseline template).
+    pub(crate) fn new(template: &SamplerSpec) -> Result<Self, SpecError> {
+        template.validate()?;
+        let k = template.k;
+        match (template.algorithm, template.window, template.replacement) {
+            (Algorithm::Paper, WindowKind::Sequence(n), Replacement::With) => {
+                Ok(SoaStore::SeqWr(SeqWrFleet::new(n, k)))
+            }
+            (Algorithm::Paper, WindowKind::Sequence(n), Replacement::Without) => {
+                Ok(SoaStore::SeqWor(SeqWorFleet::new(n, k)))
+            }
+            (Algorithm::Paper, WindowKind::Timestamp(w), Replacement::With) => {
+                Ok(SoaStore::TsWr(TsWrFleet::new(w, k)))
+            }
+            (Algorithm::Paper, WindowKind::Timestamp(w), Replacement::Without) => {
+                Ok(SoaStore::TsWor(TsWorFleet::new(w, k)))
+            }
+            (Algorithm::ReservoirL, ..) => Ok(SoaStore::StreamL(StreamLFleet::new(k))),
+            (algo, ..) => Err(SpecError::Invalid(format!(
+                "algorithm `{}` has no struct-of-arrays fleet kernel; \
+                 use the erased backend",
+                algo.token()
+            ))),
+        }
+    }
+
+    /// Materialize the next key slot with the given derived seed.
+    pub(crate) fn push_key(&mut self, seed: u64) {
+        match self {
+            SoaStore::SeqWr(f) => {
+                f.push_key(seed);
+            }
+            SoaStore::SeqWor(f) => {
+                f.push_key(seed);
+            }
+            SoaStore::TsWr(f) => {
+                f.push_key(seed);
+            }
+            SoaStore::TsWor(f) => {
+                f.push_key(seed);
+            }
+            SoaStore::StreamL(f) => {
+                f.push_key(seed);
+            }
+        }
+    }
+
+    /// One key's `k`-sample without mutation, when the family's query is
+    /// RNG-free (seq-WR, whole-stream reservoir contents): the engine's
+    /// shared-read-lock fast path. `None` means "needs the write lock",
+    /// not "empty window".
+    pub(crate) fn shared_sample_k(&self, slot: usize) -> Option<Option<Vec<Sample<T>>>> {
+        match self {
+            SoaStore::SeqWr(f) => Some(f.sample_k(slot)),
+            SoaStore::StreamL(f) => Some(f.sample_k(slot)),
+            _ => None,
+        }
+    }
+
+    /// One key's single sample without mutation, where RNG-free (only
+    /// seq-WR: its `sample` is defined as the first instance's).
+    pub(crate) fn shared_sample(&self, slot: usize) -> Option<Option<Sample<T>>> {
+        match self {
+            SoaStore::SeqWr(f) => Some(f.sample(slot)),
+            _ => None,
+        }
+    }
+
+    pub(crate) fn sample_k(&mut self, slot: usize) -> Option<Vec<Sample<T>>> {
+        match self {
+            SoaStore::SeqWr(f) => f.sample_k(slot),
+            SoaStore::SeqWor(f) => f.sample_k(slot),
+            SoaStore::TsWr(f) => f.sample_k(slot),
+            SoaStore::TsWor(f) => f.sample_k(slot),
+            SoaStore::StreamL(f) => f.sample_k(slot),
+        }
+    }
+
+    pub(crate) fn sample(&mut self, slot: usize) -> Option<Sample<T>> {
+        match self {
+            SoaStore::SeqWr(f) => f.sample(slot),
+            SoaStore::SeqWor(f) => f.sample(slot),
+            SoaStore::TsWr(f) => f.sample(slot),
+            SoaStore::TsWor(f) => f.sample(slot),
+            SoaStore::StreamL(f) => f.sample(slot),
+        }
+    }
+
+    pub(crate) fn memory_words(&self, slot: usize) -> usize {
+        match self {
+            SoaStore::SeqWr(f) => f.memory_words(slot),
+            SoaStore::SeqWor(f) => f.memory_words(slot),
+            SoaStore::TsWr(f) => f.memory_words(slot),
+            SoaStore::TsWor(f) => f.memory_words(slot),
+            SoaStore::StreamL(f) => f.memory_words(slot),
+        }
+    }
+}

@@ -9,7 +9,8 @@
 //! 3. **Scale** — the 100k-key zipf acceptance run through
 //!    `ingest_parallel`, re-asserting the paper's per-key word cap.
 //! 4. **Committed artifact** — the checked-in `BENCH_throughput.json`
-//!    is schema v3 and records the gated `multi_100k_speedup ≥ 2`.
+//!    is schema v4 and records the gated `multi_100k_speedup ≥ 2` and
+//!    `multi_soa_100k_speedup ≥ 1.5` headlines plus the machine block.
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -150,6 +151,57 @@ fn hundred_thousand_keys_parallel_within_paper_caps() {
     assert_eq!(engine.sample_k(&0).expect("hot key nonempty").len(), k);
 }
 
+/// `ingest_parallel` takes `&self` (shards behind read/write locks), so
+/// queries may run *during* ingestion. Regression pin: a reader thread
+/// hammering `sample_k`/`num_keys` while the worker pool ingests must
+/// never deadlock, panic, or observe a torn sample (wrong length), and
+/// the final samples must equal the serial reference's.
+#[test]
+fn queries_run_concurrently_with_parallel_ingestion() {
+    let template = "--window seq --n 40 --mode wr --k 4 --seed 55";
+    let events = zipf_events(300, 24_000, 99);
+
+    let mut reference = build_engine(template, 16, 1);
+    drive(&mut reference, &events, 1024);
+
+    let engine = build_engine(template, 16, 4);
+    let done = std::sync::atomic::AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        let readers: Vec<_> = (0..2u64)
+            .map(|r| {
+                let (engine, done) = (&engine, &done);
+                scope.spawn(move || {
+                    let mut observed = 0usize;
+                    while !done.load(std::sync::atomic::Ordering::Acquire) {
+                        for key in 0..300u64 {
+                            if let Some(s) = engine.sample_k(&(key.wrapping_add(r) % 300)) {
+                                assert!(!s.is_empty() && s.len() <= 4, "torn sample");
+                                observed += 1;
+                            }
+                        }
+                        let _ = engine.num_keys();
+                    }
+                    observed
+                })
+            })
+            .collect();
+        for c in events.chunks(512) {
+            engine.ingest_parallel(c);
+        }
+        done.store(true, std::sync::atomic::Ordering::Release);
+        for reader in readers {
+            assert!(reader.join().expect("reader survives") > 0);
+        }
+    });
+    for key in reference.keys() {
+        assert_eq!(
+            engine.sample_k(&key),
+            reference.sample_k(&key),
+            "key {key} diverges from the serial reference"
+        );
+    }
+}
+
 fn committed_artifact() -> String {
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_throughput.json");
     std::fs::read_to_string(path).expect("BENCH_throughput.json is committed")
@@ -165,24 +217,48 @@ fn field(body: &str, key: &str) -> f64 {
     rest[..end].trim().parse().expect("numeric field")
 }
 
-/// The committed artifact is schema v3 and holds the engine-redesign
-/// acceptance bar: slab + parallel ingestion ≥ 2× the PR-3 baseline at
-/// 100k keys (best thread count). `bench_throughput` refuses to write a
-/// sub-2× file; this refuses to let a hand-edited or stale one past CI.
+/// The committed artifact is schema v4 and holds the engine-redesign
+/// acceptance bars: slab + parallel ingestion ≥ 2× the PR-3 baseline at
+/// 100k keys (best thread count), and the SoA fleet backend ≥ 1.5× the
+/// v3 committed erased figure (sustained) plus ≥ 1× erased in the same
+/// run. `bench_throughput` refuses to write a sub-bar file; this
+/// refuses to let a hand-edited or stale one past CI.
 #[test]
 fn committed_artifact_holds_parallel_acceptance_bar() {
     let body = committed_artifact();
     swsample_bench::json::validate(&body).expect("committed artifact parses");
     assert!(
-        body.contains("\"schema\": \"swsample-bench-throughput/v3\""),
-        "artifact is schema v3"
+        body.contains("\"schema\": \"swsample-bench-throughput/v4\""),
+        "artifact is schema v4"
     );
     assert!(body.contains("\"parallel\": ["), "parallel section present");
+    assert!(
+        body.contains("\"machine\": {"),
+        "machine descriptor block present"
+    );
+    assert!(field(&body, "cores") >= 1.0, "machine core count recorded");
     let speedup = field(&body, "multi_100k_speedup");
     assert!(
         speedup >= 2.0,
         "committed multi_100k_speedup {speedup}x below the 2x acceptance bar"
     );
+    let soa = field(&body, "multi_soa_100k_speedup");
+    assert!(
+        soa >= swsample_bench::throughput::MULTI_SOA_100K_GATE,
+        "committed multi_soa_100k_speedup {soa}x below the acceptance bar"
+    );
+    let vs_erased = field(&body, "multi_soa_vs_erased_100k");
+    assert!(
+        vs_erased >= 1.0,
+        "committed soa-vs-erased ratio {vs_erased}x: soa slower than erased"
+    );
+    // Both backends appear as multi rows, erased first then soa.
+    for backend in ["erased", "soa"] {
+        assert!(
+            body.contains(&format!("\"backend\": \"{backend}\"")),
+            "{backend} backend rows present"
+        );
+    }
 }
 
 /// The priority_topk regression fix, pinned on the committed artifact:

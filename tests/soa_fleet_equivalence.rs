@@ -1,0 +1,202 @@
+//! The SoA fleet-backend acceptance suite (PR 6):
+//!
+//! 1. **Bit identity** — the struct-of-arrays backend produces exactly
+//!    the erased backend's samples, key for key, for every homogeneous
+//!    template family (seq-WR, seq-WOR, ts-WR, ts-WOR, stream
+//!    reservoir-L), in lockstep after every batch, while mixing serial
+//!    `ingest` and multi-thread `ingest_parallel` calls.
+//! 2. **Backend surface** — `Auto` resolves per template; an explicit
+//!    `Soa` over an ineligible template is a constructor error, not a
+//!    silent fallback.
+//! 3. **Scale** — the 100k-key zipf acceptance run forced onto the SoA
+//!    backend, re-asserting the paper's `7k + 3` per-key word cap and
+//!    the fleet/registry accounting.
+//! 4. **Independence** — chi-square on the joint sample-position
+//!    distribution of key pairs: per-key seeds keep keys statistically
+//!    independent on the SoA path (shared slabs must not couple them).
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use swsample::core::spec::FleetBackend;
+use swsample::core::MemoryWords;
+use swsample::stats::chi_square_uniform_test;
+use swsample::stream::{MultiStreamEngine, ValueGen, ZipfGen};
+
+type Engine = MultiStreamEngine<u64, u64>;
+
+fn build(template: &str, shards: usize, threads: usize, backend: FleetBackend) -> Engine {
+    MultiStreamEngine::with_backend(
+        template.parse().expect("template parses"),
+        shards,
+        swsample::baselines::spec::build::<u64>,
+        threads,
+        backend,
+    )
+    .expect("engine builds")
+}
+
+fn zipf_events(keys: u64, count: u64, seed: u64) -> Vec<(u64, u64, u64)> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut zipf = ZipfGen::new(keys, 1.2);
+    (0..count)
+        .map(|i| (zipf.next_value(&mut rng), i / 32, i))
+        .collect()
+}
+
+/// Every homogeneous template family, SoA vs erased, compared in
+/// lockstep: after *each* batch the two fleets hold byte-identical
+/// samples for every probed key. Batches alternate between the serial
+/// `ingest` path and the worker-pool `ingest_parallel` path (threads =
+/// 2), so the run-carved SoA kernels are checked against per-element
+/// erased dispatch under both ingestion modes.
+#[test]
+fn soa_and_erased_backends_bit_identical_lockstep() {
+    for template in [
+        "--window seq --n 64 --mode wr --k 4 --seed 101",
+        "--window seq --n 64 --mode wor --k 4 --seed 102",
+        "--window ts --w 16 --mode wr --k 4 --seed 103",
+        "--window ts --w 16 --mode wor --k 4 --seed 104",
+        "--window stream --mode wor --algo reservoir-l --k 4 --seed 105",
+    ] {
+        let events = zipf_events(300, 12_000, 4242);
+        let mut erased = build(template, 16, 2, FleetBackend::Erased);
+        let mut soa = build(template, 16, 2, FleetBackend::Soa);
+        assert_eq!(erased.backend(), FleetBackend::Erased);
+        assert_eq!(soa.backend(), FleetBackend::Soa);
+
+        for (i, chunk) in events.chunks(1024).enumerate() {
+            if i % 2 == 0 {
+                erased.ingest(chunk);
+                soa.ingest(chunk);
+            } else {
+                erased.ingest_parallel(chunk);
+                soa.ingest_parallel(chunk);
+            }
+            assert_eq!(
+                erased.num_keys(),
+                soa.num_keys(),
+                "{template}: key census diverges after batch {i}"
+            );
+            for key in erased.keys() {
+                assert_eq!(
+                    erased.sample_k(&key),
+                    soa.sample_k(&key),
+                    "{template}: key {key} diverges after batch {i}"
+                );
+            }
+        }
+        // Same accounting, not just same samples.
+        assert_eq!(erased.memory_words(), soa.memory_words(), "{template}");
+        assert_eq!(
+            erased.max_key_memory_words(),
+            soa.max_key_memory_words(),
+            "{template}"
+        );
+    }
+}
+
+/// `Auto` resolves to SoA exactly when the template has a fleet kernel;
+/// forcing `Soa` onto a baseline-algorithm template is a hard error.
+#[test]
+fn backend_resolution_and_ineligible_template_error() {
+    let paper = build(
+        "--window seq --n 64 --mode wr --k 4 --seed 1",
+        16,
+        1,
+        FleetBackend::Auto,
+    );
+    assert_eq!(paper.backend(), FleetBackend::Soa);
+
+    let chain_spec = "--window seq --n 64 --mode wr --algo chain --k 4 --seed 1";
+    let chain = build(chain_spec, 16, 1, FleetBackend::Auto);
+    assert_eq!(chain.backend(), FleetBackend::Erased);
+
+    let err: Result<Engine, _> = MultiStreamEngine::with_backend(
+        chain_spec.parse().expect("spec parses"),
+        16,
+        swsample::baselines::spec::build::<u64>,
+        1,
+        FleetBackend::Soa,
+    );
+    assert!(err.is_err(), "explicit Soa over chain algo must not build");
+}
+
+/// The 100k-key zipf acceptance run forced onto the SoA backend: every
+/// materialized key stays under Theorem 2.1's deterministic `7k + 3`
+/// ceiling, the fleet under `keys · cap`, and the registry scaffolding
+/// under its own documented bound. The contiguous slabs must not cost
+/// more words per key than the boxed samplers they replace.
+#[test]
+fn hundred_thousand_keys_soa_within_paper_caps() {
+    let (keys, k) = (100_000u64, 16usize);
+    let cap = 7 * k + 3;
+    let engine = build(
+        "--window seq --n 1000 --k 16 --seed 42",
+        64,
+        4,
+        FleetBackend::Soa,
+    );
+    let mut rng = SmallRng::seed_from_u64(7);
+    let mut zipf = ZipfGen::new(keys, 1.05);
+    let events: Vec<(u64, u64, u64)> = (0..400_000u64)
+        .map(|i| (zipf.next_value(&mut rng), i / 64, i))
+        .collect();
+    for c in events.chunks(8_192) {
+        engine.ingest_parallel(c);
+    }
+
+    assert!(
+        engine.num_keys() > 40_000,
+        "zipf(1.05): expected ~48k distinct keys, got {}",
+        engine.num_keys()
+    );
+    assert!(
+        engine.max_key_memory_words() <= cap,
+        "hottest key {} words > deterministic cap {cap}",
+        engine.max_key_memory_words()
+    );
+    assert!(engine.memory_words() <= engine.num_keys() * cap);
+    assert!(engine.registry_overhead_words() <= engine.num_keys() * 7);
+    assert_eq!(engine.sample_k(&0).expect("hot key nonempty").len(), k);
+}
+
+/// Cross-key independence on the SoA path: give every key an identical
+/// 8-arrival stream into an `n = 8, k = 1` WR window, so each key's
+/// sampled position is uniform over 8 cells. Chi-square the *joint*
+/// position of disjoint key pairs over the 64 joint cells: sharing
+/// slabs (and a slab-wide ingest order) must not correlate keys, whose
+/// RNGs are seeded from the key alone.
+#[test]
+fn soa_cross_key_samples_independent_and_uniform() {
+    let (keys, n) = (40_000u64, 8u64);
+    let mut engine = build(
+        "--window seq --n 8 --mode wr --k 1 --seed 2024",
+        64,
+        1,
+        FleetBackend::Soa,
+    );
+    let events: Vec<(u64, u64, u64)> = (0..n)
+        .flat_map(|i| (0..keys).map(move |key| (key, i, key * n + i)))
+        .collect();
+    for c in events.chunks(8_192) {
+        engine.ingest(c);
+    }
+
+    let pos = |key: u64| -> usize {
+        let s = engine.sample_k(&key).expect("key materialized");
+        assert_eq!(s.len(), 1);
+        // `% n` maps the window's 8 consecutive arrival indices onto
+        // [0, 8) bijectively, whatever the index base.
+        (s[0].index() % n) as usize
+    };
+    let mut joint = vec![0u64; (n * n) as usize];
+    for pair in 0..keys / 2 {
+        joint[pos(2 * pair) * n as usize + pos(2 * pair + 1)] += 1;
+    }
+    let out = chi_square_uniform_test(&joint);
+    assert!(
+        out.p_value > 1e-4,
+        "key-pair joint positions not uniform on SoA path: p = {}",
+        out.p_value
+    );
+}
