@@ -38,7 +38,7 @@ pub struct StepBiasedSampler<T, R> {
     total_weight: f64,
 }
 
-impl<T: Clone, R: Rng + Clone> StepBiasedSampler<T, R> {
+impl<T: Clone, R: Rng + Clone + 'static> StepBiasedSampler<T, R> {
     /// Build from strictly increasing window lengths with positive weights.
     /// Each internal sampler gets a clone of `rng` reseeded by `Rng::gen`,
     /// so the mixtures are independent.

@@ -32,7 +32,7 @@ pub struct TsMomentEstimator<R> {
     counter: WindowCounter,
 }
 
-impl<R: Rng> TsMomentEstimator<R> {
+impl<R: Rng + 'static> TsMomentEstimator<R> {
     /// Estimator for `F_moment` over the last `t0` ticks with `s1·s2`
     /// samples and a `(1±epsilon)` window-size counter.
     pub fn new(t0: u64, moment: u32, s1: usize, s2: usize, epsilon: f64, rng: R) -> Self {
@@ -100,7 +100,7 @@ pub struct TsEntropyEstimator<R> {
     counter: WindowCounter,
 }
 
-impl<R: Rng> TsEntropyEstimator<R> {
+impl<R: Rng + 'static> TsEntropyEstimator<R> {
     /// Estimator over the last `t0` ticks with `s1·s2` samples and a
     /// `(1±epsilon)` window-size counter.
     pub fn new(t0: u64, s1: usize, s2: usize, epsilon: f64, rng: R) -> Self {

@@ -34,6 +34,7 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 use swsample_core::rngutil::BitSource;
 use swsample_core::skip::{geometric_skip, record_skip_with_bits};
+use swsample_core::state::{self, BitsState, ChainLaneState, SamplerState, StateError};
 use swsample_core::{MemoryWords, Sample, WindowSampler};
 
 /// One chain: the current sample at the front, successors behind it, plus
@@ -180,7 +181,7 @@ impl<T, R> MemoryWords for ChainSampler<T, R> {
     }
 }
 
-impl<T: Clone, R: Rng> WindowSampler<T> for ChainSampler<T, R> {
+impl<T: Clone, R: Rng + 'static> WindowSampler<T> for ChainSampler<T, R> {
     fn insert(&mut self, value: T) {
         let idx = self.count;
         for c in &mut self.chains {
@@ -269,6 +270,57 @@ impl<T: Clone, R: Rng> WindowSampler<T> for ChainSampler<T, R> {
 
     fn k(&self) -> usize {
         self.chains.len()
+    }
+
+    fn save_state(&self) -> Option<SamplerState<T>> {
+        let (buf, left) = self.bits.state();
+        Some(SamplerState::Chain {
+            count: self.count,
+            rng: state::capture_rng(&self.rng)?,
+            bits: BitsState { buf, left },
+            chains: self
+                .chains
+                .iter()
+                .map(|c| ChainLaneState {
+                    links: c.links.iter().cloned().collect(),
+                    next_adopt: c.next_adopt,
+                })
+                .collect(),
+        })
+    }
+
+    fn restore_state(&mut self, state: SamplerState<T>) -> Result<(), StateError> {
+        let (count, rng, bits, chains) = match state {
+            SamplerState::Chain {
+                count,
+                rng,
+                bits,
+                chains,
+            } => (count, rng, bits, chains),
+            other => {
+                return Err(StateError::Mismatch {
+                    expected: "chain",
+                    found: other.family(),
+                })
+            }
+        };
+        if chains.len() != self.chains.len() {
+            return Err(StateError::Corrupt(format!(
+                "chain state has {} lanes for k = {}",
+                chains.len(),
+                self.chains.len()
+            )));
+        }
+        if !state::restore_rng(&mut self.rng, &rng) {
+            return Err(StateError::Unsupported);
+        }
+        self.bits = BitSource::from_state(bits.buf, bits.left);
+        for (c, st) in self.chains.iter_mut().zip(chains) {
+            c.links = st.links.into();
+            c.next_adopt = st.next_adopt;
+        }
+        self.count = count;
+        Ok(())
     }
 }
 

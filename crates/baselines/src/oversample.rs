@@ -26,7 +26,7 @@ pub struct OverSampler<T, R> {
     inner: ChainSampler<T, R>,
 }
 
-impl<T: Clone, R: Rng> OverSampler<T, R> {
+impl<T: Clone, R: Rng + 'static> OverSampler<T, R> {
     /// Maintain `k_prime ≥ k` with-replacement samples over the last `n`
     /// arrivals, targeting `k` distinct ones.
     pub fn new(n: u64, k: usize, k_prime: usize, rng: R) -> Self {
@@ -69,7 +69,7 @@ impl<T, R> MemoryWords for OverSampler<T, R> {
     }
 }
 
-impl<T: Clone, R: Rng> WindowSampler<T> for OverSampler<T, R> {
+impl<T: Clone, R: Rng + 'static> WindowSampler<T> for OverSampler<T, R> {
     fn insert(&mut self, value: T) {
         self.inner.insert(value);
     }

@@ -43,6 +43,7 @@
 
 use rand::Rng;
 use std::collections::VecDeque;
+use swsample_core::state::{self, SamplerState, StateError};
 use swsample_core::{MemoryWords, Sample, WindowSampler};
 
 /// One priority-sampling instance: the right-maxima list.
@@ -135,7 +136,7 @@ impl<T, R> MemoryWords for PrioritySampler<T, R> {
     }
 }
 
-impl<T: Clone, R: Rng> WindowSampler<T> for PrioritySampler<T, R> {
+impl<T: Clone, R: Rng + 'static> WindowSampler<T> for PrioritySampler<T, R> {
     fn advance_time(&mut self, now: u64) {
         assert!(now >= self.now, "PrioritySampler: clock moved backwards");
         self.now = now;
@@ -179,6 +180,52 @@ impl<T: Clone, R: Rng> WindowSampler<T> for PrioritySampler<T, R> {
 
     fn k(&self) -> usize {
         self.instances.len()
+    }
+
+    fn save_state(&self) -> Option<SamplerState<T>> {
+        Some(SamplerState::Priority {
+            now: self.now,
+            next_index: self.next_index,
+            rng: state::capture_rng(&self.rng)?,
+            stacks: self
+                .instances
+                .iter()
+                .map(|i| i.stack.iter().cloned().collect())
+                .collect(),
+        })
+    }
+
+    fn restore_state(&mut self, state: SamplerState<T>) -> Result<(), StateError> {
+        let (now, next_index, rng, stacks) = match state {
+            SamplerState::Priority {
+                now,
+                next_index,
+                rng,
+                stacks,
+            } => (now, next_index, rng, stacks),
+            other => {
+                return Err(StateError::Mismatch {
+                    expected: "priority",
+                    found: other.family(),
+                })
+            }
+        };
+        if stacks.len() != self.instances.len() {
+            return Err(StateError::Corrupt(format!(
+                "priority state has {} stacks for k = {}",
+                stacks.len(),
+                self.instances.len()
+            )));
+        }
+        if !state::restore_rng(&mut self.rng, &rng) {
+            return Err(StateError::Unsupported);
+        }
+        for (inst, stack) in self.instances.iter_mut().zip(stacks) {
+            inst.stack = stack.into();
+        }
+        self.now = now;
+        self.next_index = next_index;
+        Ok(())
     }
 }
 

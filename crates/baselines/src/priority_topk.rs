@@ -43,6 +43,7 @@
 use rand::Rng;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
+use swsample_core::state::{self, SamplerState, StateError};
 use swsample_core::{MemoryWords, Sample, WindowSampler};
 
 /// Stored element: sample and priority. Dominance is resolved lazily at
@@ -130,7 +131,7 @@ impl<T, R> MemoryWords for PriorityTopK<T, R> {
     }
 }
 
-impl<T: Clone, R: Rng> WindowSampler<T> for PriorityTopK<T, R> {
+impl<T: Clone, R: Rng + 'static> WindowSampler<T> for PriorityTopK<T, R> {
     fn advance_time(&mut self, now: u64) {
         assert!(now >= self.now, "PriorityTopK: clock moved backwards");
         self.now = now;
@@ -174,6 +175,51 @@ impl<T: Clone, R: Rng> WindowSampler<T> for PriorityTopK<T, R> {
 
     fn k(&self) -> usize {
         self.k
+    }
+
+    fn save_state(&self) -> Option<SamplerState<T>> {
+        Some(SamplerState::PriorityTopK {
+            now: self.now,
+            next_index: self.next_index,
+            rng: state::capture_rng(&self.rng)?,
+            entries: self
+                .entries
+                .iter()
+                .map(|e| (e.sample.clone(), e.priority))
+                .collect(),
+            watermark: self.watermark as u64,
+        })
+    }
+
+    fn restore_state(&mut self, state: SamplerState<T>) -> Result<(), StateError> {
+        let (now, next_index, rng, entries, watermark) = match state {
+            SamplerState::PriorityTopK {
+                now,
+                next_index,
+                rng,
+                entries,
+                watermark,
+            } => (now, next_index, rng, entries, watermark),
+            other => {
+                return Err(StateError::Mismatch {
+                    expected: "priority-topk",
+                    found: other.family(),
+                })
+            }
+        };
+        let watermark = usize::try_from(watermark)
+            .map_err(|_| StateError::Corrupt("priority-topk watermark overflows usize".into()))?;
+        if !state::restore_rng(&mut self.rng, &rng) {
+            return Err(StateError::Unsupported);
+        }
+        self.entries = entries
+            .into_iter()
+            .map(|(sample, priority)| Entry { sample, priority })
+            .collect();
+        self.watermark = watermark.max(4 * self.k).max(16);
+        self.now = now;
+        self.next_index = next_index;
+        Ok(())
     }
 }
 

@@ -7,6 +7,7 @@
 
 use rand::Rng;
 use std::collections::VecDeque;
+use swsample_core::state::{self, SamplerState, StateError};
 use swsample_core::{MemoryWords, Sample, WindowSampler};
 use swsample_stream::WindowSpec;
 
@@ -76,7 +77,7 @@ impl<T, R> MemoryWords for WindowBuffer<T, R> {
     }
 }
 
-impl<T: Clone, R: Rng> WindowSampler<T> for WindowBuffer<T, R> {
+impl<T: Clone, R: Rng + 'static> WindowSampler<T> for WindowBuffer<T, R> {
     fn advance_time(&mut self, now: u64) {
         assert!(now >= self.now, "WindowBuffer: clock moved backwards");
         self.now = now;
@@ -126,6 +127,39 @@ impl<T: Clone, R: Rng> WindowSampler<T> for WindowBuffer<T, R> {
 
     fn k(&self) -> usize {
         self.k
+    }
+
+    fn save_state(&self) -> Option<SamplerState<T>> {
+        Some(SamplerState::WindowBuffer {
+            now: self.now,
+            next_index: self.next_index,
+            rng: state::capture_rng(&self.rng)?,
+            buf: self.buf.iter().cloned().collect(),
+        })
+    }
+
+    fn restore_state(&mut self, state: SamplerState<T>) -> Result<(), StateError> {
+        let (now, next_index, rng, buf) = match state {
+            SamplerState::WindowBuffer {
+                now,
+                next_index,
+                rng,
+                buf,
+            } => (now, next_index, rng, buf),
+            other => {
+                return Err(StateError::Mismatch {
+                    expected: "window-buffer",
+                    found: other.family(),
+                })
+            }
+        };
+        if !state::restore_rng(&mut self.rng, &rng) {
+            return Err(StateError::Unsupported);
+        }
+        self.buf = buf.into();
+        self.now = now;
+        self.next_index = next_index;
+        Ok(())
     }
 }
 

@@ -17,8 +17,9 @@
 //! baseline would be meaningless.
 
 use swsample_bench::throughput::{
-    machine, multi_100k_speedup, multi_soa_100k_speedup, multi_soa_vs_erased_100k, params,
-    run_multi, run_parallel, run_with, speedup, to_json, MULTI_SOA_100K_GATE,
+    durable_wal_overhead_100k, machine, multi_100k_speedup, multi_soa_100k_speedup,
+    multi_soa_vs_erased_100k, params, run_durable, run_multi, run_parallel, run_with, speedup,
+    to_json, DURABLE_WAL_100K_GATE, MULTI_SOA_100K_GATE,
 };
 use swsample_bench::{json, table_header, table_row};
 
@@ -215,7 +216,36 @@ fn main() {
         }
     }
 
-    let doc = to_json(&rows, &multi, &parallel, quick);
+    let durable = run_durable(&p);
+    table_header(
+        "durable pipeline (WAL + snapshots over the keyed fleet, seq-WR template)",
+        &["mode", "keys", "k", "snap every", "elems/s", "recovery s"],
+    );
+    for r in &durable {
+        table_row(&[
+            r.mode.into(),
+            r.keys.to_string(),
+            r.k.to_string(),
+            r.snapshot_every.to_string(),
+            format!("{:.0}", r.elems_per_sec),
+            format!("{:.3}", r.recovery_seconds),
+        ]);
+    }
+    if let Some(s) = durable_wal_overhead_100k(&durable) {
+        println!("\nWAL-on vs WAL-off ingest at 100k keys: {s:.2}x");
+        if s < DURABLE_WAL_100K_GATE {
+            // Hard gate: the durability tax must stay a bandwidth tax.
+            // Dropping under 0.7x means an fsync or allocation snuck
+            // into the per-batch path.
+            eprintln!(
+                "bench_throughput: durable_wal_overhead_100k {s:.2}x below the \
+                 {DURABLE_WAL_100K_GATE}x acceptance bar"
+            );
+            std::process::exit(1);
+        }
+    }
+
+    let doc = to_json(&rows, &multi, &parallel, &durable, quick);
     if let Err(e) = json::validate(&doc) {
         eprintln!("bench_throughput: emitted invalid JSON ({e}) — refusing to write");
         std::process::exit(1);

@@ -104,6 +104,35 @@ pub struct ParallelRow {
     pub elems_per_sec: f64,
 }
 
+/// One measured durable-pipeline configuration: the multi-stream fleet
+/// workload of [`run_multi`] driven through [`swsample_durable::DurableEngine`]
+/// (or the plain engine for the `wal-off` baseline), plus the wall-clock
+/// cost of recovering the finished directory.
+#[derive(Debug, Clone)]
+pub struct DurableRow {
+    /// `"wal-off"` (plain engine), `"wal-on"` (WAL, no mid-run
+    /// snapshots), or `"wal-snap"` (WAL + periodic snapshots).
+    pub mode: &'static str,
+    /// Key-domain size (number of logical streams).
+    pub keys: u64,
+    /// Per-key samples maintained.
+    pub k: usize,
+    /// Engine shard count.
+    pub shards: usize,
+    /// Snapshot cadence in ingest batches (0 = initial snapshot only).
+    pub snapshot_every: u64,
+    /// Keyed events driven through the engine.
+    pub elements: u64,
+    /// Wall-clock ingestion time (best of reps).
+    pub seconds: f64,
+    /// `elements / seconds`.
+    pub elems_per_sec: f64,
+    /// Wall-clock time to reopen the finished directory — latest valid
+    /// snapshot plus log-tail replay. 0 for `wal-off` (nothing durable
+    /// to recover).
+    pub recovery_seconds: f64,
+}
+
 /// Suite dimensions; [`params`] builds the standard full/quick shapes.
 #[derive(Debug, Clone)]
 pub struct Params {
@@ -133,6 +162,9 @@ pub struct Params {
     /// scheduler steal only ever *adds* time, so the minimum is the
     /// faithful capability measurement for a gated artifact.
     pub parallel_reps: usize,
+    /// Snapshot cadence (in ingest batches) for the durable section's
+    /// `wal-snap` mode.
+    pub durable_snapshot_every: u64,
 }
 
 /// The PR-3 committed `multi_stream` baseline at 100k keys, k = 16 —
@@ -166,6 +198,15 @@ pub const V3_MULTI_100K_ELEMS_PER_SEC: f64 = 5_496_031.64;
 /// cold figure by this factor. See [`V3_MULTI_100K_ELEMS_PER_SEC`] for
 /// why the bar is 1.5× and not the aspirational 3×.
 pub const MULTI_SOA_100K_GATE: f64 = 1.5;
+
+/// Hard acceptance bar for [`durable_wal_overhead_100k`]: ingesting
+/// through the write-ahead log at 100k keys must retain at least this
+/// fraction of the plain engine's throughput. Append-then-apply adds
+/// one buffered sequential write (~24 bytes/event) per batch and fsyncs
+/// only on segment roll, so the tax is bandwidth, not latency; 0.7×
+/// leaves headroom for slow CI disks while still catching an
+/// accidental fsync-per-batch or per-event allocation regression.
+pub const DURABLE_WAL_100K_GATE: f64 = 0.7;
 
 /// Host descriptor recorded in the artifact so figures from different
 /// machines are never compared as if they were a trajectory.
@@ -212,6 +253,7 @@ pub fn params(quick: bool) -> Params {
             multi_threads: vec![1, 2],
             parallel_chunk: 2_048,
             parallel_reps: 1,
+            durable_snapshot_every: 16,
         }
     } else {
         Params {
@@ -226,6 +268,7 @@ pub fn params(quick: bool) -> Params {
             multi_threads: vec![1, 2, 4, 8],
             parallel_chunk: 32_768,
             parallel_reps: 5,
+            durable_snapshot_every: 512,
         }
     }
 }
@@ -272,9 +315,10 @@ pub fn run_with(p: &Params) -> Vec<Row> {
     macro_rules! seq_case {
         ($name:literal, $k:expr, $n:expr, $make:expr) => {{
             let (k, n) = ($k, $n);
-            let mut rng = CountingRng::new(SmallRng::seed_from_u64(42));
+            let rng = CountingRng::new(SmallRng::seed_from_u64(42));
+            let draws = rng.counter();
             #[allow(clippy::redundant_closure_call)]
-            let mut s = ($make)(n, k, &mut rng);
+            let mut s = ($make)(n, k, rng);
             let seconds = drive_seq(&mut s, p.seq_elements, p.chunk);
             drop(s);
             rows.push(Row {
@@ -285,18 +329,19 @@ pub fn run_with(p: &Params) -> Vec<Row> {
                 elements: p.seq_elements,
                 seconds,
                 elems_per_sec: p.seq_elements as f64 / seconds.max(1e-9),
-                rng_draws: rng.words(),
+                rng_draws: draws.words(),
             });
         }};
     }
     macro_rules! ts_case {
         ($name:literal, $k:expr, $n:expr, $make:expr) => {{
             let (k, n) = ($k, $n);
-            let mut rng = CountingRng::new(SmallRng::seed_from_u64(43));
+            let rng = CountingRng::new(SmallRng::seed_from_u64(43));
+            let draws = rng.counter();
             // 4 arrivals/tick and a window of n/4 ticks keep ≈ n active.
             let t0 = (n / 4).max(1);
             #[allow(clippy::redundant_closure_call)]
-            let mut s = ($make)(t0, k, &mut rng);
+            let mut s = ($make)(t0, k, rng);
             let seconds = drive_ts(&mut s, p.ts_elements, 4);
             drop(s);
             rows.push(Row {
@@ -307,7 +352,7 @@ pub fn run_with(p: &Params) -> Vec<Row> {
                 elements: p.ts_elements,
                 seconds,
                 elems_per_sec: p.ts_elements as f64 / seconds.max(1e-9),
-                rng_draws: rng.words(),
+                rng_draws: draws.words(),
             });
         }};
     }
@@ -473,6 +518,132 @@ pub fn run_parallel(p: &Params) -> Vec<ParallelRow> {
     out
 }
 
+/// Run the durable-pipeline section: the zipf-keyed fleet workload of
+/// [`run_multi`] (seq-WR template, k = `multi_k`, n = 1000, 64 shards,
+/// serial threads) ingested three ways — plain engine (`wal-off`),
+/// through the write-ahead log (`wal-on`), and through the WAL with
+/// periodic O(k)-per-key snapshots (`wal-snap`) — then timed through
+/// recovery (`DurableEngine::open`: latest snapshot + log-tail replay).
+/// Durable state lives under the system temp directory and is removed
+/// before the function returns.
+pub fn run_durable(p: &Params) -> Vec<DurableRow> {
+    use swsample_core::spec::FleetBackend;
+    use swsample_core::SamplerSpec;
+    use swsample_durable::{DurableEngine, DurableOptions};
+    use swsample_stream::{MultiStreamEngine, ValueGen, ZipfGen};
+
+    let mut out = Vec::new();
+    for &keys in &p.multi_keys {
+        let mut rng = SmallRng::seed_from_u64(44);
+        let mut zipf = ZipfGen::new(keys, 1.1);
+        let events: Vec<(u64, u64, u64)> = (0..p.multi_elements)
+            .map(|i| (zipf.next_value(&mut rng), i / 64, i))
+            .collect();
+        for (mode, snapshot_every) in [
+            ("wal-off", 0u64),
+            ("wal-on", 0),
+            ("wal-snap", p.durable_snapshot_every),
+        ] {
+            let template = || -> SamplerSpec {
+                format!("--window seq --n 1000 --k {} --seed 42", p.multi_k)
+                    .parse()
+                    .expect("template spec")
+            };
+            let dir = std::env::temp_dir().join(format!(
+                "swsample-bench-durable-{}-{mode}-{keys}",
+                std::process::id()
+            ));
+            let mut seconds = f64::INFINITY;
+            let mut recovery = 0.0;
+            for rep in 0..p.parallel_reps.max(1) {
+                let last_rep = rep + 1 == p.parallel_reps.max(1);
+                if mode == "wal-off" {
+                    let engine: MultiStreamEngine<u64, u64> = MultiStreamEngine::with_backend(
+                        template(),
+                        64,
+                        SamplerSpec::build::<u64>,
+                        1,
+                        FleetBackend::Auto,
+                    )
+                    .expect("engine");
+                    let start = Instant::now();
+                    for chunk in events.chunks(p.chunk) {
+                        engine.ingest_parallel(chunk);
+                    }
+                    seconds = seconds.min(start.elapsed().as_secs_f64());
+                    continue;
+                }
+                // Fresh directory per rep: `create` refuses to reuse one.
+                let _ = std::fs::remove_dir_all(&dir);
+                let opts = DurableOptions {
+                    snapshot_every: (snapshot_every > 0).then_some(snapshot_every),
+                    ..DurableOptions::default()
+                };
+                let mut engine: DurableEngine<u64, u64> = DurableEngine::create(
+                    &dir,
+                    template(),
+                    64,
+                    1,
+                    FleetBackend::Auto,
+                    opts.clone(),
+                )
+                .expect("durable engine");
+                let start = Instant::now();
+                for chunk in events.chunks(p.chunk) {
+                    engine.ingest(chunk).expect("durable ingest");
+                }
+                engine.sync().expect("wal sync");
+                seconds = seconds.min(start.elapsed().as_secs_f64());
+                drop(engine);
+                if last_rep {
+                    // Recovery wall-clock: wal-on replays the whole log
+                    // from the initial snapshot; wal-snap restores the
+                    // newest snapshot and replays only the tail.
+                    let start = Instant::now();
+                    let recovered: DurableEngine<u64, u64> =
+                        DurableEngine::open(&dir, opts).expect("recovery");
+                    recovery = start.elapsed().as_secs_f64();
+                    assert_eq!(
+                        recovered.engine().num_keys() as u64,
+                        events
+                            .iter()
+                            .map(|e| e.0)
+                            .collect::<std::collections::HashSet<_>>()
+                            .len() as u64,
+                        "{mode}: recovered fleet lost keys"
+                    );
+                }
+                let _ = std::fs::remove_dir_all(&dir);
+            }
+            out.push(DurableRow {
+                mode,
+                keys,
+                k: p.multi_k,
+                shards: 64,
+                snapshot_every,
+                elements: p.multi_elements,
+                seconds,
+                elems_per_sec: p.multi_elements as f64 / seconds.max(1e-9),
+                recovery_seconds: recovery,
+            });
+        }
+    }
+    out
+}
+
+/// The durability-tax headline: WAL-on over WAL-off sustained ingest
+/// throughput at 100k keys (same workload, same engine configuration).
+/// `None` when the sweep has no 100k-key rows (the quick shape).
+pub fn durable_wal_overhead_100k(durable: &[DurableRow]) -> Option<f64> {
+    let get = |mode: &str| {
+        durable
+            .iter()
+            .find(|r| r.keys == 100_000 && r.mode == mode)
+            .map(|r| r.elems_per_sec)
+    };
+    Some(get("wal-on")? / get("wal-off")?)
+}
+
 /// The gated engine-redesign headline: best parallel-section elems/sec
 /// at 100k keys over the fixed PR-3 baseline
 /// ([`PR3_MULTI_100K_ELEMS_PER_SEC`]). `None` when the sweep did not
@@ -526,14 +697,20 @@ pub fn speedup(rows: &[Row], fast: &str, slow: &str, k: usize, n: u64) -> Option
 }
 
 /// Render the suite result as the `BENCH_throughput.json` document
-/// (schema v4: v3's sections with a `machine` descriptor block,
-/// backend-tagged `multi_stream`/`parallel` rows, a sustained-phase
-/// column, and the gated `multi_soa_100k_speedup` headline).
-pub fn to_json(rows: &[Row], multi: &[MultiRow], parallel: &[ParallelRow], quick: bool) -> String {
+/// (schema v5: v4's sections plus the `durable` section — WAL-off /
+/// WAL-on / WAL+snapshot ingest rates and recovery wall-clock — and
+/// the gated `durable_wal_overhead_100k` headline).
+pub fn to_json(
+    rows: &[Row],
+    multi: &[MultiRow],
+    parallel: &[ParallelRow],
+    durable: &[DurableRow],
+    quick: bool,
+) -> String {
     let m = machine();
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"schema\": \"swsample-bench-throughput/v4\",\n");
+    out.push_str("  \"schema\": \"swsample-bench-throughput/v5\",\n");
     out.push_str(&format!("  \"quick\": {quick},\n"));
     // Host descriptor: throughput figures are only a trajectory on the
     // same machine; the block makes cross-host artifacts self-describing.
@@ -575,6 +752,14 @@ pub fn to_json(rows: &[Row], multi: &[MultiRow], parallel: &[ParallelRow], quick
     if let Some(s) = multi_soa_vs_erased_100k(multi) {
         out.push_str(&format!(
             "  \"multi_soa_vs_erased_100k\": {},\n",
+            json::number(s)
+        ));
+    }
+    // Durability tax at 100k keys (WAL-on / WAL-off ingest ratio) — the
+    // PR-7 gated headline.
+    if let Some(s) = durable_wal_overhead_100k(durable) {
+        out.push_str(&format!(
+            "  \"durable_wal_overhead_100k\": {},\n",
             json::number(s)
         ));
     }
@@ -637,6 +822,25 @@ pub fn to_json(rows: &[Row], multi: &[MultiRow], parallel: &[ParallelRow], quick
             if i + 1 == parallel.len() { "" } else { "," }
         ));
     }
+    out.push_str("  ],\n");
+    out.push_str("  \"durable\": [\n");
+    for (i, r) in durable.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"mode\": \"{}\", \"keys\": {}, \"k\": {}, \"shards\": {}, \
+             \"snapshot_every\": {}, \"elements\": {}, \"seconds\": {}, \
+             \"elems_per_sec\": {}, \"recovery_seconds\": {}}}{}\n",
+            json::escape(r.mode),
+            r.keys,
+            r.k,
+            r.shards,
+            r.snapshot_every,
+            r.elements,
+            json::number(r.seconds),
+            json::number(r.elems_per_sec),
+            json::number(r.recovery_seconds),
+            if i + 1 == durable.len() { "" } else { "," }
+        ));
+    }
     out.push_str("  ]\n}\n");
     out
 }
@@ -658,6 +862,7 @@ mod tests {
             multi_threads: vec![1, 2],
             parallel_chunk: 256,
             parallel_reps: 2,
+            durable_snapshot_every: 4,
         }
     }
 
@@ -679,24 +884,49 @@ mod tests {
                 r.threads
             );
         }
-        let doc = to_json(&rows, &multi, &parallel, true);
+        let durable = run_durable(&micro_params());
+        let doc = to_json(&rows, &multi, &parallel, &durable, true);
         json::validate(&doc).expect("emitted JSON must parse");
         assert!(
-            doc.contains("\"multi_stream\"") && doc.contains("\"parallel\""),
+            doc.contains("\"multi_stream\"")
+                && doc.contains("\"parallel\"")
+                && doc.contains("\"durable\""),
             "schema sections present"
         );
         assert!(
-            doc.contains("\"schema\": \"swsample-bench-throughput/v4\"")
+            doc.contains("\"schema\": \"swsample-bench-throughput/v5\"")
                 && doc.contains("\"machine\": {\"cores\": "),
-            "schema v4 header with machine block"
+            "schema v5 header with machine block"
         );
         // 64-key micro sweep has no 100k row, so the gated fields stay
         // out of the document rather than gating on noise.
         assert!(multi_100k_speedup(&parallel).is_none());
         assert!(multi_soa_100k_speedup(&multi).is_none());
         assert!(multi_soa_vs_erased_100k(&multi).is_none());
+        assert!(durable_wal_overhead_100k(&durable).is_none());
         assert!(!doc.contains("multi_100k_speedup"));
         assert!(!doc.contains("multi_soa_100k_speedup"));
+        assert!(!doc.contains("durable_wal_overhead_100k"));
+    }
+
+    #[test]
+    fn durable_section_measures_all_modes_and_recovery() {
+        let durable = run_durable(&micro_params());
+        let modes: Vec<&str> = durable.iter().map(|r| r.mode).collect();
+        assert_eq!(modes, ["wal-off", "wal-on", "wal-snap"]);
+        for r in &durable {
+            assert!(r.elems_per_sec > 0.0, "{}: zero throughput", r.mode);
+        }
+        // Only the durable modes have anything to recover, and recovery
+        // of a real directory takes measurable time.
+        assert_eq!(durable[0].recovery_seconds, 0.0);
+        assert!(durable[1].recovery_seconds > 0.0);
+        assert!(durable[2].recovery_seconds > 0.0);
+        // wal-snap actually snapshotted mid-run.
+        assert_eq!(
+            durable[2].snapshot_every,
+            micro_params().durable_snapshot_every
+        );
     }
 
     #[test]

@@ -24,6 +24,7 @@ use rand::SeedableRng;
 use std::io::{BufRead, Write};
 use swsample_core::spec::{Algorithm, FleetBackend, SamplerSpec, WindowKind};
 use swsample_core::{ErasedWindowSampler, MemoryWords};
+use swsample_durable::{DurableEngine, DurableOptions, FailPlan, ResumeOverrides};
 use swsample_query::TsAggregator;
 use swsample_stream::{
     BurstyArrivals, MultiStreamEngine, SteadyArrivals, UniformGen, ValueGen, ZipfGen,
@@ -67,6 +68,14 @@ pub fn write_help(out: &mut dyn Write) -> std::io::Result<()> {
                  (--threads > 1 ingests shards on a worker pool; output\n\
                  is bit-identical for every thread count and backend;\n\
                  auto picks soa for homogeneous paper/reservoir-l fleets)\n\
+                 durability: [--wal DIR] [--snapshot-every B]\n\
+                 [--segment-bytes N] [--resume]  (WAL + snapshots; resume\n\
+                 recovers and continues, stdout byte-identical to an\n\
+                 uninterrupted run; SWSAMPLE_FAILPOINT=kill-after-appends=N\n\
+                 [,torn-tail=B][,corrupt-snapshot-byte=O][,disk-full-after=N]\n\
+                 injects crashes, exit code 42)\n\
+                 live rescale: [--rescale-after B]\n\
+                 [--rescale-shards S] [--rescale-threads W]\n\
            seq   shorthand: sample the last N lines of stdin\n\
                  --window N [--k K] [--wor] [--report-every M] [--seed S]\n\
                  [--batch-size B]\n\
@@ -289,9 +298,67 @@ fn split_timestamped(line: &str) -> Result<(u64, &str), ArgError> {
     Ok((ts, rest))
 }
 
+/// The fleet behind `multi`: plain in-memory, or wrapped in the
+/// durability layer (`--wal DIR`) where every ingest batch is logged
+/// before it is applied.
+enum MultiFleet {
+    Plain(MultiStreamEngine<u64, u64>),
+    Durable(Box<DurableEngine<u64, u64>>),
+}
+
+impl MultiFleet {
+    fn engine(&self) -> &MultiStreamEngine<u64, u64> {
+        match self {
+            MultiFleet::Plain(e) => e,
+            MultiFleet::Durable(d) => d.engine(),
+        }
+    }
+
+    fn ingest(&mut self, chunk: &[(u64, u64, u64)]) -> Result<(), ArgError> {
+        match self {
+            MultiFleet::Plain(e) => {
+                e.ingest_parallel(chunk);
+                Ok(())
+            }
+            MultiFleet::Durable(d) => d
+                .ingest(chunk)
+                .map(|_| ())
+                .map_err(|e| ArgError(e.to_string())),
+        }
+    }
+
+    fn set_shards(&mut self, shards: usize) -> Result<(), ArgError> {
+        match self {
+            MultiFleet::Plain(e) => e.set_shards(shards).map_err(|e| ArgError(e.to_string())),
+            MultiFleet::Durable(d) => d.set_shards(shards).map_err(|e| ArgError(e.to_string())),
+        }
+    }
+
+    fn set_threads(&mut self, threads: usize) {
+        match self {
+            MultiFleet::Plain(e) => e.set_threads(threads),
+            MultiFleet::Durable(d) => d.set_threads(threads),
+        }
+    }
+
+    /// Make everything ingested so far durable (no-op for plain fleets).
+    fn sync(&mut self) -> Result<(), ArgError> {
+        match self {
+            MultiFleet::Plain(_) => Ok(()),
+            MultiFleet::Durable(d) => d.sync().map_err(|e| ArgError(e.to_string())),
+        }
+    }
+}
+
 /// `multi` — a sharded fleet of per-key windows over a self-generated
 /// zipf-keyed workload: the serving shape (one independent window per
 /// user) at CLI scale.
+///
+/// With `--wal DIR` the fleet is durable: batches are written ahead to a
+/// segment log, `--snapshot-every B` adds periodic snapshots, and
+/// `--resume` recovers from the directory and continues the regenerated
+/// workload where the log ends — stdout is byte-identical to an
+/// uninterrupted run. `SWSAMPLE_FAILPOINT` injects crashes for testing.
 fn cmd_multi(args: &Args, out: &mut dyn Write) -> Result<(), ArgError> {
     let keys: u64 = args.require("keys")?;
     if keys == 0 {
@@ -327,19 +394,83 @@ fn cmd_multi(args: &Args, out: &mut dyn Write) -> Result<(), ArgError> {
     };
     let io_err = |e: std::io::Error| ArgError(format!("io error: {e}"));
 
+    // Durability flags (--wal switches the fleet onto the WAL-backed
+    // engine) and the mid-stream rescale schedule.
+    let wal_dir = args.get_str("wal").map(std::path::PathBuf::from);
+    let resume = args.get_flag("resume");
+    let snapshot_every = args.get_u64("snapshot-every", 0)?;
+    let segment_bytes = args.get_u64("segment-bytes", 4 << 20)?;
+    if resume && wal_dir.is_none() {
+        return Err(ArgError("--resume requires --wal DIR".into()));
+    }
+    let fail = FailPlan::from_env().map_err(ArgError)?;
+    if !fail.is_empty() && wal_dir.is_none() {
+        return Err(ArgError(
+            "SWSAMPLE_FAILPOINT is set but --wal is not (failpoints drive the durable engine)"
+                .into(),
+        ));
+    }
+    let rescale_after = args.get_u64("rescale-after", 0)?;
+    let rescale_shards = args.get_usize("rescale-shards", 0)?;
+    let rescale_threads = args.get_usize("rescale-threads", 0)?;
+    if rescale_after > 0 && rescale_shards == 0 && rescale_threads == 0 {
+        return Err(ArgError(
+            "--rescale-after needs --rescale-shards and/or --rescale-threads".into(),
+        ));
+    }
+
     let spec = spec_from_flags(args)?;
     let timestamped = matches!(spec.window, WindowKind::Timestamp(_));
-    let engine: MultiStreamEngine<u64, u64> = MultiStreamEngine::with_backend(
-        spec,
-        shards,
-        swsample_baselines::spec::build::<u64>,
-        threads,
-        backend,
-    )
-    .map_err(|e| ArgError(e.to_string()))?;
+    // `done` = ingest batches already covered by a recovered WAL: the
+    // workload is regenerated from scratch (it is deterministic in
+    // --workload-seed), traffic is re-counted for every event, but the
+    // first `done` batches are not re-ingested.
+    let (mut fleet, done) = match &wal_dir {
+        None => {
+            let engine = MultiStreamEngine::with_backend(
+                spec,
+                shards,
+                swsample_baselines::spec::build::<u64>,
+                threads,
+                backend,
+            )
+            .map_err(|e| ArgError(e.to_string()))?;
+            (MultiFleet::Plain(engine), 0u64)
+        }
+        Some(dir) => {
+            let opts = DurableOptions {
+                segment_bytes: segment_bytes.max(1),
+                snapshot_every: (snapshot_every > 0).then_some(snapshot_every),
+                fail,
+            };
+            if resume {
+                // Explicit flags override the recorded config — the
+                // rescale-on-resume path. Samples are unaffected.
+                let overrides = ResumeOverrides {
+                    shards: args.get_str("shards").is_some().then_some(shards),
+                    threads: args.get_str("threads").is_some().then_some(threads),
+                    backend: match backend {
+                        FleetBackend::Auto => None,
+                        explicit => Some(explicit),
+                    },
+                };
+                let durable = DurableEngine::open_with(dir, opts, overrides)
+                    .map_err(|e| ArgError(e.to_string()))?;
+                let done = durable.next_seq();
+                (MultiFleet::Durable(Box::new(durable)), done)
+            } else {
+                let durable = DurableEngine::create(dir, spec, shards, threads, backend, opts)
+                    .map_err(|e| ArgError(e.to_string()))?;
+                (MultiFleet::Durable(Box::new(durable)), 0u64)
+            }
+        }
+    };
     // Stderr, like the throughput line: diagnostics never mix with the
     // sample stream (stdout is bit-identical across backends anyway).
-    eprintln!("# backend: {}", engine.backend());
+    eprintln!("# backend: {}", fleet.engine().backend());
+    if done > 0 {
+        eprintln!("# resume: {done} batches recovered, re-ingesting from there");
+    }
 
     // Zipf-skewed keys, values = stream index, 64 arrivals per tick —
     // deterministic given --workload-seed.
@@ -349,23 +480,44 @@ fn cmd_multi(args: &Args, out: &mut dyn Write) -> Result<(), ArgError> {
     // materialization, not by the key domain.
     let mut traffic: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
     let mut chunk: Vec<(u64, u64, u64)> = Vec::with_capacity(batch);
+    let mut chunk_index = 0u64;
     let start = std::time::Instant::now();
     for i in 0..count {
         let key = zipf.next_value(&mut rng);
         *traffic.entry(key).or_insert(0) += 1;
         chunk.push((key, i / 64, i));
         if chunk.len() >= batch {
-            engine.ingest_parallel(&chunk);
+            if chunk_index >= done {
+                fleet.ingest(&chunk)?;
+            }
+            chunk_index += 1;
             chunk.clear();
+            if rescale_after > 0 && chunk_index == rescale_after {
+                if rescale_shards > 0 {
+                    fleet.set_shards(rescale_shards)?;
+                }
+                if rescale_threads > 0 {
+                    fleet.set_threads(rescale_threads);
+                }
+                eprintln!(
+                    "# rescale: {} shards, {} threads after batch {chunk_index}",
+                    fleet.engine().num_shards(),
+                    fleet.engine().num_threads()
+                );
+            }
         }
     }
-    engine.ingest_parallel(&chunk);
+    if !chunk.is_empty() && chunk_index >= done {
+        fleet.ingest(&chunk)?;
+    }
+    fleet.sync()?;
     report_throughput(count, start.elapsed());
 
     // The hottest keys' current samples (deterministic order: traffic
     // descending, key ascending as the tiebreak).
     let mut by_traffic: Vec<(u64, u64)> = traffic.iter().map(|(&k, &c)| (k, c)).collect();
     by_traffic.sort_unstable_by_key(|&(key, cnt)| (std::cmp::Reverse(cnt), key));
+    let engine = fleet.engine();
     for &(key, cnt) in by_traffic.iter().take(show) {
         let rendered = match engine.sample_k(&key) {
             Some(samples) => samples

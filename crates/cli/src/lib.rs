@@ -1,0 +1,13 @@
+//! Library surface of the `swsample` CLI: flag parsing ([`args`]) and
+//! the subcommand drivers ([`commands`]), written against generic
+//! readers/writers so tests can run every command end-to-end in memory
+//! — including the adversarial flag-garbling property tests, which
+//! assert that no command line ever panics the parser.
+//!
+//! The installable binary (`src/main.rs`) is a thin shell over
+//! [`commands::run`].
+
+#![forbid(unsafe_code)]
+
+pub mod args;
+pub mod commands;

@@ -19,10 +19,9 @@
 //! swsample multi --keys 100000 --count 1000000 --window seq --n 1000 --k 16
 //! ```
 
-mod args;
-mod commands;
-
 use std::io::Write;
+
+use swsample_cli::{args, commands};
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();

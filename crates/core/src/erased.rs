@@ -37,6 +37,7 @@
 use crate::memory::MemoryWords;
 use crate::sample::Sample;
 use crate::spec::SamplerSpec;
+use crate::state::{SamplerState, StateError};
 use crate::traits::WindowSampler;
 
 /// Object-safe view of any sliding-window sampler.
@@ -105,6 +106,16 @@ pub trait ErasedWindowSampler<T: Clone>: Send + Sync {
     /// [`SamplerFactory`](crate::spec::SamplerFactory)); `None` for
     /// hand-constructed samplers.
     fn spec(&self) -> Option<&SamplerSpec>;
+
+    /// Checkpoint the sampler's stream-dependent state; see
+    /// [`WindowSampler::save_state`]. `None` when this configuration
+    /// cannot be checkpointed.
+    fn save_state(&self) -> Option<SamplerState<T>>;
+
+    /// Overwrite this sampler's state from a checkpoint; see
+    /// [`WindowSampler::restore_state`]. The sampler must be freshly
+    /// built from the spec that produced the checkpoint.
+    fn restore_state(&mut self, state: SamplerState<T>) -> Result<(), StateError>;
 }
 
 impl<T: Clone, S: WindowSampler<T> + Send + Sync> ErasedWindowSampler<T> for S {
@@ -142,6 +153,14 @@ impl<T: Clone, S: WindowSampler<T> + Send + Sync> ErasedWindowSampler<T> for S {
 
     fn spec(&self) -> Option<&SamplerSpec> {
         WindowSampler::spec(self)
+    }
+
+    fn save_state(&self) -> Option<SamplerState<T>> {
+        WindowSampler::save_state(self)
+    }
+
+    fn restore_state(&mut self, state: SamplerState<T>) -> Result<(), StateError> {
+        WindowSampler::restore_state(self, state)
     }
 }
 

@@ -51,6 +51,7 @@ pub mod seq;
 pub mod skip;
 pub mod soa;
 pub mod spec;
+pub mod state;
 pub mod track;
 mod traits;
 pub mod ts;
@@ -59,4 +60,5 @@ pub use erased::ErasedWindowSampler;
 pub use memory::MemoryWords;
 pub use sample::Sample;
 pub use spec::{FleetBackend, SamplerSpec, SpecError};
+pub use state::{SamplerState, StateCodec, StateError};
 pub use traits::WindowSampler;

@@ -277,6 +277,31 @@ impl<T> ReservoirL<T> {
         self.w = 1.0;
         std::mem::take(&mut self.entries)
     }
+
+    /// Checkpoint the Algorithm L skip state as `(next_accept, W bits)`.
+    /// `W` travels as raw IEEE-754 bits so a round trip is exact — the
+    /// skip law would silently diverge under any decimal detour.
+    pub(crate) fn skip_state(&self) -> (u64, u64) {
+        (self.next_accept, self.w.to_bits())
+    }
+
+    /// Rebuild a reservoir from checkpointed parts. Entries beyond `cap`
+    /// are rejected by the caller's decode layer, not here.
+    pub(crate) fn from_parts(
+        cap: usize,
+        entries: Vec<Sample<T>>,
+        seen: u64,
+        next_accept: u64,
+        w_bits: u64,
+    ) -> Self {
+        Self {
+            cap,
+            entries,
+            seen,
+            next_accept,
+            w: f64::from_bits(w_bits),
+        }
+    }
 }
 
 impl<T> MemoryWords for ReservoirL<T> {

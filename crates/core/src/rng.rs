@@ -8,34 +8,66 @@
 //! `BENCH_throughput.json`).
 
 use rand::RngCore;
+use std::cell::Cell;
+use std::rc::Rc;
 
 /// Counts every `next_u32`/`next_u64` call made through it.
 ///
 /// The count is in *RNG words requested*, not bits: one `next_u32` and one
 /// `next_u64` each cost 1. That is the right unit for xoshiro-style
 /// generators, where both cost one state advance.
+///
+/// The counter lives behind a shared handle ([`WordCounter`], from
+/// [`counter`]), so a `CountingRng` can be moved *into* a sampler by
+/// value — as every `'static`-bounded constructor requires — and the
+/// caller can still read the tally afterwards without getting the
+/// generator back. Cloning a `CountingRng` clones the generator but
+/// **shares** the counter: both halves tally into the same cell.
+///
+/// [`counter`]: CountingRng::counter
 #[derive(Debug, Clone)]
 pub struct CountingRng<R> {
     inner: R,
-    words: u64,
+    words: Rc<Cell<u64>>,
+}
+
+/// A read-side handle onto a [`CountingRng`]'s draw tally, alive after
+/// the generator itself moved into a sampler.
+#[derive(Debug, Clone)]
+pub struct WordCounter(Rc<Cell<u64>>);
+
+impl WordCounter {
+    /// Random words drawn through the associated generator so far.
+    pub fn words(&self) -> u64 {
+        self.0.get()
+    }
 }
 
 impl<R> CountingRng<R> {
     /// Wrap `inner`, starting the counter at zero.
     pub fn new(inner: R) -> Self {
-        Self { inner, words: 0 }
+        Self {
+            inner,
+            words: Rc::new(Cell::new(0)),
+        }
     }
 
     /// Random words drawn since construction (or the last [`reset`]).
     ///
     /// [`reset`]: CountingRng::reset
     pub fn words(&self) -> u64 {
-        self.words
+        self.words.get()
+    }
+
+    /// A shared handle onto the counter; keep it when moving the
+    /// generator into a sampler.
+    pub fn counter(&self) -> WordCounter {
+        WordCounter(Rc::clone(&self.words))
     }
 
     /// Zero the counter.
     pub fn reset(&mut self) {
-        self.words = 0;
+        self.words.set(0);
     }
 
     /// Unwrap the inner generator.
@@ -46,12 +78,12 @@ impl<R> CountingRng<R> {
 
 impl<R: RngCore> RngCore for CountingRng<R> {
     fn next_u32(&mut self) -> u32 {
-        self.words += 1;
+        self.words.set(self.words.get() + 1);
         self.inner.next_u32()
     }
 
     fn next_u64(&mut self) -> u64 {
-        self.words += 1;
+        self.words.set(self.words.get() + 1);
         self.inner.next_u64()
     }
 }
@@ -80,6 +112,17 @@ mod tests {
         for _ in 0..50 {
             assert_eq!(plain.next_u64(), counted.next_u64());
         }
+    }
+
+    #[test]
+    fn counter_handle_survives_the_move() {
+        let rng = CountingRng::new(SmallRng::seed_from_u64(3));
+        let counter = rng.counter();
+        let mut moved = rng; // stand-in for a sampler taking it by value
+        let _ = moved.next_u64();
+        let _ = moved.next_u32();
+        drop(moved);
+        assert_eq!(counter.words(), 2);
     }
 
     #[test]

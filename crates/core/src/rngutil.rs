@@ -88,6 +88,19 @@ impl BitSource {
     pub fn buffered(&self) -> u8 {
         self.left
     }
+
+    /// Snapshot the buffered coins as `(buffer, bits_left)` for
+    /// checkpointing. Restoring via [`BitSource::from_state`] replays the
+    /// exact remaining coin stream, which save/restore needs for
+    /// bit-identical recovery.
+    pub fn state(&self) -> (u64, u8) {
+        (self.buf, self.left)
+    }
+
+    /// Rebuild a buffer from a [`BitSource::state`] snapshot.
+    pub fn from_state(buf: u64, left: u8) -> Self {
+        Self { buf, left }
+    }
 }
 
 /// Bernoulli event with probability exactly `num / den`.

@@ -4,6 +4,7 @@
 use crate::memory::MemoryWords;
 use crate::reservoir::{ReservoirK, ReservoirL};
 use crate::sample::Sample;
+use crate::state::{self, ReservoirLState, SamplerState, StateError};
 use crate::traits::WindowSampler;
 use rand::Rng;
 
@@ -186,9 +187,72 @@ impl<T, R> MemoryWords for SeqSamplerWor<T, R> {
     }
 }
 
-impl<T: Clone, R: Rng> WindowSampler<T> for SeqSamplerWor<T, R> {
+impl<T: Clone, R: Rng + 'static> WindowSampler<T> for SeqSamplerWor<T, R> {
     fn insert(&mut self, value: T) {
         self.push(value);
+    }
+
+    fn save_state(&self) -> Option<SamplerState<T>> {
+        let rng = state::capture_rng(&self.rng)?;
+        // Only the Algorithm L path (the spec-built default) is
+        // checkpointable; the Algorithm R reference path is test-only.
+        let res = match &self.cur {
+            BucketReservoir::Skip(r) => r,
+            BucketReservoir::Naive(_) => return None,
+        };
+        let (next_accept, w_bits) = res.skip_state();
+        Some(SamplerState::SeqWor {
+            count: self.count,
+            rng,
+            prev: self.prev.clone(),
+            cur: ReservoirLState {
+                entries: res.entries().to_vec(),
+                seen: res.seen(),
+                next_accept,
+                w_bits,
+            },
+        })
+    }
+
+    fn restore_state(&mut self, state: SamplerState<T>) -> Result<(), StateError> {
+        let (count, rng, prev, cur) = match state {
+            SamplerState::SeqWor {
+                count,
+                rng,
+                prev,
+                cur,
+            } => (count, rng, prev, cur),
+            other => {
+                return Err(StateError::Mismatch {
+                    expected: "seq-wor",
+                    found: other.family(),
+                })
+            }
+        };
+        if !matches!(self.cur, BucketReservoir::Skip(_)) {
+            return Err(StateError::Unsupported);
+        }
+        if prev.len() > self.k || cur.entries.len() > self.k {
+            return Err(StateError::Corrupt(format!(
+                "seq-wor: {} prev / {} cur entries for k = {}",
+                prev.len(),
+                cur.entries.len(),
+                self.k
+            )));
+        }
+        if !state::restore_rng(&mut self.rng, &rng) {
+            return Err(StateError::Unsupported);
+        }
+        self.count = count;
+        self.prev = prev;
+        self.cur = BucketReservoir::Skip(ReservoirL::from_parts(
+            self.k,
+            cur.entries,
+            cur.seen,
+            cur.next_accept,
+            cur.w_bits,
+        ));
+        Ok(())
     }
 
     fn insert_batch(&mut self, values: &[T])

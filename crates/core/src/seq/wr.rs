@@ -3,6 +3,7 @@
 use crate::memory::MemoryWords;
 use crate::sample::Sample;
 use crate::skip::record_skip;
+use crate::state::{self, SamplerState, SeqWrLaneState, StateError};
 use crate::track::{NullTracker, SampleTracker};
 use crate::traits::WindowSampler;
 use rand::Rng;
@@ -312,9 +313,94 @@ impl<T, R, K: SampleTracker<T>> MemoryWords for SeqSamplerWr<T, R, K> {
     }
 }
 
-impl<T: Clone, R: Rng, K: SampleTracker<T>> WindowSampler<T> for SeqSamplerWr<T, R, K> {
+impl<T: Clone, R: Rng + 'static, K: SampleTracker<T>> WindowSampler<T> for SeqSamplerWr<T, R, K> {
     fn insert(&mut self, value: T) {
         self.push(value);
+    }
+
+    fn save_state(&self) -> Option<SamplerState<T>> {
+        // Tracking trackers carry suffix statistics that cannot be
+        // reconstructed from the retained samples alone.
+        if K::TRACKS {
+            return None;
+        }
+        let rng = state::capture_rng(&self.rng)?;
+        let lanes = self
+            .instances
+            .iter()
+            .zip(&self.next_accept)
+            .map(|(inst, &next_accept)| SeqWrLaneState {
+                prev: inst.prev.as_ref().map(|(s, _)| s.clone()),
+                cur: inst.cur.as_ref().map(|(s, _)| s.clone()),
+                next_accept,
+            })
+            .collect();
+        Some(SamplerState::SeqWr {
+            count: self.count,
+            accepts: self.accepts,
+            rng,
+            lanes,
+        })
+    }
+
+    fn restore_state(&mut self, state: SamplerState<T>) -> Result<(), StateError> {
+        if K::TRACKS {
+            return Err(StateError::Unsupported);
+        }
+        let (count, accepts, rng, lanes) = match state {
+            SamplerState::SeqWr {
+                count,
+                accepts,
+                rng,
+                lanes,
+            } => (count, accepts, rng, lanes),
+            other => {
+                return Err(StateError::Mismatch {
+                    expected: "seq-wr",
+                    found: other.family(),
+                })
+            }
+        };
+        if lanes.len() != self.instances.len() {
+            return Err(StateError::Corrupt(format!(
+                "seq-wr: {} lanes for k = {}",
+                lanes.len(),
+                self.instances.len()
+            )));
+        }
+        if !state::restore_rng(&mut self.rng, &rng) {
+            return Err(StateError::Unsupported);
+        }
+        let mut instances = Vec::with_capacity(lanes.len());
+        let mut next_accept = Vec::with_capacity(lanes.len());
+        for lane in lanes {
+            // Non-tracking trackers' statistics are position-independent,
+            // so `fresh` reproduces them exactly (for `NullTracker`: `()`).
+            let prev = lane.prev.map(|s| {
+                let stat = self.tracker.fresh(s.value(), s.index());
+                (s, stat)
+            });
+            let cur = lane.cur.map(|s| {
+                let stat = self.tracker.fresh(s.value(), s.index());
+                (s, stat)
+            });
+            instances.push(Instance { prev, cur });
+            next_accept.push(lane.next_accept);
+        }
+        self.instances = instances;
+        self.next_accept = next_accept;
+        self.count = count;
+        self.accepts = accepts;
+        // Derived fields: the skip gate is the minimum pending acceptance,
+        // and the next rotation is the next multiple of `n` after `count`.
+        self.min_next = self
+            .next_accept
+            .iter()
+            .copied()
+            .min()
+            .expect("at least one instance");
+        self.next_rotate = (self.count / self.n + 1) * self.n;
+        Ok(())
     }
 
     fn insert_batch(&mut self, values: &[T])

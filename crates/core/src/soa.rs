@@ -43,6 +43,7 @@ use crate::reservoir::{advance_skip_state, ReservoirL};
 use crate::sample::Sample;
 use crate::seq::choose_distinct;
 use crate::skip::record_skip;
+use crate::state::{ReservoirLState, RngState, SamplerState, SeqWrLaneState, StateError};
 use crate::traits::WindowSampler;
 use crate::ts::{TsSamplerWor, TsSamplerWr};
 use rand::rngs::SmallRng;
@@ -271,6 +272,68 @@ impl<T: Clone> SeqWrFleet<T> {
             })
             .sum();
         held + self.k + 3
+    }
+
+    /// Checkpoint one slot as the backend-neutral record a boxed
+    /// `SeqSamplerWr` saves, so snapshots port across backends. The
+    /// fleet does not track the `accepts` diagnostic; it is saved as 0
+    /// (it never influences samples or memory accounting).
+    pub fn save_slot(&self, slot: usize) -> Option<SamplerState<T>> {
+        let head = &self.heads[slot];
+        let base = slot * self.k;
+        Some(SamplerState::SeqWr {
+            count: head.count,
+            accepts: 0,
+            rng: RngState(self.rngs[slot].state()),
+            lanes: (0..self.k)
+                .map(|i| SeqWrLaneState {
+                    prev: self.prev[base + i].clone(),
+                    cur: self.cur[base + i].clone(),
+                    next_accept: self.next_accept[base + i],
+                })
+                .collect(),
+        })
+    }
+
+    /// Overwrite one slot from a checkpoint (the slot must belong to a
+    /// fleet built with the same template `n` and `k`).
+    pub fn restore_slot(&mut self, slot: usize, state: SamplerState<T>) -> Result<(), StateError> {
+        let (count, rng, lanes) = match state {
+            SamplerState::SeqWr {
+                count, rng, lanes, ..
+            } => (count, rng, lanes),
+            other => {
+                return Err(StateError::Mismatch {
+                    expected: "seq-wr",
+                    found: other.family(),
+                })
+            }
+        };
+        if lanes.len() != self.k {
+            return Err(StateError::Corrupt(format!(
+                "seq-wr state has {} lanes for k = {}",
+                lanes.len(),
+                self.k
+            )));
+        }
+        let base = slot * self.k;
+        self.rngs[slot] = SmallRng::from_state(rng.0);
+        for (i, lane) in lanes.into_iter().enumerate() {
+            self.prev[base + i] = lane.prev;
+            self.cur[base + i] = lane.cur;
+            self.next_accept[base + i] = lane.next_accept;
+        }
+        let min_next = self.next_accept[base..base + self.k]
+            .iter()
+            .copied()
+            .min()
+            .expect("k >= 1");
+        self.heads[slot] = SeqWrState {
+            count,
+            min_next,
+            next_rotate: (count / self.n + 1) * self.n,
+        };
+        Ok(())
     }
 }
 
@@ -589,6 +652,64 @@ impl<T: Clone> SeqWorFleet<T> {
             + (head.cur_len as usize * Sample::<T>::WORDS + 4)
             + 3
     }
+
+    /// Checkpoint one slot as the backend-neutral record a boxed
+    /// `SeqSamplerWor` saves.
+    pub fn save_slot(&self, slot: usize) -> Option<SamplerState<T>> {
+        let head = &self.heads[slot];
+        let base = slot * self.k;
+        Some(SamplerState::SeqWor {
+            count: head.count,
+            rng: RngState(self.rngs[slot].state()),
+            prev: Self::block(&self.prev[base..base + self.k], head.prev_len),
+            cur: ReservoirLState {
+                entries: Self::block(&self.cur[base..base + self.k], head.cur_len),
+                seen: head.seen,
+                next_accept: head.next_accept,
+                w_bits: head.w.to_bits(),
+            },
+        })
+    }
+
+    /// Overwrite one slot from a checkpoint (same template `n`/`k`).
+    pub fn restore_slot(&mut self, slot: usize, state: SamplerState<T>) -> Result<(), StateError> {
+        let (count, rng, prev, cur) = match state {
+            SamplerState::SeqWor {
+                count,
+                rng,
+                prev,
+                cur,
+            } => (count, rng, prev, cur),
+            other => {
+                return Err(StateError::Mismatch {
+                    expected: "seq-wor",
+                    found: other.family(),
+                })
+            }
+        };
+        if prev.len() > self.k || cur.entries.len() > self.k {
+            return Err(StateError::Corrupt(format!(
+                "seq-wor state holds {} prev / {} cur entries for k = {}",
+                prev.len(),
+                cur.entries.len(),
+                self.k
+            )));
+        }
+        let base = slot * self.k;
+        self.rngs[slot] = SmallRng::from_state(rng.0);
+        let head = &mut self.heads[slot];
+        head.count = count;
+        head.seen = cur.seen;
+        head.next_accept = cur.next_accept;
+        head.w = f64::from_bits(cur.w_bits);
+        head.prev_len = prev.len() as u32;
+        head.cur_len = cur.entries.len() as u32;
+        for i in 0..self.k {
+            self.prev[base + i] = prev.get(i).cloned();
+            self.cur[base + i] = cur.entries.get(i).cloned();
+        }
+        Ok(())
+    }
 }
 
 /// Inline fleet of concrete timestamp-WR samplers (Theorem 3.9 fused
@@ -678,6 +799,22 @@ macro_rules! ts_fleet_impl {
             /// The key's §1.4 footprint in words.
             pub fn memory_words(&self, slot: usize) -> usize {
                 MemoryWords::memory_words(&self.lanes[slot])
+            }
+
+            /// Checkpoint one slot (delegates to the inline concrete
+            /// sampler, so the record is byte-identical to the boxed
+            /// backend's).
+            pub fn save_slot(&self, slot: usize) -> Option<SamplerState<T>> {
+                WindowSampler::save_state(&self.lanes[slot])
+            }
+
+            /// Overwrite one slot from a checkpoint (same template).
+            pub fn restore_slot(
+                &mut self,
+                slot: usize,
+                state: SamplerState<T>,
+            ) -> Result<(), StateError> {
+                WindowSampler::restore_state(&mut self.lanes[slot], state)
             }
         }
     };
@@ -784,6 +921,53 @@ impl<T: Clone> StreamLFleet<T> {
     /// The key's §1.4 footprint in words (reservoir + the index counter).
     pub fn memory_words(&self, slot: usize) -> usize {
         self.cells[slot].inner.memory_words() + 1
+    }
+
+    /// Checkpoint one slot as the backend-neutral record the spec-built
+    /// `reservoir-l` sampler saves.
+    pub fn save_slot(&self, slot: usize) -> Option<SamplerState<T>> {
+        let cell = &self.cells[slot];
+        let (next_accept, w_bits) = cell.inner.skip_state();
+        Some(SamplerState::StreamL {
+            next_index: cell.next_index,
+            rng: RngState(cell.rng.state()),
+            res: ReservoirLState {
+                entries: cell.inner.entries().to_vec(),
+                seen: cell.inner.seen(),
+                next_accept,
+                w_bits,
+            },
+        })
+    }
+
+    /// Overwrite one slot from a checkpoint (same template `k`).
+    pub fn restore_slot(&mut self, slot: usize, state: SamplerState<T>) -> Result<(), StateError> {
+        let (next_index, rng, res) = match state {
+            SamplerState::StreamL {
+                next_index,
+                rng,
+                res,
+            } => (next_index, rng, res),
+            other => {
+                return Err(StateError::Mismatch {
+                    expected: "stream-l",
+                    found: other.family(),
+                })
+            }
+        };
+        if res.entries.len() > self.k {
+            return Err(StateError::Corrupt(format!(
+                "stream-l reservoir has {} entries for k = {}",
+                res.entries.len(),
+                self.k
+            )));
+        }
+        let cell = &mut self.cells[slot];
+        cell.rng = SmallRng::from_state(rng.0);
+        cell.inner =
+            ReservoirL::from_parts(self.k, res.entries, res.seen, res.next_accept, res.w_bits);
+        cell.next_index = next_index;
+        Ok(())
     }
 }
 

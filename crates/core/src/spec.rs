@@ -582,6 +582,17 @@ impl<T, S: WindowSampler<T>> WindowSampler<T> for WithSpec<S> {
     fn spec(&self) -> Option<&SamplerSpec> {
         Some(&self.spec)
     }
+
+    fn save_state(&self) -> Option<crate::state::SamplerState<T>> {
+        self.inner.save_state()
+    }
+
+    fn restore_state(
+        &mut self,
+        state: crate::state::SamplerState<T>,
+    ) -> Result<(), crate::state::StateError> {
+        self.inner.restore_state(state)
+    }
 }
 
 /// Whole-stream Algorithm L as a [`WindowSampler`] (the window is the
@@ -611,7 +622,7 @@ impl<T, R> MemoryWords for WholeStreamL<T, R> {
     }
 }
 
-impl<T: Clone, R: Rng> WindowSampler<T> for WholeStreamL<T, R> {
+impl<T: Clone, R: Rng + 'static> WindowSampler<T> for WholeStreamL<T, R> {
     fn insert(&mut self, value: T) {
         let idx = self.next_index;
         self.next_index += 1;
@@ -646,6 +657,59 @@ impl<T: Clone, R: Rng> WindowSampler<T> for WholeStreamL<T, R> {
 
     fn k(&self) -> usize {
         self.inner.capacity()
+    }
+
+    fn save_state(&self) -> Option<crate::state::SamplerState<T>> {
+        let (next_accept, w_bits) = self.inner.skip_state();
+        Some(crate::state::SamplerState::StreamL {
+            next_index: self.next_index,
+            rng: crate::state::capture_rng(&self.rng)?,
+            res: crate::state::ReservoirLState {
+                entries: self.inner.entries().to_vec(),
+                seen: self.inner.seen(),
+                next_accept,
+                w_bits,
+            },
+        })
+    }
+
+    fn restore_state(
+        &mut self,
+        state: crate::state::SamplerState<T>,
+    ) -> Result<(), crate::state::StateError> {
+        use crate::state::{SamplerState, StateError};
+        let (next_index, rng, res) = match state {
+            SamplerState::StreamL {
+                next_index,
+                rng,
+                res,
+            } => (next_index, rng, res),
+            other => {
+                return Err(StateError::Mismatch {
+                    expected: "stream-l",
+                    found: other.family(),
+                })
+            }
+        };
+        if res.entries.len() > self.inner.capacity() {
+            return Err(StateError::Corrupt(format!(
+                "stream-l reservoir has {} entries for k = {}",
+                res.entries.len(),
+                self.inner.capacity()
+            )));
+        }
+        if !crate::state::restore_rng(&mut self.rng, &rng) {
+            return Err(StateError::Unsupported);
+        }
+        self.inner = ReservoirL::from_parts(
+            self.inner.capacity(),
+            res.entries,
+            res.seen,
+            res.next_accept,
+            res.w_bits,
+        );
+        self.next_index = next_index;
+        Ok(())
     }
 }
 

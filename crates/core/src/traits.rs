@@ -3,6 +3,7 @@
 use crate::memory::MemoryWords;
 use crate::sample::Sample;
 use crate::spec::SamplerSpec;
+use crate::state::{SamplerState, StateError};
 
 /// A uniform random sampler over a sliding window.
 ///
@@ -84,5 +85,27 @@ pub trait WindowSampler<T>: MemoryWords {
     /// wrapper overrides this with its record.
     fn spec(&self) -> Option<&SamplerSpec> {
         None
+    }
+
+    /// Checkpoint the sampler's stream-dependent state (retained samples,
+    /// counters, skip schedules, RNG words) as a plain-data
+    /// [`SamplerState`]. Restoring it onto a freshly spec-built sampler of
+    /// the same family continues the run bit-identically.
+    ///
+    /// Returns `None` when this configuration cannot be checkpointed —
+    /// the default for hand-constructed samplers, non-`SmallRng`
+    /// generators, and tracking [`SampleTracker`](crate::track)s. Every
+    /// spec-built family overrides it.
+    fn save_state(&self) -> Option<SamplerState<T>> {
+        None
+    }
+
+    /// Overwrite this sampler's stream-dependent state from a
+    /// [`SamplerState`] checkpoint. The sampler must have been freshly
+    /// built from the same spec that produced the checkpoint; config
+    /// (window width, `k`, seed) is not carried by the state.
+    fn restore_state(&mut self, state: SamplerState<T>) -> Result<(), StateError> {
+        let _ = state;
+        Err(StateError::Unsupported)
     }
 }

@@ -48,6 +48,9 @@ use super::engine::{State, TsEngine};
 use crate::memory::MemoryWords;
 use crate::rngutil::{bernoulli_ratio, floor_log2, BitSource};
 use crate::sample::Sample;
+use crate::state::{
+    BitsState, StateError, TsBankBucketState, TsBankKind, TsBankState, TsLaneSamplesState,
+};
 use crate::track::{NullTracker, SampleTracker};
 use rand::Rng;
 
@@ -925,6 +928,154 @@ impl<T: Clone, K: SampleTracker<T>> TsEngineBank<T, K> {
             },
         };
         TsEngine::from_parts(self.t0, self.now, self.tracker.clone(), state)
+    }
+
+    /// Checkpoint the bank's stream-dependent state (bucket skeleton,
+    /// lane samples in whichever lazy shape they hold, coin buffer) as
+    /// plain data. `None` when the tracker observes arrivals — its suffix
+    /// statistics cannot be reconstructed from retained samples.
+    ///
+    /// The internal `SparePool` is allocator-level recycling, not sampler state;
+    /// it is neither saved nor restored, which is behavior-neutral.
+    pub fn save_state(&self) -> Option<TsBankState<T>> {
+        if K::TRACKS {
+            return None;
+        }
+        fn conv_bucket<T: Clone, S>(b: &BankBucket<T, S>) -> TsBankBucketState<T> {
+            let samples = match &b.samples {
+                LaneSamples::Shared { item, .. } => TsLaneSamplesState::Shared(item.clone()),
+                LaneSamples::Pair {
+                    lo, hi, rsel, qsel, ..
+                } => TsLaneSamplesState::Pair {
+                    lo: lo.clone(),
+                    hi: hi.clone(),
+                    rsel: *rsel,
+                    qsel: *qsel,
+                },
+                LaneSamples::PerLane { r, q, .. } => TsLaneSamplesState::PerLane {
+                    r: r.clone(),
+                    q: q.clone(),
+                },
+            };
+            TsBankBucketState {
+                a: b.a,
+                b: b.b,
+                ts_first: b.ts_first,
+                samples,
+            }
+        }
+        let kind = match &self.state {
+            BankState::Empty => TsBankKind::Empty,
+            BankState::Full(cov) => TsBankKind::Full(cov.buckets.iter().map(conv_bucket).collect()),
+            BankState::Straddle { head, tail } => TsBankKind::Straddle {
+                head: conv_bucket(head),
+                tail: tail.buckets.iter().map(conv_bucket).collect(),
+            },
+        };
+        let (buf, left) = self.bits.state();
+        Some(TsBankState {
+            now: self.now,
+            bits: BitsState { buf, left },
+            kind,
+        })
+    }
+
+    /// Rebuild one bucket from its checkpoint, reconstructing tracker
+    /// statistics via `fresh` (exact for non-tracking trackers).
+    fn load_bucket(
+        &mut self,
+        b: TsBankBucketState<T>,
+    ) -> Result<BankBucket<T, K::Stat>, StateError> {
+        let samples = match b.samples {
+            TsLaneSamplesState::Shared(item) => {
+                let stat = self.tracker.fresh(item.value(), item.index());
+                LaneSamples::Shared { item, stat }
+            }
+            TsLaneSamplesState::Pair { lo, hi, rsel, qsel } => {
+                let lo_stat = self.tracker.fresh(lo.value(), lo.index());
+                let hi_stat = self.tracker.fresh(hi.value(), hi.index());
+                LaneSamples::Pair {
+                    lo,
+                    lo_stat,
+                    hi,
+                    hi_stat,
+                    rsel,
+                    qsel,
+                }
+            }
+            TsLaneSamplesState::PerLane { r, q } => {
+                if r.len() != self.lanes || q.len() != self.lanes {
+                    return Err(StateError::Corrupt(format!(
+                        "bank bucket holds {}/{} lane slots for {} lanes",
+                        r.len(),
+                        q.len(),
+                        self.lanes
+                    )));
+                }
+                let r_stat = r
+                    .iter()
+                    .map(|s| self.tracker.fresh(s.value(), s.index()))
+                    .collect();
+                LaneSamples::PerLane { r, r_stat, q }
+            }
+        };
+        Ok(BankBucket {
+            a: b.a,
+            b: b.b,
+            ts_first: b.ts_first,
+            samples,
+        })
+    }
+
+    /// Overwrite the bank's stream-dependent state from a
+    /// [`TsBankState`] checkpoint taken on a bank with the same window
+    /// width and lane count. Continues the run bit-identically.
+    pub fn restore_state(&mut self, state: TsBankState<T>) -> Result<(), StateError> {
+        if K::TRACKS {
+            return Err(StateError::Unsupported);
+        }
+        let bank_state = match state.kind {
+            TsBankKind::Empty => BankState::Empty,
+            TsBankKind::Full(buckets) => {
+                if buckets.is_empty() {
+                    return Err(StateError::Corrupt("empty bank covering".into()));
+                }
+                let mut out = Vec::with_capacity(buckets.len());
+                for b in buckets {
+                    out.push(self.load_bucket(b)?);
+                }
+                let cov = BankCovering { buckets: out };
+                if !cov.is_canonical() {
+                    return Err(StateError::Corrupt("bank covering not canonical".into()));
+                }
+                BankState::Full(cov)
+            }
+            TsBankKind::Straddle { head, tail } => {
+                if tail.is_empty() {
+                    return Err(StateError::Corrupt("empty straddle tail".into()));
+                }
+                let head = self.load_bucket(head)?;
+                let mut out = Vec::with_capacity(tail.len());
+                for b in tail {
+                    out.push(self.load_bucket(b)?);
+                }
+                let cov = BankCovering { buckets: out };
+                if !cov.is_canonical() {
+                    return Err(StateError::Corrupt("straddle tail not canonical".into()));
+                }
+                if head.b != cov.start() {
+                    return Err(StateError::Corrupt(
+                        "straddle head does not abut tail".into(),
+                    ));
+                }
+                BankState::Straddle { head, tail: cov }
+            }
+        };
+        self.now = state.now;
+        self.bits = BitSource::from_state(state.bits.buf, state.bits.left);
+        self.state = bank_state;
+        self.spare = SparePool::default();
+        Ok(())
     }
 
     #[cfg(debug_assertions)]

@@ -53,6 +53,7 @@ use super::bank::TsEngineBank;
 use super::engine::TsEngine;
 use crate::memory::MemoryWords;
 use crate::sample::Sample;
+use crate::state::{self, SamplerState, StateError};
 use crate::track::NullTracker;
 use crate::traits::WindowSampler;
 use rand::Rng;
@@ -221,7 +222,7 @@ impl<T, R> MemoryWords for TsSamplerWor<T, R> {
     }
 }
 
-impl<T: Clone, R: Rng> WindowSampler<T> for TsSamplerWor<T, R> {
+impl<T: Clone, R: Rng + 'static> WindowSampler<T> for TsSamplerWor<T, R> {
     fn advance_time(&mut self, now: u64) {
         assert!(now >= self.now, "TsSamplerWor: clock moved backwards");
         self.now = now;
@@ -416,6 +417,59 @@ impl<T: Clone, R: Rng> WindowSampler<T> for TsSamplerWor<T, R> {
 
     fn k(&self) -> usize {
         self.k
+    }
+
+    fn save_state(&self) -> Option<SamplerState<T>> {
+        // Only the fused bank checkpoints (the independent backend is the
+        // reference construction for equivalence tests).
+        let bank = match &self.backend {
+            WorBackend::Bank(bank) => bank.save_state()?,
+            WorBackend::Independent(_) => return None,
+        };
+        Some(SamplerState::TsWor {
+            now: self.now,
+            next_index: self.next_index,
+            rng: state::capture_rng(&self.rng)?,
+            recent: self.recent.iter().cloned().collect(),
+            bank,
+        })
+    }
+
+    fn restore_state(&mut self, state: SamplerState<T>) -> Result<(), StateError> {
+        let (now, next_index, rng, recent, bank_state) = match state {
+            SamplerState::TsWor {
+                now,
+                next_index,
+                rng,
+                recent,
+                bank,
+            } => (now, next_index, rng, recent, bank),
+            other => {
+                return Err(StateError::Mismatch {
+                    expected: "ts-wor",
+                    found: other.family(),
+                })
+            }
+        };
+        if recent.len() > self.k {
+            return Err(StateError::Corrupt(format!(
+                "ts-wor recent array has {} entries for k = {}",
+                recent.len(),
+                self.k
+            )));
+        }
+        let bank = match &mut self.backend {
+            WorBackend::Bank(bank) => bank,
+            WorBackend::Independent(_) => return Err(StateError::Unsupported),
+        };
+        if !state::restore_rng(&mut self.rng, &rng) {
+            return Err(StateError::Unsupported);
+        }
+        bank.restore_state(bank_state)?;
+        self.recent = recent.into();
+        self.now = now;
+        self.next_index = next_index;
+        Ok(())
     }
 }
 

@@ -6,6 +6,7 @@ use super::bank::TsEngineBank;
 use super::engine::TsEngine;
 use crate::memory::MemoryWords;
 use crate::sample::Sample;
+use crate::state::{self, SamplerState, StateError};
 use crate::track::{NullTracker, SampleTracker};
 use crate::traits::WindowSampler;
 use rand::Rng;
@@ -184,7 +185,7 @@ impl<T, R, K: SampleTracker<T>> MemoryWords for TsSamplerWr<T, R, K> {
     }
 }
 
-impl<T: Clone, R: Rng, K: SampleTracker<T>> WindowSampler<T> for TsSamplerWr<T, R, K> {
+impl<T: Clone, R: Rng + 'static, K: SampleTracker<T>> WindowSampler<T> for TsSamplerWr<T, R, K> {
     fn advance_time(&mut self, now: u64) {
         assert!(now >= self.now, "TsSamplerWr: clock moved backwards");
         self.now = now;
@@ -257,6 +258,50 @@ impl<T: Clone, R: Rng, K: SampleTracker<T>> WindowSampler<T> for TsSamplerWr<T, 
             WrBackend::Bank(bank) => bank.lanes(),
             WrBackend::Independent(engines) => engines.len(),
         }
+    }
+
+    fn save_state(&self) -> Option<SamplerState<T>> {
+        // Only the fused bank checkpoints: the independent backend is a
+        // reference construction kept for equivalence tests, not a
+        // durability target.
+        let bank = match &self.backend {
+            WrBackend::Bank(bank) => bank.save_state()?,
+            WrBackend::Independent(_) => return None,
+        };
+        Some(SamplerState::TsWr {
+            now: self.now,
+            next_index: self.next_index,
+            rng: state::capture_rng(&self.rng)?,
+            bank,
+        })
+    }
+
+    fn restore_state(&mut self, state: SamplerState<T>) -> Result<(), StateError> {
+        let (now, next_index, rng, bank_state) = match state {
+            SamplerState::TsWr {
+                now,
+                next_index,
+                rng,
+                bank,
+            } => (now, next_index, rng, bank),
+            other => {
+                return Err(StateError::Mismatch {
+                    expected: "ts-wr",
+                    found: other.family(),
+                })
+            }
+        };
+        let bank = match &mut self.backend {
+            WrBackend::Bank(bank) => bank,
+            WrBackend::Independent(_) => return Err(StateError::Unsupported),
+        };
+        if !state::restore_rng(&mut self.rng, &rng) {
+            return Err(StateError::Unsupported);
+        }
+        bank.restore_state(bank_state)?;
+        self.now = now;
+        self.next_index = next_index;
+        Ok(())
     }
 }
 

@@ -1,0 +1,611 @@
+//! [`DurableEngine`]: a [`MultiStreamEngine`] whose ingest batches are
+//! written ahead to a [`SegmentLog`] and whose per-key states are
+//! periodically snapshotted, giving bit-identical crash recovery.
+//!
+//! The write path is *append, then apply*: a batch reaches the
+//! in-memory fleet only after its WAL record is buffered. Combined with
+//! the snapshot's `wal_seq` watermark (recorded only after an fsync),
+//! recovery never observes a state that is ahead of the log.
+//!
+//! Bit-identity holds across shard counts, thread counts, and fleet
+//! backends, because per-key samplers derive their RNG streams from the
+//! key and consume events in batch order — the exact property the
+//! engine's `save_states`/`restore_states` round-trip preserves. A
+//! resumed run may therefore also *rescale*: reopen with different
+//! shard/thread counts (or the other backend) and continue, and every
+//! sample stays what it would have been.
+
+use std::hash::Hash;
+use std::path::{Path, PathBuf};
+
+use swsample_core::state::{StateCodec, StateError, StateReader, StateWriter};
+use swsample_core::{FleetBackend, SamplerSpec};
+use swsample_stream::MultiStreamEngine;
+
+use crate::failpoint::{FailPlan, CRASH_EXIT_CODE};
+use crate::snapshot::{self, SnapshotMeta};
+use crate::wal::{SegmentLog, DEFAULT_SEGMENT_BYTES};
+use crate::DurableError;
+
+/// A keyed ingest event, matching the stream engine's batch element.
+pub type Event<K, T> = (K, u64, T);
+
+/// Tuning and fault-injection knobs for a [`DurableEngine`].
+#[derive(Debug, Clone)]
+pub struct DurableOptions {
+    /// WAL segment-roll (and therefore fsync) threshold in bytes.
+    pub segment_bytes: u64,
+    /// Automatically snapshot after this many ingest batches
+    /// (`None` = only on explicit [`DurableEngine::snapshot`] calls).
+    pub snapshot_every: Option<u64>,
+    /// Fault-injection plan (default: no faults).
+    pub fail: FailPlan,
+}
+
+impl Default for DurableOptions {
+    fn default() -> Self {
+        Self {
+            segment_bytes: DEFAULT_SEGMENT_BYTES,
+            snapshot_every: None,
+            fail: FailPlan::default(),
+        }
+    }
+}
+
+/// Overrides applied when reopening a durable fleet — the live-rescale
+/// path. Fields left `None` keep the on-disk configuration.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ResumeOverrides {
+    /// Rebuild with this many shards.
+    pub shards: Option<usize>,
+    /// Rebuild with this many worker threads.
+    pub threads: Option<usize>,
+    /// Rebuild on this fleet backend.
+    pub backend: Option<FleetBackend>,
+}
+
+/// A crash-recoverable, rescalable keyed sampling fleet. See the
+/// [module docs](self) and the crate docs for the on-disk layout.
+#[derive(Debug)]
+pub struct DurableEngine<K: Clone, T: Clone> {
+    engine: MultiStreamEngine<K, T>,
+    wal: SegmentLog,
+    dir: PathBuf,
+    opts: DurableOptions,
+    /// Successful WAL appends this process (drives failpoints).
+    appends: u64,
+    batches_since_snapshot: u64,
+}
+
+/// Wire tag for the generic row-major batch encoding: each event's key,
+/// timestamp, and value through their [`StateCodec`] forms in turn.
+const BATCH_ROWS: u8 = 0;
+
+/// Wire tag for the columnar delta-varint encoding used when both key
+/// and value are `u64` (the serving-fleet hot path). Keys are plain
+/// varints (zipf traffic keeps the hot ranks small); timestamps and
+/// values are zigzag varint deltas down their columns (timestamps are
+/// near-constant within a batch). The WAL shrinks from 24 fixed bytes
+/// per event to a few, and the durability tax is write bandwidth — see
+/// `durable_wal_overhead_100k` in the bench crate.
+const BATCH_U64_COLUMNS: u8 = 1;
+
+fn as_u64<V: 'static>(v: &V) -> Option<u64> {
+    (v as &dyn std::any::Any).downcast_ref::<u64>().copied()
+}
+
+fn from_u64<V: Clone + 'static>(v: u64) -> Option<V> {
+    (&v as &dyn std::any::Any).downcast_ref::<V>().cloned()
+}
+
+fn u64_fleet<K: 'static, T: 'static>() -> bool {
+    use std::any::TypeId;
+    TypeId::of::<K>() == TypeId::of::<u64>() && TypeId::of::<T>() == TypeId::of::<u64>()
+}
+
+/// Map a wrapping `u64` column delta onto a small varint: zigzag fold
+/// so deltas near zero — in either direction — encode in one byte.
+fn zigzag(delta: u64) -> u64 {
+    let d = delta as i64;
+    ((d << 1) ^ (d >> 63)) as u64
+}
+
+fn unzigzag(z: u64) -> u64 {
+    ((z >> 1) ^ (z & 1).wrapping_neg()) as i64 as u64
+}
+
+fn encode_batch<K, T>(batch: &[Event<K, T>]) -> Vec<u8>
+where
+    K: StateCodec + Clone + 'static,
+    T: StateCodec + Clone + 'static,
+{
+    if u64_fleet::<K, T>() {
+        // Columnar varints: capacity is a heuristic (hot batches land
+        // well under 6 bytes/event-column-triple).
+        let mut w = StateWriter::with_capacity(5 + batch.len() * 6);
+        w.put_u8(BATCH_U64_COLUMNS);
+        w.put_u32(batch.len() as u32);
+        for (key, ..) in batch {
+            w.put_varint_u64(as_u64(key).expect("type checked"));
+        }
+        let mut prev = 0u64;
+        for (_, now, _) in batch {
+            w.put_varint_u64(zigzag(now.wrapping_sub(prev)));
+            prev = *now;
+        }
+        let mut prev = 0u64;
+        for (_, _, value) in batch {
+            let v = as_u64(value).expect("type checked");
+            w.put_varint_u64(zigzag(v.wrapping_sub(prev)));
+            prev = v;
+        }
+        return w.into_bytes();
+    }
+    // Exact for fixed-width key/value types; a lower bound otherwise —
+    // either way the buffer never reallocates its way up from empty on
+    // every batch.
+    let mut w = StateWriter::with_capacity(5 + batch.len() * (K::MIN_BYTES + 8 + T::MIN_BYTES));
+    w.put_u8(BATCH_ROWS);
+    w.put_u32(batch.len() as u32);
+    for (key, now, value) in batch {
+        key.encode_state(&mut w);
+        w.put_u64(*now);
+        value.encode_state(&mut w);
+    }
+    w.into_bytes()
+}
+
+fn decode_batch<K, T>(bytes: &[u8]) -> Result<Vec<Event<K, T>>, StateError>
+where
+    K: StateCodec + Clone + 'static,
+    T: StateCodec + Clone + 'static,
+{
+    let mut r = StateReader::new(bytes);
+    match r.get_u8()? {
+        BATCH_ROWS => {
+            let n = r.get_count(K::MIN_BYTES + 8 + T::MIN_BYTES)?;
+            let mut batch = Vec::with_capacity(n);
+            for _ in 0..n {
+                let key = K::decode_state(&mut r)?;
+                let now = r.get_u64()?;
+                let value = T::decode_state(&mut r)?;
+                batch.push((key, now, value));
+            }
+            r.finish()?;
+            Ok(batch)
+        }
+        BATCH_U64_COLUMNS => {
+            if !u64_fleet::<K, T>() {
+                return Err(StateError::Corrupt(
+                    "columnar u64 batch record in a non-u64 fleet".into(),
+                ));
+            }
+            // Three varint columns, at least one byte per entry.
+            let n = r.get_count(3)?;
+            let mut batch: Vec<Event<K, T>> = Vec::with_capacity(n);
+            for _ in 0..n {
+                let key = from_u64::<K>(r.get_varint_u64()?).expect("type checked");
+                batch.push((key, 0, from_u64::<T>(0).expect("type checked")));
+            }
+            let mut prev = 0u64;
+            for event in batch.iter_mut() {
+                prev = prev.wrapping_add(unzigzag(r.get_varint_u64()?));
+                event.1 = prev;
+            }
+            let mut prev = 0u64;
+            for event in batch.iter_mut() {
+                prev = prev.wrapping_add(unzigzag(r.get_varint_u64()?));
+                event.2 = from_u64::<T>(prev).expect("type checked");
+            }
+            r.finish()?;
+            Ok(batch)
+        }
+        tag => Err(StateError::Corrupt(format!("unknown batch format {tag}"))),
+    }
+}
+
+impl<K, T> DurableEngine<K, T>
+where
+    K: StateCodec + Hash + Eq + Clone + Send + Sync + 'static,
+    T: StateCodec + Clone + Send + Sync + 'static,
+{
+    /// Start a fresh durable fleet in `dir` (created if missing; must
+    /// not already hold a WAL or snapshots). Writes an initial empty
+    /// snapshot at sequence 0 so the directory always records its
+    /// configuration.
+    ///
+    /// The sampler factory is [`swsample_baselines::spec::build`], so
+    /// every spec-expressible family — paper, reservoir-l, chain,
+    /// priority, priority top-k, window buffer — is durable.
+    pub fn create(
+        dir: impl Into<PathBuf>,
+        template: SamplerSpec,
+        shards: usize,
+        threads: usize,
+        backend: FleetBackend,
+        opts: DurableOptions,
+    ) -> Result<Self, DurableError> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        if let Some((_, path)) = snapshot::list_snapshots(&dir)?.first() {
+            return Err(DurableError::Config(format!(
+                "refusing to create a fresh durable fleet over existing snapshot {}",
+                path.display()
+            )));
+        }
+        let engine = MultiStreamEngine::with_backend(
+            template,
+            shards,
+            swsample_baselines::spec::build::<T>,
+            threads,
+            backend,
+        )
+        .map_err(|e| DurableError::Config(e.to_string()))?;
+        let wal = SegmentLog::create(&dir, opts.segment_bytes)?;
+        let mut this = Self {
+            engine,
+            wal,
+            dir,
+            opts,
+            appends: 0,
+            batches_since_snapshot: 0,
+        };
+        this.snapshot()?;
+        Ok(this)
+    }
+
+    /// Recover a durable fleet from `dir`: newest fully-valid snapshot,
+    /// then replay of every WAL record at or past its watermark. The
+    /// result is bit-identical to the uncrashed run up to the last
+    /// durable record.
+    pub fn open(dir: impl Into<PathBuf>, opts: DurableOptions) -> Result<Self, DurableError> {
+        Self::open_with(dir, opts, ResumeOverrides::default())
+    }
+
+    /// [`open`](Self::open) with shard/thread/backend overrides — the
+    /// rescale-on-resume path. Sample distributions are unaffected by
+    /// any override.
+    pub fn open_with(
+        dir: impl Into<PathBuf>,
+        opts: DurableOptions,
+        overrides: ResumeOverrides,
+    ) -> Result<Self, DurableError> {
+        let dir = dir.into();
+        let (snap_path, meta, states) = snapshot::latest_valid::<K, T>(&dir)?.ok_or_else(|| {
+            DurableError::Config(format!(
+                "{} is not a durable fleet directory (no snapshot found)",
+                dir.display()
+            ))
+        })?;
+        let template: SamplerSpec = meta.template.parse().map_err(|e| DurableError::Corrupt {
+            file: snap_path.clone(),
+            detail: format!("unparseable template `{}`: {e}", meta.template),
+        })?;
+        let backend: FleetBackend = match overrides.backend {
+            Some(b) => b,
+            None => meta.backend.parse().map_err(|e| DurableError::Corrupt {
+                file: snap_path.clone(),
+                detail: format!("unparseable backend `{}`: {e}", meta.backend),
+            })?,
+        };
+        let shards = overrides.shards.unwrap_or(meta.shards as usize);
+        let threads = overrides.threads.unwrap_or(meta.threads as usize);
+        let mut engine = MultiStreamEngine::with_backend(
+            template,
+            shards,
+            swsample_baselines::spec::build::<T>,
+            threads,
+            backend,
+        )
+        .map_err(|e| DurableError::Config(e.to_string()))?;
+        engine.restore_states(states)?;
+        let (wal, records) = SegmentLog::open(&dir, opts.segment_bytes)?;
+        for (seq, payload) in &records {
+            if *seq < meta.wal_seq {
+                continue;
+            }
+            let batch = decode_batch::<K, T>(payload).map_err(|e| DurableError::Corrupt {
+                file: dir.join("<wal>"),
+                detail: format!("record {seq}: {e}"),
+            })?;
+            engine.ingest_parallel(&batch);
+        }
+        Ok(Self {
+            engine,
+            wal,
+            dir,
+            opts,
+            appends: 0,
+            batches_since_snapshot: 0,
+        })
+    }
+
+    /// Append `batch` to the WAL, apply it to the fleet, and snapshot if
+    /// the automatic interval elapsed. Returns the batch's WAL sequence
+    /// number. Empty batches are not logged.
+    pub fn ingest(&mut self, batch: &[Event<K, T>]) -> Result<Option<u64>, DurableError> {
+        if batch.is_empty() {
+            return Ok(None);
+        }
+        if let Some(limit) = self.opts.fail.disk_full_after_appends {
+            if self.appends >= limit {
+                return Err(DurableError::Io(std::io::Error::other(
+                    "synthetic disk-full (failpoint)",
+                )));
+            }
+        }
+        let payload = encode_batch(batch);
+        let seq = self.wal.append(&payload)?;
+        self.appends += 1;
+        if self.opts.fail.kill_after_appends == Some(self.appends) {
+            if let Some(bytes) = self.opts.fail.torn_tail_bytes {
+                let _ = self.wal.inject_torn_tail(bytes);
+            } else {
+                let _ = self.wal.sync();
+            }
+            eprintln!(
+                "swsample-durable: failpoint kill after {} appends (exit {CRASH_EXIT_CODE})",
+                self.appends
+            );
+            std::process::exit(CRASH_EXIT_CODE);
+        }
+        self.engine.ingest_parallel(batch);
+        self.batches_since_snapshot += 1;
+        if let Some(every) = self.opts.snapshot_every {
+            if self.batches_since_snapshot >= every.max(1) {
+                self.snapshot()?;
+            }
+        }
+        Ok(Some(seq))
+    }
+
+    /// Fsync the WAL, then write a snapshot of every key's state with
+    /// the post-sync sequence watermark. Atomic: a crash mid-write
+    /// leaves the previous snapshot as the recovery point.
+    pub fn snapshot(&mut self) -> Result<PathBuf, DurableError> {
+        self.wal.sync()?;
+        let states = self.engine.save_states()?;
+        let meta = SnapshotMeta {
+            template: self.engine.template().to_string(),
+            backend: self.engine.backend().token().to_string(),
+            shards: self.engine.num_shards() as u64,
+            threads: self.engine.num_threads() as u64,
+            wal_seq: self.wal.next_seq(),
+            keys: states.len() as u64,
+        };
+        let path = snapshot::write_snapshot(&self.dir, &meta, &states)?;
+        if let Some(offset) = self.opts.fail.corrupt_snapshot_byte.take() {
+            let mut bytes = std::fs::read(&path)?;
+            if !bytes.is_empty() {
+                let at = (offset as usize).min(bytes.len() - 1);
+                bytes[at] ^= 0xFF;
+                std::fs::write(&path, bytes)?;
+                eprintln!(
+                    "swsample-durable: failpoint corrupted snapshot byte {offset} in {}",
+                    path.display()
+                );
+            }
+        }
+        self.batches_since_snapshot = 0;
+        Ok(path)
+    }
+
+    /// Flush and fsync the WAL without snapshotting — everything
+    /// ingested so far becomes durable (recoverable by replay).
+    pub fn sync(&mut self) -> Result<(), DurableError> {
+        self.wal.sync()
+    }
+
+    /// Live rescale: snapshot-remap-restore the fleet onto a new shard
+    /// count, mid-stream, with no change to any sample distribution.
+    pub fn set_shards(&mut self, shards: usize) -> Result<(), DurableError> {
+        self.engine.set_shards(shards)?;
+        Ok(())
+    }
+
+    /// Resize the worker pool used for parallel ingestion.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.engine.set_threads(threads);
+    }
+
+    /// The underlying in-memory fleet (read-only: mutating it without
+    /// the WAL would break the recovery contract).
+    pub fn engine(&self) -> &MultiStreamEngine<K, T> {
+        &self.engine
+    }
+
+    /// The sequence number the next ingest batch will get — equals the
+    /// number of batches ever logged.
+    pub fn next_seq(&self) -> u64 {
+        self.wal.next_seq()
+    }
+
+    /// The durable directory this fleet lives in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("swsample-durable-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn template() -> SamplerSpec {
+        "--window seq --n 32 --mode wr --algo paper --k 3 --seed 11"
+            .parse()
+            .expect("template")
+    }
+
+    fn batches(total: usize) -> Vec<Vec<Event<u64, u64>>> {
+        (0..total)
+            .map(|b| {
+                (0..7u64)
+                    .map(|i| {
+                        let e = (b as u64) * 7 + i;
+                        (e % 13, e, e * 31)
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    fn fleet_samples(
+        engine: &MultiStreamEngine<u64, u64>,
+    ) -> Vec<(u64, Option<Vec<swsample_core::Sample<u64>>>)> {
+        let mut keys = engine.keys();
+        keys.sort_unstable();
+        keys.into_iter()
+            .map(|k| {
+                let s = engine.sample_k(&k);
+                (k, s)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn batch_codec_round_trips() {
+        // u64 fleets take the columnar delta-varint encoding — exercise
+        // backward deltas, wraparound-class extremes, and repeats.
+        let batch: Vec<Event<u64, u64>> = vec![
+            (1, 10, 100),
+            (2, 11, 200),
+            (u64::MAX, 5, 0),
+            (0, u64::MAX, u64::MAX),
+            (7, 6, 3),
+        ];
+        let bytes = encode_batch(&batch);
+        assert_eq!(bytes[0], BATCH_U64_COLUMNS);
+        assert_eq!(decode_batch::<u64, u64>(&bytes).expect("decode"), batch);
+        assert!(decode_batch::<u64, u64>(&bytes[..bytes.len() - 1]).is_err());
+        // Non-u64 keys take the generic row-major encoding.
+        let rows: Vec<Event<String, u64>> =
+            vec![("alpha".into(), 10, 100), ("beta".into(), 11, 200)];
+        let bytes = encode_batch(&rows);
+        assert_eq!(bytes[0], BATCH_ROWS);
+        assert_eq!(decode_batch::<String, u64>(&bytes).expect("decode"), rows);
+        assert!(decode_batch::<String, u64>(&bytes[..bytes.len() - 1]).is_err());
+        // A columnar record replayed into a non-u64 fleet is corruption,
+        // not a panic; so is an unknown tag.
+        let columnar = encode_batch(&batch);
+        assert!(decode_batch::<String, u64>(&columnar).is_err());
+        let mut unknown = columnar.clone();
+        unknown[0] = 9;
+        assert!(decode_batch::<u64, u64>(&unknown).is_err());
+    }
+
+    #[test]
+    fn reopen_after_clean_shutdown_is_bit_identical() {
+        let dir = tmp_dir("clean");
+        let mut reference =
+            MultiStreamEngine::<u64, u64>::new(template()).expect("reference engine");
+        let mut durable = DurableEngine::<u64, u64>::create(
+            &dir,
+            template(),
+            4,
+            2,
+            FleetBackend::Auto,
+            DurableOptions {
+                snapshot_every: Some(3),
+                ..DurableOptions::default()
+            },
+        )
+        .expect("create");
+        for batch in batches(10) {
+            reference.ingest(&batch);
+            durable.ingest(&batch).expect("ingest");
+        }
+        durable.sync().expect("sync");
+        drop(durable);
+        let reopened =
+            DurableEngine::<u64, u64>::open(&dir, DurableOptions::default()).expect("open");
+        assert_eq!(fleet_samples(reopened.engine()), fleet_samples(&reference));
+        assert_eq!(reopened.next_seq(), 10);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn disk_full_failpoint_fails_append_but_engine_stays_queryable() {
+        let dir = tmp_dir("diskfull");
+        let mut durable = DurableEngine::<u64, u64>::create(
+            &dir,
+            template(),
+            2,
+            1,
+            FleetBackend::Auto,
+            DurableOptions {
+                fail: "disk-full-after=2".parse().expect("plan"),
+                ..DurableOptions::default()
+            },
+        )
+        .expect("create");
+        let all = batches(4);
+        assert!(durable.ingest(&all[0]).is_ok());
+        assert!(durable.ingest(&all[1]).is_ok());
+        let err = durable.ingest(&all[2]).expect_err("disk full");
+        assert!(matches!(err, DurableError::Io(_)), "got {err:?}");
+        // The failed batch was never applied; the fleet still answers.
+        assert_eq!(durable.engine().num_keys(), 13);
+        assert!(durable.snapshot().is_ok(), "snapshot unaffected");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn create_refuses_existing_directory() {
+        let dir = tmp_dir("exists");
+        let durable = DurableEngine::<u64, u64>::create(
+            &dir,
+            template(),
+            2,
+            1,
+            FleetBackend::Auto,
+            DurableOptions::default(),
+        )
+        .expect("create");
+        drop(durable);
+        assert!(matches!(
+            DurableEngine::<u64, u64>::create(
+                &dir,
+                template(),
+                2,
+                1,
+                FleetBackend::Auto,
+                DurableOptions::default(),
+            ),
+            Err(DurableError::Config(_))
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn initial_snapshot_records_config() {
+        let dir = tmp_dir("config");
+        let durable = DurableEngine::<u64, u64>::create(
+            &dir,
+            template(),
+            8,
+            4,
+            FleetBackend::Erased,
+            DurableOptions::default(),
+        )
+        .expect("create");
+        drop(durable);
+        let (_, meta, states) = snapshot::latest_valid::<u64, u64>(&dir)
+            .expect("scan")
+            .expect("snapshot");
+        assert!(states.is_empty());
+        assert_eq!(meta.template, template().to_string());
+        assert_eq!(meta.backend, "erased");
+        assert_eq!(meta.shards, 8);
+        assert_eq!(meta.threads, 4);
+        assert_eq!(meta.wal_seq, 0);
+        assert_eq!(meta.keys, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

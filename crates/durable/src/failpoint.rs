@@ -1,0 +1,120 @@
+//! Fault injection for crash-recovery testing.
+//!
+//! A [`FailPlan`] tells the durable engine where to misbehave: kill the
+//! process after N WAL appends (optionally writing a torn partial
+//! record first), flip a byte in the next snapshot, or start failing
+//! appends with a synthetic disk-full error. Plans parse from the
+//! `SWSAMPLE_FAILPOINT` environment variable so the CI smoke can crash
+//! a real `swsample multi` run mid-ingest:
+//!
+//! ```text
+//! SWSAMPLE_FAILPOINT=kill-after-appends=40,torn-tail=13
+//! SWSAMPLE_FAILPOINT=corrupt-snapshot-byte=200
+//! SWSAMPLE_FAILPOINT=disk-full-after=25
+//! ```
+
+/// Exit code used by the kill failpoint, so harnesses can tell an
+/// injected crash (expected) from a genuine panic or error (not).
+pub const CRASH_EXIT_CODE: i32 = 42;
+
+/// Name of the environment variable [`FailPlan::from_env`] reads.
+pub const FAILPOINT_ENV: &str = "SWSAMPLE_FAILPOINT";
+
+/// A fault-injection plan. The default plan injects nothing.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FailPlan {
+    /// Exit the process with [`CRASH_EXIT_CODE`] immediately after the
+    /// Nth successful WAL append (1-based), before the batch is applied
+    /// to the in-memory engine.
+    pub kill_after_appends: Option<u64>,
+    /// When the kill fires, first write this many bytes of partial-frame
+    /// garbage to the WAL — simulating a crash mid-append.
+    pub torn_tail_bytes: Option<u64>,
+    /// XOR byte at this offset of the next snapshot file with `0xFF`
+    /// after it is written — simulating silent on-disk corruption.
+    pub corrupt_snapshot_byte: Option<u64>,
+    /// Fail every WAL append after the Nth with a synthetic
+    /// out-of-space I/O error.
+    pub disk_full_after_appends: Option<u64>,
+}
+
+impl FailPlan {
+    /// True if no fault is configured.
+    pub fn is_empty(&self) -> bool {
+        *self == FailPlan::default()
+    }
+
+    /// Parse a plan from the [`FAILPOINT_ENV`] environment variable.
+    /// Unset or empty means no faults; a malformed value is an error
+    /// (silently ignoring a typo'd failpoint would make the harness
+    /// pass vacuously).
+    pub fn from_env() -> Result<Self, String> {
+        match std::env::var(FAILPOINT_ENV) {
+            Ok(raw) => raw.parse(),
+            Err(_) => Ok(FailPlan::default()),
+        }
+    }
+}
+
+impl std::str::FromStr for FailPlan {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut plan = FailPlan::default();
+        for part in s.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+            let (name, value) = part
+                .split_once('=')
+                .ok_or_else(|| format!("failpoint `{part}`: expected name=value"))?;
+            let value: u64 = value.trim().parse().map_err(|_| {
+                format!("failpoint `{name}`: expected an unsigned integer, got `{value}`")
+            })?;
+            let slot = match name.trim() {
+                "kill-after-appends" => &mut plan.kill_after_appends,
+                "torn-tail" => &mut plan.torn_tail_bytes,
+                "corrupt-snapshot-byte" => &mut plan.corrupt_snapshot_byte,
+                "disk-full-after" => &mut plan.disk_full_after_appends,
+                other => return Err(format!("unknown failpoint `{other}`")),
+            };
+            if slot.replace(value).is_some() {
+                return Err(format!("failpoint `{name}` given twice"));
+            }
+        }
+        if plan.torn_tail_bytes.is_some() && plan.kill_after_appends.is_none() {
+            return Err("torn-tail requires kill-after-appends".to_string());
+        }
+        Ok(plan)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_full_plan() {
+        let plan: FailPlan = "kill-after-appends=40, torn-tail=13"
+            .parse()
+            .expect("parse");
+        assert_eq!(plan.kill_after_appends, Some(40));
+        assert_eq!(plan.torn_tail_bytes, Some(13));
+        assert_eq!(plan.corrupt_snapshot_byte, None);
+        assert!(!plan.is_empty());
+    }
+
+    #[test]
+    fn empty_string_is_no_faults() {
+        let plan: FailPlan = "".parse().expect("parse");
+        assert!(plan.is_empty());
+    }
+
+    #[test]
+    fn rejects_unknown_and_malformed() {
+        assert!("kill-after-append=3".parse::<FailPlan>().is_err());
+        assert!("kill-after-appends".parse::<FailPlan>().is_err());
+        assert!("kill-after-appends=lots".parse::<FailPlan>().is_err());
+        assert!("kill-after-appends=1,kill-after-appends=2"
+            .parse::<FailPlan>()
+            .is_err());
+        assert!("torn-tail=4".parse::<FailPlan>().is_err());
+    }
+}

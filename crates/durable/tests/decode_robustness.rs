@@ -1,0 +1,175 @@
+//! Adversarial-bytes robustness: no sequence of bit flips or
+//! truncations applied to durable files — sampler state records,
+//! snapshot files, WAL segments — may ever panic a decoder or smuggle
+//! corrupt state past one. Corruption is always an `Err` (or, for the
+//! WAL's final segment, a clean prefix).
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+use proptest::prelude::*;
+use swsample_core::state::SamplerState;
+use swsample_core::{FleetBackend, SamplerSpec};
+use swsample_durable::snapshot::read_snapshot;
+use swsample_durable::wal::SegmentLog;
+use swsample_durable::{DurableEngine, DurableOptions};
+
+static CASE: AtomicUsize = AtomicUsize::new(0);
+
+fn case_dir(tag: &str) -> PathBuf {
+    let n = CASE.fetch_add(1, Ordering::Relaxed);
+    let dir =
+        std::env::temp_dir().join(format!("swsample-robust-{tag}-{}-{n}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Bytes of a genuine snapshot over a populated fleet, produced once.
+fn real_snapshot_bytes() -> &'static [u8] {
+    static BYTES: OnceLock<Vec<u8>> = OnceLock::new();
+    BYTES.get_or_init(|| {
+        let dir = case_dir("seed-snap");
+        let spec: SamplerSpec = "--window ts --w 16 --mode wor --algo paper --k 3 --seed 5"
+            .parse()
+            .expect("spec");
+        let mut durable = DurableEngine::<u64, u64>::create(
+            &dir,
+            spec,
+            4,
+            1,
+            FleetBackend::Auto,
+            DurableOptions::default(),
+        )
+        .expect("create");
+        let batch: Vec<(u64, u64, u64)> = (0..200u64).map(|e| (e % 17, e / 5, e * 3)).collect();
+        durable.ingest(&batch).expect("ingest");
+        let path = durable.snapshot().expect("snapshot");
+        let bytes = std::fs::read(path).expect("read snapshot");
+        drop(durable);
+        let _ = std::fs::remove_dir_all(&dir);
+        bytes
+    })
+}
+
+/// A genuine state record to mutate.
+fn real_state_record() -> &'static [u8] {
+    static BYTES: OnceLock<Vec<u8>> = OnceLock::new();
+    BYTES.get_or_init(|| {
+        let spec: SamplerSpec = "--window seq --n 24 --mode wr --algo paper --k 3 --seed 9"
+            .parse()
+            .expect("spec");
+        let mut sampler = spec.build::<u64>().expect("build");
+        for i in 0..100 {
+            sampler.insert(i);
+        }
+        sampler.save_state().expect("save").encode_record()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Arbitrary bytes fed to the state-record decoder: never a panic.
+    #[test]
+    fn arbitrary_state_record_bytes_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = SamplerState::<u64>::decode_record(&bytes);
+    }
+
+    /// Any single bit flip in a real state record is rejected.
+    #[test]
+    fn flipped_state_record_is_rejected(pos in any::<u64>(), bit in 0u8..8) {
+        let mut bytes = real_state_record().to_vec();
+        let i = (pos % bytes.len() as u64) as usize;
+        bytes[i] ^= 1 << bit;
+        prop_assert!(SamplerState::<u64>::decode_record(&bytes).is_err(),
+            "flip at byte {i} bit {bit} was accepted");
+    }
+
+    /// Any single bit flip anywhere in a real snapshot file is rejected.
+    #[test]
+    fn flipped_snapshot_is_rejected(pos in any::<u64>(), bit in 0u8..8) {
+        let mut bytes = real_snapshot_bytes().to_vec();
+        let i = (pos % bytes.len() as u64) as usize;
+        bytes[i] ^= 1 << bit;
+        let dir = case_dir("snapflip");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("snap-0000000000000001.snap");
+        std::fs::write(&path, &bytes).expect("write");
+        prop_assert!(read_snapshot::<u64, u64>(&path).is_err(),
+            "flip at byte {i} bit {bit} was accepted");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Any truncation of a real snapshot file is rejected.
+    #[test]
+    fn truncated_snapshot_is_rejected(cut in any::<u64>()) {
+        let bytes = real_snapshot_bytes();
+        let cut = (cut % bytes.len() as u64) as usize;
+        let dir = case_dir("snapcut");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("snap-0000000000000001.snap");
+        std::fs::write(&path, &bytes[..cut]).expect("write");
+        prop_assert!(read_snapshot::<u64, u64>(&path).is_err(),
+            "truncation to {cut} bytes was accepted");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// A WAL whose bytes were flipped anywhere never panics on open:
+    /// either a corruption error, or (final-segment tolerance) a clean
+    /// prefix of the original records.
+    #[test]
+    fn flipped_wal_yields_error_or_clean_prefix(
+        pos in any::<u64>(),
+        bit in 0u8..8,
+    ) {
+        let dir = case_dir("walflip");
+        let mut log = SegmentLog::create(&dir, 96).expect("create");
+        let originals: Vec<Vec<u8>> = (0..12u64)
+            .map(|i| format!("payload-{i}-{}", "x".repeat(i as usize)).into_bytes())
+            .collect();
+        for p in &originals {
+            log.append(p).expect("append");
+        }
+        log.sync().expect("sync");
+        drop(log);
+        // Pick a victim byte across all segments, deterministically.
+        let mut segs: Vec<PathBuf> = std::fs::read_dir(&dir)
+            .expect("read dir")
+            .map(|e| e.expect("entry").path())
+            .collect();
+        segs.sort();
+        let total: usize = segs.iter().map(|p| std::fs::metadata(p).expect("stat").len() as usize).sum();
+        let mut victim = (pos % total as u64) as usize;
+        for seg in &segs {
+            let mut bytes = std::fs::read(seg).expect("read");
+            if victim < bytes.len() {
+                bytes[victim] ^= 1 << bit;
+                std::fs::write(seg, bytes).expect("write");
+                break;
+            }
+            victim -= bytes.len();
+        }
+        match SegmentLog::open(&dir, 96) {
+            Err(_) => {}
+            Ok((_, records)) => {
+                prop_assert!(records.len() <= originals.len());
+                for (i, (seq, payload)) in records.iter().enumerate() {
+                    prop_assert_eq!(*seq, i as u64);
+                    prop_assert_eq!(payload, &originals[i], "record {} mutated silently", i);
+                }
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// A directory of pure garbage "segments" never panics the opener.
+    #[test]
+    fn garbage_wal_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..192)) {
+        let dir = case_dir("walgarbage");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        std::fs::write(dir.join("wal-00000000.seg"), &bytes).expect("write");
+        let _ = SegmentLog::open(&dir, 1024);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -44,7 +44,7 @@ pub struct HeavyHitters<R> {
     threshold: f64,
 }
 
-impl<R: Rng> HeavyHitters<R> {
+impl<R: Rng + 'static> HeavyHitters<R> {
     /// Detector over the last `n` arrivals reporting values whose sampled
     /// share is at least `threshold ∈ (0, 1]`, using a `k`-sample.
     pub fn new(n: u64, k: usize, threshold: f64, rng: R) -> Self {

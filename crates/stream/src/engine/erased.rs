@@ -9,6 +9,7 @@
 //! [`FleetBackend::Erased`]: swsample_core::spec::FleetBackend::Erased
 
 use swsample_core::spec::{SamplerFactory, SamplerSpec};
+use swsample_core::state::{SamplerState, StateError};
 use swsample_core::{ErasedWindowSampler, Sample};
 
 /// Per-key boxed samplers, slot-aligned with the shard's
@@ -53,6 +54,24 @@ impl<T: Clone + 'static> ErasedStore<T> {
 
     pub(crate) fn memory_words(&self, slot: usize) -> usize {
         self.samplers[slot].memory_words()
+    }
+
+    /// One key's compact checkpoint record, or `None` when the boxed
+    /// family does not support durable state (see
+    /// [`swsample_core::WindowSampler::save_state`]).
+    pub(crate) fn save_slot(&self, slot: usize) -> Option<SamplerState<T>> {
+        self.samplers[slot].save_state()
+    }
+
+    /// Overwrite one key's state from a checkpoint record. The slot's
+    /// sampler was built from the same template, so config mismatches
+    /// reduce to family mismatches ([`StateError::Mismatch`]).
+    pub(crate) fn restore_slot(
+        &mut self,
+        slot: usize,
+        state: SamplerState<T>,
+    ) -> Result<(), StateError> {
+        self.samplers[slot].restore_state(state)
     }
 
     /// Store scaffolding per the §1.4 exclusions: each boxed sampler's

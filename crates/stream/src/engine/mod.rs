@@ -115,13 +115,15 @@ use std::sync::mpsc;
 use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use swsample_core::spec::{FleetBackend, SamplerFactory, SamplerSpec, SpecError, WindowKind};
+use swsample_core::state::{SamplerState, StateError};
 use swsample_core::{ErasedWindowSampler, MemoryWords, Sample};
 
 use self::erased::ErasedStore;
-use self::parallel::{IngestJob, ShardWorkerPool};
+use self::parallel::{ingest_guarded, IngestJob, ShardWorkerPool};
 use self::registry::{fx_hash_key, mix_seed, KeyRegistry, SLOT_MASK};
 use self::soa::SoaStore;
 
+pub use self::parallel::WorkerPanic;
 pub use self::registry::{FxBuildHasher, FxHasher};
 
 /// One keyed event: `(key, now, value)`. `now` is the arrival timestamp
@@ -187,6 +189,20 @@ impl<T: Clone + 'static> Store<T> {
         match self {
             Store::Erased(s) => s.overhead_words(),
             Store::Soa(_) => 0, // state lives in the accounted slabs
+        }
+    }
+
+    fn save_slot(&self, slot: usize) -> Option<SamplerState<T>> {
+        match self {
+            Store::Erased(s) => s.save_slot(slot),
+            Store::Soa(s) => s.save_slot(slot),
+        }
+    }
+
+    fn restore_slot(&mut self, slot: usize, state: SamplerState<T>) -> Result<(), StateError> {
+        match self {
+            Store::Erased(s) => s.restore_slot(slot, state),
+            Store::Soa(s) => s.restore_slot(slot, state),
         }
     }
 }
@@ -407,6 +423,9 @@ pub struct MultiStreamEngine<K, T: Clone> {
     template: SamplerSpec,
     /// The resolved backend (never [`FleetBackend::Auto`]).
     backend: FleetBackend,
+    /// The per-key sampler factory, retained for shard rebuilds
+    /// ([`set_shards`](Self::set_shards)).
+    factory: SamplerFactory<T>,
     shards: Vec<Arc<RwLock<Shard<K, T>>>>,
     shard_mask: u64,
     /// Worker threads `ingest_parallel` uses (1 = inline, no pool).
@@ -474,6 +493,7 @@ impl<K: Hash + Eq + Clone, T: Clone + Send + Sync + 'static> MultiStreamEngine<K
         Ok(Self {
             template,
             backend,
+            factory,
             shard_mask: shards as u64 - 1,
             shards: slabs,
             threads: 1,
@@ -688,6 +708,57 @@ impl<K: Hash + Eq + Clone, T: Clone + Send + Sync + 'static> MultiStreamEngine<K
             .map(|s| self.read(s).overhead_words())
             .sum()
     }
+
+    /// Checkpoint every materialized key: `(key, state)` pairs in
+    /// shard-major, first-touch slot order, `O(k)` words per key.
+    ///
+    /// Records are **backend-neutral** — the SoA fleets emit exactly the
+    /// state an equivalent boxed sampler would — so a checkpoint taken
+    /// on one backend restores onto the other, and onto any shard or
+    /// thread count, reproducing bit-identical samples.
+    ///
+    /// `Err(StateError::Unsupported)` if the template's family has no
+    /// durable state (the non-fused `--independent` timestamp reference
+    /// constructions, or externally supplied factories whose samplers
+    /// opt out).
+    pub fn save_states(&self) -> Result<Vec<(K, SamplerState<T>)>, StateError> {
+        let mut out = Vec::with_capacity(self.num_keys());
+        for shard in &self.shards {
+            let guard = self.read(shard);
+            for (slot, key) in guard.registry.keys().iter().enumerate() {
+                let state = guard.store.save_slot(slot).ok_or(StateError::Unsupported)?;
+                out.push((key.clone(), state));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Restore a checkpoint taken by [`save_states`](Self::save_states)
+    /// on an engine built from the **same template**: keys are
+    /// materialized as needed (in the order given, which fixes slot
+    /// order) and each key's sampler state is overwritten.
+    ///
+    /// On error the engine is left with the records before the failing
+    /// one applied; callers treating restore as transactional should
+    /// rebuild the engine. Mixed-family records fail with
+    /// [`StateError::Mismatch`].
+    pub fn restore_states(
+        &mut self,
+        states: impl IntoIterator<Item = (K, SamplerState<T>)>,
+    ) -> Result<(), StateError> {
+        for (key, state) in states {
+            let hash = fx_hash_key(&key);
+            let shard = &self.shards[self.shard_of(hash)];
+            let mut guard = shard.write().expect("shard lock poisoned");
+            let (slot, is_new) = guard.registry.get_or_insert(hash, &key);
+            if is_new {
+                let seed = mix_seed(guard.template_seed, hash);
+                guard.store.push_key(seed);
+            }
+            guard.store.restore_slot(slot, state)?;
+        }
+        Ok(())
+    }
 }
 
 impl<K, T> MultiStreamEngine<K, T>
@@ -742,6 +813,54 @@ where
         };
     }
 
+    /// Live rescale: change the shard count mid-stream by checkpointing
+    /// every key ([`save_states`](Self::save_states)), rebuilding the
+    /// shard array, and restoring. Per-key sample streams are untouched
+    /// — seeds derive from keys alone and the state records are
+    /// shard-layout-free — so the sample distribution (in fact, every
+    /// future sample, bit for bit) is unchanged. `shards` is rounded up
+    /// to a power of two; the worker-thread count is re-clamped to the
+    /// new shard count.
+    ///
+    /// On `Err` the engine keeps its original shards, untouched.
+    pub fn set_shards(&mut self, shards: usize) -> Result<(), StateError> {
+        let shards = shards.max(1).next_power_of_two();
+        if shards == self.shards.len() {
+            return Ok(());
+        }
+        let states = self.save_states()?;
+        let mut slabs = Vec::with_capacity(shards);
+        for _ in 0..shards {
+            slabs.push(Arc::new(RwLock::new(
+                Shard::new(&self.template, self.factory, self.backend)
+                    .expect("template validated at construction"),
+            )));
+        }
+        let old_shards = std::mem::replace(&mut self.shards, slabs);
+        let old_mask = std::mem::replace(&mut self.shard_mask, shards as u64 - 1);
+        self.routes = (0..shards).map(|_| Vec::new()).collect();
+        if let Err(e) = self.restore_states(states) {
+            // Restoring our own just-saved records onto same-template
+            // shards cannot family-mismatch; keep the engine usable
+            // anyway by reinstating the old shards.
+            self.shards = old_shards;
+            self.shard_mask = old_mask;
+            self.routes = (0..self.shards.len()).map(|_| Vec::new()).collect();
+            return Err(e);
+        }
+        // Threads are capped at the shard count; re-apply the clamp.
+        let threads = self.threads.clamp(1, shards);
+        if threads != self.threads {
+            self.threads = threads;
+            self.pool = if threads > 1 {
+                Some(ShardWorkerPool::spawn(threads))
+            } else {
+                None
+            };
+        }
+        Ok(())
+    }
+
     /// Multi-core [`ingest`](Self::ingest): partition the batch by shard
     /// and run the shards on the persistent worker pool, returning when
     /// every sub-batch has been applied. Because a shard is processed by
@@ -757,11 +876,34 @@ where
     /// sequentially submitted batches.
     ///
     /// # Panics
-    /// Propagates per-key sampler panics (e.g. a key's timestamps
-    /// running backwards) from the worker threads.
+    /// Re-raises per-key sampler panics (e.g. a key's timestamps running
+    /// backwards) with the structured [`WorkerPanic`] message naming the
+    /// worker and shard. Use
+    /// [`try_ingest_parallel`](Self::try_ingest_parallel) to handle them
+    /// as values instead.
     pub fn ingest_parallel(&self, batch: &[KeyedEvent<K, T>]) {
+        if let Err(panic) = self.try_ingest_parallel(batch) {
+            panic!("{panic}");
+        }
+    }
+
+    /// [`ingest_parallel`](Self::ingest_parallel) with per-key sampler
+    /// panics surfaced as a structured [`WorkerPanic`] (worker index,
+    /// shard index, payload) instead of aborting the caller.
+    ///
+    /// A sampler panic is a caller contract violation (backwards per-key
+    /// clock being the canonical one), but it must not take the fleet
+    /// down: the worker catches the unwind while holding the shard's
+    /// write guard, so no lock is poisoned — the offending shard keeps
+    /// its pre-batch-visible state (the failing sub-batch may be
+    /// partially applied; its key-arrival-order prefix is) and **every**
+    /// shard remains queryable and ingestible afterwards. All dispatched
+    /// sub-batches still run to completion before this returns (the
+    /// cross-call shard-ownership barrier); the first panic in shard
+    /// order is reported.
+    pub fn try_ingest_parallel(&self, batch: &[KeyedEvent<K, T>]) -> Result<(), WorkerPanic> {
         if batch.is_empty() {
-            return;
+            return Ok(());
         }
         assert!(
             batch.len() <= u32::MAX as usize,
@@ -778,15 +920,15 @@ where
                 let s = (((hash >> 32) ^ hash) & mask) as usize;
                 routes[s].push((pos as u32, hash));
             }
-            for (shard, route) in self.shards.iter().zip(&routes) {
+            let mut first_panic = None;
+            for (s, (shard, route)) in self.shards.iter().zip(&routes).enumerate() {
                 if !route.is_empty() {
-                    shard
-                        .write()
-                        .expect("shard lock poisoned")
-                        .ingest(batch, route);
+                    if let Err(p) = ingest_guarded(shard, batch, route, 0, s) {
+                        first_panic.get_or_insert(p);
+                    }
                 }
             }
-            return;
+            return first_panic.map_or(Ok(()), Err);
         }
         let pool = self.pool.as_ref().expect("set_threads spawned the pool");
         let mut parts: Vec<Vec<KeyedEvent<K, T>>> = (0..nshards).map(|_| Vec::new()).collect();
@@ -806,6 +948,7 @@ where
             jobs += 1;
             pool.sender(s % pool.threads())
                 .send(IngestJob {
+                    shard_index: s,
                     shard: Arc::clone(&self.shards[s]),
                     batch: part,
                     route,
@@ -814,12 +957,18 @@ where
                 .expect("shard worker alive");
         }
         drop(done_tx);
+        let mut panics = Vec::new();
         for _ in 0..jobs {
-            // A worker that panicked (poisoned sampler contract) drops
-            // its `done` sender without sending; surface that instead of
-            // silently losing the sub-batch.
-            done_rx.recv().expect("shard ingestion worker panicked");
+            // Always drain every receipt — the completion barrier is
+            // what makes the next call's shard-ownership argument sound
+            // — then report the first panic in shard order.
+            match done_rx.recv().expect("shard ingestion worker alive") {
+                Ok(()) => {}
+                Err(p) => panics.push(p),
+            }
         }
+        panics.sort_by_key(|p| p.shard);
+        panics.into_iter().next().map_or(Ok(()), Err)
     }
 }
 
@@ -1143,6 +1292,155 @@ mod tests {
                 "key {key}: parallel diverges from serial"
             );
         }
+    }
+
+    #[test]
+    fn worker_panic_is_structured_and_nonfatal() {
+        // A backwards per-key clock panics inside the sampler (caller
+        // contract violation). The pool must name the shard, leave no
+        // lock poisoned, and keep every shard queryable and ingestible.
+        let spec: SamplerSpec = "--window ts --w 10 --k 2 --seed 1".parse().expect("spec");
+        let engine: MultiStreamEngine<u64, u64> =
+            MultiStreamEngine::with_threads(spec, 4, SamplerSpec::build::<u64>, 2).expect("engine");
+        // Two keys in different shards.
+        let shard_of = |key: u64| {
+            let h = fx_hash_key(&key);
+            (((h >> 32) ^ h) & engine.shard_mask) as usize
+        };
+        let a = 0u64;
+        let b = (1..100u64)
+            .find(|&k| shard_of(k) != shard_of(a))
+            .expect("some key lands elsewhere");
+        engine
+            .try_ingest_parallel(&[(a, 10, 1), (b, 10, 2)])
+            .expect("forward clock is fine");
+        let err = engine
+            .try_ingest_parallel(&[(a, 5, 3), (b, 11, 4)])
+            .expect_err("key a's clock ran backwards");
+        assert_eq!(err.shard, shard_of(a), "panic names the wrong shard");
+        assert!(
+            err.message.contains("backwards"),
+            "payload lost: {:?}",
+            err.message
+        );
+        assert!(err.worker < 2);
+        // Both shards — including the panicked one — still answer.
+        assert!(engine.sample_k(&a).is_some(), "panicked shard unreadable");
+        assert!(engine.sample_k(&b).is_some(), "innocent shard unreadable");
+        // And future (contract-respecting) ingestion still works.
+        engine
+            .try_ingest_parallel(&[(a, 12, 5), (b, 12, 6)])
+            .expect("fleet recovered");
+        // The panicking wrapper carries the same structure.
+        let msg = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            engine.ingest_parallel(&[(a, 3, 7)])
+        }))
+        .expect_err("must re-raise");
+        let msg = msg.downcast_ref::<String>().expect("string payload");
+        assert!(
+            msg.contains(&format!("shard {}", shard_of(a))),
+            "unstructured message: {msg}"
+        );
+    }
+
+    #[test]
+    fn save_restore_round_trips_across_backends_and_scales() {
+        // Checkpoint at the halfway point, restore into (a) the same
+        // backend, (b) the other backend, (c) a different shard count —
+        // then finish the stream everywhere and require bit-identical
+        // samples against the uninterrupted run.
+        let template = seq_wr_spec(40, 3, 23);
+        let events: Vec<(u64, u64, u64)> = (0..6_000u64).map(|i| (i % 101, 0, i)).collect();
+        let (first, second) = events.split_at(events.len() / 2);
+
+        let build = |backend, shards| -> MultiStreamEngine<u64, u64> {
+            MultiStreamEngine::with_backend(
+                template.clone(),
+                shards,
+                SamplerSpec::build::<u64>,
+                1,
+                backend,
+            )
+            .expect("engine")
+        };
+        let mut uninterrupted = build(FleetBackend::Soa, 8);
+        uninterrupted.ingest(&events);
+
+        let mut half = build(FleetBackend::Soa, 8);
+        half.ingest(first);
+        let checkpoint = half.save_states().expect("seq-wr checkpoints");
+        assert_eq!(checkpoint.len(), half.num_keys());
+
+        for (backend, shards) in [
+            (FleetBackend::Soa, 8),
+            (FleetBackend::Erased, 8),
+            (FleetBackend::Soa, 2),
+            (FleetBackend::Erased, 32),
+        ] {
+            let mut resumed = build(backend, shards);
+            resumed
+                .restore_states(checkpoint.clone())
+                .expect("restore onto same template");
+            resumed.ingest(second);
+            assert_eq!(resumed.num_keys(), uninterrupted.num_keys());
+            for key in uninterrupted.keys() {
+                assert_eq!(
+                    resumed.sample_k(&key),
+                    uninterrupted.sample_k(&key),
+                    "key {key} on {backend:?}/{shards} shards diverged after restore"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn live_rescale_preserves_every_sample() {
+        let template = seq_wr_spec(30, 4, 5);
+        let events: Vec<(u64, u64, u64)> = (0..4_000u64).map(|i| (i % 53, 0, i)).collect();
+        let (first, second) = events.split_at(events.len() / 2);
+
+        let mut steady: MultiStreamEngine<u64, u64> =
+            MultiStreamEngine::new(template.clone()).expect("engine");
+        steady.ingest(&events);
+
+        let mut rescaled: MultiStreamEngine<u64, u64> =
+            MultiStreamEngine::with_threads(template, 16, SamplerSpec::build::<u64>, 4)
+                .expect("engine");
+        rescaled.ingest(first);
+        rescaled.set_shards(2).expect("shrink mid-stream");
+        assert_eq!(rescaled.num_shards(), 2);
+        assert_eq!(rescaled.num_threads(), 2, "threads re-clamped to shards");
+        rescaled.ingest_parallel(second);
+        assert_eq!(steady.num_keys(), rescaled.num_keys());
+        for key in steady.keys() {
+            assert_eq!(
+                steady.sample_k(&key),
+                rescaled.sample_k(&key),
+                "key {key} diverged across rescale"
+            );
+        }
+        // Growing again is equally invisible.
+        rescaled.set_shards(64).expect("grow");
+        for key in steady.keys() {
+            assert_eq!(steady.sample_k(&key), rescaled.sample_k(&key));
+        }
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_family() {
+        let mut wr: MultiStreamEngine<u64, u64> =
+            MultiStreamEngine::new(seq_wr_spec(10, 2, 1)).expect("engine");
+        wr.ingest(&[(1, 0, 10), (2, 0, 20)]);
+        let states = wr.save_states().expect("checkpoints");
+        let wor: SamplerSpec = "--window seq --n 10 --mode wor --k 2 --seed 1"
+            .parse()
+            .expect("spec");
+        let mut wor: MultiStreamEngine<u64, u64> = MultiStreamEngine::new(wor).expect("engine");
+        let err = wor.restore_states(states).expect_err("family mismatch");
+        assert!(matches!(
+            err,
+            swsample_core::state::StateError::Mismatch { .. }
+        ));
     }
 
     /// The acceptance-criterion test: a 100k-key zipf-skewed stream

@@ -1,19 +1,91 @@
 //! The persistent shard-worker pool behind
-//! [`MultiStreamEngine::ingest_parallel`](super::MultiStreamEngine::ingest_parallel).
+//! [`MultiStreamEngine::ingest_parallel`](super::MultiStreamEngine::ingest_parallel),
+//! and the structured [`WorkerPanic`] report it surfaces when a per-key
+//! sampler panics mid-job.
 
+use std::any::Any;
 use std::hash::Hash;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc;
 use std::sync::{Arc, RwLock};
 
 use super::{KeyedEvent, Route, Shard};
 
+/// Structured report of a shard-ingestion panic: which worker ran the
+/// job, which shard it was ingesting, and the panic payload.
+///
+/// A sampler panic (e.g. a key's timestamps running backwards — a caller
+/// contract violation) used to kill the worker thread and abort the
+/// dispatching `ingest_parallel` with an opaque `recv` failure. Now the
+/// worker catches the unwind **while still holding the shard's write
+/// guard**, so the `RwLock` is never poisoned: the offending shard keeps
+/// its pre-panic-visible state (the failed sub-batch may be partially
+/// applied) and every shard — including this one — remains queryable and
+/// ingestible afterwards.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerPanic {
+    /// Index of the pool worker that ran the job (`0` on the inline
+    /// serial path).
+    pub worker: usize,
+    /// Index of the engine shard whose ingestion panicked.
+    pub shard: usize,
+    /// The panic payload, when it was a string (the usual case);
+    /// `"<non-string panic payload>"` otherwise.
+    pub message: String,
+}
+
+impl std::fmt::Display for WorkerPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "shard {} ingestion panicked on worker {}: {}",
+            self.shard, self.worker, self.message
+        )
+    }
+}
+
+impl std::error::Error for WorkerPanic {}
+
+/// Extract the human-readable message from a `catch_unwind` payload.
+pub(crate) fn panic_message(payload: Box<dyn Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Run one shard sub-batch under `catch_unwind`, holding the write guard
+/// across the catch so a panicking sampler never poisons the shard lock.
+pub(crate) fn ingest_guarded<K, T>(
+    shard: &Arc<RwLock<Shard<K, T>>>,
+    batch: &[KeyedEvent<K, T>],
+    route: &Route,
+    worker: usize,
+    shard_index: usize,
+) -> Result<(), WorkerPanic>
+where
+    K: Hash + Eq + Clone,
+    T: Clone + 'static,
+{
+    let mut guard = shard.write().expect("shard lock poisoned");
+    catch_unwind(AssertUnwindSafe(|| guard.ingest(batch, route))).map_err(|payload| WorkerPanic {
+        worker,
+        shard: shard_index,
+        message: panic_message(payload),
+    })
+}
+
 /// One parallel-ingestion work item: a shard plus its portion of the
 /// batch (with the route precomputed by the dispatching thread).
 pub(crate) struct IngestJob<K, T: Clone> {
+    pub(crate) shard_index: usize,
     pub(crate) shard: Arc<RwLock<Shard<K, T>>>,
     pub(crate) batch: Vec<KeyedEvent<K, T>>,
     pub(crate) route: Route,
-    pub(crate) done: mpsc::Sender<()>,
+    pub(crate) done: mpsc::Sender<Result<(), WorkerPanic>>,
 }
 
 /// A persistent pool of `std::thread` ingestion workers fed
@@ -26,7 +98,9 @@ pub(crate) struct IngestJob<K, T: Clone> {
 /// lock for the duration of its job, which also lets read-only queries
 /// on *other* shards proceed concurrently. Workers hold nothing between
 /// jobs; the pool dies with the engine (dropping the senders ends every
-/// worker loop).
+/// worker loop). A panicking sampler does not kill its worker: the job
+/// reports a [`WorkerPanic`] through its `done` channel and the worker
+/// moves on to the next job.
 pub(crate) struct ShardWorkerPool<K, T: Clone> {
     senders: Vec<mpsc::Sender<IngestJob<K, T>>>,
     handles: Vec<std::thread::JoinHandle<()>>,
@@ -46,13 +120,11 @@ where
                 .name(format!("swsample-shard-worker-{w}"))
                 .spawn(move || {
                     while let Ok(job) = rx.recv() {
-                        job.shard
-                            .write()
-                            .expect("shard lock poisoned")
-                            .ingest(&job.batch, &job.route);
+                        let result =
+                            ingest_guarded(&job.shard, &job.batch, &job.route, w, job.shard_index);
                         // Receiver gone means the dispatcher already
                         // panicked; nothing left to signal.
-                        let _ = job.done.send(());
+                        let _ = job.done.send(result);
                     }
                 })
                 .expect("spawn shard worker");

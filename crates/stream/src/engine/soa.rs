@@ -17,6 +17,7 @@
 
 use swsample_core::soa::{SeqWorFleet, SeqWrFleet, StreamLFleet, TsWorFleet, TsWrFleet};
 use swsample_core::spec::{Algorithm, Replacement, SamplerSpec, SpecError, WindowKind};
+use swsample_core::state::{SamplerState, StateError};
 use swsample_core::Sample;
 
 /// A shard's homogeneous fleet, monomorphized per template family.
@@ -51,8 +52,8 @@ impl<T: Clone> SoaStore<T> {
             }
             (Algorithm::ReservoirL, ..) => Ok(SoaStore::StreamL(StreamLFleet::new(k))),
             (algo, ..) => Err(SpecError::Invalid(format!(
-                "algorithm `{}` has no struct-of-arrays fleet kernel; \
-                 use the erased backend",
+                "backend `soa`: algorithm `{}` has no struct-of-arrays \
+                 fleet kernel; use `--backend erased`",
                 algo.token()
             ))),
         }
@@ -127,6 +128,34 @@ impl<T: Clone> SoaStore<T> {
             SoaStore::TsWr(f) => f.memory_words(slot),
             SoaStore::TsWor(f) => f.memory_words(slot),
             SoaStore::StreamL(f) => f.memory_words(slot),
+        }
+    }
+
+    /// One key's checkpoint record. The fleets emit the *same*
+    /// [`SamplerState`] an equivalent boxed sampler would, so snapshots
+    /// port between backends (and across shard-count changes).
+    pub(crate) fn save_slot(&self, slot: usize) -> Option<SamplerState<T>> {
+        match self {
+            SoaStore::SeqWr(f) => f.save_slot(slot),
+            SoaStore::SeqWor(f) => f.save_slot(slot),
+            SoaStore::TsWr(f) => f.save_slot(slot),
+            SoaStore::TsWor(f) => f.save_slot(slot),
+            SoaStore::StreamL(f) => f.save_slot(slot),
+        }
+    }
+
+    /// Overwrite one key's slab state from a checkpoint record.
+    pub(crate) fn restore_slot(
+        &mut self,
+        slot: usize,
+        state: SamplerState<T>,
+    ) -> Result<(), StateError> {
+        match self {
+            SoaStore::SeqWr(f) => f.restore_slot(slot, state),
+            SoaStore::SeqWor(f) => f.restore_slot(slot, state),
+            SoaStore::TsWr(f) => f.restore_slot(slot, state),
+            SoaStore::TsWor(f) => f.restore_slot(slot, state),
+            SoaStore::StreamL(f) => f.restore_slot(slot, state),
         }
     }
 }

@@ -32,7 +32,7 @@ pub mod graph;
 pub mod values;
 
 pub use arrivals::{AdversarialStream, BurstyArrivals, SteadyArrivals, TimedEvent};
-pub use engine::{FxBuildHasher, FxHasher, MultiStreamEngine};
+pub use engine::{FxBuildHasher, FxHasher, MultiStreamEngine, WorkerPanic};
 pub use event::{Timestamp, WindowSpec};
 pub use graph::{count_triangles, Edge, EdgeStreamGen};
 pub use values::{ConstantGen, RoundRobinGen, UniformGen, ValueGen, ZipfGen};

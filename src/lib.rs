@@ -17,6 +17,8 @@
 //! * [`baselines`] — the prior methods the paper improves on.
 //! * [`apps`] — §5 applications (frequency moments, entropy, triangles).
 //! * [`stats`] — the statistical test machinery used for validation.
+//! * [`durable`] — write-ahead logging, O(k) snapshots, and bit-identical
+//!   crash recovery for the keyed fleet ([`durable::DurableEngine`]).
 //!
 //! ## Quickstart
 //!
@@ -49,6 +51,7 @@ pub use swsample_apps as apps;
 pub use swsample_baselines as baselines;
 pub use swsample_core as core;
 pub use swsample_counting as counting;
+pub use swsample_durable as durable;
 pub use swsample_query as query;
 pub use swsample_stats as stats;
 pub use swsample_stream as stream;

@@ -217,21 +217,23 @@ fn field(body: &str, key: &str) -> f64 {
     rest[..end].trim().parse().expect("numeric field")
 }
 
-/// The committed artifact is schema v4 and holds the engine-redesign
+/// The committed artifact is schema v5 and holds the engine-redesign
 /// acceptance bars: slab + parallel ingestion ≥ 2× the PR-3 baseline at
-/// 100k keys (best thread count), and the SoA fleet backend ≥ 1.5× the
+/// 100k keys (best thread count), the SoA fleet backend ≥ 1.5× the
 /// v3 committed erased figure (sustained) plus ≥ 1× erased in the same
-/// run. `bench_throughput` refuses to write a sub-bar file; this
-/// refuses to let a hand-edited or stale one past CI.
+/// run, and WAL-on ingest ≥ 0.7× WAL-off at 100k keys. `bench_throughput`
+/// refuses to write a sub-bar file; this refuses to let a hand-edited
+/// or stale one past CI.
 #[test]
 fn committed_artifact_holds_parallel_acceptance_bar() {
     let body = committed_artifact();
     swsample_bench::json::validate(&body).expect("committed artifact parses");
     assert!(
-        body.contains("\"schema\": \"swsample-bench-throughput/v4\""),
-        "artifact is schema v4"
+        body.contains("\"schema\": \"swsample-bench-throughput/v5\""),
+        "artifact is schema v5"
     );
     assert!(body.contains("\"parallel\": ["), "parallel section present");
+    assert!(body.contains("\"durable\": ["), "durable section present");
     assert!(
         body.contains("\"machine\": {"),
         "machine descriptor block present"
@@ -251,6 +253,11 @@ fn committed_artifact_holds_parallel_acceptance_bar() {
     assert!(
         vs_erased >= 1.0,
         "committed soa-vs-erased ratio {vs_erased}x: soa slower than erased"
+    );
+    let wal = field(&body, "durable_wal_overhead_100k");
+    assert!(
+        wal >= swsample_bench::throughput::DURABLE_WAL_100K_GATE,
+        "committed durable_wal_overhead_100k {wal}x below the acceptance bar"
     );
     // Both backends appear as multi rows, erased first then soa.
     for backend in ["erased", "soa"] {

@@ -233,23 +233,25 @@ fn skip_path_rng_draws_are_logarithmic_per_window() {
     let (n, k, windows) = (4096u64, 4usize, 50u64);
     let elements = n * windows;
 
-    let mut skip_rng = CountingRng::new(SmallRng::seed_from_u64(11));
-    let mut s = SeqSamplerWr::new(n, k, &mut skip_rng);
+    let skip_rng = CountingRng::new(SmallRng::seed_from_u64(11));
+    let skip_counter = skip_rng.counter();
+    let mut s = SeqSamplerWr::new(n, k, skip_rng);
     let values: Vec<u64> = (0..elements).collect();
     for chunk in values.chunks(1024) {
         s.insert_batch(chunk);
     }
     let accepts = s.acceptances();
     drop(s);
-    let skip_draws = skip_rng.words();
+    let skip_draws = skip_counter.words();
 
-    let mut naive_rng = CountingRng::new(SmallRng::seed_from_u64(11));
-    let mut s = SeqSamplerWr::naive(n, k, &mut naive_rng);
+    let naive_rng = CountingRng::new(SmallRng::seed_from_u64(11));
+    let naive_counter = naive_rng.counter();
+    let mut s = SeqSamplerWr::naive(n, k, naive_rng);
     for chunk in values.chunks(1024) {
         s.insert_batch(chunk);
     }
     drop(s);
-    let naive_draws = naive_rng.words();
+    let naive_draws = naive_counter.words();
 
     // Naive: ≥ 1 draw per instance per element.
     assert!(

@@ -222,21 +222,23 @@ fn fused_ingestion_draws_are_amortized_k_over_32() {
     }
     let bound = k as f64 / 32.0 + 1.0;
 
-    let mut rng = CountingRng::new(SmallRng::seed_from_u64(21));
-    let mut wr = TsSamplerWr::new(t0, k, &mut rng);
+    let rng = CountingRng::new(SmallRng::seed_from_u64(21));
+    let counter = rng.counter();
+    let mut wr = TsSamplerWr::new(t0, k, rng);
     drive(&mut wr, elements);
     drop(wr);
-    let per_elem = rng.words() as f64 / elements as f64;
+    let per_elem = counter.words() as f64 / elements as f64;
     assert!(
         per_elem <= bound,
         "wr: {per_elem} draws/element above {bound}"
     );
 
-    let mut rng = CountingRng::new(SmallRng::seed_from_u64(22));
-    let mut wor = TsSamplerWor::new(t0, k, &mut rng);
+    let rng = CountingRng::new(SmallRng::seed_from_u64(22));
+    let counter = rng.counter();
+    let mut wor = TsSamplerWor::new(t0, k, rng);
     drive(&mut wor, elements);
     drop(wor);
-    let per_elem = rng.words() as f64 / elements as f64;
+    let per_elem = counter.words() as f64 / elements as f64;
     assert!(
         per_elem <= bound,
         "wor: {per_elem} draws/element above {bound}"

@@ -16,6 +16,27 @@ mod small {
         s: [u64; 4],
     }
 
+    impl SmallRng {
+        /// The four xoshiro256++ state words, for checkpointing. Feeding
+        /// the result to [`SmallRng::from_state`] reproduces the exact
+        /// output stream from this point on.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuild a generator from captured state words.
+        ///
+        /// An all-zero state is a xoshiro fixed point and cannot be
+        /// produced by any seeding path of this crate, so it is rejected
+        /// the same way `from_seed` handles it: by reseeding from 0.
+        pub fn from_state(s: [u64; 4]) -> Self {
+            if s == [0; 4] {
+                return <Self as crate::SeedableRng>::seed_from_u64(0);
+            }
+            Self { s }
+        }
+    }
+
     impl RngCore for SmallRng {
         fn next_u32(&mut self) -> u32 {
             (self.next_u64() >> 32) as u32
