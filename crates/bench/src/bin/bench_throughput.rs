@@ -18,8 +18,9 @@
 
 use swsample_bench::throughput::{
     durable_wal_overhead_100k, machine, multi_100k_speedup, multi_soa_100k_speedup,
-    multi_soa_vs_erased_100k, params, run_durable, run_multi, run_parallel, run_with, speedup,
-    to_json, DURABLE_WAL_100K_GATE, MULTI_SOA_100K_GATE,
+    multi_soa_vs_erased_100k, params, run_durable, run_multi, run_parallel, run_server, run_with,
+    server_e2e_100k_vs_direct, speedup, to_json, DURABLE_WAL_100K_GATE, MULTI_SOA_100K_GATE,
+    SERVER_E2E_100K_GATE,
 };
 use swsample_bench::{json, table_header, table_row};
 
@@ -245,7 +246,48 @@ fn main() {
         }
     }
 
-    let doc = to_json(&rows, &multi, &parallel, &durable, quick);
+    let server = run_server(&p);
+    table_header(
+        "end-to-end serving (loopback TCP server + load generator, seq-WR template)",
+        &[
+            "conns",
+            "keys",
+            "elems/s",
+            "p50 us",
+            "p99 us",
+            "busy",
+            "direct elems/s",
+        ],
+    );
+    for r in &server {
+        table_row(&[
+            r.connections.to_string(),
+            r.keys.to_string(),
+            format!("{:.0}", r.elems_per_sec),
+            r.p50_us.to_string(),
+            r.p99_us.to_string(),
+            r.busy.to_string(),
+            format!("{:.0}", r.direct_elems_per_sec),
+        ]);
+    }
+    if let Some(s) = server_e2e_100k_vs_direct(&server) {
+        println!(
+            "\nend-to-end server vs same-run direct ingest at 100k keys: {s:.2}x (best conns)"
+        );
+        if s < SERVER_E2E_100K_GATE {
+            // Hard gate: the serving tax must stay a framing/bandwidth
+            // tax. Dropping under 0.5x means the pipeline serialized —
+            // a per-batch sync round trip, queue thrash, or a blocking
+            // writer snuck into the hot path.
+            eprintln!(
+                "bench_throughput: server_e2e_100k_vs_direct {s:.2}x below the \
+                 {SERVER_E2E_100K_GATE}x acceptance bar"
+            );
+            std::process::exit(1);
+        }
+    }
+
+    let doc = to_json(&rows, &multi, &parallel, &durable, &server, quick);
     if let Err(e) = json::validate(&doc) {
         eprintln!("bench_throughput: emitted invalid JSON ({e}) — refusing to write");
         std::process::exit(1);

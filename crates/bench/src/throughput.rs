@@ -133,6 +133,34 @@ pub struct DurableRow {
     pub recovery_seconds: f64,
 }
 
+/// One measured end-to-end serving configuration: the loadgen zipf
+/// workload driven through a real loopback TCP [`swsample_server::Server`]
+/// (framing, crc, the bounded ingest queue, `ingest_parallel` drain),
+/// next to a same-run direct `ingest_parallel` baseline over the
+/// identical events — the denominator of the serving-tax gate.
+#[derive(Debug, Clone)]
+pub struct ServerRow {
+    /// Concurrent load-generator connections.
+    pub connections: usize,
+    /// Key-domain size (number of logical streams).
+    pub keys: u64,
+    /// Keyed events driven across the wire.
+    pub elements: u64,
+    /// Wall-clock seconds from first byte to last ack.
+    pub seconds: f64,
+    /// End-to-end `elements / seconds`.
+    pub elems_per_sec: f64,
+    /// Median ingest-reply latency, microseconds.
+    pub p50_us: u64,
+    /// 99th-percentile ingest-reply latency, microseconds.
+    pub p99_us: u64,
+    /// `BUSY` rejections absorbed by client retry (backpressure hits).
+    pub busy: u64,
+    /// Same-run direct `ingest_parallel` throughput over the identical
+    /// workload, no sockets (same template, shards, and threads).
+    pub direct_elems_per_sec: f64,
+}
+
 /// Suite dimensions; [`params`] builds the standard full/quick shapes.
 #[derive(Debug, Clone)]
 pub struct Params {
@@ -165,6 +193,8 @@ pub struct Params {
     /// Snapshot cadence (in ingest batches) for the durable section's
     /// `wal-snap` mode.
     pub durable_snapshot_every: u64,
+    /// Concurrent-connection counts for the end-to-end server section.
+    pub server_connections: Vec<usize>,
 }
 
 /// The PR-3 committed `multi_stream` baseline at 100k keys, k = 16 —
@@ -207,6 +237,18 @@ pub const MULTI_SOA_100K_GATE: f64 = 1.5;
 /// leaves headroom for slow CI disks while still catching an
 /// accidental fsync-per-batch or per-event allocation regression.
 pub const DURABLE_WAL_100K_GATE: f64 = 0.7;
+
+/// Hard acceptance bar for [`server_e2e_100k_vs_direct`]: the best
+/// end-to-end serving throughput at 100k keys (framing + crc + TCP
+/// loopback + the bounded queue, measured by the load generator) must
+/// retain at least this fraction of the same-run direct
+/// `ingest_parallel` rate over the identical events. The wire adds
+/// ~26 bytes/event of columnar delta-varint encode/decode plus one
+/// crc32 pass each way — bandwidth work, like the WAL tax — so losing
+/// more than half of direct throughput means a stall (per-batch sync
+/// round trips serializing the pipeline, queue thrash, a blocking
+/// writer) rather than honest framing cost.
+pub const SERVER_E2E_100K_GATE: f64 = 0.5;
 
 /// Host descriptor recorded in the artifact so figures from different
 /// machines are never compared as if they were a trajectory.
@@ -254,6 +296,7 @@ pub fn params(quick: bool) -> Params {
             parallel_chunk: 2_048,
             parallel_reps: 1,
             durable_snapshot_every: 16,
+            server_connections: vec![1, 2],
         }
     } else {
         Params {
@@ -269,6 +312,7 @@ pub fn params(quick: bool) -> Params {
             parallel_chunk: 32_768,
             parallel_reps: 5,
             durable_snapshot_every: 512,
+            server_connections: vec![1, 8, 64],
         }
     }
 }
@@ -631,6 +675,81 @@ pub fn run_durable(p: &Params) -> Vec<DurableRow> {
     out
 }
 
+/// Run the end-to-end server section: a real loopback TCP
+/// [`swsample_server::Server`] (seq-WR template, k = `multi_k`,
+/// n = 1000, 64 shards) driven by the in-process load generator at each
+/// connection count, next to a same-run direct `ingest_parallel`
+/// baseline over the identical loadgen workload (seed 1, theta 1.1).
+/// The ratio of the two is the serving tax the
+/// [`SERVER_E2E_100K_GATE`] bar polices.
+pub fn run_server(p: &Params) -> Vec<ServerRow> {
+    use swsample_core::spec::FleetBackend;
+    use swsample_core::SamplerSpec;
+    use swsample_server::{loadgen, LoadgenConfig, Server, ServerConfig};
+    use swsample_stream::{MultiStreamEngine, ValueGen, ZipfGen};
+
+    let template = || -> SamplerSpec {
+        format!("--window seq --n 1000 --k {} --seed 42", p.multi_k)
+            .parse()
+            .expect("template spec")
+    };
+    // Drain threads: enough to keep the queue from being the bottleneck
+    // without oversubscribing loadgen's connection threads on small CI
+    // hosts. The direct baseline uses the identical count so the ratio
+    // isolates the wire, not the thread budget.
+    let threads = machine().cores.clamp(1, 8);
+    let mut out = Vec::new();
+    for &keys in &p.multi_keys {
+        // The loadgen workload, regenerated here for the direct
+        // baseline: identical events, no sockets.
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut zipf = ZipfGen::new(keys, 1.1);
+        let events: Vec<(u64, u64, u64)> = (0..p.multi_elements)
+            .map(|i| (zipf.next_value(&mut rng), i / 64, i))
+            .collect();
+        let engine: MultiStreamEngine<u64, u64> = MultiStreamEngine::with_backend(
+            template(),
+            64,
+            SamplerSpec::build::<u64>,
+            threads,
+            FleetBackend::Auto,
+        )
+        .expect("engine");
+        let start = Instant::now();
+        for chunk in events.chunks(p.parallel_chunk) {
+            engine.ingest_parallel(chunk);
+        }
+        let direct = p.multi_elements as f64 / start.elapsed().as_secs_f64().max(1e-9);
+        drop((engine, events));
+
+        for &connections in &p.server_connections {
+            let mut cfg = ServerConfig::new(template());
+            cfg.shards = 64;
+            cfg.threads = threads;
+            let server = Server::start(cfg).expect("server start");
+            let mut lg = LoadgenConfig::new(server.local_addr().to_string());
+            lg.connections = connections;
+            lg.keys = keys;
+            lg.count = p.multi_elements;
+            lg.batch = p.parallel_chunk;
+            let report = loadgen::run(&lg, &mut std::io::sink()).expect("loadgen run");
+            server.shutdown();
+            out.push(ServerRow {
+                connections,
+                keys,
+                elements: report.events_sent,
+                seconds: report.seconds,
+                elems_per_sec: report.elems_per_sec,
+                p50_us: report.p50_us,
+                p99_us: report.p99_us,
+                busy: report.busy_retries,
+                direct_elems_per_sec: direct,
+            });
+        }
+    }
+    out
+}
+
 /// The durability-tax headline: WAL-on over WAL-off sustained ingest
 /// throughput at 100k keys (same workload, same engine configuration).
 /// `None` when the sweep has no 100k-key rows (the quick shape).
@@ -686,6 +805,21 @@ pub fn multi_soa_vs_erased_100k(multi: &[MultiRow]) -> Option<f64> {
     Some(get("soa")? / get("erased")?)
 }
 
+/// The serving-tax headline: best end-to-end server throughput at 100k
+/// keys over the same-run direct `ingest_parallel` figure. Best-of over
+/// connection counts — the gate asks whether *some* honest client shape
+/// can feed the server near engine speed, not that every shape does.
+/// `None` when the sweep has no 100k-key rows (the quick shape).
+pub fn server_e2e_100k_vs_direct(server: &[ServerRow]) -> Option<f64> {
+    server
+        .iter()
+        .filter(|r| r.keys == 100_000)
+        .map(|r| r.elems_per_sec / r.direct_elems_per_sec.max(1e-9))
+        .fold(None, |acc: Option<f64>, x| {
+            Some(acc.map_or(x, |a| a.max(x)))
+        })
+}
+
 /// Elems/sec ratio between two samplers at a given configuration.
 pub fn speedup(rows: &[Row], fast: &str, slow: &str, k: usize, n: u64) -> Option<f64> {
     let find = |name: &str| {
@@ -697,20 +831,22 @@ pub fn speedup(rows: &[Row], fast: &str, slow: &str, k: usize, n: u64) -> Option
 }
 
 /// Render the suite result as the `BENCH_throughput.json` document
-/// (schema v5: v4's sections plus the `durable` section — WAL-off /
-/// WAL-on / WAL+snapshot ingest rates and recovery wall-clock — and
-/// the gated `durable_wal_overhead_100k` headline).
+/// (schema v6: v5's sections plus the `server` section — end-to-end
+/// loopback-TCP serving rates and ingest latency percentiles per
+/// connection count — and the gated `server_e2e_100k_vs_direct`
+/// headline).
 pub fn to_json(
     rows: &[Row],
     multi: &[MultiRow],
     parallel: &[ParallelRow],
     durable: &[DurableRow],
+    server: &[ServerRow],
     quick: bool,
 ) -> String {
     let m = machine();
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"schema\": \"swsample-bench-throughput/v5\",\n");
+    out.push_str("  \"schema\": \"swsample-bench-throughput/v6\",\n");
     out.push_str(&format!("  \"quick\": {quick},\n"));
     // Host descriptor: throughput figures are only a trajectory on the
     // same machine; the block makes cross-host artifacts self-describing.
@@ -760,6 +896,14 @@ pub fn to_json(
     if let Some(s) = durable_wal_overhead_100k(durable) {
         out.push_str(&format!(
             "  \"durable_wal_overhead_100k\": {},\n",
+            json::number(s)
+        ));
+    }
+    // Serving tax at 100k keys (best e2e / same-run direct ingest) —
+    // the PR-8 gated headline.
+    if let Some(s) = server_e2e_100k_vs_direct(server) {
+        out.push_str(&format!(
+            "  \"server_e2e_100k_vs_direct\": {},\n",
             json::number(s)
         ));
     }
@@ -841,6 +985,25 @@ pub fn to_json(
             if i + 1 == durable.len() { "" } else { "," }
         ));
     }
+    out.push_str("  ],\n");
+    out.push_str("  \"server\": [\n");
+    for (i, r) in server.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"connections\": {}, \"keys\": {}, \"elements\": {}, \
+             \"seconds\": {}, \"elems_per_sec\": {}, \"p50_us\": {}, \
+             \"p99_us\": {}, \"busy\": {}, \"direct_elems_per_sec\": {}}}{}\n",
+            r.connections,
+            r.keys,
+            r.elements,
+            json::number(r.seconds),
+            json::number(r.elems_per_sec),
+            r.p50_us,
+            r.p99_us,
+            r.busy,
+            json::number(r.direct_elems_per_sec),
+            if i + 1 == server.len() { "" } else { "," }
+        ));
+    }
     out.push_str("  ]\n}\n");
     out
 }
@@ -863,6 +1026,7 @@ mod tests {
             parallel_chunk: 256,
             parallel_reps: 2,
             durable_snapshot_every: 4,
+            server_connections: vec![1, 2],
         }
     }
 
@@ -885,18 +1049,29 @@ mod tests {
             );
         }
         let durable = run_durable(&micro_params());
-        let doc = to_json(&rows, &multi, &parallel, &durable, true);
+        let server = run_server(&micro_params());
+        assert_eq!(server.len(), 2, "one row per connection count");
+        for r in &server {
+            assert!(
+                r.elems_per_sec > 0.0 && r.direct_elems_per_sec > 0.0,
+                "conns={}: zero throughput",
+                r.connections
+            );
+            assert_eq!(r.elements, micro_params().multi_elements);
+        }
+        let doc = to_json(&rows, &multi, &parallel, &durable, &server, true);
         json::validate(&doc).expect("emitted JSON must parse");
         assert!(
             doc.contains("\"multi_stream\"")
                 && doc.contains("\"parallel\"")
-                && doc.contains("\"durable\""),
+                && doc.contains("\"durable\"")
+                && doc.contains("\"server\": ["),
             "schema sections present"
         );
         assert!(
-            doc.contains("\"schema\": \"swsample-bench-throughput/v5\"")
+            doc.contains("\"schema\": \"swsample-bench-throughput/v6\"")
                 && doc.contains("\"machine\": {\"cores\": "),
-            "schema v5 header with machine block"
+            "schema v6 header with machine block"
         );
         // 64-key micro sweep has no 100k row, so the gated fields stay
         // out of the document rather than gating on noise.
@@ -904,9 +1079,11 @@ mod tests {
         assert!(multi_soa_100k_speedup(&multi).is_none());
         assert!(multi_soa_vs_erased_100k(&multi).is_none());
         assert!(durable_wal_overhead_100k(&durable).is_none());
+        assert!(server_e2e_100k_vs_direct(&server).is_none());
         assert!(!doc.contains("multi_100k_speedup"));
         assert!(!doc.contains("multi_soa_100k_speedup"));
         assert!(!doc.contains("durable_wal_overhead_100k"));
+        assert!(!doc.contains("server_e2e_100k_vs_direct"));
     }
 
     #[test]

@@ -35,7 +35,11 @@ impl Args {
             None => return Err(ArgError("missing subcommand".into())),
         };
         let mut flags = HashMap::new();
-        while let Some(tok) = it.next() {
+        // One token of lookahead: a `--flag` that turns out to be the
+        // next flag (not a value) is pushed back and parsed in full on
+        // the next turn, so any run of bare boolean flags parses.
+        let mut pending = it.next();
+        while let Some(tok) = pending.take() {
             let name = tok
                 .strip_prefix("--")
                 .ok_or_else(|| ArgError(format!("expected `--flag`, got `{tok}`")))?;
@@ -45,25 +49,16 @@ impl Args {
             // `--flag=value` or `--flag value`; bare flags get "true".
             if let Some((k, v)) = name.split_once('=') {
                 flags.insert(k.to_string(), v.to_string());
+                pending = it.next();
             } else {
                 match it.next() {
                     Some(v) if !v.starts_with("--") => {
                         flags.insert(name.to_string(), v);
+                        pending = it.next();
                     }
-                    Some(v) => {
+                    lookahead => {
                         flags.insert(name.to_string(), "true".into());
-                        // Re-process the lookahead as a flag.
-                        let name2 = v.strip_prefix("--").expect("checked");
-                        if let Some((k, val)) = name2.split_once('=') {
-                            flags.insert(k.to_string(), val.to_string());
-                        } else if let Some(val) = it.next() {
-                            flags.insert(name2.to_string(), val);
-                        } else {
-                            flags.insert(name2.to_string(), "true".into());
-                        }
-                    }
-                    None => {
-                        flags.insert(name.to_string(), "true".into());
+                        pending = lookahead;
                     }
                 }
             }
@@ -160,6 +155,27 @@ mod tests {
     fn trailing_bare_flag() {
         let a = Args::parse(argv("seq --window 10 --wor")).expect("parse");
         assert!(a.get_flag("wor"));
+    }
+
+    #[test]
+    fn consecutive_bare_flags() {
+        // Regression: the old lookahead re-processing consumed the flag
+        // after the *second* bare flag as its value, so any run of three
+        // or more bare flags silently dropped the tail.
+        let a = Args::parse(argv(
+            "loadgen --verify --render-multi --shutdown-server --addr x:1",
+        ))
+        .expect("parse");
+        assert!(a.get_flag("verify"));
+        assert!(a.get_flag("render-multi"));
+        assert!(a.get_flag("shutdown-server"));
+        assert_eq!(a.get_str("addr"), Some("x:1"));
+
+        let a = Args::parse(argv("seq --wor --resume --window=9 --verify")).expect("parse");
+        assert!(a.get_flag("wor"));
+        assert!(a.get_flag("resume"));
+        assert!(a.get_flag("verify"));
+        assert_eq!(a.require::<u64>("window").expect("window"), 9);
     }
 
     #[test]

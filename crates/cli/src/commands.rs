@@ -26,6 +26,7 @@ use swsample_core::spec::{Algorithm, FleetBackend, SamplerSpec, WindowKind};
 use swsample_core::{ErasedWindowSampler, MemoryWords};
 use swsample_durable::{DurableEngine, DurableOptions, FailPlan, ResumeOverrides};
 use swsample_query::TsAggregator;
+use swsample_server::{loadgen, LoadgenConfig, Server, ServerConfig};
 use swsample_stream::{
     BurstyArrivals, MultiStreamEngine, SteadyArrivals, UniformGen, ValueGen, ZipfGen,
 };
@@ -38,6 +39,8 @@ pub fn run(args: &Args, input: &mut dyn BufRead, out: &mut dyn Write) -> Result<
         "seq" => cmd_legacy(args, input, out, false),
         "ts" => cmd_legacy(args, input, out, true),
         "multi" => cmd_multi(args, out),
+        "serve" => cmd_serve(args),
+        "loadgen" => cmd_loadgen(args, out),
         "agg" => cmd_agg(args, input, out),
         "gen" => cmd_gen(args, out),
         "help" | "--help" => write_help(out).map_err(|e| ArgError(e.to_string())),
@@ -73,9 +76,26 @@ pub fn write_help(out: &mut dyn Write) -> std::io::Result<()> {
                  recovers and continues, stdout byte-identical to an\n\
                  uninterrupted run; SWSAMPLE_FAILPOINT=kill-after-appends=N\n\
                  [,torn-tail=B][,corrupt-snapshot-byte=O][,disk-full-after=N]\n\
-                 injects crashes, exit code 42)\n\
+                 injects crashes, exit code 42;\n\
+                 shutdown-after-appends=N exits 43 after a graceful\n\
+                 drain + final snapshot; the run always ends with a\n\
+                 final snapshot so --resume restarts instantly)\n\
                  live rescale: [--rescale-after B]\n\
                  [--rescale-shards S] [--rescale-threads W]\n\
+           serve run the fleet as a TCP server (framed binary protocol)\n\
+                 [--addr HOST:PORT] + the spec flags of `run`\n\
+                 [--shards S] [--threads W] [--backend auto|erased|soa]\n\
+                 [--wal DIR] [--snapshot-every B] [--segment-bytes N]\n\
+                 [--queue-max-events N] [--ring-capacity N] [--tick-ms T]\n\
+                 (first stderr line is `# listening on HOST:PORT`; a\n\
+                 client SHUTDOWN frame drains, snapshots, and exits;\n\
+                 ingest past the queue bound answers BUSY, not buffering)\n\
+           loadgen drive a `serve` instance with the `multi` workload\n\
+                 --addr HOST:PORT [--connections C] --keys K --count N\n\
+                 [--theta T] [--workload-seed S] [--batch-size B]\n\
+                 [--verify] [--render-multi] [--show H] [--shutdown-server]\n\
+                 (--verify replays offline and asserts byte-identical\n\
+                 answers; --render-multi reproduces `multi` stdout)\n\
            seq   shorthand: sample the last N lines of stdin\n\
                  --window N [--k K] [--wor] [--report-every M] [--seed S]\n\
                  [--batch-size B]\n\
@@ -341,11 +361,16 @@ impl MultiFleet {
         }
     }
 
-    /// Make everything ingested so far durable (no-op for plain fleets).
-    fn sync(&mut self) -> Result<(), ArgError> {
+    /// Graceful shutdown: fsync the WAL and write a final snapshot
+    /// covering everything ingested, so a later `--resume` (or any
+    /// other reopen) restores without replaying the log (no-op for
+    /// plain fleets). Stronger than a bare `sync` — the old end-of-run
+    /// behavior — and what the `shutdown-after-appends` failpoint
+    /// exercises mid-stream.
+    fn close(&mut self) -> Result<(), ArgError> {
         match self {
             MultiFleet::Plain(_) => Ok(()),
-            MultiFleet::Durable(d) => d.sync().map_err(|e| ArgError(e.to_string())),
+            MultiFleet::Durable(d) => d.close().map(|_| ()).map_err(|e| ArgError(e.to_string())),
         }
     }
 }
@@ -510,7 +535,7 @@ fn cmd_multi(args: &Args, out: &mut dyn Write) -> Result<(), ArgError> {
     if !chunk.is_empty() && chunk_index >= done {
         fleet.ingest(&chunk)?;
     }
-    fleet.sync()?;
+    fleet.close()?;
     report_throughput(count, start.elapsed());
 
     // The hottest keys' current samples (deterministic order: traffic
@@ -544,6 +569,93 @@ fn cmd_multi(args: &Args, out: &mut dyn Write) -> Result<(), ArgError> {
         memory_note(engine.template())
     )
     .map_err(io_err)?;
+    Ok(())
+}
+
+/// `serve` — the fleet behind a TCP listener speaking the framed binary
+/// protocol: batched ingest with bounded-queue backpressure, queries,
+/// standing subscriptions, stats.
+///
+/// The first stderr line is `# listening on HOST:PORT` (with the real
+/// port when `--addr` asked for :0), so scripts can parse where to
+/// connect. The process runs until a client sends `SHUTDOWN`, then
+/// drains the ingest queue, fsyncs + snapshots the WAL if one is
+/// configured, prints the metrics line, and exits 0.
+fn cmd_serve(args: &Args) -> Result<(), ArgError> {
+    let mut cfg = ServerConfig::new(spec_from_flags(args)?);
+    if let Some(addr) = args.get_str("addr") {
+        cfg.addr = addr.to_string();
+    }
+    cfg.shards = args.get_usize("shards", cfg.shards)?;
+    cfg.threads = args.get_usize("threads", cfg.threads)?;
+    if cfg.threads == 0 {
+        return Err(ArgError("--threads must be at least 1".into()));
+    }
+    if let Some(v) = args.get_str("backend") {
+        cfg.backend = v
+            .parse()
+            .map_err(|e: swsample_core::SpecError| ArgError(e.to_string()))?;
+    }
+    cfg.wal_dir = args.get_str("wal").map(std::path::PathBuf::from);
+    let snapshot_every = args.get_u64("snapshot-every", 0)?;
+    cfg.snapshot_every = (snapshot_every > 0).then_some(snapshot_every);
+    cfg.segment_bytes = args.get_u64("segment-bytes", cfg.segment_bytes)?.max(1);
+    cfg.queue_max_events = args.get_usize("queue-max-events", cfg.queue_max_events)?;
+    if cfg.queue_max_events == 0 {
+        return Err(ArgError("--queue-max-events must be at least 1".into()));
+    }
+    cfg.ring_capacity = args.get_usize("ring-capacity", cfg.ring_capacity)?.max(1);
+    cfg.tick = std::time::Duration::from_millis(args.get_u64("tick-ms", 100)?.max(1));
+
+    let server = Server::start(cfg).map_err(|e| ArgError(format!("serve: {e}")))?;
+    eprintln!("# listening on {}", server.local_addr());
+    while !server.shutdown_requested() {
+        std::thread::sleep(std::time::Duration::from_millis(25));
+    }
+    // Drains, snapshots, joins every thread, prints the metrics line.
+    server.shutdown();
+    Ok(())
+}
+
+/// `loadgen` — drive a `serve` instance with `multi`'s deterministic
+/// zipf workload over N concurrent connections, reporting end-to-end
+/// throughput and reply-latency percentiles on stderr.
+fn cmd_loadgen(args: &Args, out: &mut dyn Write) -> Result<(), ArgError> {
+    let addr: String = args.require("addr")?;
+    let mut cfg = LoadgenConfig::new(addr);
+    cfg.connections = args.get_usize("connections", 1)?.max(1);
+    cfg.keys = args.require("keys")?;
+    if cfg.keys == 0 {
+        return Err(ArgError("--keys must be at least 1".into()));
+    }
+    cfg.count = args.require("count")?;
+    cfg.theta = args.get_f64("theta", 1.1)?;
+    if !(cfg.theta.is_finite() && cfg.theta > 0.0) {
+        return Err(ArgError(format!(
+            "--theta: expected a positive number, got `{}`",
+            cfg.theta
+        )));
+    }
+    cfg.workload_seed = args.get_u64("workload-seed", 1)?;
+    cfg.batch = batch_size(args)?;
+    cfg.verify = args.get_flag("verify");
+    cfg.render_multi = args.get_flag("render-multi");
+    cfg.show = args.get_usize("show", 3)?;
+    cfg.shutdown_server = args.get_flag("shutdown-server");
+
+    let report = loadgen::run(&cfg, out).map_err(|e| ArgError(format!("loadgen: {e}")))?;
+    eprintln!(
+        "# loadgen: {} events over {} connections in {:.3}s ({:.0} elems/s), \
+         p50 {}us p99 {}us, {} busy retries, {} keys verified",
+        report.events_sent,
+        cfg.connections,
+        report.seconds,
+        report.elems_per_sec,
+        report.p50_us,
+        report.p99_us,
+        report.busy_retries,
+        report.verified_keys
+    );
     Ok(())
 }
 

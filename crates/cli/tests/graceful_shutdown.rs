@@ -1,0 +1,167 @@
+//! Graceful-shutdown durability, driven through the real binary: a
+//! `multi --wal` run stopped mid-stream by the `shutdown-after-appends`
+//! failpoint (exit 43, after drain + final snapshot) must `--resume` to
+//! stdout byte-identical with an uninterrupted run — and a `serve`
+//! process asked to shut down over the wire must exit 0 with its WAL
+//! in a reopenable state.
+
+use std::io::{BufRead, BufReader};
+use std::process::{Command, Stdio};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+const BIN: &str = env!("CARGO_BIN_EXE_swsample");
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    static CASE: AtomicUsize = AtomicUsize::new(0);
+    let n = CASE.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!(
+        "swsample-cli-shutdown-{tag}-{}-{n}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn multi_args(wal: &std::path::Path) -> Vec<String> {
+    let mut args: Vec<String> = "multi --keys 40 --count 3000 --window seq --n 16 --k 3 --seed 9"
+        .split_whitespace()
+        .map(String::from)
+        .collect();
+    args.push("--wal".into());
+    args.push(wal.to_string_lossy().into_owned());
+    args
+}
+
+#[test]
+fn failpoint_shutdown_resumes_byte_identical() {
+    // Uninterrupted reference run.
+    let ref_dir = temp_dir("reference");
+    let reference = Command::new(BIN)
+        .args(multi_args(&ref_dir))
+        .env_remove("SWSAMPLE_FAILPOINT")
+        .output()
+        .expect("reference run");
+    assert!(reference.status.success(), "reference run failed");
+
+    // Interrupted run: graceful shutdown after 3 applied batches.
+    let dir = temp_dir("interrupted");
+    let interrupted = Command::new(BIN)
+        .args(multi_args(&dir))
+        .env("SWSAMPLE_FAILPOINT", "shutdown-after-appends=3")
+        .output()
+        .expect("interrupted run");
+    assert_eq!(
+        interrupted.status.code(),
+        Some(43),
+        "shutdown failpoint must exit 43, stderr: {}",
+        String::from_utf8_lossy(&interrupted.stderr)
+    );
+    // Graceful: a snapshot covering everything applied exists.
+    let snaps = std::fs::read_dir(&dir)
+        .expect("wal dir")
+        .filter(|e| {
+            e.as_ref()
+                .expect("dir entry")
+                .path()
+                .extension()
+                .is_some_and(|x| x == "snap")
+        })
+        .count();
+    assert!(snaps > 0, "graceful shutdown must leave a snapshot");
+
+    // Resume without the failpoint: byte-identical stdout.
+    let mut args = multi_args(&dir);
+    args.push("--resume".into());
+    let resumed = Command::new(BIN)
+        .args(args)
+        .env_remove("SWSAMPLE_FAILPOINT")
+        .output()
+        .expect("resumed run");
+    assert!(
+        resumed.status.success(),
+        "resume failed: {}",
+        String::from_utf8_lossy(&resumed.stderr)
+    );
+    assert_eq!(
+        String::from_utf8_lossy(&resumed.stdout),
+        String::from_utf8_lossy(&reference.stdout),
+        "resumed stdout diverged from the uninterrupted run"
+    );
+    let stderr = String::from_utf8_lossy(&resumed.stderr);
+    assert!(
+        stderr.contains("# resume:"),
+        "resume must report recovered batches, stderr: {stderr}"
+    );
+
+    let _ = std::fs::remove_dir_all(ref_dir);
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+/// The CI smoke, in-repo: `serve` on an ephemeral port, `loadgen`
+/// verifying across the wire and rendering `multi`'s stdout, the
+/// server exiting 0 on the wire-level SHUTDOWN.
+#[test]
+fn serve_loadgen_round_trip_matches_multi() {
+    let workload = "--keys 50 --count 5000";
+    let spec = "--window seq --n 20 --k 2 --seed 3";
+
+    let multi = Command::new(BIN)
+        .args(
+            format!("multi {workload} {spec}")
+                .split_whitespace()
+                .collect::<Vec<_>>(),
+        )
+        .output()
+        .expect("multi run");
+    assert!(multi.status.success(), "multi failed");
+
+    let wal = temp_dir("serve");
+    let mut serve = Command::new(BIN)
+        .args(
+            format!("serve --addr 127.0.0.1:0 {spec} --wal {}", wal.display())
+                .split_whitespace()
+                .collect::<Vec<_>>(),
+        )
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("serve spawn");
+    let mut serve_err = BufReader::new(serve.stderr.take().expect("serve stderr"));
+    let mut line = String::new();
+    serve_err.read_line(&mut line).expect("listening line");
+    let addr = line
+        .trim()
+        .strip_prefix("# listening on ")
+        .unwrap_or_else(|| panic!("unexpected first stderr line: {line:?}"))
+        .to_string();
+
+    let loadgen = Command::new(BIN)
+        .args(
+            format!("loadgen --addr {addr} {workload} --verify --render-multi --shutdown-server")
+                .split_whitespace()
+                .collect::<Vec<_>>(),
+        )
+        .output()
+        .expect("loadgen run");
+    assert!(
+        loadgen.status.success(),
+        "loadgen failed: {}",
+        String::from_utf8_lossy(&loadgen.stderr)
+    );
+    assert_eq!(
+        String::from_utf8_lossy(&loadgen.stdout),
+        String::from_utf8_lossy(&multi.stdout),
+        "server answers diverged from the offline `multi` run"
+    );
+
+    let status = serve.wait().expect("serve exit");
+    assert!(status.success(), "serve must exit 0 after SHUTDOWN");
+    assert!(
+        std::fs::read_dir(&wal).expect("wal dir").any(|e| e
+            .expect("entry")
+            .path()
+            .extension()
+            .is_some_and(|x| x == "snap")),
+        "serve shutdown must leave a snapshot"
+    );
+    let _ = std::fs::remove_dir_all(wal);
+}

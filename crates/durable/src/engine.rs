@@ -18,11 +18,12 @@
 use std::hash::Hash;
 use std::path::{Path, PathBuf};
 
-use swsample_core::state::{StateCodec, StateError, StateReader, StateWriter};
+use swsample_core::state::StateCodec;
 use swsample_core::{FleetBackend, SamplerSpec};
 use swsample_stream::MultiStreamEngine;
 
-use crate::failpoint::{FailPlan, CRASH_EXIT_CODE};
+use crate::batch::{decode_batch, encode_batch};
+use crate::failpoint::{FailPlan, CRASH_EXIT_CODE, SHUTDOWN_EXIT_CODE};
 use crate::snapshot::{self, SnapshotMeta};
 use crate::wal::{SegmentLog, DEFAULT_SEGMENT_BYTES};
 use crate::DurableError;
@@ -75,133 +76,6 @@ pub struct DurableEngine<K: Clone, T: Clone> {
     /// Successful WAL appends this process (drives failpoints).
     appends: u64,
     batches_since_snapshot: u64,
-}
-
-/// Wire tag for the generic row-major batch encoding: each event's key,
-/// timestamp, and value through their [`StateCodec`] forms in turn.
-const BATCH_ROWS: u8 = 0;
-
-/// Wire tag for the columnar delta-varint encoding used when both key
-/// and value are `u64` (the serving-fleet hot path). Keys are plain
-/// varints (zipf traffic keeps the hot ranks small); timestamps and
-/// values are zigzag varint deltas down their columns (timestamps are
-/// near-constant within a batch). The WAL shrinks from 24 fixed bytes
-/// per event to a few, and the durability tax is write bandwidth — see
-/// `durable_wal_overhead_100k` in the bench crate.
-const BATCH_U64_COLUMNS: u8 = 1;
-
-fn as_u64<V: 'static>(v: &V) -> Option<u64> {
-    (v as &dyn std::any::Any).downcast_ref::<u64>().copied()
-}
-
-fn from_u64<V: Clone + 'static>(v: u64) -> Option<V> {
-    (&v as &dyn std::any::Any).downcast_ref::<V>().cloned()
-}
-
-fn u64_fleet<K: 'static, T: 'static>() -> bool {
-    use std::any::TypeId;
-    TypeId::of::<K>() == TypeId::of::<u64>() && TypeId::of::<T>() == TypeId::of::<u64>()
-}
-
-/// Map a wrapping `u64` column delta onto a small varint: zigzag fold
-/// so deltas near zero — in either direction — encode in one byte.
-fn zigzag(delta: u64) -> u64 {
-    let d = delta as i64;
-    ((d << 1) ^ (d >> 63)) as u64
-}
-
-fn unzigzag(z: u64) -> u64 {
-    ((z >> 1) ^ (z & 1).wrapping_neg()) as i64 as u64
-}
-
-fn encode_batch<K, T>(batch: &[Event<K, T>]) -> Vec<u8>
-where
-    K: StateCodec + Clone + 'static,
-    T: StateCodec + Clone + 'static,
-{
-    if u64_fleet::<K, T>() {
-        // Columnar varints: capacity is a heuristic (hot batches land
-        // well under 6 bytes/event-column-triple).
-        let mut w = StateWriter::with_capacity(5 + batch.len() * 6);
-        w.put_u8(BATCH_U64_COLUMNS);
-        w.put_u32(batch.len() as u32);
-        for (key, ..) in batch {
-            w.put_varint_u64(as_u64(key).expect("type checked"));
-        }
-        let mut prev = 0u64;
-        for (_, now, _) in batch {
-            w.put_varint_u64(zigzag(now.wrapping_sub(prev)));
-            prev = *now;
-        }
-        let mut prev = 0u64;
-        for (_, _, value) in batch {
-            let v = as_u64(value).expect("type checked");
-            w.put_varint_u64(zigzag(v.wrapping_sub(prev)));
-            prev = v;
-        }
-        return w.into_bytes();
-    }
-    // Exact for fixed-width key/value types; a lower bound otherwise —
-    // either way the buffer never reallocates its way up from empty on
-    // every batch.
-    let mut w = StateWriter::with_capacity(5 + batch.len() * (K::MIN_BYTES + 8 + T::MIN_BYTES));
-    w.put_u8(BATCH_ROWS);
-    w.put_u32(batch.len() as u32);
-    for (key, now, value) in batch {
-        key.encode_state(&mut w);
-        w.put_u64(*now);
-        value.encode_state(&mut w);
-    }
-    w.into_bytes()
-}
-
-fn decode_batch<K, T>(bytes: &[u8]) -> Result<Vec<Event<K, T>>, StateError>
-where
-    K: StateCodec + Clone + 'static,
-    T: StateCodec + Clone + 'static,
-{
-    let mut r = StateReader::new(bytes);
-    match r.get_u8()? {
-        BATCH_ROWS => {
-            let n = r.get_count(K::MIN_BYTES + 8 + T::MIN_BYTES)?;
-            let mut batch = Vec::with_capacity(n);
-            for _ in 0..n {
-                let key = K::decode_state(&mut r)?;
-                let now = r.get_u64()?;
-                let value = T::decode_state(&mut r)?;
-                batch.push((key, now, value));
-            }
-            r.finish()?;
-            Ok(batch)
-        }
-        BATCH_U64_COLUMNS => {
-            if !u64_fleet::<K, T>() {
-                return Err(StateError::Corrupt(
-                    "columnar u64 batch record in a non-u64 fleet".into(),
-                ));
-            }
-            // Three varint columns, at least one byte per entry.
-            let n = r.get_count(3)?;
-            let mut batch: Vec<Event<K, T>> = Vec::with_capacity(n);
-            for _ in 0..n {
-                let key = from_u64::<K>(r.get_varint_u64()?).expect("type checked");
-                batch.push((key, 0, from_u64::<T>(0).expect("type checked")));
-            }
-            let mut prev = 0u64;
-            for event in batch.iter_mut() {
-                prev = prev.wrapping_add(unzigzag(r.get_varint_u64()?));
-                event.1 = prev;
-            }
-            let mut prev = 0u64;
-            for event in batch.iter_mut() {
-                prev = prev.wrapping_add(unzigzag(r.get_varint_u64()?));
-                event.2 = from_u64::<T>(prev).expect("type checked");
-            }
-            r.finish()?;
-            Ok(batch)
-        }
-        tag => Err(StateError::Corrupt(format!("unknown batch format {tag}"))),
-    }
 }
 
 impl<K, T> DurableEngine<K, T>
@@ -356,7 +230,28 @@ where
                 self.snapshot()?;
             }
         }
+        if self.opts.fail.shutdown_after_appends == Some(self.appends) {
+            // Graceful-shutdown failpoint: unlike the kill (which exits
+            // *before* apply, leaving un-applied durable records for
+            // replay), this takes the orderly exit path — final
+            // snapshot, then a distinct exit code.
+            self.close()?;
+            eprintln!(
+                "swsample-durable: failpoint shutdown after {} appends (exit {SHUTDOWN_EXIT_CODE})",
+                self.appends
+            );
+            std::process::exit(SHUTDOWN_EXIT_CODE);
+        }
         Ok(Some(seq))
+    }
+
+    /// Graceful shutdown: fsync the WAL and write a final snapshot, so
+    /// a reopen restores from the snapshot alone with no replay. This
+    /// is what SIGINT handlers and server shutdown call; dropping the
+    /// engine without it is still safe (crash recovery replays the
+    /// log) but leaves replay work for the next open.
+    pub fn close(&mut self) -> Result<PathBuf, DurableError> {
+        self.snapshot()
     }
 
     /// Fsync the WAL, then write a snapshot of every key's state with
@@ -470,37 +365,6 @@ mod tests {
     }
 
     #[test]
-    fn batch_codec_round_trips() {
-        // u64 fleets take the columnar delta-varint encoding — exercise
-        // backward deltas, wraparound-class extremes, and repeats.
-        let batch: Vec<Event<u64, u64>> = vec![
-            (1, 10, 100),
-            (2, 11, 200),
-            (u64::MAX, 5, 0),
-            (0, u64::MAX, u64::MAX),
-            (7, 6, 3),
-        ];
-        let bytes = encode_batch(&batch);
-        assert_eq!(bytes[0], BATCH_U64_COLUMNS);
-        assert_eq!(decode_batch::<u64, u64>(&bytes).expect("decode"), batch);
-        assert!(decode_batch::<u64, u64>(&bytes[..bytes.len() - 1]).is_err());
-        // Non-u64 keys take the generic row-major encoding.
-        let rows: Vec<Event<String, u64>> =
-            vec![("alpha".into(), 10, 100), ("beta".into(), 11, 200)];
-        let bytes = encode_batch(&rows);
-        assert_eq!(bytes[0], BATCH_ROWS);
-        assert_eq!(decode_batch::<String, u64>(&bytes).expect("decode"), rows);
-        assert!(decode_batch::<String, u64>(&bytes[..bytes.len() - 1]).is_err());
-        // A columnar record replayed into a non-u64 fleet is corruption,
-        // not a panic; so is an unknown tag.
-        let columnar = encode_batch(&batch);
-        assert!(decode_batch::<String, u64>(&columnar).is_err());
-        let mut unknown = columnar.clone();
-        unknown[0] = 9;
-        assert!(decode_batch::<u64, u64>(&unknown).is_err());
-    }
-
-    #[test]
     fn reopen_after_clean_shutdown_is_bit_identical() {
         let dir = tmp_dir("clean");
         let mut reference =
@@ -527,6 +391,36 @@ mod tests {
             DurableEngine::<u64, u64>::open(&dir, DurableOptions::default()).expect("open");
         assert_eq!(fleet_samples(reopened.engine()), fleet_samples(&reference));
         assert_eq!(reopened.next_seq(), 10);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn close_writes_a_snapshot_covering_the_whole_log() {
+        let dir = tmp_dir("close");
+        let mut durable = DurableEngine::<u64, u64>::create(
+            &dir,
+            template(),
+            4,
+            2,
+            FleetBackend::Auto,
+            DurableOptions::default(),
+        )
+        .expect("create");
+        for batch in batches(5) {
+            durable.ingest(&batch).expect("ingest");
+        }
+        durable.close().expect("close");
+        drop(durable);
+        // The final snapshot's watermark covers every logged batch, so a
+        // reopen restores from it alone — no replay work pending.
+        let (_, meta, _) = snapshot::latest_valid::<u64, u64>(&dir)
+            .expect("scan")
+            .expect("snapshot");
+        assert_eq!(meta.wal_seq, 5);
+        let reopened =
+            DurableEngine::<u64, u64>::open(&dir, DurableOptions::default()).expect("open");
+        assert_eq!(reopened.next_seq(), 5);
+        assert_eq!(reopened.engine().num_keys(), 13);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -17,6 +17,11 @@
 /// injected crash (expected) from a genuine panic or error (not).
 pub const CRASH_EXIT_CODE: i32 = 42;
 
+/// Exit code used by the graceful-shutdown failpoint — distinct from
+/// [`CRASH_EXIT_CODE`] because the two exercise different recovery
+/// paths (snapshot-only restore vs WAL replay).
+pub const SHUTDOWN_EXIT_CODE: i32 = 43;
+
 /// Name of the environment variable [`FailPlan::from_env`] reads.
 pub const FAILPOINT_ENV: &str = "SWSAMPLE_FAILPOINT";
 
@@ -36,6 +41,10 @@ pub struct FailPlan {
     /// Fail every WAL append after the Nth with a synthetic
     /// out-of-space I/O error.
     pub disk_full_after_appends: Option<u64>,
+    /// Take the graceful-shutdown path (final snapshot, then exit with
+    /// [`SHUTDOWN_EXIT_CODE`]) after the Nth append is applied —
+    /// simulating SIGINT mid-stream.
+    pub shutdown_after_appends: Option<u64>,
 }
 
 impl FailPlan {
@@ -73,6 +82,7 @@ impl std::str::FromStr for FailPlan {
                 "torn-tail" => &mut plan.torn_tail_bytes,
                 "corrupt-snapshot-byte" => &mut plan.corrupt_snapshot_byte,
                 "disk-full-after" => &mut plan.disk_full_after_appends,
+                "shutdown-after-appends" => &mut plan.shutdown_after_appends,
                 other => return Err(format!("unknown failpoint `{other}`")),
             };
             if slot.replace(value).is_some() {
@@ -98,6 +108,13 @@ mod tests {
         assert_eq!(plan.kill_after_appends, Some(40));
         assert_eq!(plan.torn_tail_bytes, Some(13));
         assert_eq!(plan.corrupt_snapshot_byte, None);
+        assert!(!plan.is_empty());
+    }
+
+    #[test]
+    fn parses_shutdown_plan() {
+        let plan: FailPlan = "shutdown-after-appends=7".parse().expect("parse");
+        assert_eq!(plan.shutdown_after_appends, Some(7));
         assert!(!plan.is_empty());
     }
 

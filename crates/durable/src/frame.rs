@@ -58,6 +58,13 @@ fn read_up_to(r: &mut impl Read, buf: &mut [u8]) -> io::Result<usize> {
 /// Read one frame. `Err` is reserved for real I/O failures; malformed
 /// bytes come back as [`FrameRead::Torn`].
 pub fn read_frame(r: &mut impl Read) -> io::Result<FrameRead> {
+    read_frame_capped(r, MAX_FRAME_BYTES)
+}
+
+/// [`read_frame`] with a caller-chosen payload cap. Network servers use
+/// a much tighter bound than the on-disk [`MAX_FRAME_BYTES`]: a length
+/// prefix above the cap is torn framing, not an allocation request.
+pub fn read_frame_capped(r: &mut impl Read, max_payload: u32) -> io::Result<FrameRead> {
     let mut header = [0u8; FRAME_HEADER_BYTES];
     let got = read_up_to(r, &mut header)?;
     if got == 0 {
@@ -70,8 +77,10 @@ pub fn read_frame(r: &mut impl Read) -> io::Result<FrameRead> {
     }
     let len = u32::from_le_bytes([header[0], header[1], header[2], header[3]]);
     let stored_crc = u32::from_le_bytes([header[4], header[5], header[6], header[7]]);
-    if len > MAX_FRAME_BYTES {
-        return Ok(FrameRead::Torn(format!("implausible frame length {len}")));
+    if len > max_payload {
+        return Ok(FrameRead::Torn(format!(
+            "implausible frame length {len} (cap {max_payload})"
+        )));
     }
     let mut payload = vec![0u8; len as usize];
     let got = read_up_to(r, &mut payload)?;
@@ -158,6 +167,21 @@ mod tests {
         assert!(matches!(
             read_frame(&mut r).expect("io"),
             FrameRead::Torn(_)
+        ));
+    }
+
+    #[test]
+    fn capped_reader_rejects_frames_over_the_cap() {
+        let bytes = framed(&[&[0u8; 100]]);
+        let mut r = &bytes[..];
+        assert!(matches!(
+            read_frame_capped(&mut r, 64).expect("io"),
+            FrameRead::Torn(_)
+        ));
+        let mut r = &bytes[..];
+        assert!(matches!(
+            read_frame_capped(&mut r, 100).expect("io"),
+            FrameRead::Frame(p) if p.len() == 100
         ));
     }
 }

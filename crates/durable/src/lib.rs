@@ -46,6 +46,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod engine;
 pub mod failpoint;
 pub mod frame;
@@ -53,7 +54,7 @@ pub mod snapshot;
 pub mod wal;
 
 pub use engine::{DurableEngine, DurableOptions, ResumeOverrides};
-pub use failpoint::{FailPlan, CRASH_EXIT_CODE};
+pub use failpoint::{FailPlan, CRASH_EXIT_CODE, SHUTDOWN_EXIT_CODE};
 
 use std::path::PathBuf;
 

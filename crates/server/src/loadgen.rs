@@ -1,0 +1,287 @@
+//! The load generator: N concurrent connections driving zipf-keyed
+//! batches, end-to-end throughput and reply-latency percentiles, and
+//! the across-the-wire determinism check.
+//!
+//! The workload is byte-for-byte the CLI `multi` workload (same
+//! [`ZipfGen`] + [`SmallRng`] draw order, same `(key, i/64, i)`
+//! shape), routed to connections by `key % connections` so each key's
+//! event subsequence rides one connection in order. Per-key sampler
+//! state depends only on that key's own batched subsequence, so the
+//! server's interleaving of connections is immaterial: an offline
+//! engine fed each connection's batches in connection-major order must
+//! answer **byte-identically** — [`run`] asserts exactly that when
+//! [`LoadgenConfig::verify`] is set. With one connection the server
+//! applies precisely `multi`'s batch sequence, which is what the CI
+//! smoke diffs ([`LoadgenConfig::render_multi`] reproduces `multi`'s
+//! stdout from query replies alone).
+
+use std::io::{self, Write};
+use std::time::Instant;
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use swsample_core::spec::{Algorithm, SamplerSpec, WindowKind};
+use swsample_stream::{MultiStreamEngine, ValueGen, ZipfGen};
+
+use crate::client::Client;
+use crate::protocol::{WireEvent, WireSample};
+
+/// What to drive and how hard.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Server address.
+    pub addr: String,
+    /// Concurrent connections.
+    pub connections: usize,
+    /// Zipf key domain (the `multi --keys` flag).
+    pub keys: u64,
+    /// Total events (the `multi --count` flag).
+    pub count: u64,
+    /// Zipf skew.
+    pub theta: f64,
+    /// Workload RNG seed.
+    pub workload_seed: u64,
+    /// Events per `INGEST` batch.
+    pub batch: usize,
+    /// After driving, replay the same batches into an offline engine
+    /// and assert every touched key's server answer is byte-identical.
+    pub verify: bool,
+    /// Reproduce the CLI `multi` stdout (top keys, `# keys`, `# memory`
+    /// lines) from query replies — only meaningful with 1 connection,
+    /// where the server's batch sequence equals `multi`'s.
+    pub render_multi: bool,
+    /// Hot keys to print in `render_multi` mode.
+    pub show: usize,
+    /// Send `SHUTDOWN` when done (after queries), asking the server to
+    /// drain, fsync, and snapshot.
+    pub shutdown_server: bool,
+}
+
+impl LoadgenConfig {
+    /// Defaults mirroring `multi`'s: 1 connection, 1000 keys, 100k
+    /// events, theta 1.1, seed 1, 512-event batches, no verification.
+    pub fn new(addr: impl Into<String>) -> LoadgenConfig {
+        LoadgenConfig {
+            addr: addr.into(),
+            connections: 1,
+            keys: 1000,
+            count: 100_000,
+            theta: 1.1,
+            workload_seed: 1,
+            batch: 512,
+            verify: false,
+            render_multi: false,
+            show: 3,
+            shutdown_server: false,
+        }
+    }
+}
+
+/// What the run measured.
+#[derive(Debug, Clone)]
+pub struct LoadgenReport {
+    /// Events driven end-to-end.
+    pub events_sent: u64,
+    /// `INGEST` batches driven (excluding busy retries).
+    pub batches_sent: u64,
+    /// Wall-clock seconds from first byte to last ack.
+    pub seconds: f64,
+    /// `events_sent / seconds`.
+    pub elems_per_sec: f64,
+    /// Median ingest reply latency, microseconds.
+    pub p50_us: u64,
+    /// 99th-percentile ingest reply latency, microseconds.
+    pub p99_us: u64,
+    /// `BUSY` rejections absorbed by retry (0 = no backpressure hit).
+    pub busy_retries: u64,
+    /// Keys compared against the offline engine (0 unless `verify`).
+    pub verified_keys: u64,
+}
+
+/// The workload, pre-partitioned: per-connection batch lists plus the
+/// per-key traffic counts (for `render_multi`'s hot-key report).
+struct Workload {
+    per_conn: Vec<Vec<Vec<WireEvent>>>,
+    traffic: Vec<(u64, u64)>,
+}
+
+fn generate(cfg: &LoadgenConfig) -> Workload {
+    let mut rng = SmallRng::seed_from_u64(cfg.workload_seed);
+    let mut zipf = ZipfGen::new(cfg.keys, cfg.theta);
+    let mut traffic: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+    let conns = cfg.connections.max(1);
+    let mut per_conn: Vec<Vec<Vec<WireEvent>>> = vec![Vec::new(); conns];
+    let mut open: Vec<Vec<WireEvent>> = vec![Vec::with_capacity(cfg.batch); conns];
+    for i in 0..cfg.count {
+        let key = zipf.next_value(&mut rng);
+        *traffic.entry(key).or_insert(0) += 1;
+        let c = (key % conns as u64) as usize;
+        open[c].push((key, i / 64, i));
+        if open[c].len() >= cfg.batch {
+            per_conn[c].push(std::mem::replace(
+                &mut open[c],
+                Vec::with_capacity(cfg.batch),
+            ));
+        }
+    }
+    for (c, chunk) in open.into_iter().enumerate() {
+        if !chunk.is_empty() {
+            per_conn[c].push(chunk);
+        }
+    }
+    let mut traffic: Vec<(u64, u64)> = traffic.into_iter().collect();
+    // `multi`'s deterministic hot-key order: traffic descending, key
+    // ascending as the tiebreak.
+    traffic.sort_unstable_by_key(|&(key, cnt)| (std::cmp::Reverse(cnt), key));
+    Workload { per_conn, traffic }
+}
+
+/// `multi`'s memory-line qualifier, reproduced client-side from the
+/// template the server handed back in `HELLO_ACK`.
+fn memory_note(spec: &SamplerSpec) -> &'static str {
+    match (spec.algorithm, spec.window) {
+        (Algorithm::Paper, WindowKind::Timestamp(_)) => "deterministic O(k log n)",
+        (Algorithm::Paper, _) | (Algorithm::ReservoirL, _) => "deterministic",
+        (Algorithm::WindowBuffer, _) => "exact O(n) buffer",
+        (Algorithm::Chain, _) | (Algorithm::Priority, _) => "randomized bound",
+    }
+}
+
+fn render_samples(samples: &Option<Vec<WireSample>>, timestamped: bool) -> String {
+    match samples {
+        Some(samples) => samples
+            .iter()
+            .map(|(value, index, timestamp)| {
+                if timestamped {
+                    format!("{value}@t{timestamp}")
+                } else {
+                    format!("{value}@{index}")
+                }
+            })
+            .collect::<Vec<_>>()
+            .join(" "),
+        None => "(window empty)".into(),
+    }
+}
+
+/// Drive the configured load, then (optionally) verify determinism
+/// across the wire and render `multi`-format output to `out`.
+pub fn run(cfg: &LoadgenConfig, out: &mut dyn Write) -> io::Result<LoadgenReport> {
+    let workload = generate(cfg);
+    let started = Instant::now();
+    let mut handles = Vec::new();
+    for (c, batches) in workload.per_conn.iter().enumerate() {
+        let addr = cfg.addr.clone();
+        let batches = batches.clone();
+        handles.push(
+            std::thread::Builder::new()
+                .name(format!("swsample-loadgen-{c}"))
+                .spawn(move || -> io::Result<(Vec<u64>, u64)> {
+                    let mut client = Client::connect(&addr, &format!("loadgen-{c}"))?;
+                    let mut latencies = Vec::with_capacity(batches.len());
+                    let mut busy = 0u64;
+                    for (seq, batch) in batches.iter().enumerate() {
+                        let t0 = Instant::now();
+                        busy += client.ingest_retry(seq as u64, batch)?;
+                        latencies.push(t0.elapsed().as_micros() as u64);
+                    }
+                    client.bye()?;
+                    Ok((latencies, busy))
+                })?,
+        );
+    }
+    let mut latencies: Vec<u64> = Vec::new();
+    let mut busy_retries = 0u64;
+    for handle in handles {
+        let (lat, busy) = handle
+            .join()
+            .map_err(|_| io::Error::other("loadgen connection thread panicked"))??;
+        latencies.extend(lat);
+        busy_retries += busy;
+    }
+    let seconds = started.elapsed().as_secs_f64().max(1e-9);
+    latencies.sort_unstable();
+    let pct = |p: f64| -> u64 {
+        if latencies.is_empty() {
+            return 0;
+        }
+        let at = ((latencies.len() as f64 - 1.0) * p).round() as usize;
+        latencies[at]
+    };
+    let batches_sent = latencies.len() as u64;
+    let report = LoadgenReport {
+        events_sent: cfg.count,
+        batches_sent,
+        seconds,
+        elems_per_sec: cfg.count as f64 / seconds,
+        p50_us: pct(0.50),
+        p99_us: pct(0.99),
+        busy_retries,
+        verified_keys: 0,
+    };
+    let mut report = report;
+
+    // Every ack is in hand, so the server has applied everything;
+    // queries from here are stable.
+    let mut client = Client::connect(&cfg.addr, "loadgen-query")?;
+    let template: SamplerSpec = client
+        .template()
+        .parse()
+        .map_err(|e| io::Error::other(format!("server template unparseable: {e}")))?;
+    let timestamped = matches!(template.window, WindowKind::Timestamp(_));
+
+    if cfg.verify {
+        // The offline reference: same batches, connection-major order.
+        // Per-key state folds over that key's own subsequence alone, so
+        // any server-side interleaving of connections must agree.
+        let mut offline: MultiStreamEngine<u64, u64> = MultiStreamEngine::new(template.clone())
+            .map_err(|e| io::Error::other(e.to_string()))?;
+        for batches in &workload.per_conn {
+            for batch in batches {
+                offline.ingest(batch);
+            }
+        }
+        for &(key, _) in &workload.traffic {
+            let expect: Option<Vec<WireSample>> = offline.sample_k(&key).map(|samples| {
+                samples
+                    .iter()
+                    .map(|s| (*s.value(), s.index(), s.timestamp()))
+                    .collect()
+            });
+            let got = client.query(key)?;
+            if got != expect {
+                return Err(io::Error::other(format!(
+                    "determinism violation at key {key}: server {got:?}, offline {expect:?}"
+                )));
+            }
+            report.verified_keys += 1;
+        }
+    }
+
+    if cfg.render_multi {
+        let stats = client.stats()?;
+        for &(key, cnt) in workload.traffic.iter().take(cfg.show) {
+            let rendered = render_samples(&client.query(key)?, timestamped);
+            writeln!(out, "key {key}\t{cnt} arrivals\t{rendered}")?;
+        }
+        writeln!(
+            out,
+            "# keys: {}/{} materialized across {} shards",
+            stats.engine.keys, cfg.keys, stats.engine.shards
+        )?;
+        writeln!(
+            out,
+            "# memory: fleet {} words, max per key {} words ({})",
+            stats.engine.memory_words,
+            stats.engine.max_key_words,
+            memory_note(&template)
+        )?;
+    }
+
+    if cfg.shutdown_server {
+        client.shutdown_server()?;
+    } else {
+        client.bye()?;
+    }
+    Ok(report)
+}

@@ -1,0 +1,979 @@
+//! The server runtime: acceptor, per-connection reader/writer threads,
+//! the bounded central ingest queue, and the continuous-query
+//! scheduler.
+//!
+//! Threading model (all `std`, no async runtime):
+//!
+//! * **Acceptor** — a non-blocking `accept` poll loop; each accepted
+//!   socket gets a registry entry, a reader thread, and a writer
+//!   thread, each wrapped in `catch_unwind` so one connection's panic
+//!   never takes the server down (the `ShardWorkerPool` isolation
+//!   idiom).
+//! * **Readers** decode frames and either answer directly (`QUERY`,
+//!   `STATS`, `SUBSCRIBE`) or push the batch onto the **bounded ingest
+//!   queue**. When `queued events + incoming > queue_max_events` the
+//!   batch is rejected with `BUSY` instead of buffered — backpressure
+//!   is explicit, the queue's high-watermark can never pass its bound,
+//!   and nothing is silently dropped (the client retries).
+//! * **The ingest loop** drains the queue into
+//!   [`MultiStreamEngine::ingest_parallel`] (or through
+//!   [`DurableEngine::ingest`] when a WAL directory is configured) and
+//!   acks each batch back to its connection. Because every
+//!   connection's batches enter the FIFO queue in connection order,
+//!   each key's event subsequence is applied in order — the engine's
+//!   determinism contract extends across the network boundary.
+//! * **The scheduler** ticks on a fixed cadence, evaluates due standing
+//!   queries against a snapshot-consistent
+//!   [`MultiStreamEngine::sample_k_many`] pass, and pushes results to
+//!   subscribers through per-connection drop-oldest rings: replies are
+//!   never dropped, pushes to a slow subscriber are (oldest first,
+//!   counted and reported in `STATS`), and ingestion never blocks on a
+//!   slow consumer.
+//!
+//! Shutdown (API call or the `SHUTDOWN` opcode) is graceful: stop
+//! accepting, unblock readers, drain the ingest queue fully, fsync +
+//! final-snapshot the WAL, then flush and close every connection.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::io::{self, BufReader, BufWriter, Write as _};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use swsample_core::{FleetBackend, MemoryWords, SamplerSpec};
+use swsample_durable::engine::Event;
+use swsample_durable::frame::write_frame;
+use swsample_durable::wal::DEFAULT_SEGMENT_BYTES;
+use swsample_durable::{DurableEngine, DurableOptions, ResumeOverrides};
+use swsample_stream::MultiStreamEngine;
+
+use crate::protocol::{
+    read_client_msg, ClientMsg, ErrorCode, ProtocolError, ReadOutcome, ServerMsg, SubscribeKind,
+    PROTOCOL_VERSION,
+};
+use crate::stats::{ConnStats, EngineStats, GlobalStats, StatsSnapshot};
+
+/// Everything a [`Server`] needs to start. Build one with
+/// [`ServerConfig::new`] and override fields as needed.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address (`127.0.0.1:0` picks an ephemeral port).
+    pub addr: String,
+    /// The per-key sampler template.
+    pub template: SamplerSpec,
+    /// Fleet shard count.
+    pub shards: usize,
+    /// Ingest worker threads.
+    pub threads: usize,
+    /// Fleet backend.
+    pub backend: FleetBackend,
+    /// When set, wrap the fleet in a [`DurableEngine`] rooted here
+    /// (created fresh, or resumed if the directory already holds a
+    /// snapshot).
+    pub wal_dir: Option<PathBuf>,
+    /// Auto-snapshot cadence for the durable fleet.
+    pub snapshot_every: Option<u64>,
+    /// WAL segment-roll threshold.
+    pub segment_bytes: u64,
+    /// Bound on events waiting in the central ingest queue; the
+    /// backpressure watermark.
+    pub queue_max_events: usize,
+    /// Per-connection outbound ring capacity (frames). Pushes beyond it
+    /// drop oldest-push-first; replies are never dropped.
+    pub ring_capacity: usize,
+    /// Scheduler tick interval for continuous queries.
+    pub tick: Duration,
+    /// Test knob: sleep this long per drained batch, simulating a slow
+    /// ingest loop to force backpressure.
+    pub drain_delay: Duration,
+}
+
+impl ServerConfig {
+    /// Defaults for everything but the template: ephemeral loopback
+    /// port, 16 shards, 1 thread, auto backend, no WAL, 256 Ki-event
+    /// queue bound, 1024-frame rings, 100 ms ticks.
+    pub fn new(template: SamplerSpec) -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            template,
+            shards: 16,
+            threads: 1,
+            backend: FleetBackend::Auto,
+            wal_dir: None,
+            snapshot_every: None,
+            segment_bytes: DEFAULT_SEGMENT_BYTES,
+            queue_max_events: 262_144,
+            ring_capacity: 1024,
+            tick: Duration::from_millis(100),
+            drain_delay: Duration::ZERO,
+        }
+    }
+}
+
+/// The fleet behind the server: plain in-memory, or WAL-backed (boxed —
+/// the durable engine carries WAL buffers that would bloat the enum).
+enum Fleet {
+    Plain(MultiStreamEngine<u64, u64>),
+    Durable(Box<Mutex<DurableEngine<u64, u64>>>),
+}
+
+impl Fleet {
+    fn apply(&self, batch: &[Event<u64, u64>]) -> Result<(), String> {
+        match self {
+            Fleet::Plain(engine) => engine.try_ingest_parallel(batch).map_err(|e| e.to_string()),
+            Fleet::Durable(engine) => {
+                let mut guard = engine.lock().expect("durable fleet lock poisoned");
+                guard.ingest(batch).map(|_| ()).map_err(|e| e.to_string())
+            }
+        }
+    }
+
+    fn sample_k(&self, key: u64) -> Option<Vec<swsample_core::Sample<u64>>> {
+        match self {
+            Fleet::Plain(engine) => engine.sample_k(&key),
+            Fleet::Durable(engine) => engine
+                .lock()
+                .expect("durable fleet lock poisoned")
+                .engine()
+                .sample_k(&key),
+        }
+    }
+
+    fn sample_k_many(&self, keys: &[u64]) -> Vec<Option<Vec<swsample_core::Sample<u64>>>> {
+        match self {
+            Fleet::Plain(engine) => engine.sample_k_many(keys),
+            Fleet::Durable(engine) => engine
+                .lock()
+                .expect("durable fleet lock poisoned")
+                .engine()
+                .sample_k_many(keys),
+        }
+    }
+
+    fn engine_stats(&self) -> EngineStats {
+        let grab = |e: &MultiStreamEngine<u64, u64>| EngineStats {
+            keys: e.num_keys() as u64,
+            shards: e.num_shards() as u64,
+            threads: e.num_threads() as u64,
+            memory_words: e.memory_words() as u64,
+            max_key_words: e.max_key_memory_words() as u64,
+        };
+        match self {
+            Fleet::Plain(engine) => grab(engine),
+            Fleet::Durable(engine) => {
+                grab(engine.lock().expect("durable fleet lock poisoned").engine())
+            }
+        }
+    }
+
+    fn template(&self) -> SamplerSpec {
+        match self {
+            Fleet::Plain(engine) => engine.template().clone(),
+            Fleet::Durable(engine) => engine
+                .lock()
+                .expect("durable fleet lock poisoned")
+                .engine()
+                .template()
+                .clone(),
+        }
+    }
+
+    /// Graceful close: fsync + final snapshot for the durable fleet, a
+    /// no-op for the plain one.
+    fn close(&self) {
+        if let Fleet::Durable(engine) = self {
+            let mut guard = engine.lock().expect("durable fleet lock poisoned");
+            if let Err(e) = guard.close() {
+                eprintln!("swsample-server: final snapshot failed: {e}");
+            }
+        }
+    }
+}
+
+/// Per-connection outbound frame ring: drop-oldest for droppable
+/// entries (continuous-query pushes), never for replies.
+struct OutRing {
+    cap: usize,
+    entries: VecDeque<(bool, Vec<u8>)>,
+    drops: u64,
+    closed: bool,
+}
+
+impl OutRing {
+    fn new(cap: usize) -> OutRing {
+        OutRing {
+            cap: cap.max(1),
+            entries: VecDeque::new(),
+            drops: 0,
+            closed: false,
+        }
+    }
+
+    /// Queue a frame payload; returns how many pushes were dropped to
+    /// make room (0 or 1).
+    fn push(&mut self, droppable: bool, payload: Vec<u8>) -> u64 {
+        if self.closed {
+            return 0;
+        }
+        if self.entries.len() >= self.cap {
+            if let Some(pos) = self.entries.iter().position(|(d, _)| *d) {
+                // Oldest droppable frame makes room.
+                self.entries.remove(pos);
+                self.drops += 1;
+                self.entries.push_back((droppable, payload));
+                return 1;
+            }
+            if droppable {
+                // Ring full of replies: the incoming push is the one
+                // that gives way.
+                self.drops += 1;
+                return 1;
+            }
+            // Replies are never dropped; the ring stretches (bounded in
+            // practice by the client's own request pipelining).
+        }
+        self.entries.push_back((droppable, payload));
+        0
+    }
+}
+
+struct Conn {
+    id: u64,
+    stream: TcpStream,
+    out: Mutex<OutRing>,
+    out_cv: Condvar,
+    events_in: AtomicU64,
+    batches_in: AtomicU64,
+    busy_rejections: AtomicU64,
+}
+
+impl Conn {
+    fn send(&self, droppable: bool, msg: &ServerMsg) -> u64 {
+        let dropped = {
+            let mut ring = self.out.lock().expect("out ring poisoned");
+            ring.push(droppable, msg.encode())
+        };
+        self.out_cv.notify_all();
+        dropped
+    }
+
+    fn close_ring(&self) {
+        self.out.lock().expect("out ring poisoned").closed = true;
+        self.out_cv.notify_all();
+    }
+
+    fn stats(&self) -> ConnStats {
+        ConnStats {
+            conn_id: self.id,
+            events_in: self.events_in.load(Ordering::Relaxed),
+            batches_in: self.batches_in.load(Ordering::Relaxed),
+            busy_rejections: self.busy_rejections.load(Ordering::Relaxed),
+            subscriber_drops: self.out.lock().expect("out ring poisoned").drops,
+        }
+    }
+}
+
+struct QueuedBatch {
+    conn_id: u64,
+    seq: u64,
+    events: Vec<Event<u64, u64>>,
+}
+
+#[derive(Default)]
+struct QueueInner {
+    batches: VecDeque<QueuedBatch>,
+    pending_events: usize,
+    hwm_events: usize,
+}
+
+/// The bounded central ingest queue. `push` rejects (→ `BUSY`) instead
+/// of exceeding `max_events`, so `hwm_events <= max_events` by
+/// construction.
+struct IngestQueue {
+    inner: Mutex<QueueInner>,
+    cv: Condvar,
+    max_events: usize,
+}
+
+impl IngestQueue {
+    fn new(max_events: usize) -> IngestQueue {
+        IngestQueue {
+            inner: Mutex::new(QueueInner::default()),
+            cv: Condvar::new(),
+            max_events: max_events.max(1),
+        }
+    }
+
+    fn push(&self, batch: QueuedBatch) -> Result<(), u64> {
+        let mut inner = self.inner.lock().expect("ingest queue poisoned");
+        let n = batch.events.len();
+        if inner.pending_events + n > self.max_events {
+            return Err(inner.pending_events as u64);
+        }
+        inner.pending_events += n;
+        inner.hwm_events = inner.hwm_events.max(inner.pending_events);
+        inner.batches.push_back(batch);
+        drop(inner);
+        self.cv.notify_one();
+        Ok(())
+    }
+
+    /// Next batch, blocking. `None` only after shutdown is flagged
+    /// *and* the queue has fully drained — no enqueued event is lost.
+    fn pop(&self, shutdown: &AtomicBool) -> Option<QueuedBatch> {
+        let mut inner = self.inner.lock().expect("ingest queue poisoned");
+        loop {
+            if let Some(batch) = inner.batches.pop_front() {
+                inner.pending_events -= batch.events.len();
+                return Some(batch);
+            }
+            if shutdown.load(Ordering::SeqCst) {
+                return None;
+            }
+            let (guard, _) = self
+                .cv
+                .wait_timeout(inner, Duration::from_millis(50))
+                .expect("ingest queue poisoned");
+            inner = guard;
+        }
+    }
+}
+
+struct Subscription {
+    id: u64,
+    conn_id: u64,
+    kind: SubscribeKind,
+    key: u64,
+    every_ticks: u64,
+    threshold: u64,
+}
+
+struct Shared {
+    cfg: ServerConfig,
+    fleet: Fleet,
+    queue: IngestQueue,
+    conns: Mutex<BTreeMap<u64, Arc<Conn>>>,
+    subs: Mutex<Vec<Subscription>>,
+    global: Mutex<GlobalStats>,
+    sub_drops: AtomicU64,
+    shutdown: AtomicBool,
+    next_conn_id: AtomicU64,
+    next_sub_id: AtomicU64,
+    reader_threads: Mutex<Vec<JoinHandle<()>>>,
+    writer_threads: Mutex<Vec<JoinHandle<()>>>,
+    started: Instant,
+}
+
+impl Shared {
+    fn global(&self) -> MutexGuard<'_, GlobalStats> {
+        self.global.lock().expect("global counters poisoned")
+    }
+
+    /// One consistent snapshot: global counters, queue depth/watermark,
+    /// fleet shape, and per-connection counters, all under the global
+    /// lock (the single place these locks nest).
+    fn snapshot(&self) -> StatsSnapshot {
+        let mut global = self.global().clone();
+        {
+            let q = self.queue.inner.lock().expect("ingest queue poisoned");
+            global.queue_events = q.pending_events as u64;
+            global.queue_hwm_events = q.hwm_events as u64;
+        }
+        global.subscriber_drops = self.sub_drops.load(Ordering::Relaxed);
+        let conns: Vec<ConnStats> = self
+            .conns
+            .lock()
+            .expect("conn registry poisoned")
+            .values()
+            .map(|c| c.stats())
+            .collect();
+        StatsSnapshot {
+            global,
+            engine: self.fleet.engine_stats(),
+            conns,
+        }
+    }
+
+    fn conn(&self, id: u64) -> Option<Arc<Conn>> {
+        self.conns
+            .lock()
+            .expect("conn registry poisoned")
+            .get(&id)
+            .cloned()
+    }
+}
+
+/// A running server. Dropping it without [`shutdown`](Server::shutdown)
+/// still shuts down gracefully (drains and snapshots), discarding the
+/// final stats.
+pub struct Server {
+    shared: Arc<Shared>,
+    local_addr: SocketAddr,
+    acceptor: Option<JoinHandle<()>>,
+    ingest: Option<JoinHandle<()>>,
+    scheduler: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind, build the fleet, and spawn the acceptor, ingest loop, and
+    /// scheduler.
+    pub fn start(cfg: ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let fleet = build_fleet(&cfg).map_err(io::Error::other)?;
+        let shared = Arc::new(Shared {
+            queue: IngestQueue::new(cfg.queue_max_events),
+            cfg,
+            fleet,
+            conns: Mutex::new(BTreeMap::new()),
+            subs: Mutex::new(Vec::new()),
+            global: Mutex::new(GlobalStats::default()),
+            sub_drops: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+            next_conn_id: AtomicU64::new(1),
+            next_sub_id: AtomicU64::new(1),
+            reader_threads: Mutex::new(Vec::new()),
+            writer_threads: Mutex::new(Vec::new()),
+            started: Instant::now(),
+        });
+        let spawn = |name: &str, body: Box<dyn FnOnce() + Send>| -> io::Result<JoinHandle<()>> {
+            let tag = name.to_string();
+            std::thread::Builder::new()
+                .name(tag.clone())
+                .spawn(move || {
+                    if catch_unwind(AssertUnwindSafe(body)).is_err() {
+                        eprintln!("swsample-server: {tag} thread panicked");
+                    }
+                })
+        };
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            spawn(
+                "swsample-acceptor",
+                Box::new(move || accept_loop(shared, listener)),
+            )?
+        };
+        let ingest = {
+            let shared = Arc::clone(&shared);
+            spawn("swsample-ingest", Box::new(move || ingest_loop(shared)))?
+        };
+        let scheduler = {
+            let shared = Arc::clone(&shared);
+            spawn(
+                "swsample-scheduler",
+                Box::new(move || scheduler_loop(shared)),
+            )?
+        };
+        Ok(Server {
+            shared,
+            local_addr,
+            acceptor: Some(acceptor),
+            ingest: Some(ingest),
+            scheduler: Some(scheduler),
+        })
+    }
+
+    /// The bound address (with the resolved ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// A consistent stats snapshot of the running server.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.shared.snapshot()
+    }
+
+    /// True once shutdown has been requested — by a `SHUTDOWN` frame or
+    /// a [`shutdown`](Server::shutdown) call.
+    pub fn shutdown_requested(&self) -> bool {
+        self.shared.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Graceful shutdown: stop accepting, unblock readers, drain every
+    /// enqueued batch into the fleet, fsync + final-snapshot the WAL,
+    /// flush and close every connection. Returns the final stats after
+    /// printing the one-line stderr metrics summary.
+    pub fn shutdown(mut self) -> StatsSnapshot {
+        self.shutdown_inner()
+    }
+
+    fn shutdown_inner(&mut self) -> StatsSnapshot {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // 1. Stop accepting — after this join the registry can only
+        //    shrink, so no reader escapes the next step.
+        if let Some(handle) = self.acceptor.take() {
+            let _ = handle.join();
+        }
+        // 2. Unblock and join every reader: no new work can enter the
+        //    ingest queue once they are gone.
+        for conn in self
+            .shared
+            .conns
+            .lock()
+            .expect("conn registry poisoned")
+            .values()
+        {
+            let _ = conn.stream.shutdown(Shutdown::Read);
+        }
+        let readers: Vec<JoinHandle<()>> = std::mem::take(
+            &mut *self
+                .shared
+                .reader_threads
+                .lock()
+                .expect("reader threads poisoned"),
+        );
+        for handle in readers {
+            let _ = handle.join();
+        }
+        // 3. The ingest loop drains the queue fully — every accepted
+        //    batch is applied and acked — then closes the fleet (final
+        //    WAL fsync + snapshot).
+        self.shared.queue.cv.notify_all();
+        if let Some(handle) = self.ingest.take() {
+            let _ = handle.join();
+        }
+        if let Some(handle) = self.scheduler.take() {
+            let _ = handle.join();
+        }
+        let stats = self.shared.snapshot();
+        // 4. Writers flush their rings (reader teardown closed them)
+        //    and half-close the sockets.
+        let writers: Vec<JoinHandle<()>> = std::mem::take(
+            &mut *self
+                .shared
+                .writer_threads
+                .lock()
+                .expect("writer threads poisoned"),
+        );
+        for handle in writers {
+            let _ = handle.join();
+        }
+        let elapsed = self.shared.started.elapsed().as_secs_f64().max(1e-9);
+        let elems_per_sec = stats.global.events_applied as f64 / elapsed;
+        eprintln!("{}", stats.metrics_line(elems_per_sec));
+        stats
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        if self.acceptor.is_some() || self.ingest.is_some() || self.scheduler.is_some() {
+            self.shutdown_inner();
+        }
+    }
+}
+
+fn build_fleet(cfg: &ServerConfig) -> Result<Fleet, String> {
+    match &cfg.wal_dir {
+        None => MultiStreamEngine::with_backend(
+            cfg.template.clone(),
+            cfg.shards,
+            swsample_baselines::spec::build::<u64>,
+            cfg.threads,
+            cfg.backend,
+        )
+        .map(Fleet::Plain)
+        .map_err(|e| e.to_string()),
+        Some(dir) => {
+            let opts = DurableOptions {
+                segment_bytes: cfg.segment_bytes,
+                snapshot_every: cfg.snapshot_every,
+                ..DurableOptions::default()
+            };
+            let has_snapshot = std::fs::read_dir(dir)
+                .map(|entries| {
+                    entries
+                        .flatten()
+                        .any(|e| e.path().extension().map(|x| x == "snap").unwrap_or(false))
+                })
+                .unwrap_or(false);
+            let engine = if has_snapshot {
+                DurableEngine::open_with(
+                    dir,
+                    opts,
+                    ResumeOverrides {
+                        shards: Some(cfg.shards),
+                        threads: Some(cfg.threads),
+                        backend: Some(cfg.backend),
+                    },
+                )
+            } else {
+                DurableEngine::create(
+                    dir,
+                    cfg.template.clone(),
+                    cfg.shards,
+                    cfg.threads,
+                    cfg.backend,
+                    opts,
+                )
+            };
+            engine
+                .map(|e| Fleet::Durable(Box::new(Mutex::new(e))))
+                .map_err(|e| e.to_string())
+        }
+    }
+}
+
+fn accept_loop(shared: Arc<Shared>, listener: TcpListener) {
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                if let Err(e) = spawn_conn(&shared, stream) {
+                    eprintln!("swsample-server: failed to start connection: {e}");
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(e) => {
+                eprintln!("swsample-server: accept error: {e}");
+                std::thread::sleep(Duration::from_millis(20));
+            }
+        }
+    }
+}
+
+fn spawn_conn(shared: &Arc<Shared>, stream: TcpStream) -> io::Result<()> {
+    stream.set_nodelay(true)?;
+    let id = shared.next_conn_id.fetch_add(1, Ordering::SeqCst);
+    let conn = Arc::new(Conn {
+        id,
+        stream: stream.try_clone()?,
+        out: Mutex::new(OutRing::new(shared.cfg.ring_capacity)),
+        out_cv: Condvar::new(),
+        events_in: AtomicU64::new(0),
+        batches_in: AtomicU64::new(0),
+        busy_rejections: AtomicU64::new(0),
+    });
+    shared
+        .conns
+        .lock()
+        .expect("conn registry poisoned")
+        .insert(id, Arc::clone(&conn));
+    {
+        let mut g = shared.global();
+        g.connections_total += 1;
+        g.connections_open += 1;
+    }
+    let reader = {
+        let shared = Arc::clone(shared);
+        let conn = Arc::clone(&conn);
+        let stream = stream.try_clone()?;
+        std::thread::Builder::new()
+            .name(format!("swsample-conn-{id}-r"))
+            .spawn(move || {
+                if catch_unwind(AssertUnwindSafe(|| reader_loop(&shared, &conn, stream))).is_err() {
+                    eprintln!("swsample-server: connection {id} reader panicked");
+                }
+                // Teardown runs whether the reader returned or panicked.
+                conn_teardown(&shared, &conn);
+            })?
+    };
+    let writer = {
+        let conn = Arc::clone(&conn);
+        std::thread::Builder::new()
+            .name(format!("swsample-conn-{id}-w"))
+            .spawn(move || {
+                if catch_unwind(AssertUnwindSafe(|| writer_loop(&conn, stream))).is_err() {
+                    eprintln!("swsample-server: connection {id} writer panicked");
+                }
+            })?
+    };
+    shared
+        .reader_threads
+        .lock()
+        .expect("reader threads poisoned")
+        .push(reader);
+    shared
+        .writer_threads
+        .lock()
+        .expect("writer threads poisoned")
+        .push(writer);
+    Ok(())
+}
+
+fn conn_teardown(shared: &Shared, conn: &Conn) {
+    shared
+        .conns
+        .lock()
+        .expect("conn registry poisoned")
+        .remove(&conn.id);
+    shared
+        .subs
+        .lock()
+        .expect("subscriptions poisoned")
+        .retain(|s| s.conn_id != conn.id);
+    shared.global().connections_open -= 1;
+    conn.close_ring();
+}
+
+fn reader_loop(shared: &Arc<Shared>, conn: &Arc<Conn>, stream: TcpStream) {
+    let mut reader = BufReader::new(stream);
+    let mut offset = 0u64;
+    let mut hello_done = false;
+    // `Err` is a connection-level I/O failure: just drop the connection.
+    while let Ok(outcome) = read_client_msg(&mut reader, &mut offset) {
+        let msg = match outcome {
+            ReadOutcome::Eof => break,
+            ReadOutcome::Bad(e) => {
+                // Typed protocol error, then close: framing is
+                // unrecoverable mid-stream.
+                send_protocol_error(conn, &e);
+                break;
+            }
+            ReadOutcome::Msg(msg) => msg,
+        };
+        if !hello_done {
+            match msg {
+                ClientMsg::Hello { version, .. } if version == PROTOCOL_VERSION => {
+                    hello_done = true;
+                    conn.send(
+                        false,
+                        &ServerMsg::HelloAck {
+                            version: PROTOCOL_VERSION,
+                            conn_id: conn.id,
+                            template: shared.fleet.template().to_string(),
+                        },
+                    );
+                    continue;
+                }
+                ClientMsg::Hello { version, .. } => {
+                    send_protocol_error(
+                        conn,
+                        &ProtocolError {
+                            code: ErrorCode::Version,
+                            offset,
+                            detail: format!(
+                                "client speaks version {version}, server speaks {PROTOCOL_VERSION}"
+                            ),
+                        },
+                    );
+                    break;
+                }
+                _ => {
+                    send_protocol_error(
+                        conn,
+                        &ProtocolError {
+                            code: ErrorCode::State,
+                            offset,
+                            detail: "first message must be HELLO".into(),
+                        },
+                    );
+                    break;
+                }
+            }
+        }
+        match msg {
+            ClientMsg::Hello { .. } => {
+                send_protocol_error(
+                    conn,
+                    &ProtocolError {
+                        code: ErrorCode::State,
+                        offset,
+                        detail: "duplicate HELLO".into(),
+                    },
+                );
+                break;
+            }
+            ClientMsg::Ingest { seq, batch } => {
+                let n = batch.len() as u64;
+                conn.events_in.fetch_add(n, Ordering::Relaxed);
+                conn.batches_in.fetch_add(1, Ordering::Relaxed);
+                {
+                    let mut g = shared.global();
+                    g.events_in += n;
+                    g.batches_in += 1;
+                }
+                if batch.is_empty() {
+                    conn.send(false, &ServerMsg::IngestOk { seq, events: 0 });
+                    continue;
+                }
+                match shared.queue.push(QueuedBatch {
+                    conn_id: conn.id,
+                    seq,
+                    events: batch,
+                }) {
+                    Ok(()) => {} // acked by the ingest loop once applied
+                    Err(queued_events) => {
+                        conn.busy_rejections.fetch_add(1, Ordering::Relaxed);
+                        shared.global().busy_rejections += 1;
+                        conn.send(false, &ServerMsg::Busy { seq, queued_events });
+                    }
+                }
+            }
+            ClientMsg::Query { key } => {
+                let samples = shared.fleet.sample_k(key).map(|samples| {
+                    samples
+                        .iter()
+                        .map(|s| (*s.value(), s.index(), s.timestamp()))
+                        .collect()
+                });
+                conn.send(false, &ServerMsg::Samples { key, samples });
+            }
+            ClientMsg::Subscribe {
+                kind,
+                key,
+                every_ticks,
+                threshold,
+            } => {
+                let id = shared.next_sub_id.fetch_add(1, Ordering::SeqCst);
+                shared
+                    .subs
+                    .lock()
+                    .expect("subscriptions poisoned")
+                    .push(Subscription {
+                        id,
+                        conn_id: conn.id,
+                        kind,
+                        key,
+                        every_ticks: every_ticks.max(1),
+                        threshold,
+                    });
+                conn.send(false, &ServerMsg::SubAck { id });
+            }
+            ClientMsg::Stats => {
+                conn.send(false, &ServerMsg::StatsReply(shared.snapshot()));
+            }
+            ClientMsg::Bye => {
+                conn.send(false, &ServerMsg::Bye);
+                break;
+            }
+            ClientMsg::Shutdown => {
+                conn.send(false, &ServerMsg::Bye);
+                shared.shutdown.store(true, Ordering::SeqCst);
+                shared.queue.cv.notify_all();
+                break;
+            }
+        }
+    }
+}
+
+fn send_protocol_error(conn: &Conn, e: &ProtocolError) {
+    conn.send(
+        false,
+        &ServerMsg::Error {
+            code: e.code,
+            offset: e.offset,
+            detail: e.detail.clone(),
+        },
+    );
+}
+
+fn writer_loop(conn: &Conn, stream: TcpStream) {
+    let mut writer = BufWriter::new(stream);
+    loop {
+        let payload = {
+            let mut ring = conn.out.lock().expect("out ring poisoned");
+            loop {
+                if let Some((_, payload)) = ring.entries.pop_front() {
+                    break Some(payload);
+                }
+                if ring.closed {
+                    break None;
+                }
+                ring = conn.out_cv.wait(ring).expect("out ring poisoned");
+            }
+        };
+        match payload {
+            Some(payload) => {
+                if write_frame(&mut writer, &payload).is_err() || writer.flush().is_err() {
+                    // Peer gone: stop writing; the reader notices EOF.
+                    break;
+                }
+            }
+            None => break,
+        }
+    }
+    let _ = writer.flush();
+    let _ = conn.stream.shutdown(Shutdown::Write);
+}
+
+fn ingest_loop(shared: Arc<Shared>) {
+    while let Some(batch) = shared.queue.pop(&shared.shutdown) {
+        if !shared.cfg.drain_delay.is_zero() {
+            std::thread::sleep(shared.cfg.drain_delay);
+        }
+        let n = batch.events.len() as u64;
+        let reply = match shared.fleet.apply(&batch.events) {
+            Ok(()) => {
+                shared.global().events_applied += n;
+                ServerMsg::IngestOk {
+                    seq: batch.seq,
+                    events: n,
+                }
+            }
+            Err(detail) => ServerMsg::Error {
+                code: ErrorCode::Internal,
+                offset: 0,
+                detail,
+            },
+        };
+        if let Some(conn) = shared.conn(batch.conn_id) {
+            conn.send(false, &reply);
+        }
+    }
+    // Queue fully drained; make everything durable before exit.
+    shared.fleet.close();
+}
+
+fn scheduler_loop(shared: Arc<Shared>) {
+    let mut tick = 0u64;
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        std::thread::sleep(shared.cfg.tick);
+        tick += 1;
+        shared.global().ticks = tick;
+        // Clone the due subscriptions out so sampling and delivery run
+        // without the subscription lock.
+        let due: Vec<(u64, u64, SubscribeKind, u64, u64)> = shared
+            .subs
+            .lock()
+            .expect("subscriptions poisoned")
+            .iter()
+            .filter(|s| tick.is_multiple_of(s.every_ticks))
+            .map(|s| (s.id, s.conn_id, s.kind, s.key, s.threshold))
+            .collect();
+        if due.is_empty() {
+            continue;
+        }
+        let mut keys: Vec<u64> = due.iter().map(|d| d.3).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        // One snapshot-consistent pass over the shard locks for every
+        // due key.
+        let samples = shared.fleet.sample_k_many(&keys);
+        let aggregate = |key: u64| -> Option<(u64, u64)> {
+            let at = keys.binary_search(&key).ok()?;
+            let sample = samples[at].as_ref()?;
+            let sum = sample.iter().map(|s| *s.value()).sum();
+            Some((sample.len() as u64, sum))
+        };
+        for (id, conn_id, kind, key, threshold) in due {
+            let Some((count, sum)) = aggregate(key) else {
+                continue;
+            };
+            if kind == SubscribeKind::Threshold && sum < threshold {
+                continue;
+            }
+            if let Some(conn) = shared.conn(conn_id) {
+                let dropped = conn.send(
+                    true,
+                    &ServerMsg::Push {
+                        id,
+                        tick,
+                        key,
+                        count,
+                        sum,
+                    },
+                );
+                if dropped > 0 {
+                    shared.sub_drops.fetch_add(dropped, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+}

@@ -620,6 +620,53 @@ impl<K: Hash + Eq + Clone, T: Clone + Send + Sync + 'static> MultiStreamEngine<K
         guard.store.sample_k(slot)
     }
 
+    /// [`sample_k`](Self::sample_k) for many keys in one pass, one
+    /// result per input key in order. Keys are grouped by shard so each
+    /// shard's lock is taken once (read first for the RNG-free fast
+    /// path, write only for the keys that need it) — the scheduler tick
+    /// of a server evaluating many standing queries against a
+    /// snapshot-consistent shard view, without `keys.len()` lock
+    /// round-trips.
+    pub fn sample_k_many(&self, keys: &[K]) -> Vec<Option<Vec<Sample<T>>>> {
+        let mut out: Vec<Option<Vec<Sample<T>>>> = (0..keys.len()).map(|_| None).collect();
+        // (position, hash) per shard, reusing the ingest routing shape.
+        let mut by_shard: Vec<Vec<(usize, u64)>> =
+            (0..self.shards.len()).map(|_| Vec::new()).collect();
+        for (pos, key) in keys.iter().enumerate() {
+            let hash = fx_hash_key(key);
+            by_shard[self.shard_of(hash)].push((pos, hash));
+        }
+        for (shard, routed) in self.shards.iter().zip(&by_shard) {
+            if routed.is_empty() {
+                continue;
+            }
+            // Read pass: resolve slots and take every RNG-free sample.
+            let mut pending: Vec<(usize, u64)> = Vec::new();
+            {
+                let guard = self.read(shard);
+                for &(pos, hash) in routed {
+                    if let Some(slot) = guard.registry.find(hash, &keys[pos]) {
+                        match guard.store.shared_sample_k(slot) {
+                            Some(res) => out[pos] = res,
+                            None => pending.push((pos, hash)),
+                        }
+                    }
+                }
+            }
+            if pending.is_empty() {
+                continue;
+            }
+            // Write pass for the keys whose draw needs `&mut` state.
+            let mut guard = self.write(shard);
+            for (pos, hash) in pending {
+                if let Some(slot) = guard.registry.find(hash, &keys[pos]) {
+                    out[pos] = guard.store.sample_k(slot);
+                }
+            }
+        }
+        out
+    }
+
     /// One uniform sample from the key's window, or `None` as in
     /// [`sample_k`](MultiStreamEngine::sample_k). Same read-lock fast
     /// path where the draw is RNG-free.
@@ -1074,6 +1121,32 @@ mod tests {
         )
         .expect("engine");
         assert_eq!(explicit.backend(), FleetBackend::Soa);
+    }
+
+    #[test]
+    fn sample_k_many_matches_per_key_queries() {
+        // Both backends: the batched read must agree element-for-element
+        // with sample_k, and misses must come back as None in position.
+        for backend in [FleetBackend::Soa, FleetBackend::Erased] {
+            let mut e: MultiStreamEngine<u64, u64> = MultiStreamEngine::with_backend(
+                seq_wr_spec(8, 3, 5),
+                4,
+                SamplerSpec::build::<u64>,
+                1,
+                backend,
+            )
+            .expect("engine");
+            let events: Vec<(u64, u64, u64)> = (0..500u64).map(|i| (i % 23, 0, i)).collect();
+            e.ingest(&events);
+            let mut keys: Vec<u64> = (0..30u64).collect();
+            keys.push(7); // duplicates answer independently
+            let many = e.sample_k_many(&keys);
+            assert_eq!(many.len(), keys.len());
+            for (key, got) in keys.iter().zip(&many) {
+                assert_eq!(*got, e.sample_k(key), "key {key} ({backend:?})");
+                assert_eq!(got.is_some(), *key < 23, "key {key} ({backend:?})");
+            }
+        }
     }
 
     #[test]

@@ -19,6 +19,10 @@
 //! * [`stats`] — the statistical test machinery used for validation.
 //! * [`durable`] — write-ahead logging, O(k) snapshots, and bit-identical
 //!   crash recovery for the keyed fleet ([`durable::DurableEngine`]).
+//! * [`server`] — a std-only TCP serving layer over the fleet
+//!   ([`server::Server`]): length-prefixed crc-framed wire protocol,
+//!   batched ingest with backpressure, continuous queries, and the
+//!   [`server::Client`] / load-generator pair.
 //!
 //! ## Quickstart
 //!
@@ -53,5 +57,6 @@ pub use swsample_core as core;
 pub use swsample_counting as counting;
 pub use swsample_durable as durable;
 pub use swsample_query as query;
+pub use swsample_server as server;
 pub use swsample_stats as stats;
 pub use swsample_stream as stream;

@@ -9,8 +9,10 @@
 //! 3. **Scale** — the 100k-key zipf acceptance run through
 //!    `ingest_parallel`, re-asserting the paper's per-key word cap.
 //! 4. **Committed artifact** — the checked-in `BENCH_throughput.json`
-//!    is schema v4 and records the gated `multi_100k_speedup ≥ 2` and
-//!    `multi_soa_100k_speedup ≥ 1.5` headlines plus the machine block.
+//!    is schema v6 and records the gated `multi_100k_speedup ≥ 2`,
+//!    `multi_soa_100k_speedup ≥ 1.5`, `durable_wal_overhead_100k ≥ 0.7`,
+//!    and `server_e2e_100k_vs_direct ≥ 0.5` headlines plus the machine
+//!    block.
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -217,23 +219,25 @@ fn field(body: &str, key: &str) -> f64 {
     rest[..end].trim().parse().expect("numeric field")
 }
 
-/// The committed artifact is schema v5 and holds the engine-redesign
+/// The committed artifact is schema v6 and holds the engine-redesign
 /// acceptance bars: slab + parallel ingestion ≥ 2× the PR-3 baseline at
 /// 100k keys (best thread count), the SoA fleet backend ≥ 1.5× the
 /// v3 committed erased figure (sustained) plus ≥ 1× erased in the same
-/// run, and WAL-on ingest ≥ 0.7× WAL-off at 100k keys. `bench_throughput`
-/// refuses to write a sub-bar file; this refuses to let a hand-edited
-/// or stale one past CI.
+/// run, WAL-on ingest ≥ 0.7× WAL-off at 100k keys, and end-to-end
+/// serving ≥ 0.5× same-run direct ingest at 100k keys.
+/// `bench_throughput` refuses to write a sub-bar file; this refuses to
+/// let a hand-edited or stale one past CI.
 #[test]
 fn committed_artifact_holds_parallel_acceptance_bar() {
     let body = committed_artifact();
     swsample_bench::json::validate(&body).expect("committed artifact parses");
     assert!(
-        body.contains("\"schema\": \"swsample-bench-throughput/v5\""),
-        "artifact is schema v5"
+        body.contains("\"schema\": \"swsample-bench-throughput/v6\""),
+        "artifact is schema v6"
     );
     assert!(body.contains("\"parallel\": ["), "parallel section present");
     assert!(body.contains("\"durable\": ["), "durable section present");
+    assert!(body.contains("\"server\": ["), "server section present");
     assert!(
         body.contains("\"machine\": {"),
         "machine descriptor block present"
@@ -258,6 +262,11 @@ fn committed_artifact_holds_parallel_acceptance_bar() {
     assert!(
         wal >= swsample_bench::throughput::DURABLE_WAL_100K_GATE,
         "committed durable_wal_overhead_100k {wal}x below the acceptance bar"
+    );
+    let e2e = field(&body, "server_e2e_100k_vs_direct");
+    assert!(
+        e2e >= swsample_bench::throughput::SERVER_E2E_100K_GATE,
+        "committed server_e2e_100k_vs_direct {e2e}x below the acceptance bar"
     );
     // Both backends appear as multi rows, erased first then soa.
     for backend in ["erased", "soa"] {
