@@ -22,6 +22,7 @@ use crate::args::{ArgError, Args};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::io::{BufRead, Write};
+use swsample_core::fault::FaultSchedule;
 use swsample_core::spec::{Algorithm, FleetBackend, SamplerSpec, WindowKind};
 use swsample_core::{ErasedWindowSampler, MemoryWords};
 use swsample_durable::{DurableEngine, DurableOptions, FailPlan, ResumeOverrides};
@@ -87,15 +88,27 @@ pub fn write_help(out: &mut dyn Write) -> std::io::Result<()> {
                  [--shards S] [--threads W] [--backend auto|erased|soa]\n\
                  [--wal DIR] [--snapshot-every B] [--segment-bytes N]\n\
                  [--queue-max-events N] [--ring-capacity N] [--tick-ms T]\n\
+                 [--drain-delay-ms D]\n\
                  (first stderr line is `# listening on HOST:PORT`; a\n\
                  client SHUTDOWN frame drains, snapshots, and exits;\n\
                  ingest past the queue bound answers BUSY, not buffering)\n\
+                 hardening: [--read-deadline-ms T] [--write-deadline-ms T]\n\
+                 [--idle-timeout-ms T] [--max-conns N]\n\
+                 [--slow-consumer-budget D]  (0 disables a knob; past the\n\
+                 conn cap new connections get a typed OVERLOAD reject)\n\
+                 chaos: [--faults SPEC] or SWSAMPLE_FAULTS, e.g.\n\
+                 seed=42,drop-rx=1/61,stall-tx=1/37:5ms,flip-tx=1/71,\n\
+                 wal-append=1/23 — seeded, deterministic, replayable\n\
            loadgen drive a `serve` instance with the `multi` workload\n\
                  --addr HOST:PORT [--connections C] --keys K --count N\n\
                  [--theta T] [--workload-seed S] [--batch-size B]\n\
                  [--verify] [--render-multi] [--show H] [--shutdown-server]\n\
+                 [--retry-base-us B] [--retry-cap-us C]\n\
+                 [--retry-deadline-ms D] [--io-timeout-ms T]\n\
                  (--verify replays offline and asserts byte-identical\n\
-                 answers; --render-multi reproduces `multi` stdout)\n\
+                 answers; --render-multi reproduces `multi` stdout;\n\
+                 BUSY and dead connections retry under bounded\n\
+                 exponential backoff, reconnects dedupe by session)\n\
            seq   shorthand: sample the last N lines of stdin\n\
                  --window N [--k K] [--wor] [--report-every M] [--seed S]\n\
                  [--batch-size B]\n\
@@ -435,6 +448,9 @@ fn cmd_multi(args: &Args, out: &mut dyn Write) -> Result<(), ArgError> {
                 .into(),
         ));
     }
+    // Seeded transient faults (`wal-append`/`wal-fsync`) compose with
+    // the hard failpoints above; network sites are inert here.
+    let faults = FaultSchedule::from_env().map_err(ArgError)?;
     let rescale_after = args.get_u64("rescale-after", 0)?;
     let rescale_shards = args.get_usize("rescale-shards", 0)?;
     let rescale_threads = args.get_usize("rescale-threads", 0)?;
@@ -467,6 +483,8 @@ fn cmd_multi(args: &Args, out: &mut dyn Write) -> Result<(), ArgError> {
                 segment_bytes: segment_bytes.max(1),
                 snapshot_every: (snapshot_every > 0).then_some(snapshot_every),
                 fail,
+                faults: faults.clone(),
+                ..DurableOptions::default()
             };
             if resume {
                 // Explicit flags override the recorded config — the
@@ -606,12 +624,34 @@ fn cmd_serve(args: &Args) -> Result<(), ArgError> {
     }
     cfg.ring_capacity = args.get_usize("ring-capacity", cfg.ring_capacity)?.max(1);
     cfg.tick = std::time::Duration::from_millis(args.get_u64("tick-ms", 100)?.max(1));
+    cfg.drain_delay = std::time::Duration::from_millis(args.get_u64("drain-delay-ms", 0)?);
+
+    // Hardening knobs: 0 disables a deadline/budget entirely.
+    let ms = |v: u64| std::time::Duration::from_millis(v);
+    cfg.read_deadline = ms(args.get_u64("read-deadline-ms", cfg.read_deadline.as_millis() as u64)?);
+    cfg.write_deadline =
+        ms(args.get_u64("write-deadline-ms", cfg.write_deadline.as_millis() as u64)?);
+    cfg.idle_timeout = ms(args.get_u64("idle-timeout-ms", cfg.idle_timeout.as_millis() as u64)?);
+    cfg.max_conns = args.get_usize("max-conns", cfg.max_conns)?;
+    if cfg.max_conns == 0 {
+        return Err(ArgError("--max-conns must be at least 1".into()));
+    }
+    cfg.slow_consumer_budget = args.get_u64("slow-consumer-budget", cfg.slow_consumer_budget)?;
+    // Chaos: --faults SPEC wins over the SWSAMPLE_FAULTS environment
+    // variable; both parse the same seeded-schedule grammar.
+    cfg.faults = match args.get_str("faults") {
+        Some(spec) => spec.parse().map_err(ArgError)?,
+        None => FaultSchedule::from_env().map_err(ArgError)?,
+    };
+    if !cfg.faults.is_empty() {
+        eprintln!("# faults: {}", cfg.faults);
+    }
 
     let server = Server::start(cfg).map_err(|e| ArgError(format!("serve: {e}")))?;
     eprintln!("# listening on {}", server.local_addr());
-    while !server.shutdown_requested() {
-        std::thread::sleep(std::time::Duration::from_millis(25));
-    }
+    // Condvar-backed wait: wakes immediately on SHUTDOWN instead of
+    // polling on a fixed interval.
+    while !server.wait_shutdown_requested(std::time::Duration::from_secs(3600)) {}
     // Drains, snapshots, joins every thread, prints the metrics line.
     server.shutdown();
     Ok(())
@@ -642,11 +682,20 @@ fn cmd_loadgen(args: &Args, out: &mut dyn Write) -> Result<(), ArgError> {
     cfg.render_multi = args.get_flag("render-multi");
     cfg.show = args.get_usize("show", 3)?;
     cfg.shutdown_server = args.get_flag("shutdown-server");
+    let us = |v: u64| std::time::Duration::from_micros(v);
+    cfg.retry_base = us(args.get_u64("retry-base-us", cfg.retry_base.as_micros() as u64)?);
+    cfg.retry_cap = us(args.get_u64("retry-cap-us", cfg.retry_cap.as_micros() as u64)?);
+    cfg.retry_deadline = std::time::Duration::from_millis(
+        args.get_u64("retry-deadline-ms", cfg.retry_deadline.as_millis() as u64)?,
+    );
+    cfg.io_timeout = std::time::Duration::from_millis(
+        args.get_u64("io-timeout-ms", cfg.io_timeout.as_millis() as u64)?,
+    );
 
     let report = loadgen::run(&cfg, out).map_err(|e| ArgError(format!("loadgen: {e}")))?;
     eprintln!(
         "# loadgen: {} events over {} connections in {:.3}s ({:.0} elems/s), \
-         p50 {}us p99 {}us, {} busy retries, {} keys verified",
+         p50 {}us p99 {}us, {} busy retries, {} reconnects, {} keys verified",
         report.events_sent,
         cfg.connections,
         report.seconds,
@@ -654,6 +703,7 @@ fn cmd_loadgen(args: &Args, out: &mut dyn Write) -> Result<(), ArgError> {
         report.p50_us,
         report.p99_us,
         report.busy_retries,
+        report.reconnects,
         report.verified_keys
     );
     Ok(())

@@ -42,6 +42,7 @@
 #![warn(missing_docs)]
 
 pub mod erased;
+pub mod fault;
 mod memory;
 pub mod reservoir;
 pub mod rng;
@@ -57,6 +58,7 @@ mod traits;
 pub mod ts;
 
 pub use erased::ErasedWindowSampler;
+pub use fault::{FaultInjector, FaultSchedule, FaultSite};
 pub use memory::MemoryWords;
 pub use sample::Sample;
 pub use spec::{FleetBackend, SamplerSpec, SpecError};

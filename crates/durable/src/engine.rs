@@ -18,6 +18,7 @@
 use std::hash::Hash;
 use std::path::{Path, PathBuf};
 
+use swsample_core::fault::{FaultInjector, FaultSchedule, FaultSite};
 use swsample_core::state::StateCodec;
 use swsample_core::{FleetBackend, SamplerSpec};
 use swsample_stream::MultiStreamEngine;
@@ -39,8 +40,16 @@ pub struct DurableOptions {
     /// Automatically snapshot after this many ingest batches
     /// (`None` = only on explicit [`DurableEngine::snapshot`] calls).
     pub snapshot_every: Option<u64>,
-    /// Fault-injection plan (default: no faults).
+    /// Fault-injection plan for *hard* faults — crash, torn tail,
+    /// snapshot corruption, permanent disk-full (default: no faults).
     pub fail: FailPlan,
+    /// Seeded schedule of *transient* faults (`wal-append`,
+    /// `wal-fsync` sites): injected I/O errors the engine rides out
+    /// with a bounded retry (default: no faults).
+    pub faults: FaultSchedule,
+    /// How many consecutive transient faults on one operation the
+    /// engine retries before surfacing an I/O error.
+    pub transient_retry_limit: u32,
 }
 
 impl Default for DurableOptions {
@@ -49,6 +58,8 @@ impl Default for DurableOptions {
             segment_bytes: DEFAULT_SEGMENT_BYTES,
             snapshot_every: None,
             fail: FailPlan::default(),
+            faults: FaultSchedule::default(),
+            transient_retry_limit: 4,
         }
     }
 }
@@ -76,6 +87,10 @@ pub struct DurableEngine<K: Clone, T: Clone> {
     /// Successful WAL appends this process (drives failpoints).
     appends: u64,
     batches_since_snapshot: u64,
+    /// Decides which append/fsync operations transiently fail.
+    injector: FaultInjector,
+    /// Transient injected faults absorbed by the retry policy.
+    transient_retries: u64,
 }
 
 impl<K, T> DurableEngine<K, T>
@@ -116,6 +131,7 @@ where
         )
         .map_err(|e| DurableError::Config(e.to_string()))?;
         let wal = SegmentLog::create(&dir, opts.segment_bytes)?;
+        let injector = FaultInjector::new(opts.faults.clone());
         let mut this = Self {
             engine,
             wal,
@@ -123,6 +139,8 @@ where
             opts,
             appends: 0,
             batches_since_snapshot: 0,
+            injector,
+            transient_retries: 0,
         };
         this.snapshot()?;
         Ok(this)
@@ -173,6 +191,7 @@ where
         )
         .map_err(|e| DurableError::Config(e.to_string()))?;
         engine.restore_states(states)?;
+        let injector = FaultInjector::new(opts.faults.clone());
         let (wal, records) = SegmentLog::open(&dir, opts.segment_bytes)?;
         for (seq, payload) in &records {
             if *seq < meta.wal_seq {
@@ -191,7 +210,28 @@ where
             opts,
             appends: 0,
             batches_since_snapshot: 0,
+            injector,
+            transient_retries: 0,
         })
+    }
+
+    /// Pass one faultable operation through the transient-fault
+    /// schedule at `site`, retrying boundedly: each consecutive
+    /// injected failure consumes another retry until
+    /// [`DurableOptions::transient_retry_limit`] is exhausted, at which
+    /// point the error is surfaced as a real I/O failure.
+    fn ride_out_transients(&mut self, site: FaultSite, what: &str) -> Result<(), DurableError> {
+        let mut attempts = 0u32;
+        while self.injector.check(site).is_some() {
+            self.transient_retries += 1;
+            attempts += 1;
+            if attempts > self.opts.transient_retry_limit {
+                return Err(DurableError::Io(std::io::Error::other(format!(
+                    "transient {what} failure persisted through {attempts} attempts (fault injection)"
+                ))));
+            }
+        }
+        Ok(())
     }
 
     /// Append `batch` to the WAL, apply it to the fleet, and snapshot if
@@ -208,6 +248,7 @@ where
                 )));
             }
         }
+        self.ride_out_transients(FaultSite::WalAppend, "WAL append")?;
         let payload = encode_batch(batch);
         let seq = self.wal.append(&payload)?;
         self.appends += 1;
@@ -258,6 +299,7 @@ where
     /// the post-sync sequence watermark. Atomic: a crash mid-write
     /// leaves the previous snapshot as the recovery point.
     pub fn snapshot(&mut self) -> Result<PathBuf, DurableError> {
+        self.ride_out_transients(FaultSite::WalFsync, "WAL fsync")?;
         self.wal.sync()?;
         let states = self.engine.save_states()?;
         let meta = SnapshotMeta {
@@ -288,7 +330,14 @@ where
     /// Flush and fsync the WAL without snapshotting — everything
     /// ingested so far becomes durable (recoverable by replay).
     pub fn sync(&mut self) -> Result<(), DurableError> {
+        self.ride_out_transients(FaultSite::WalFsync, "WAL fsync")?;
         self.wal.sync()
+    }
+
+    /// Transient injected append/fsync faults absorbed by the bounded
+    /// retry policy so far — the server surfaces this as `wal_retries`.
+    pub fn transient_retries(&self) -> u64 {
+        self.transient_retries
     }
 
     /// Live rescale: snapshot-remap-restore the fleet onto a new shard
@@ -447,6 +496,73 @@ mod tests {
         // The failed batch was never applied; the fleet still answers.
         assert_eq!(durable.engine().num_keys(), 13);
         assert!(durable.snapshot().is_ok(), "snapshot unaffected");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn transient_append_faults_are_retried_and_counted() {
+        let dir = tmp_dir("transient");
+        let mut durable = DurableEngine::<u64, u64>::create(
+            &dir,
+            template(),
+            2,
+            1,
+            FleetBackend::Auto,
+            DurableOptions {
+                faults: "seed=3,wal-append=1/3,wal-fsync=1/3"
+                    .parse()
+                    .expect("schedule"),
+                ..DurableOptions::default()
+            },
+        )
+        .expect("create");
+        let mut reference =
+            MultiStreamEngine::<u64, u64>::new(template()).expect("reference engine");
+        for batch in batches(40) {
+            reference.ingest(&batch);
+            durable
+                .ingest(&batch)
+                .expect("transient faults must be absorbed");
+        }
+        durable.close().expect("close under fsync faults");
+        assert!(
+            durable.transient_retries() > 0,
+            "a 1/3 schedule over 40 appends must inject"
+        );
+        // Exactly-once under transient faults: retries never double-apply.
+        assert_eq!(fleet_samples(durable.engine()), fleet_samples(&reference));
+        drop(durable);
+        let reopened =
+            DurableEngine::<u64, u64>::open(&dir, DurableOptions::default()).expect("open");
+        assert_eq!(fleet_samples(reopened.engine()), fleet_samples(&reference));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn transient_fault_storm_exhausts_the_retry_budget() {
+        let dir = tmp_dir("exhaust");
+        let mut durable = DurableEngine::<u64, u64>::create(
+            &dir,
+            template(),
+            2,
+            1,
+            FleetBackend::Auto,
+            DurableOptions {
+                // 1/1: every append attempt faults — no retry can save it.
+                faults: "wal-append=1/1".parse().expect("schedule"),
+                transient_retry_limit: 3,
+                ..DurableOptions::default()
+            },
+        )
+        .expect("create");
+        let err = durable.ingest(&batches(1)[0]).expect_err("must exhaust");
+        assert!(
+            matches!(&err, DurableError::Io(e) if e.to_string().contains("transient")),
+            "got {err:?}"
+        );
+        // The failed batch never reached the WAL or the fleet.
+        assert_eq!(durable.next_seq(), 0);
+        assert_eq!(durable.engine().num_keys(), 0);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -1,17 +1,27 @@
-//! Fault injection for crash-recovery testing.
+//! *Hard* fault injection for crash-recovery testing.
 //!
-//! A [`FailPlan`] tells the durable engine where to misbehave: kill the
-//! process after N WAL appends (optionally writing a torn partial
-//! record first), flip a byte in the next snapshot, or start failing
-//! appends with a synthetic disk-full error. Plans parse from the
-//! `SWSAMPLE_FAILPOINT` environment variable so the CI smoke can crash
-//! a real `swsample multi` run mid-ingest:
+//! A [`FailPlan`] tells the durable engine where to misbehave
+//! *unrecoverably*: kill the process after N WAL appends (optionally
+//! writing a torn partial record first), flip a byte in the next
+//! snapshot, or start failing appends with a synthetic disk-full
+//! error. Plans parse from the `SWSAMPLE_FAILPOINT` environment
+//! variable so the CI smoke can crash a real `swsample multi` run
+//! mid-ingest:
 //!
 //! ```text
 //! SWSAMPLE_FAILPOINT=kill-after-appends=40,torn-tail=13
 //! SWSAMPLE_FAILPOINT=corrupt-snapshot-byte=200
 //! SWSAMPLE_FAILPOINT=disk-full-after=25
 //! ```
+//!
+//! These faults are counted, not seeded: a kill plan fires on exactly
+//! the Nth append. *Transient* (retryable) faults — flaky appends and
+//! fsyncs the engine rides out with a bounded retry, plus every
+//! network-level fault the server injects — live in the shared seeded
+//! schedule [`swsample_core::fault`] (`SWSAMPLE_FAULTS`), wired in via
+//! [`DurableOptions::faults`](crate::DurableOptions). The two layers
+//! compose: a chaos run can schedule transient `wal-append` errors
+//! *and* a hard kill in the same process.
 
 /// Exit code used by the kill failpoint, so harnesses can tell an
 /// injected crash (expected) from a genuine panic or error (not).

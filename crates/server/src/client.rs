@@ -10,8 +10,9 @@
 
 use std::io::{self, BufReader, BufWriter, Write as _};
 use std::net::TcpStream;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
+use swsample_core::fault::mix64;
 use swsample_durable::frame::write_frame;
 
 use crate::protocol::{
@@ -29,6 +30,56 @@ pub enum IngestOutcome {
     Busy(u64),
 }
 
+/// Bounded exponential backoff with deterministic jitter, for `BUSY`
+/// storms and reconnect loops. Delay for attempt `n` is
+/// `min(cap, base * 2^n)` scaled by a seed-derived factor in
+/// `[0.5, 1.0)` — the same seed replays the same pacing, so chaos runs
+/// stay reproducible while concurrent clients still decorrelate.
+#[derive(Debug, Clone)]
+pub struct Backoff {
+    /// First-retry delay.
+    pub base: Duration,
+    /// Delay ceiling.
+    pub cap: Duration,
+    /// Give up (with `TimedOut`) once an operation has been retrying
+    /// this long. `None` retries forever.
+    pub deadline: Option<Duration>,
+    /// Jitter seed; derive per-client so concurrent backoffs don't
+    /// synchronize.
+    pub seed: u64,
+}
+
+impl Default for Backoff {
+    fn default() -> Backoff {
+        Backoff {
+            base: Duration::from_micros(200),
+            cap: Duration::from_millis(50),
+            deadline: Some(Duration::from_secs(30)),
+            seed: 0,
+        }
+    }
+}
+
+impl Backoff {
+    /// The delay before retry `attempt` (0-based).
+    pub fn delay(&self, attempt: u64) -> Duration {
+        let exp = attempt.min(20) as u32;
+        let raw = self
+            .base
+            .checked_mul(1u32 << exp)
+            .unwrap_or(self.cap)
+            .min(self.cap);
+        // Jitter factor in [1/2, 1): 512..1024 over 1024.
+        let jitter = 512 + (mix64(self.seed, 0x4a49_5454_4552, attempt) % 512);
+        raw.mul_f64(jitter as f64 / 1024.0)
+    }
+
+    /// True once `started` is past the deadline (never, if unset).
+    fn expired(&self, started: Instant) -> bool {
+        self.deadline.is_some_and(|d| started.elapsed() >= d)
+    }
+}
+
 /// A connected, HELLO-completed protocol client.
 pub struct Client {
     reader: BufReader<TcpStream>,
@@ -42,6 +93,15 @@ pub struct Client {
 impl Client {
     /// Connect and complete the version handshake.
     pub fn connect(addr: &str, name: &str) -> io::Result<Client> {
+        Client::connect_with_session(addr, name, 0)
+    }
+
+    /// Connect with a nonzero session id to opt into server-side ingest
+    /// dedup: if an ack is lost (connection dropped mid-reply) the
+    /// client can reconnect with the *same* session and resend the
+    /// unacked batch — the server acks without reapplying anything it
+    /// already applied, making retried ingest exactly-once.
+    pub fn connect_with_session(addr: &str, name: &str, session: u64) -> io::Result<Client> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
         let mut client = Client {
@@ -55,6 +115,7 @@ impl Client {
         client.send(&ClientMsg::Hello {
             version: PROTOCOL_VERSION,
             name: name.to_string(),
+            session,
         })?;
         match client.recv_reply()? {
             ServerMsg::HelloAck {
@@ -146,20 +207,47 @@ impl Client {
         }
     }
 
-    /// `INGEST` with busy-retry: resend on `BUSY` until applied, so no
-    /// event is ever silently dropped. Returns the number of `BUSY`
-    /// rejections absorbed.
+    /// `INGEST` with busy-retry under the default [`Backoff`]. Returns
+    /// the number of `BUSY` rejections absorbed.
     pub fn ingest_retry(&mut self, seq: u64, batch: &[WireEvent]) -> io::Result<u64> {
+        self.ingest_retry_with(seq, batch, &Backoff::default())
+    }
+
+    /// `INGEST` with busy-retry: resend on `BUSY` until applied, so no
+    /// event is ever silently dropped. Waits `backoff.delay(attempt)`
+    /// between attempts (bounded exponential, not a hot resend loop)
+    /// and fails with `TimedOut` once past `backoff.deadline`. Returns
+    /// the number of `BUSY` rejections absorbed.
+    pub fn ingest_retry_with(
+        &mut self,
+        seq: u64,
+        batch: &[WireEvent],
+        backoff: &Backoff,
+    ) -> io::Result<u64> {
+        let started = Instant::now();
         let mut retries = 0u64;
         loop {
             match self.ingest(seq, batch)? {
                 IngestOutcome::Applied(_) => return Ok(retries),
                 IngestOutcome::Busy(_) => {
+                    if backoff.expired(started) {
+                        return Err(io::Error::new(
+                            io::ErrorKind::TimedOut,
+                            format!("seq {seq} still BUSY after {retries} retries"),
+                        ));
+                    }
+                    std::thread::sleep(backoff.delay(retries));
                     retries += 1;
-                    std::thread::sleep(Duration::from_micros(200));
                 }
             }
         }
+    }
+
+    /// Apply a socket read timeout, so a server stall (or a corrupted
+    /// length prefix) surfaces as `WouldBlock`/`TimedOut` instead of
+    /// hanging the client forever. `None` restores blocking reads.
+    pub fn set_read_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        self.reader.get_ref().set_read_timeout(timeout)
     }
 
     /// Query a key's current `k`-sample.

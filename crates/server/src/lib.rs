@@ -38,7 +38,7 @@ pub mod protocol;
 pub mod server;
 pub mod stats;
 
-pub use client::{Client, IngestOutcome};
+pub use client::{Backoff, Client, IngestOutcome};
 pub use loadgen::{LoadgenConfig, LoadgenReport};
 pub use protocol::{
     ClientMsg, ErrorCode, ProtocolError, ServerMsg, SubscribeKind, MAX_MESSAGE_BYTES,

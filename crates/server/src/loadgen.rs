@@ -16,14 +16,15 @@
 //! stdout from query replies alone).
 
 use std::io::{self, Write};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
+use swsample_core::fault::mix64;
 use swsample_core::spec::{Algorithm, SamplerSpec, WindowKind};
 use swsample_stream::{MultiStreamEngine, ValueGen, ZipfGen};
 
-use crate::client::Client;
+use crate::client::{Backoff, Client};
 use crate::protocol::{WireEvent, WireSample};
 
 /// What to drive and how hard.
@@ -55,6 +56,18 @@ pub struct LoadgenConfig {
     /// Send `SHUTDOWN` when done (after queries), asking the server to
     /// drain, fsync, and snapshot.
     pub shutdown_server: bool,
+    /// First retry delay for `BUSY` storms and reconnects.
+    pub retry_base: Duration,
+    /// Retry delay ceiling (bounded exponential backoff).
+    pub retry_cap: Duration,
+    /// Overall per-operation deadline across `BUSY` retries and
+    /// reconnect attempts; `Duration::ZERO` retries forever.
+    pub retry_deadline: Duration,
+    /// Socket read timeout, so a stalled or byte-flipped server reply
+    /// surfaces as an error (and a reconnect) instead of hanging a
+    /// connection thread forever. `Duration::ZERO` means blocking
+    /// reads.
+    pub io_timeout: Duration,
 }
 
 impl LoadgenConfig {
@@ -73,8 +86,44 @@ impl LoadgenConfig {
             render_multi: false,
             show: 3,
             shutdown_server: false,
+            retry_base: Duration::from_micros(200),
+            retry_cap: Duration::from_millis(50),
+            retry_deadline: Duration::from_secs(30),
+            io_timeout: Duration::from_secs(10),
         }
     }
+
+    /// The retry policy for connection `c`, with a seed derived from
+    /// the workload seed and the connection index so concurrent
+    /// backoffs don't synchronize (and a given seed replays the same
+    /// pacing).
+    fn backoff(&self, c: u64) -> Backoff {
+        Backoff {
+            base: self.retry_base,
+            cap: self.retry_cap,
+            deadline: (!self.retry_deadline.is_zero()).then_some(self.retry_deadline),
+            seed: mix64(self.workload_seed, 0x0042_4143_4b4f_4646, c),
+        }
+    }
+}
+
+/// Connection `c`'s ingest-dedup session id: nonzero, stable for the
+/// whole run (so a reconnect resumes the same session) but unique
+/// *across* runs — the nonce keeps a second loadgen run against the
+/// same server from colliding with the first run's watermarks and
+/// silently deduping everything. Session values never influence
+/// sampled bytes, so per-run entropy here doesn't cost determinism.
+fn session(run_nonce: u64, c: u64) -> u64 {
+    mix64(run_nonce, 0x0053_4553_5349_4f4e, c) | 1
+}
+
+/// Per-run session entropy: wall clock + pid, mixed.
+fn run_nonce() -> u64 {
+    let now = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0);
+    mix64(now, u64::from(std::process::id()), 0)
 }
 
 /// What the run measured.
@@ -94,6 +143,10 @@ pub struct LoadgenReport {
     pub p99_us: u64,
     /// `BUSY` rejections absorbed by retry (0 = no backpressure hit).
     pub busy_retries: u64,
+    /// Connections re-established after a mid-run drop (0 = no faults
+    /// or dead peers encountered). Retried batches are deduped
+    /// server-side by session, so reconnects never double-apply.
+    pub reconnects: u64,
     /// Keys compared against the offline engine (0 unless `verify`).
     pub verified_keys: u64,
 }
@@ -164,40 +217,172 @@ fn render_samples(samples: &Option<Vec<WireSample>>, timestamped: bool) -> Strin
     }
 }
 
+/// The query/verify phase's fault-tolerant client: every operation it
+/// runs is idempotent (queries, stats, template fetch), so on any error
+/// it reconnects and simply retries under the backoff's deadline.
+struct QuerySide {
+    addr: String,
+    io_timeout: Duration,
+    backoff: Backoff,
+    client: Option<Client>,
+    reconnects: u64,
+}
+
+impl QuerySide {
+    fn with<T>(&mut self, mut op: impl FnMut(&mut Client) -> io::Result<T>) -> io::Result<T> {
+        let started = Instant::now();
+        let mut attempt = 0u64;
+        let mut last: Option<io::Error> = None;
+        loop {
+            if self.client.is_none() {
+                match Client::connect(&self.addr, "loadgen-query") {
+                    Ok(mut c) => {
+                        if !self.io_timeout.is_zero() {
+                            c.set_read_timeout(Some(self.io_timeout))?;
+                        }
+                        self.client = Some(c);
+                    }
+                    Err(e) => last = Some(e),
+                }
+            }
+            if let Some(c) = self.client.as_mut() {
+                match op(c) {
+                    Ok(v) => return Ok(v),
+                    Err(e) => {
+                        self.client = None;
+                        self.reconnects += 1;
+                        last = Some(e);
+                    }
+                }
+            }
+            if self
+                .backoff
+                .deadline
+                .is_some_and(|d| started.elapsed() >= d)
+            {
+                let detail = last.map(|e| e.to_string()).unwrap_or_default();
+                return Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    format!("query-side retry deadline exceeded: {detail}"),
+                ));
+            }
+            std::thread::sleep(self.backoff.delay(attempt));
+            attempt += 1;
+        }
+    }
+}
+
+/// Per-connection driver: ingest every batch exactly-once, reconnecting
+/// (same session, so the server dedupes resent batches whose acks were
+/// lost) whenever the connection dies under it. Returns the per-batch
+/// latencies, `BUSY` retries absorbed, and reconnect count.
+fn drive_conn(
+    addr: &str,
+    c: usize,
+    session: u64,
+    batches: &[Vec<WireEvent>],
+    backoff: &Backoff,
+    io_timeout: Duration,
+) -> io::Result<(Vec<u64>, u64, u64)> {
+    let name = format!("loadgen-{c}");
+    let mut client: Option<Client> = None;
+    let mut latencies = Vec::with_capacity(batches.len());
+    let mut busy = 0u64;
+    let mut reconnects = 0u64;
+    let mut seq = 0usize;
+    // Per-batch clock: BUSY retries *and* reconnect attempts for one
+    // batch share the deadline, so a wedged server can't stall a
+    // connection thread forever.
+    let mut op_started = Instant::now();
+    let mut attempt = 0u64;
+    while seq < batches.len() {
+        if client.is_none() {
+            match Client::connect_with_session(addr, &name, session) {
+                Ok(mut fresh) => {
+                    if !io_timeout.is_zero() {
+                        fresh.set_read_timeout(Some(io_timeout))?;
+                    }
+                    client = Some(fresh);
+                }
+                Err(e) => {
+                    if backoff.deadline.is_some_and(|d| op_started.elapsed() >= d) {
+                        return Err(io::Error::new(
+                            io::ErrorKind::TimedOut,
+                            format!("conn {c}: reconnect for seq {seq} failed: {e}"),
+                        ));
+                    }
+                    std::thread::sleep(backoff.delay(attempt));
+                    attempt += 1;
+                    continue;
+                }
+            }
+        }
+        let active = client.as_mut().expect("just connected");
+        let t0 = Instant::now();
+        match active.ingest_retry_with(seq as u64, &batches[seq], backoff) {
+            Ok(b) => {
+                busy += b;
+                latencies.push(t0.elapsed().as_micros() as u64);
+                seq += 1;
+                op_started = Instant::now();
+                attempt = 0;
+            }
+            Err(e) => {
+                // Connection is suspect (dropped, stalled past the io
+                // timeout, or a corrupted frame): rebuild it and resend
+                // this seq — dedup makes the resend exactly-once.
+                client = None;
+                reconnects += 1;
+                if backoff.deadline.is_some_and(|d| op_started.elapsed() >= d) {
+                    return Err(io::Error::new(
+                        io::ErrorKind::TimedOut,
+                        format!("conn {c}: seq {seq} undeliverable: {e}"),
+                    ));
+                }
+                std::thread::sleep(backoff.delay(attempt));
+                attempt += 1;
+            }
+        }
+    }
+    if let Some(active) = client.take() {
+        // Best-effort: under injected faults the goodbye itself can
+        // die, and that's fine — every batch is already acked.
+        let _ = active.bye();
+    }
+    Ok((latencies, busy, reconnects))
+}
+
 /// Drive the configured load, then (optionally) verify determinism
 /// across the wire and render `multi`-format output to `out`.
 pub fn run(cfg: &LoadgenConfig, out: &mut dyn Write) -> io::Result<LoadgenReport> {
     let workload = generate(cfg);
+    let nonce = run_nonce();
     let started = Instant::now();
     let mut handles = Vec::new();
     for (c, batches) in workload.per_conn.iter().enumerate() {
         let addr = cfg.addr.clone();
         let batches = batches.clone();
+        let backoff = cfg.backoff(c as u64);
+        let session = session(nonce, c as u64);
+        let io_timeout = cfg.io_timeout;
         handles.push(
             std::thread::Builder::new()
                 .name(format!("swsample-loadgen-{c}"))
-                .spawn(move || -> io::Result<(Vec<u64>, u64)> {
-                    let mut client = Client::connect(&addr, &format!("loadgen-{c}"))?;
-                    let mut latencies = Vec::with_capacity(batches.len());
-                    let mut busy = 0u64;
-                    for (seq, batch) in batches.iter().enumerate() {
-                        let t0 = Instant::now();
-                        busy += client.ingest_retry(seq as u64, batch)?;
-                        latencies.push(t0.elapsed().as_micros() as u64);
-                    }
-                    client.bye()?;
-                    Ok((latencies, busy))
+                .spawn(move || -> io::Result<(Vec<u64>, u64, u64)> {
+                    drive_conn(&addr, c, session, &batches, &backoff, io_timeout)
                 })?,
         );
     }
     let mut latencies: Vec<u64> = Vec::new();
     let mut busy_retries = 0u64;
+    let mut reconnects = 0u64;
     for handle in handles {
-        let (lat, busy) = handle
+        let (lat, busy, re) = handle
             .join()
             .map_err(|_| io::Error::other("loadgen connection thread panicked"))??;
         latencies.extend(lat);
         busy_retries += busy;
+        reconnects += re;
     }
     let seconds = started.elapsed().as_secs_f64().max(1e-9);
     latencies.sort_unstable();
@@ -209,7 +394,7 @@ pub fn run(cfg: &LoadgenConfig, out: &mut dyn Write) -> io::Result<LoadgenReport
         latencies[at]
     };
     let batches_sent = latencies.len() as u64;
-    let report = LoadgenReport {
+    let mut report = LoadgenReport {
         events_sent: cfg.count,
         batches_sent,
         seconds,
@@ -217,15 +402,22 @@ pub fn run(cfg: &LoadgenConfig, out: &mut dyn Write) -> io::Result<LoadgenReport
         p50_us: pct(0.50),
         p99_us: pct(0.99),
         busy_retries,
+        reconnects,
         verified_keys: 0,
     };
-    let mut report = report;
 
     // Every ack is in hand, so the server has applied everything;
-    // queries from here are stable.
-    let mut client = Client::connect(&cfg.addr, "loadgen-query")?;
-    let template: SamplerSpec = client
-        .template()
+    // queries from here are stable (and idempotent, so the query side
+    // reconnects and retries freely under injected faults).
+    let mut query_side = QuerySide {
+        addr: cfg.addr.clone(),
+        io_timeout: cfg.io_timeout,
+        backoff: cfg.backoff(u64::MAX),
+        client: None,
+        reconnects: 0,
+    };
+    let template: SamplerSpec = query_side
+        .with(|c| Ok(c.template().to_string()))?
         .parse()
         .map_err(|e| io::Error::other(format!("server template unparseable: {e}")))?;
     let timestamped = matches!(template.window, WindowKind::Timestamp(_));
@@ -248,7 +440,7 @@ pub fn run(cfg: &LoadgenConfig, out: &mut dyn Write) -> io::Result<LoadgenReport
                     .map(|s| (*s.value(), s.index(), s.timestamp()))
                     .collect()
             });
-            let got = client.query(key)?;
+            let got = query_side.with(|c| c.query(key))?;
             if got != expect {
                 return Err(io::Error::other(format!(
                     "determinism violation at key {key}: server {got:?}, offline {expect:?}"
@@ -259,9 +451,9 @@ pub fn run(cfg: &LoadgenConfig, out: &mut dyn Write) -> io::Result<LoadgenReport
     }
 
     if cfg.render_multi {
-        let stats = client.stats()?;
+        let stats = query_side.with(|c| c.stats())?;
         for &(key, cnt) in workload.traffic.iter().take(cfg.show) {
-            let rendered = render_samples(&client.query(key)?, timestamped);
+            let rendered = render_samples(&query_side.with(|c| c.query(key))?, timestamped);
             writeln!(out, "key {key}\t{cnt} arrivals\t{rendered}")?;
         }
         writeln!(
@@ -279,9 +471,50 @@ pub fn run(cfg: &LoadgenConfig, out: &mut dyn Write) -> io::Result<LoadgenReport
     }
 
     if cfg.shutdown_server {
-        client.shutdown_server()?;
-    } else {
-        client.bye()?;
+        // The SHUTDOWN's BYE ack can itself be lost to an injected
+        // fault; a refused reconnect after at least one attempt means
+        // the server took the order and closed its listener — success.
+        let started = Instant::now();
+        let mut attempt = 0u64;
+        loop {
+            let res = match query_side.client.as_mut() {
+                Some(c) => c.shutdown_server(),
+                None => match Client::connect(&cfg.addr, "loadgen-shutdown") {
+                    Ok(mut c) => {
+                        if !cfg.io_timeout.is_zero() {
+                            c.set_read_timeout(Some(cfg.io_timeout))?;
+                        }
+                        let res = c.shutdown_server();
+                        query_side.client = Some(c);
+                        res
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::ConnectionRefused && attempt > 0 => {
+                        break;
+                    }
+                    Err(e) => Err(e),
+                },
+            };
+            match res {
+                Ok(()) => break,
+                Err(e) => {
+                    query_side.client = None;
+                    let deadline = query_side.backoff.deadline;
+                    if deadline.is_some_and(|d| started.elapsed() >= d) {
+                        return Err(io::Error::new(
+                            io::ErrorKind::TimedOut,
+                            format!("SHUTDOWN undeliverable: {e}"),
+                        ));
+                    }
+                    std::thread::sleep(query_side.backoff.delay(attempt));
+                    attempt += 1;
+                }
+            }
+        }
+    } else if let Some(c) = query_side.client.take() {
+        // Best-effort goodbye; under faults the server may already have
+        // severed us.
+        let _ = c.bye();
     }
+    report.reconnects += query_side.reconnects;
     Ok(report)
 }

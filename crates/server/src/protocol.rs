@@ -28,8 +28,10 @@ use swsample_durable::frame::{read_frame_capped, FrameRead, FRAME_HEADER_BYTES};
 use crate::stats::StatsSnapshot;
 
 /// Protocol version carried in `HELLO` / `HELLO_ACK`. A server refuses
-/// mismatched clients with [`ErrorCode::Version`].
-pub const PROTOCOL_VERSION: u32 = 1;
+/// mismatched clients with [`ErrorCode::Version`]. Version 2 added the
+/// `HELLO` session id (retry dedup across reconnects) and the
+/// [`ErrorCode::Overload`] connection-cap reject.
+pub const PROTOCOL_VERSION: u32 = 2;
 
 /// Upper bound on a message payload — far above any legitimate batch,
 /// far below the on-disk frame cap. A length prefix beyond this is a
@@ -61,6 +63,9 @@ pub enum ErrorCode {
     /// The server failed internally while handling the request (e.g. a
     /// WAL write error); the connection stays up.
     Internal = 6,
+    /// The server is at its `--max-conns` cap and refused the
+    /// connection; sent as the only frame before close. Retry later.
+    Overload = 7,
 }
 
 impl ErrorCode {
@@ -78,6 +83,7 @@ impl ErrorCode {
             4 => Some(ErrorCode::UnknownOpcode),
             5 => Some(ErrorCode::State),
             6 => Some(ErrorCode::Internal),
+            7 => Some(ErrorCode::Overload),
             _ => None,
         }
     }
@@ -121,13 +127,21 @@ pub enum SubscribeKind {
 /// Messages a client sends. Opcodes `0x01..=0x07`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ClientMsg {
-    /// `0x01` — must be the first message: `version u32`, then a
-    /// length-prefixed client name (diagnostics only).
+    /// `0x01` — must be the first message: `version u32`, a
+    /// length-prefixed client name (diagnostics only), then a varint
+    /// session id. A nonzero session opts into ingest dedup: the server
+    /// remembers the highest `(session, seq)` applied, so a batch
+    /// resent after a reconnect (same session) is acked without being
+    /// applied twice. Session 0 means no dedup (fire-and-forget
+    /// clients, queries).
     Hello {
         /// Client protocol version.
         version: u32,
         /// Free-form client name.
         name: String,
+        /// Retry-dedup session id (0 = none). Clients must pick ids
+        /// unique across concurrent sessions (e.g. seed-derived).
+        session: u64,
     },
     /// `0x02` — an ingest batch: client-chosen sequence number (echoed
     /// in the `OK`/`BUSY` reply) and a batch record from
@@ -263,10 +277,15 @@ impl ClientMsg {
     pub fn encode(&self) -> Vec<u8> {
         let mut w = StateWriter::new();
         match self {
-            ClientMsg::Hello { version, name } => {
+            ClientMsg::Hello {
+                version,
+                name,
+                session,
+            } => {
                 w.put_u8(OP_HELLO);
                 w.put_u32(*version);
                 w.put_len_bytes(name.as_bytes());
+                w.put_varint_u64(*session);
             }
             ClientMsg::Ingest { seq, batch } => {
                 w.put_u8(OP_INGEST);
@@ -308,7 +327,12 @@ impl ClientMsg {
             OP_HELLO => {
                 let version = r.get_u32().map_err(DecodeFailure::malformed)?;
                 let name = get_string(&mut r)?;
-                ClientMsg::Hello { version, name }
+                let session = r.get_varint_u64().map_err(DecodeFailure::malformed)?;
+                ClientMsg::Hello {
+                    version,
+                    name,
+                    session,
+                }
             }
             OP_INGEST => {
                 let seq = r.get_varint_u64().map_err(DecodeFailure::malformed)?;
@@ -620,6 +644,7 @@ mod tests {
         round_trip_client(ClientMsg::Hello {
             version: PROTOCOL_VERSION,
             name: "loadgen-3".into(),
+            session: 0x1234_5678_9abc_def0,
         });
         round_trip_client(ClientMsg::Ingest {
             seq: 7,

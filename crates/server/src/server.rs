@@ -33,9 +33,29 @@
 //! Shutdown (API call or the `SHUTDOWN` opcode) is graceful: stop
 //! accepting, unblock readers, drain the ingest queue fully, fsync +
 //! final-snapshot the WAL, then flush and close every connection.
+//!
+//! Hardening against misbehaving peers and flaky infrastructure:
+//!
+//! * **Deadlines** — per-connection read/write socket timeouts. A
+//!   read-deadline wakeup at a frame boundary is an idle poll (the
+//!   scheduler reaps truly idle connections on its ticks); a wakeup
+//!   *mid-frame* means a stalled peer, which is dropped and counted.
+//! * **Admission** — at the `--max-conns` cap the acceptor answers
+//!   with a single typed `OVERLOAD` error frame and closes.
+//! * **Slow consumers** — a subscriber whose ring has dropped more
+//!   than `slow_consumer_budget` pushes is disconnected rather than
+//!   allowed to soak the scheduler forever.
+//! * **Exactly-once under retry** — a client that reconnects after a
+//!   lost ack resends its batch under the same `HELLO` session id; the
+//!   ingest loop dedupes on `(session, seq)` at apply time, so the
+//!   retry is acked without double-applying.
+//! * **Deterministic chaos** — a seeded [`FaultSchedule`]
+//!   (`SWSAMPLE_FAULTS`) injects connection drops, read/write stalls,
+//!   and wire byte-flips at the reader/writer layers, and transient
+//!   WAL errors inside the durable engine, replayably.
 
-use std::collections::{BTreeMap, VecDeque};
-use std::io::{self, BufReader, BufWriter, Write as _};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::io::{self, BufRead as _, BufReader, BufWriter, Write as _};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
@@ -44,6 +64,7 @@ use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use swsample_core::fault::{FaultInjector, FaultSchedule, FaultSite};
 use swsample_core::{FleetBackend, MemoryWords, SamplerSpec};
 use swsample_durable::engine::Event;
 use swsample_durable::frame::write_frame;
@@ -90,6 +111,26 @@ pub struct ServerConfig {
     /// Test knob: sleep this long per drained batch, simulating a slow
     /// ingest loop to force backpressure.
     pub drain_delay: Duration,
+    /// Socket read deadline. A peer that stalls *mid-frame* past it is
+    /// dropped (counted in `deadline_drops`); at a frame boundary the
+    /// wakeup is just an idle poll. `Duration::ZERO` disables.
+    pub read_deadline: Duration,
+    /// Socket write deadline: a peer that blocks our writer past it is
+    /// dropped (counted in `deadline_drops`). `Duration::ZERO` disables.
+    pub write_deadline: Duration,
+    /// Connections with no traffic in either direction for this long
+    /// are reaped on a scheduler tick. `Duration::ZERO` disables.
+    pub idle_timeout: Duration,
+    /// Open-connection cap; the acceptor refuses the excess with a
+    /// typed `OVERLOAD` error frame.
+    pub max_conns: usize,
+    /// Disconnect a subscriber after its ring has dropped more than
+    /// this many pushes. 0 disables.
+    pub slow_consumer_budget: u64,
+    /// Seeded network-fault schedule (drops, stalls, flips); also
+    /// forwarded to the durable engine for transient WAL faults.
+    /// Empty (the default) injects nothing.
+    pub faults: FaultSchedule,
 }
 
 impl ServerConfig {
@@ -110,6 +151,12 @@ impl ServerConfig {
             ring_capacity: 1024,
             tick: Duration::from_millis(100),
             drain_delay: Duration::ZERO,
+            read_deadline: Duration::from_secs(30),
+            write_deadline: Duration::from_secs(30),
+            idle_timeout: Duration::from_secs(300),
+            max_conns: 4096,
+            slow_consumer_budget: 65_536,
+            faults: FaultSchedule::default(),
         }
     }
 }
@@ -182,6 +229,18 @@ impl Fleet {
         }
     }
 
+    /// Transient WAL faults absorbed by the durable engine's bounded
+    /// retry (0 for the plain fleet).
+    fn wal_retries(&self) -> u64 {
+        match self {
+            Fleet::Plain(_) => 0,
+            Fleet::Durable(engine) => engine
+                .lock()
+                .expect("durable fleet lock poisoned")
+                .transient_retries(),
+        }
+    }
+
     /// Graceful close: fsync + final snapshot for the durable fleet, a
     /// no-op for the plain one.
     fn close(&self) {
@@ -249,10 +308,26 @@ struct Conn {
     events_in: AtomicU64,
     batches_in: AtomicU64,
     busy_rejections: AtomicU64,
+    /// The client's `HELLO` session id (0 = no ingest dedup).
+    session: AtomicU64,
+    /// Milliseconds since server start of the last traffic in either
+    /// direction; the scheduler's idle-reap clock.
+    last_activity_ms: AtomicU64,
+    /// Set once by the reaper so a connection is only ever counted (and
+    /// shut down) once, even if teardown races the next tick.
+    reaped: AtomicBool,
+    /// Server start instant, for stamping `last_activity_ms`.
+    started: Instant,
 }
 
 impl Conn {
+    fn touch(&self) {
+        self.last_activity_ms
+            .store(self.started.elapsed().as_millis() as u64, Ordering::Relaxed);
+    }
+
     fn send(&self, droppable: bool, msg: &ServerMsg) -> u64 {
+        self.touch();
         let dropped = {
             let mut ring = self.out.lock().expect("out ring poisoned");
             ring.push(droppable, msg.encode())
@@ -279,6 +354,9 @@ impl Conn {
 
 struct QueuedBatch {
     conn_id: u64,
+    /// The connection's `HELLO` session id at enqueue time (0 = no
+    /// dedup).
+    session: u64,
     seq: u64,
     events: Vec<Event<u64, u64>>,
 }
@@ -361,6 +439,17 @@ struct Shared {
     global: Mutex<GlobalStats>,
     sub_drops: AtomicU64,
     shutdown: AtomicBool,
+    /// Pairs with `shutdown_cv` so the scheduler's absolute-deadline
+    /// wait (and any embedding loop) wakes the moment shutdown is
+    /// requested instead of on its next poll.
+    shutdown_mx: Mutex<()>,
+    shutdown_cv: Condvar,
+    /// Highest-applied ingest watermark per `HELLO` session: the value
+    /// is one past the last applied `seq`, so `seq < watermark` means
+    /// "already applied — ack, don't reapply".
+    sessions: Mutex<HashMap<u64, u64>>,
+    /// The seeded network-fault injector (inert when no schedule).
+    injector: FaultInjector,
     next_conn_id: AtomicU64,
     next_sub_id: AtomicU64,
     reader_threads: Mutex<Vec<JoinHandle<()>>>,
@@ -371,6 +460,35 @@ struct Shared {
 impl Shared {
     fn global(&self) -> MutexGuard<'_, GlobalStats> {
         self.global.lock().expect("global counters poisoned")
+    }
+
+    /// Flag shutdown and wake everything that might be waiting on it:
+    /// the ingest queue and the shutdown condvar.
+    fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.queue.cv.notify_all();
+        let _guard = self.shutdown_mx.lock().expect("shutdown lock poisoned");
+        self.shutdown_cv.notify_all();
+    }
+
+    /// Sleep until `deadline` or until shutdown is requested, whichever
+    /// comes first. Returns true when shutdown was requested.
+    fn wait_shutdown_until(&self, deadline: Instant) -> bool {
+        let mut guard = self.shutdown_mx.lock().expect("shutdown lock poisoned");
+        loop {
+            if self.shutdown.load(Ordering::SeqCst) {
+                return true;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            let (next, _) = self
+                .shutdown_cv
+                .wait_timeout(guard, deadline - now)
+                .expect("shutdown lock poisoned");
+            guard = next;
+        }
     }
 
     /// One consistent snapshot: global counters, queue depth/watermark,
@@ -384,6 +502,8 @@ impl Shared {
             global.queue_hwm_events = q.hwm_events as u64;
         }
         global.subscriber_drops = self.sub_drops.load(Ordering::Relaxed);
+        global.faults_injected = self.injector.injected_total();
+        global.wal_retries = self.fleet.wal_retries();
         let conns: Vec<ConnStats> = self
             .conns
             .lock()
@@ -426,6 +546,7 @@ impl Server {
         listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
         let fleet = build_fleet(&cfg).map_err(io::Error::other)?;
+        let injector = FaultInjector::new(cfg.faults.clone());
         let shared = Arc::new(Shared {
             queue: IngestQueue::new(cfg.queue_max_events),
             cfg,
@@ -435,6 +556,10 @@ impl Server {
             global: Mutex::new(GlobalStats::default()),
             sub_drops: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
+            shutdown_mx: Mutex::new(()),
+            shutdown_cv: Condvar::new(),
+            sessions: Mutex::new(HashMap::new()),
+            injector,
             next_conn_id: AtomicU64::new(1),
             next_sub_id: AtomicU64::new(1),
             reader_threads: Mutex::new(Vec::new()),
@@ -494,6 +619,13 @@ impl Server {
         self.shared.shutdown.load(Ordering::SeqCst)
     }
 
+    /// Block up to `timeout` waiting for a shutdown request; true when
+    /// one arrived. The embedding loop's alternative to polling
+    /// [`shutdown_requested`](Server::shutdown_requested) on a timer.
+    pub fn wait_shutdown_requested(&self, timeout: Duration) -> bool {
+        self.shared.wait_shutdown_until(Instant::now() + timeout)
+    }
+
     /// Graceful shutdown: stop accepting, unblock readers, drain every
     /// enqueued batch into the fleet, fsync + final-snapshot the WAL,
     /// flush and close every connection. Returns the final stats after
@@ -503,7 +635,7 @@ impl Server {
     }
 
     fn shutdown_inner(&mut self) -> StatsSnapshot {
-        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.request_shutdown();
         // 1. Stop accepting — after this join the registry can only
         //    shrink, so no reader escapes the next step.
         if let Some(handle) = self.acceptor.take() {
@@ -583,6 +715,7 @@ fn build_fleet(cfg: &ServerConfig) -> Result<Fleet, String> {
             let opts = DurableOptions {
                 segment_bytes: cfg.segment_bytes,
                 snapshot_every: cfg.snapshot_every,
+                faults: cfg.faults.clone(),
                 ..DurableOptions::default()
             };
             let has_snapshot = std::fs::read_dir(dir)
@@ -623,7 +756,10 @@ fn accept_loop(shared: Arc<Shared>, listener: TcpListener) {
     while !shared.shutdown.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((stream, _peer)) => {
-                if let Err(e) = spawn_conn(&shared, stream) {
+                let open = shared.conns.lock().expect("conn registry poisoned").len();
+                if open >= shared.cfg.max_conns {
+                    reject_conn(&shared, stream);
+                } else if let Err(e) = spawn_conn(&shared, stream) {
                     eprintln!("swsample-server: failed to start connection: {e}");
                 }
             }
@@ -638,8 +774,32 @@ fn accept_loop(shared: Arc<Shared>, listener: TcpListener) {
     }
 }
 
+/// At the `--max-conns` cap: one typed `OVERLOAD` frame, then close.
+fn reject_conn(shared: &Shared, stream: TcpStream) {
+    shared.global().conns_rejected += 1;
+    let payload = ServerMsg::Error {
+        code: ErrorCode::Overload,
+        offset: 0,
+        detail: format!(
+            "server at its connection cap ({}); retry later",
+            shared.cfg.max_conns
+        ),
+    }
+    .encode();
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+    let mut writer = BufWriter::new(stream);
+    let _ = write_frame(&mut writer, &payload);
+    let _ = writer.flush();
+}
+
 fn spawn_conn(shared: &Arc<Shared>, stream: TcpStream) -> io::Result<()> {
     stream.set_nodelay(true)?;
+    if !shared.cfg.read_deadline.is_zero() {
+        stream.set_read_timeout(Some(shared.cfg.read_deadline))?;
+    }
+    if !shared.cfg.write_deadline.is_zero() {
+        stream.set_write_timeout(Some(shared.cfg.write_deadline))?;
+    }
     let id = shared.next_conn_id.fetch_add(1, Ordering::SeqCst);
     let conn = Arc::new(Conn {
         id,
@@ -649,6 +809,10 @@ fn spawn_conn(shared: &Arc<Shared>, stream: TcpStream) -> io::Result<()> {
         events_in: AtomicU64::new(0),
         batches_in: AtomicU64::new(0),
         busy_rejections: AtomicU64::new(0),
+        session: AtomicU64::new(0),
+        last_activity_ms: AtomicU64::new(shared.started.elapsed().as_millis() as u64),
+        reaped: AtomicBool::new(false),
+        started: shared.started,
     });
     shared
         .conns
@@ -675,11 +839,12 @@ fn spawn_conn(shared: &Arc<Shared>, stream: TcpStream) -> io::Result<()> {
             })?
     };
     let writer = {
+        let shared = Arc::clone(shared);
         let conn = Arc::clone(&conn);
         std::thread::Builder::new()
             .name(format!("swsample-conn-{id}-w"))
             .spawn(move || {
-                if catch_unwind(AssertUnwindSafe(|| writer_loop(&conn, stream))).is_err() {
+                if catch_unwind(AssertUnwindSafe(|| writer_loop(&shared, &conn, stream))).is_err() {
                     eprintln!("swsample-server: connection {id} writer panicked");
                 }
             })?
@@ -712,26 +877,84 @@ fn conn_teardown(shared: &Shared, conn: &Conn) {
     conn.close_ring();
 }
 
+/// True for the error kinds a socket read/write deadline produces.
+fn is_timeout(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
 fn reader_loop(shared: &Arc<Shared>, conn: &Arc<Conn>, stream: TcpStream) {
     let mut reader = BufReader::new(stream);
     let mut offset = 0u64;
     let mut hello_done = false;
-    // `Err` is a connection-level I/O failure: just drop the connection.
-    while let Ok(outcome) = read_client_msg(&mut reader, &mut offset) {
+    'conn: loop {
+        // Wait at the frame boundary without consuming anything. A
+        // read-deadline wakeup with no bytes pending is an idle poll —
+        // patience here is fine, the scheduler reaps idle connections —
+        // but once the first byte of a frame lands, the deadline below
+        // applies to the *rest of that frame*.
+        loop {
+            match reader.fill_buf() {
+                Ok([]) => break 'conn, // clean EOF
+                Ok(_) => break,
+                Err(e) if is_timeout(&e) => {
+                    if shared.shutdown.load(Ordering::SeqCst) {
+                        break 'conn;
+                    }
+                }
+                Err(_) => break 'conn,
+            }
+        }
+        let outcome = match read_client_msg(&mut reader, &mut offset) {
+            Ok(outcome) => outcome,
+            Err(e) if is_timeout(&e) => {
+                // A frame started but the peer stalled past the read
+                // deadline mid-frame: drop the connection.
+                shared.global().deadline_drops += 1;
+                let _ = conn.stream.shutdown(Shutdown::Both);
+                break;
+            }
+            // Any other `Err` is a connection-level I/O failure: just
+            // drop the connection.
+            Err(_) => break,
+        };
         let msg = match outcome {
             ReadOutcome::Eof => break,
             ReadOutcome::Bad(e) => {
                 // Typed protocol error, then close: framing is
-                // unrecoverable mid-stream.
+                // unrecoverable mid-stream. A torn frame here is a peer
+                // that died mid-INGEST — the partial batch was never
+                // decoded, so nothing of it can reach the fleet.
+                if e.code == ErrorCode::TornFrame {
+                    shared.global().partial_frames += 1;
+                }
                 send_protocol_error(conn, &e);
                 break;
             }
             ReadOutcome::Msg(msg) => msg,
         };
+        conn.touch();
+        if !shared.injector.is_empty() {
+            if let Some(hit) = shared.injector.check(FaultSite::StallRx) {
+                std::thread::sleep(Duration::from_millis(hit.stall_ms));
+            }
+            if shared.injector.check(FaultSite::DropRx).is_some() {
+                // Injected network fault: sever right after a complete
+                // frame — the client sees a dead connection and must
+                // reconnect and resend (dedup keeps it exactly-once).
+                let _ = conn.stream.shutdown(Shutdown::Both);
+                break;
+            }
+        }
         if !hello_done {
             match msg {
-                ClientMsg::Hello { version, .. } if version == PROTOCOL_VERSION => {
+                ClientMsg::Hello {
+                    version, session, ..
+                } if version == PROTOCOL_VERSION => {
                     hello_done = true;
+                    conn.session.store(session, Ordering::Relaxed);
                     conn.send(
                         false,
                         &ServerMsg::HelloAck {
@@ -795,6 +1018,7 @@ fn reader_loop(shared: &Arc<Shared>, conn: &Arc<Conn>, stream: TcpStream) {
                 }
                 match shared.queue.push(QueuedBatch {
                     conn_id: conn.id,
+                    session: conn.session.load(Ordering::Relaxed),
                     seq,
                     events: batch,
                 }) {
@@ -845,8 +1069,7 @@ fn reader_loop(shared: &Arc<Shared>, conn: &Arc<Conn>, stream: TcpStream) {
             }
             ClientMsg::Shutdown => {
                 conn.send(false, &ServerMsg::Bye);
-                shared.shutdown.store(true, Ordering::SeqCst);
-                shared.queue.cv.notify_all();
+                shared.request_shutdown();
                 break;
             }
         }
@@ -864,7 +1087,7 @@ fn send_protocol_error(conn: &Conn, e: &ProtocolError) {
     );
 }
 
-fn writer_loop(conn: &Conn, stream: TcpStream) {
+fn writer_loop(shared: &Shared, conn: &Conn, stream: TcpStream) {
     let mut writer = BufWriter::new(stream);
     loop {
         let payload = {
@@ -881,8 +1104,41 @@ fn writer_loop(conn: &Conn, stream: TcpStream) {
         };
         match payload {
             Some(payload) => {
-                if write_frame(&mut writer, &payload).is_err() || writer.flush().is_err() {
-                    // Peer gone: stop writing; the reader notices EOF.
+                // Build the frame in memory so injected faults can cut
+                // or corrupt it byte-precisely.
+                let mut frame = Vec::with_capacity(payload.len() + 16);
+                if write_frame(&mut frame, &payload).is_err() {
+                    break;
+                }
+                if !shared.injector.is_empty() {
+                    if let Some(hit) = shared.injector.check(FaultSite::StallTx) {
+                        std::thread::sleep(Duration::from_millis(hit.stall_ms));
+                    }
+                    if let Some(hit) = shared.injector.check(FaultSite::DropTx) {
+                        // Injected fault: send a strict prefix of the
+                        // frame, then sever — the peer sees a torn
+                        // frame, reconnects, and resends (its ack for
+                        // this batch is lost, so dedup must hold).
+                        let cut = 1 + (hit.aux as usize) % (frame.len() - 1);
+                        let _ = writer.write_all(&frame[..cut]);
+                        let _ = writer.flush();
+                        let _ = conn.stream.shutdown(Shutdown::Both);
+                        break;
+                    }
+                    if let Some(hit) = shared.injector.check(FaultSite::FlipTx) {
+                        // Injected fault: flip one byte in flight; the
+                        // peer's CRC rejects the frame.
+                        let at = (hit.aux as usize) % frame.len();
+                        frame[at] ^= 0x20;
+                    }
+                }
+                if let Err(e) = writer.write_all(&frame).and_then(|_| writer.flush()) {
+                    // Write deadline exceeded means a consumer that
+                    // stopped draining; anything else is a dead peer.
+                    if is_timeout(&e) {
+                        shared.global().deadline_drops += 1;
+                        let _ = conn.stream.shutdown(Shutdown::Both);
+                    }
                     break;
                 }
             }
@@ -899,19 +1155,45 @@ fn ingest_loop(shared: Arc<Shared>) {
             std::thread::sleep(shared.cfg.drain_delay);
         }
         let n = batch.events.len() as u64;
-        let reply = match shared.fleet.apply(&batch.events) {
-            Ok(()) => {
-                shared.global().events_applied += n;
-                ServerMsg::IngestOk {
-                    seq: batch.seq,
-                    events: n,
-                }
+        // Session dedup at *apply* time (not enqueue): after a lost ack
+        // the client's resent copy can coexist in the FIFO with the
+        // original, and only whichever drains first may apply. `seq <
+        // watermark` is acked as applied — to the client an ack for a
+        // dedup'd retry is indistinguishable from the lost original.
+        let duplicate = batch.session != 0 && {
+            let sessions = shared.sessions.lock().expect("session table poisoned");
+            sessions
+                .get(&batch.session)
+                .is_some_and(|&watermark| batch.seq < watermark)
+        };
+        let reply = if duplicate {
+            shared.global().dup_batches += 1;
+            ServerMsg::IngestOk {
+                seq: batch.seq,
+                events: n,
             }
-            Err(detail) => ServerMsg::Error {
-                code: ErrorCode::Internal,
-                offset: 0,
-                detail,
-            },
+        } else {
+            match shared.fleet.apply(&batch.events) {
+                Ok(()) => {
+                    shared.global().events_applied += n;
+                    if batch.session != 0 {
+                        shared
+                            .sessions
+                            .lock()
+                            .expect("session table poisoned")
+                            .insert(batch.session, batch.seq + 1);
+                    }
+                    ServerMsg::IngestOk {
+                        seq: batch.seq,
+                        events: n,
+                    }
+                }
+                Err(detail) => ServerMsg::Error {
+                    code: ErrorCode::Internal,
+                    offset: 0,
+                    detail,
+                },
+            }
         };
         if let Some(conn) = shared.conn(batch.conn_id) {
             conn.send(false, &reply);
@@ -923,10 +1205,25 @@ fn ingest_loop(shared: Arc<Shared>) {
 
 fn scheduler_loop(shared: Arc<Shared>) {
     let mut tick = 0u64;
-    while !shared.shutdown.load(Ordering::SeqCst) {
-        std::thread::sleep(shared.cfg.tick);
+    // Absolute deadlines: each tick is scheduled at `previous + tick`
+    // rather than `now + tick`, so jitter doesn't accumulate and tick
+    // cadence is independent of how long tick work takes. A shutdown
+    // request wakes the wait immediately (no fixed-interval polling).
+    let mut next = Instant::now() + shared.cfg.tick;
+    loop {
+        if shared.wait_shutdown_until(next) {
+            break;
+        }
         tick += 1;
+        let now = Instant::now();
+        next += shared.cfg.tick;
+        if next < now {
+            // We fell behind (a long reap or sample pass); resume the
+            // cadence from now instead of burst-ticking to catch up.
+            next = now + shared.cfg.tick;
+        }
         shared.global().ticks = tick;
+        reap_connections(&shared);
         // Clone the due subscriptions out so sampling and delivery run
         // without the subscription lock.
         let due: Vec<(u64, u64, SubscribeKind, u64, u64)> = shared
@@ -975,5 +1272,47 @@ fn scheduler_loop(shared: Arc<Shared>) {
                 }
             }
         }
+    }
+}
+
+/// Scheduler-tick sweep over open connections: sever any that sat idle
+/// past `idle_timeout`, and any subscriber whose ring dropped more
+/// pushes than `slow_consumer_budget` (a consumer that persistently
+/// can't keep up is better disconnected than silently lossy forever).
+fn reap_connections(shared: &Shared) {
+    let idle = shared.cfg.idle_timeout;
+    let budget = shared.cfg.slow_consumer_budget;
+    if idle.is_zero() && budget == 0 {
+        return;
+    }
+    let now_ms = shared.started.elapsed().as_millis() as u64;
+    let mut idle_victims: Vec<Arc<Conn>> = Vec::new();
+    let mut slow_victims: Vec<Arc<Conn>> = Vec::new();
+    {
+        let conns = shared.conns.lock().expect("connections poisoned");
+        for conn in conns.values() {
+            let idle_for = now_ms.saturating_sub(conn.last_activity_ms.load(Ordering::Relaxed));
+            let is_idle = !idle.is_zero() && u128::from(idle_for) >= idle.as_millis();
+            let is_slow = budget > 0 && conn.out.lock().expect("out ring poisoned").drops > budget;
+            if (is_idle || is_slow) && !conn.reaped.swap(true, Ordering::Relaxed) {
+                if is_idle {
+                    idle_victims.push(Arc::clone(conn));
+                } else {
+                    slow_victims.push(Arc::clone(conn));
+                }
+            }
+        }
+    }
+    // Counters and socket teardown outside the connection-map lock; the
+    // reader thread notices the severed socket and unregisters.
+    if !idle_victims.is_empty() {
+        shared.global().idle_reaped += idle_victims.len() as u64;
+    }
+    if !slow_victims.is_empty() {
+        shared.global().slow_disconnects += slow_victims.len() as u64;
+    }
+    for conn in idle_victims.into_iter().chain(slow_victims) {
+        let _ = conn.stream.shutdown(Shutdown::Both);
+        conn.close_ring();
     }
 }

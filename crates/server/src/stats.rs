@@ -34,6 +34,29 @@ pub struct GlobalStats {
     pub connections_total: u64,
     /// Scheduler ticks elapsed.
     pub ticks: u64,
+    /// Connections dropped for stalling mid-frame past the read
+    /// deadline, or for blocking writes past the write deadline.
+    pub deadline_drops: u64,
+    /// Connections reaped for sitting idle past `idle_timeout`.
+    pub idle_reaped: u64,
+    /// Connections refused at the `--max-conns` cap (typed `OVERLOAD`
+    /// reject, then close).
+    pub conns_rejected: u64,
+    /// Subscribers disconnected after their ring dropped more pushes
+    /// than `slow_consumer_budget`.
+    pub slow_disconnects: u64,
+    /// Ingest batches acked-but-not-reapplied because their
+    /// `(session, seq)` was already applied — a retry after a lost ack.
+    pub dup_batches: u64,
+    /// Connections that died mid-frame leaving a torn partial batch
+    /// (discarded; nothing applied).
+    pub partial_frames: u64,
+    /// Network faults injected by the seeded `SWSAMPLE_FAULTS`
+    /// schedule (drops, stalls, flips). 0 in production.
+    pub faults_injected: u64,
+    /// Transient WAL append/fsync faults absorbed by the durable
+    /// engine's bounded retry.
+    pub wal_retries: u64,
 }
 
 /// One connection's counters.
@@ -94,6 +117,14 @@ impl StatsSnapshot {
             g.connections_open,
             g.connections_total,
             g.ticks,
+            g.deadline_drops,
+            g.idle_reaped,
+            g.conns_rejected,
+            g.slow_disconnects,
+            g.dup_batches,
+            g.partial_frames,
+            g.faults_injected,
+            g.wal_retries,
         ] {
             w.put_varint_u64(v);
         }
@@ -129,6 +160,14 @@ impl StatsSnapshot {
             &mut g.connections_open,
             &mut g.connections_total,
             &mut g.ticks,
+            &mut g.deadline_drops,
+            &mut g.idle_reaped,
+            &mut g.conns_rejected,
+            &mut g.slow_disconnects,
+            &mut g.dup_batches,
+            &mut g.partial_frames,
+            &mut g.faults_injected,
+            &mut g.wal_retries,
         ] {
             *slot = r.get_varint_u64()?;
         }
@@ -170,7 +209,9 @@ impl StatsSnapshot {
         let g = &self.global;
         format!(
             "# server: events_in={} batches={} applied={} busy={} sub_drops={} \
-             queue_hwm={} conns={}/{} keys={} elems_per_sec={elems_per_sec:.2}",
+             queue_hwm={} conns={}/{} keys={} dup={} partial={} deadline_drops={} \
+             reaped={} slow={} rejected={} faults={} wal_retries={} \
+             elems_per_sec={elems_per_sec:.2}",
             g.events_in,
             g.batches_in,
             g.events_applied,
@@ -180,6 +221,14 @@ impl StatsSnapshot {
             g.connections_open,
             g.connections_total,
             self.engine.keys,
+            g.dup_batches,
+            g.partial_frames,
+            g.deadline_drops,
+            g.idle_reaped,
+            g.slow_disconnects,
+            g.conns_rejected,
+            g.faults_injected,
+            g.wal_retries,
         )
     }
 }
@@ -202,6 +251,14 @@ mod tests {
                 connections_open: 8,
                 connections_total: 12,
                 ticks: 99,
+                deadline_drops: 2,
+                idle_reaped: 1,
+                conns_rejected: 4,
+                slow_disconnects: 1,
+                dup_batches: 6,
+                partial_frames: 2,
+                faults_injected: 40,
+                wal_retries: 9,
             },
             engine: EngineStats {
                 keys: 100_000,

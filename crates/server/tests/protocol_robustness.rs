@@ -17,6 +17,7 @@ fn client_corpus() -> Vec<ClientMsg> {
         ClientMsg::Hello {
             version: PROTOCOL_VERSION,
             name: "robustness".into(),
+            session: 0x0043_4841_4f53_0001,
         },
         ClientMsg::Ingest {
             seq: 3,
