@@ -18,9 +18,10 @@
 
 use swsample_bench::throughput::{
     durable_wal_overhead_100k, machine, multi_100k_speedup, multi_soa_100k_speedup,
-    multi_soa_vs_erased_100k, params, run_durable, run_multi, run_parallel, run_server, run_with,
-    server_e2e_100k_vs_direct, speedup, to_json, DURABLE_WAL_100K_GATE, MULTI_SOA_100K_GATE,
-    SERVER_E2E_100K_GATE,
+    multi_soa_vs_erased_100k, parallel_t4_efficiency_100k, parallel_t8_overhead, params,
+    run_durable, run_multi, run_parallel, run_server, run_with, server_e2e_100k_vs_direct, speedup,
+    to_json, DURABLE_WAL_100K_GATE, MULTI_SOA_100K_GATE, PARALLEL_T4_EFFICIENCY_GATE,
+    PARALLEL_T8_OVERHEAD_GATE, SERVER_E2E_100K_GATE,
 };
 use swsample_bench::{json, table_header, table_row};
 
@@ -158,7 +159,7 @@ fn main() {
 
     let parallel = run_parallel(&p);
     table_header(
-        "parallel ingestion (slab registry + shard worker pool, seq-WR template)",
+        "parallel ingestion (work-stealing shard-run scheduler, seq-WR template)",
         &[
             "backend",
             "keys",
@@ -167,6 +168,9 @@ fn main() {
             "threads",
             "batch",
             "fleet elems/s",
+            "units",
+            "steals",
+            "imbalance",
         ],
     );
     for r in &parallel {
@@ -178,6 +182,9 @@ fn main() {
             r.threads.to_string(),
             r.batch.to_string(),
             format!("{:.0}", r.elems_per_sec),
+            r.units.to_string(),
+            r.steals.to_string(),
+            format!("{:.2}", r.imbalance),
         ]);
     }
     if let Some(s) = multi_100k_speedup(&parallel) {
@@ -213,6 +220,35 @@ fn main() {
         println!("soa vs erased backend, sustained, same run, 100k keys: {s:.2}x");
         if s < 1.0 {
             eprintln!("bench_throughput: soa backend slower than erased at 100k keys ({s:.2}x)");
+            std::process::exit(1);
+        }
+    }
+    for (keys, label) in [(1_000u64, "1k"), (100_000u64, "100k")] {
+        if let Some(s) = parallel_t8_overhead(&parallel, keys) {
+            println!("work-stealing 8-thread vs serial at {label} keys (worse backend): {s:.2}x");
+            if s < PARALLEL_T8_OVERHEAD_GATE {
+                // Hard gate, armed on any host: the scheduler's fixed
+                // per-batch cost (partition + epoch handshake) must not
+                // eat more than 10% of serial throughput even when all
+                // 8 workers share one core.
+                eprintln!(
+                    "bench_throughput: parallel_t8_overhead_{label} {s:.2}x below the \
+                     {PARALLEL_T8_OVERHEAD_GATE}x acceptance bar"
+                );
+                std::process::exit(1);
+            }
+        }
+    }
+    if let Some(s) = parallel_t4_efficiency_100k(&parallel) {
+        println!("work-stealing 4-thread vs serial at 100k keys (better backend): {s:.2}x");
+        if m.cores > 1 && s < PARALLEL_T4_EFFICIENCY_GATE {
+            // Hard gate, armed only on parallel hosts: with real cores
+            // available, 4 workers must actually scale.
+            eprintln!(
+                "bench_throughput: parallel_t4_efficiency_100k {s:.2}x below the \
+                 {PARALLEL_T4_EFFICIENCY_GATE}x acceptance bar (cores={})",
+                m.cores
+            );
             std::process::exit(1);
         }
     }

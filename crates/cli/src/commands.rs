@@ -69,9 +69,11 @@ pub fn write_help(out: &mut dyn Write) -> std::io::Result<()> {
                  --keys K --count N + the spec flags of `run`\n\
                  [--theta T] [--shards S] [--threads W] [--show H]\n\
                  [--workload-seed S] [--backend auto|erased|soa]\n\
-                 (--threads > 1 ingests shards on a worker pool; output\n\
-                 is bit-identical for every thread count and backend;\n\
-                 auto picks soa for homogeneous paper/reservoir-l fleets)\n\
+                 (--threads > 1 ingests via work-stealing over shard-run\n\
+                 units; --threads 0 uses every core (resolved count on\n\
+                 stderr); output is bit-identical for every thread count\n\
+                 and backend; auto picks soa for homogeneous\n\
+                 paper/reservoir-l fleets)\n\
                  durability: [--wal DIR] [--snapshot-every B]\n\
                  [--segment-bytes N] [--resume]  (WAL + snapshots; resume\n\
                  recovers and continues, stdout byte-identical to an\n\
@@ -85,7 +87,8 @@ pub fn write_help(out: &mut dyn Write) -> std::io::Result<()> {
                  [--rescale-shards S] [--rescale-threads W]\n\
            serve run the fleet as a TCP server (framed binary protocol)\n\
                  [--addr HOST:PORT] + the spec flags of `run`\n\
-                 [--shards S] [--threads W] [--backend auto|erased|soa]\n\
+                 [--shards S] [--threads W] (0 = every core)\n\
+                 [--backend auto|erased|soa]\n\
                  [--wal DIR] [--snapshot-every B] [--segment-bytes N]\n\
                  [--queue-max-events N] [--ring-capacity N] [--tick-ms T]\n\
                  [--drain-delay-ms D]\n\
@@ -382,10 +385,27 @@ impl MultiFleet {
     /// exercises mid-stream.
     fn close(&mut self) -> Result<(), ArgError> {
         match self {
-            MultiFleet::Plain(_) => Ok(()),
+            // Plain fleets still owe a flush: the work-stealing pipeline
+            // may have an epoch in flight, and a deferred sampler panic
+            // must not be silently dropped at end-of-stream.
+            MultiFleet::Plain(e) => e.flush().map_err(|e| ArgError(e.to_string())),
             MultiFleet::Durable(d) => d.close().map(|_| ()).map_err(|e| ArgError(e.to_string())),
         }
     }
+}
+
+/// Resolve the `--threads` flag: `0` is the "use every core" sentinel,
+/// mapping to [`std::thread::available_parallelism`] (reported on
+/// stderr so runs are attributable); any other value passes through.
+fn resolve_threads(threads: usize) -> usize {
+    if threads != 0 {
+        return threads;
+    }
+    let resolved = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    eprintln!("# threads: 0 resolved to {resolved} (available parallelism)");
+    resolved
 }
 
 /// `multi` — a sharded fleet of per-key windows over a self-generated
@@ -417,10 +437,7 @@ fn cmd_multi(args: &Args, out: &mut dyn Write) -> Result<(), ArgError> {
         )));
     }
     let shards = args.get_usize("shards", 16)?;
-    let threads = args.get_usize("threads", 1)?;
-    if threads == 0 {
-        return Err(ArgError("--threads must be at least 1".into()));
-    }
+    let threads = resolve_threads(args.get_usize("threads", 1)?);
     let show = args.get_usize("show", 3)?;
     let wseed = args.get_u64("workload-seed", 1)?;
     let batch = batch_size(args)?;
@@ -555,6 +572,21 @@ fn cmd_multi(args: &Args, out: &mut dyn Write) -> Result<(), ArgError> {
     }
     fleet.close()?;
     report_throughput(count, start.elapsed());
+    // Scheduler observability (stderr, like `# backend:`): epochs/units
+    // drained, steal traffic, and busy-time imbalance across workers.
+    // All zeros at threads=1 (the inline path publishes no epochs).
+    if fleet.engine().num_threads() > 1 {
+        let stats = fleet.engine().parallel_stats();
+        eprintln!(
+            "# parallel: threads={} epochs={} units={} steals={} violations={} imbalance={:.2}",
+            stats.threads,
+            stats.epochs,
+            stats.units,
+            stats.steals,
+            stats.violations,
+            stats.imbalance()
+        );
+    }
 
     // The hottest keys' current samples (deterministic order: traffic
     // descending, key ascending as the tiebreak).
@@ -605,10 +637,7 @@ fn cmd_serve(args: &Args) -> Result<(), ArgError> {
         cfg.addr = addr.to_string();
     }
     cfg.shards = args.get_usize("shards", cfg.shards)?;
-    cfg.threads = args.get_usize("threads", cfg.threads)?;
-    if cfg.threads == 0 {
-        return Err(ArgError("--threads must be at least 1".into()));
-    }
+    cfg.threads = resolve_threads(args.get_usize("threads", cfg.threads)?);
     if let Some(v) = args.get_str("backend") {
         cfg.backend = v
             .parse()
@@ -1078,14 +1107,19 @@ mod tests {
             run_cmd("multi --keys 5 --count 10 --window seq --n 5 --k 0", "").is_err(),
             "invalid template"
         );
-        assert!(
-            run_cmd(
-                "multi --keys 5 --count 10 --window seq --n 5 --threads 0",
-                ""
-            )
-            .is_err(),
-            "zero threads"
-        );
+        // --threads 0 is the available-parallelism sentinel, not an
+        // error — and the output stays byte-identical to --threads 1.
+        let auto = run_cmd(
+            "multi --keys 5 --count 10 --window seq --n 5 --threads 0",
+            "",
+        )
+        .expect("--threads 0 resolves to available parallelism");
+        let one = run_cmd(
+            "multi --keys 5 --count 10 --window seq --n 5 --threads 1",
+            "",
+        )
+        .expect("baseline");
+        assert_eq!(auto, one, "--threads 0 output diverges from --threads 1");
         for theta in ["0", "-1", "nan"] {
             assert!(
                 run_cmd(

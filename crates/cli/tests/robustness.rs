@@ -234,22 +234,8 @@ fn backend_and_threads_combos_report_the_flag() {
             ],
             "--backend",
         ),
-        (
-            &[
-                "multi",
-                "--keys",
-                "5",
-                "--count",
-                "50",
-                "--window",
-                "seq",
-                "--n",
-                "10",
-                "--threads",
-                "0",
-            ],
-            "--threads",
-        ),
+        // (--threads 0 is no longer an error: it is the
+        // available-parallelism sentinel, covered in commands.rs tests.)
         (
             &[
                 "multi",

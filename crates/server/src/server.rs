@@ -7,7 +7,7 @@
 //! * **Acceptor** — a non-blocking `accept` poll loop; each accepted
 //!   socket gets a registry entry, a reader thread, and a writer
 //!   thread, each wrapped in `catch_unwind` so one connection's panic
-//!   never takes the server down (the `ShardWorkerPool` isolation
+//!   never takes the server down (the `WorkStealPool` isolation
 //!   idiom).
 //! * **Readers** decode frames and either answer directly (`QUERY`,
 //!   `STATS`, `SUBSCRIBE`) or push the batch onto the **bounded ingest
@@ -202,12 +202,17 @@ impl Fleet {
     }
 
     fn engine_stats(&self) -> EngineStats {
-        let grab = |e: &MultiStreamEngine<u64, u64>| EngineStats {
-            keys: e.num_keys() as u64,
-            shards: e.num_shards() as u64,
-            threads: e.num_threads() as u64,
-            memory_words: e.memory_words() as u64,
-            max_key_words: e.max_key_memory_words() as u64,
+        let grab = |e: &MultiStreamEngine<u64, u64>| {
+            let par = e.parallel_stats();
+            EngineStats {
+                keys: e.num_keys() as u64,
+                shards: e.num_shards() as u64,
+                threads: e.num_threads() as u64,
+                memory_words: e.memory_words() as u64,
+                max_key_words: e.max_key_memory_words() as u64,
+                parallel_units: par.units,
+                parallel_steals: par.steals,
+            }
         };
         match self {
             Fleet::Plain(engine) => grab(engine),

@@ -87,6 +87,12 @@ pub struct EngineStats {
     pub memory_words: u64,
     /// Largest single-key footprint in words.
     pub max_key_words: u64,
+    /// Work-stealing shard-run units executed across all parallel
+    /// ingest epochs (0 when running single-threaded).
+    pub parallel_units: u64,
+    /// Units claimed by a worker other than the shard's home worker —
+    /// the work-stealing scheduler absorbing skew.
+    pub parallel_steals: u64,
 }
 
 /// A consistent snapshot of everything the server counts, answering
@@ -129,7 +135,15 @@ impl StatsSnapshot {
             w.put_varint_u64(v);
         }
         let e = &self.engine;
-        for v in [e.keys, e.shards, e.threads, e.memory_words, e.max_key_words] {
+        for v in [
+            e.keys,
+            e.shards,
+            e.threads,
+            e.memory_words,
+            e.max_key_words,
+            e.parallel_units,
+            e.parallel_steals,
+        ] {
             w.put_varint_u64(v);
         }
         w.put_u32(self.conns.len() as u32);
@@ -178,6 +192,8 @@ impl StatsSnapshot {
             &mut e.threads,
             &mut e.memory_words,
             &mut e.max_key_words,
+            &mut e.parallel_units,
+            &mut e.parallel_steals,
         ] {
             *slot = r.get_varint_u64()?;
         }
@@ -211,7 +227,7 @@ impl StatsSnapshot {
             "# server: events_in={} batches={} applied={} busy={} sub_drops={} \
              queue_hwm={} conns={}/{} keys={} dup={} partial={} deadline_drops={} \
              reaped={} slow={} rejected={} faults={} wal_retries={} \
-             elems_per_sec={elems_per_sec:.2}",
+             steal_units={} steals={} elems_per_sec={elems_per_sec:.2}",
             g.events_in,
             g.batches_in,
             g.events_applied,
@@ -229,6 +245,8 @@ impl StatsSnapshot {
             g.conns_rejected,
             g.faults_injected,
             g.wal_retries,
+            self.engine.parallel_units,
+            self.engine.parallel_steals,
         )
     }
 }
@@ -266,6 +284,8 @@ mod tests {
                 threads: 8,
                 memory_words: 1 << 20,
                 max_key_words: 37,
+                parallel_units: 4321,
+                parallel_steals: 87,
             },
             conns: vec![
                 ConnStats {

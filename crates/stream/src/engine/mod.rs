@@ -21,7 +21,7 @@
 //!   [`ErasedWindowSampler`] per key (fully general), or the
 //!   struct-of-arrays fleets of [`swsample_core::soa`] (homogeneous
 //!   templates, field-major state, batch dispatch — see below);
-//! * `parallel` — the persistent shard-worker pool.
+//! * `parallel` — the skew-aware work-stealing scheduler.
 //!
 //! # The slab key registry
 //!
@@ -58,25 +58,39 @@
 //! Shard-ownership makes multi-core ingestion embarrassingly safe: a
 //! key's sampler lives in exactly one shard, so processing different
 //! shards on different threads cannot race.
-//! [`MultiStreamEngine::ingest_parallel`] partitions a keyed batch by
-//! shard and feeds a persistent worker pool over channels (shard `s`
-//! always goes to worker `s % threads`), then waits for every sub-batch
-//! to complete. Per-key RNG seeds are splitmix-derived from the key
-//! alone, and each shard's events are processed in batch order by a
-//! single worker, so the resulting per-key samples are **bit-identical
-//! for every thread count** — including the serial
+//! [`MultiStreamEngine::ingest_parallel`] carves a keyed batch into
+//! **shard-run units** (one per non-empty shard, arrival order
+//! preserved), orders them largest-first (LPT), and publishes them in a
+//! lock-free claim queue that persistent stealer threads — and the
+//! calling thread itself — drain by atomic cursor, so a zipf-hot shard
+//! no longer pins one worker while the rest idle. Batches are
+//! double-buffered: the call prepares and publishes its epoch while the
+//! previous epoch's tail drains, and returns once every unit of its own
+//! epoch is claimed (the two-slot handshake in the `parallel` module
+//! replaces
+//! the old per-batch completion barrier). Per-key RNG seeds are
+//! splitmix-derived from the key alone, each shard is exactly one unit
+//! per epoch (one-shard-one-worker, counter-asserted), and epochs never
+//! overlap in execution, so the resulting per-key samples are
+//! **bit-identical for every thread count** — including the serial
 //! [`ingest`](MultiStreamEngine::ingest) path. `threads = 1` (the
-//! default) never spawns a pool.
+//! default) never spawns a pool. Scheduler behavior is observable via
+//! [`MultiStreamEngine::parallel_stats`].
 //!
 //! Shards sit behind `RwLock`s: ingestion takes a shard's write lock,
 //! while queries try a **shared read-lock fast path** first (RNG-free
 //! queries — seq-WR `sample_k`/`sample`, whole-stream reservoir reads —
 //! run concurrently with each other and with ingestion of other
 //! shards), falling back to the write lock only for RNG-consuming
-//! queries. `ingest_parallel` takes `&self`, so queries may run during
+//! queries. Every query and checkpoint first waits on the epoch
+//! watermark (all published batches applied), so sequential
+//! ingest-then-read still observes exactly the ingested prefix.
+//! `ingest_parallel` takes `&self`, so queries may run during
 //! ingestion; batches submitted concurrently from several threads are
 //! applied atomically per shard but in unspecified relative order —
-//! determinism is stated for sequentially submitted batches.
+//! determinism is stated for sequentially submitted batches. A
+//! deferred sampler panic from an outstanding epoch surfaces at the
+//! next ingest call or [`MultiStreamEngine::flush`].
 //!
 //! Memory scales as the paper promises per key: a fleet of `m` active
 //! keys with a sequence-WR template costs at most `m · (7k + 3)` words —
@@ -111,7 +125,7 @@ mod registry;
 mod soa;
 
 use std::hash::Hash;
-use std::sync::mpsc;
+use std::sync::atomic::AtomicBool;
 use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use swsample_core::spec::{FleetBackend, SamplerFactory, SamplerSpec, SpecError, WindowKind};
@@ -119,11 +133,11 @@ use swsample_core::state::{SamplerState, StateError};
 use swsample_core::{ErasedWindowSampler, MemoryWords, Sample};
 
 use self::erased::ErasedStore;
-use self::parallel::{ingest_guarded, IngestJob, ShardWorkerPool};
+use self::parallel::{ingest_guarded, Epoch, WorkStealPool};
 use self::registry::{fx_hash_key, mix_seed, KeyRegistry, SLOT_MASK};
 use self::soa::SoaStore;
 
-pub use self::parallel::WorkerPanic;
+pub use self::parallel::{ParallelStats, WorkerPanic, WorkerStats};
 pub use self::registry::{FxBuildHasher, FxHasher};
 
 /// One keyed event: `(key, now, value)`. `now` is the arrival timestamp
@@ -430,7 +444,10 @@ pub struct MultiStreamEngine<K, T: Clone> {
     shard_mask: u64,
     /// Worker threads `ingest_parallel` uses (1 = inline, no pool).
     threads: usize,
-    pool: Option<ShardWorkerPool<K, T>>,
+    pool: Option<WorkStealPool<K, T>>,
+    /// Per-shard "executing" flags the scheduler uses to assert the
+    /// one-shard-one-worker invariant (shared into each epoch).
+    exec_flags: Arc<Vec<AtomicBool>>,
     /// Serial-path scratch: per-shard routes into the caller's batch,
     /// reused across batches.
     routes: Vec<Route>,
@@ -444,6 +461,35 @@ impl<K, T: Clone> std::fmt::Debug for MultiStreamEngine<K, T> {
             .field("shards", &self.shards.len())
             .field("threads", &self.threads)
             .finish()
+    }
+}
+
+impl<K, T: Clone> MultiStreamEngine<K, T> {
+    /// Wait until every published parallel epoch has been applied (two
+    /// atomic loads when nothing is outstanding). Every read path calls
+    /// this so sequential ingest-then-query semantics survive the
+    /// double-buffered pipeline; deferred panics stay parked for the
+    /// next ingest/flush.
+    #[inline]
+    fn sync(&self) {
+        if let Some(pool) = &self.pool {
+            pool.barrier();
+        }
+    }
+
+    /// Snapshot of the work-stealing scheduler's lifetime counters:
+    /// epochs applied, per-worker units claimed/stolen and busy time,
+    /// and the one-shard-one-worker violation count (always 0 unless
+    /// the scheduler is broken). All zeros while `threads == 1` (the
+    /// inline path never publishes epochs).
+    pub fn parallel_stats(&self) -> ParallelStats {
+        match &self.pool {
+            Some(pool) => pool.stats(),
+            None => ParallelStats {
+                threads: self.threads,
+                ..ParallelStats::default()
+            },
+        }
     }
 }
 
@@ -498,6 +544,7 @@ impl<K: Hash + Eq + Clone, T: Clone + Send + Sync + 'static> MultiStreamEngine<K
             shards: slabs,
             threads: 1,
             pool: None,
+            exec_flags: Arc::new((0..shards).map(|_| AtomicBool::new(false)).collect()),
             routes: (0..shards).map(|_| Vec::new()).collect(),
         })
     }
@@ -520,6 +567,7 @@ impl<K: Hash + Eq + Clone, T: Clone + Send + Sync + 'static> MultiStreamEngine<K
 
     /// Number of keys with materialized samplers.
     pub fn num_keys(&self) -> usize {
+        self.sync();
         self.shards
             .iter()
             .map(|s| self.read(s).registry.len())
@@ -572,6 +620,10 @@ impl<K: Hash + Eq + Clone, T: Clone + Send + Sync + 'static> MultiStreamEngine<K
             batch.len() <= u32::MAX as usize,
             "batch exceeds u32 positions"
         );
+        // A still-draining parallel epoch must fully apply before a
+        // serial batch may touch the shards (per-shard batch order is
+        // the determinism contract).
+        self.sync();
         // Route without copying: each shard's route holds (position into
         // the caller's batch, key hash), so the serial path clones a key
         // only on first-touch materialization and a value only at its
@@ -606,6 +658,7 @@ impl<K: Hash + Eq + Clone, T: Clone + Send + Sync + 'static> MultiStreamEngine<K
     /// shard's shared read lock — concurrent readers never contend;
     /// everything else falls back to the write lock.
     pub fn sample_k(&self, key: &K) -> Option<Vec<Sample<T>>> {
+        self.sync();
         let hash = fx_hash_key(key);
         let shard = &self.shards[self.shard_of(hash)];
         {
@@ -628,6 +681,7 @@ impl<K: Hash + Eq + Clone, T: Clone + Send + Sync + 'static> MultiStreamEngine<K
     /// snapshot-consistent shard view, without `keys.len()` lock
     /// round-trips.
     pub fn sample_k_many(&self, keys: &[K]) -> Vec<Option<Vec<Sample<T>>>> {
+        self.sync();
         let mut out: Vec<Option<Vec<Sample<T>>>> = (0..keys.len()).map(|_| None).collect();
         // (position, hash) per shard, reusing the ingest routing shape.
         let mut by_shard: Vec<Vec<(usize, u64)>> =
@@ -671,6 +725,7 @@ impl<K: Hash + Eq + Clone, T: Clone + Send + Sync + 'static> MultiStreamEngine<K
     /// [`sample_k`](MultiStreamEngine::sample_k). Same read-lock fast
     /// path where the draw is RNG-free.
     pub fn sample(&self, key: &K) -> Option<Sample<T>> {
+        self.sync();
         let hash = fx_hash_key(key);
         let shard = &self.shards[self.shard_of(hash)];
         {
@@ -697,6 +752,7 @@ impl<K: Hash + Eq + Clone, T: Clone + Send + Sync + 'static> MultiStreamEngine<K
         key: &K,
         f: impl FnOnce(&mut dyn ErasedWindowSampler<T>) -> R,
     ) -> Option<R> {
+        self.sync();
         let hash = fx_hash_key(key);
         let mut shard = self.write(&self.shards[self.shard_of(hash)]);
         let slot = shard.registry.find(hash, key)?;
@@ -708,6 +764,7 @@ impl<K: Hash + Eq + Clone, T: Clone + Send + Sync + 'static> MultiStreamEngine<K
 
     /// Has this key a materialized sampler?
     pub fn contains_key(&self, key: &K) -> bool {
+        self.sync();
         let hash = fx_hash_key(key);
         self.read(&self.shards[self.shard_of(hash)])
             .registry
@@ -718,6 +775,7 @@ impl<K: Hash + Eq + Clone, T: Clone + Send + Sync + 'static> MultiStreamEngine<K
     /// All materialized keys (shard order, first-touch order within a
     /// shard). Cloned out because keys live behind the shard locks.
     pub fn keys(&self) -> Vec<K> {
+        self.sync();
         self.shards
             .iter()
             .flat_map(|s| self.read(s).registry.keys().to_vec())
@@ -727,6 +785,7 @@ impl<K: Hash + Eq + Clone, T: Clone + Send + Sync + 'static> MultiStreamEngine<K
     /// Largest single-key footprint in words — the quantity the paper's
     /// per-window theorems cap deterministically.
     pub fn max_key_memory_words(&self) -> usize {
+        self.sync();
         self.shards
             .iter()
             .map(|s| {
@@ -750,6 +809,7 @@ impl<K: Hash + Eq + Clone, T: Clone + Send + Sync + 'static> MultiStreamEngine<K
     /// `size_of::<K>()/8` key words, plus 2 box words on the erased
     /// backend.
     pub fn registry_overhead_words(&self) -> usize {
+        self.sync();
         self.shards
             .iter()
             .map(|s| self.read(s).overhead_words())
@@ -769,6 +829,7 @@ impl<K: Hash + Eq + Clone, T: Clone + Send + Sync + 'static> MultiStreamEngine<K
     /// constructions, or externally supplied factories whose samplers
     /// opt out).
     pub fn save_states(&self) -> Result<Vec<(K, SamplerState<T>)>, StateError> {
+        self.sync();
         let mut out = Vec::with_capacity(self.num_keys());
         for shard in &self.shards {
             let guard = self.read(shard);
@@ -793,6 +854,7 @@ impl<K: Hash + Eq + Clone, T: Clone + Send + Sync + 'static> MultiStreamEngine<K
         &mut self,
         states: impl IntoIterator<Item = (K, SamplerState<T>)>,
     ) -> Result<(), StateError> {
+        self.sync();
         for (key, state) in states {
             let hash = fx_hash_key(&key);
             let shard = &self.shards[self.shard_of(hash)];
@@ -843,21 +905,41 @@ where
 
     /// Set the worker-thread count for subsequent
     /// [`ingest_parallel`](Self::ingest_parallel) calls. `1` (the
-    /// default) ingests inline; higher counts spawn a persistent worker
-    /// pool immediately (so `ingest_parallel` can take `&self` and run
-    /// concurrently with queries). Capped at the shard count (extra
-    /// workers would never receive a shard).
+    /// default) ingests inline; higher counts spawn the persistent
+    /// stealer pool immediately (so `ingest_parallel` can take `&self`
+    /// and run concurrently with queries). Capped at the shard count
+    /// (extra workers could never hold a unit). Rescaling a live pool
+    /// **reuses** its workers: growing spawns only the missing stealers,
+    /// shrinking retires only the excess (each finishes its in-flight
+    /// unit first) — scheduler counters persist across the rescale, and
+    /// samples are unaffected (thread count never influences them).
     pub fn set_threads(&mut self, threads: usize) {
         let threads = threads.clamp(1, self.shards.len());
         if threads == self.threads {
             return;
         }
         self.threads = threads;
-        self.pool = if threads > 1 {
-            Some(ShardWorkerPool::spawn(threads))
-        } else {
-            None
-        };
+        match &mut self.pool {
+            Some(pool) => pool.resize(threads),
+            None if threads > 1 => self.pool = Some(WorkStealPool::spawn(threads)),
+            None => {}
+        }
+    }
+
+    /// Wait for every published batch to finish applying and surface a
+    /// deferred [`WorkerPanic`], if one is parked.
+    ///
+    /// The double-buffered pipeline means
+    /// [`try_ingest_parallel`](Self::try_ingest_parallel) can return
+    /// before its own batch has fully drained (the report then arrives
+    /// at the *next* call). Queries synchronize implicitly; call this
+    /// at end-of-stream to collect the last batch's verdict explicitly.
+    /// A no-op `Ok(())` on the inline (`threads == 1`) path.
+    pub fn flush(&self) -> Result<(), WorkerPanic> {
+        match &self.pool {
+            Some(pool) => pool.flush(),
+            None => Ok(()),
+        }
     }
 
     /// Live rescale: change the shard count mid-stream by checkpointing
@@ -875,7 +957,7 @@ where
         if shards == self.shards.len() {
             return Ok(());
         }
-        let states = self.save_states()?;
+        let states = self.save_states()?; // syncs: no epoch outlives the old shards
         let mut slabs = Vec::with_capacity(shards);
         for _ in 0..shards {
             slabs.push(Arc::new(RwLock::new(
@@ -885,6 +967,7 @@ where
         }
         let old_shards = std::mem::replace(&mut self.shards, slabs);
         let old_mask = std::mem::replace(&mut self.shard_mask, shards as u64 - 1);
+        self.exec_flags = Arc::new((0..shards).map(|_| AtomicBool::new(false)).collect());
         self.routes = (0..shards).map(|_| Vec::new()).collect();
         if let Err(e) = self.restore_states(states) {
             // Restoring our own just-saved records onto same-template
@@ -892,40 +975,53 @@ where
             // anyway by reinstating the old shards.
             self.shards = old_shards;
             self.shard_mask = old_mask;
+            self.exec_flags = Arc::new(
+                (0..self.shards.len())
+                    .map(|_| AtomicBool::new(false))
+                    .collect(),
+            );
             self.routes = (0..self.shards.len()).map(|_| Vec::new()).collect();
             return Err(e);
         }
-        // Threads are capped at the shard count; re-apply the clamp.
+        // Threads are capped at the shard count; re-apply the clamp
+        // (reusing live stealers, as in `set_threads`).
         let threads = self.threads.clamp(1, shards);
         if threads != self.threads {
             self.threads = threads;
-            self.pool = if threads > 1 {
-                Some(ShardWorkerPool::spawn(threads))
-            } else {
-                None
-            };
+            if let Some(pool) = &mut self.pool {
+                pool.resize(threads);
+            }
         }
         Ok(())
     }
 
-    /// Multi-core [`ingest`](Self::ingest): partition the batch by shard
-    /// and run the shards on the persistent worker pool, returning when
-    /// every sub-batch has been applied. Because a shard is processed by
-    /// exactly one worker and per-key seeds derive from the key alone,
+    /// Multi-core [`ingest`](Self::ingest): carve the batch into
+    /// shard-run units, publish them LPT-first in the lock-free claim
+    /// queue, and drain them together with the stealer pool (the calling
+    /// thread claims units too). Because a shard is processed by exactly
+    /// one worker per batch and per-key seeds derive from the key alone,
     /// the per-key samples are **bit-identical for every thread count**
     /// (equal to the serial path's). With `threads == 1` this runs the
     /// shards inline.
     ///
     /// Takes `&self`: queries may run concurrently (they use the shard
-    /// read/write locks). Concurrent `ingest_parallel` calls from
-    /// several threads are applied atomically per shard but in
-    /// unspecified relative order; the bit-identical guarantee is for
-    /// sequentially submitted batches.
+    /// read/write locks, after waiting on the epoch watermark).
+    /// Concurrent `ingest_parallel` calls from several threads are
+    /// applied atomically per shard but in unspecified relative order;
+    /// the bit-identical guarantee is for sequentially submitted
+    /// batches.
+    ///
+    /// Batches are double-buffered: this may return while the batch's
+    /// in-flight tail is still draining on the stealers (the next call
+    /// overlaps its partition/sort with that tail and then waits for the
+    /// epoch before publishing). Queries and checkpoints synchronize
+    /// implicitly; [`flush`](Self::flush) does so explicitly.
     ///
     /// # Panics
     /// Re-raises per-key sampler panics (e.g. a key's timestamps running
     /// backwards) with the structured [`WorkerPanic`] message naming the
-    /// worker and shard. Use
+    /// worker and shard — possibly deferred to the *next* call or
+    /// [`flush`](Self::flush) under pipelining. Use
     /// [`try_ingest_parallel`](Self::try_ingest_parallel) to handle them
     /// as values instead.
     pub fn ingest_parallel(&self, batch: &[KeyedEvent<K, T>]) {
@@ -940,14 +1036,16 @@ where
     ///
     /// A sampler panic is a caller contract violation (backwards per-key
     /// clock being the canonical one), but it must not take the fleet
-    /// down: the worker catches the unwind while holding the shard's
+    /// down: the unit catches the unwind while holding the shard's
     /// write guard, so no lock is poisoned — the offending shard keeps
     /// its pre-batch-visible state (the failing sub-batch may be
     /// partially applied; its key-arrival-order prefix is) and **every**
-    /// shard remains queryable and ingestible afterwards. All dispatched
-    /// sub-batches still run to completion before this returns (the
-    /// cross-call shard-ownership barrier); the first panic in shard
-    /// order is reported.
+    /// shard remains queryable and ingestible afterwards. Under the
+    /// double-buffered pipeline the report is **deferred to the next
+    /// synchronization point**: this call returns the panic of the
+    /// *previous* outstanding batch, if any; end-of-stream callers
+    /// should finish with [`flush`](Self::flush) to collect the last
+    /// batch's verdict. The first panic in shard order is reported.
     pub fn try_ingest_parallel(&self, batch: &[KeyedEvent<K, T>]) -> Result<(), WorkerPanic> {
         if batch.is_empty() {
             return Ok(());
@@ -961,6 +1059,9 @@ where
         if self.threads <= 1 || nshards == 1 {
             // Inline serial path. Routes are local (not the engine's
             // scratch) because `&self` must not alias concurrent callers.
+            // Sync first: a pending epoch could exist if the pool was
+            // just shrunk to 1 thread mid-pipeline.
+            self.sync();
             let mut routes: Vec<Route> = (0..nshards).map(|_| Vec::new()).collect();
             for (pos, (key, _, _)) in batch.iter().enumerate() {
                 let hash = fx_hash_key(key);
@@ -978,44 +1079,21 @@ where
             return first_panic.map_or(Ok(()), Err);
         }
         let pool = self.pool.as_ref().expect("set_threads spawned the pool");
-        let mut parts: Vec<Vec<KeyedEvent<K, T>>> = (0..nshards).map(|_| Vec::new()).collect();
-        let mut routes: Vec<Route> = (0..nshards).map(|_| Vec::new()).collect();
-        for (key, now, value) in batch {
-            let hash = fx_hash_key(key);
-            let s = (((hash >> 32) ^ hash) & mask) as usize;
-            routes[s].push((parts[s].len() as u32, hash));
-            parts[s].push((key.clone(), *now, value.clone()));
-        }
-        let (done_tx, done_rx) = mpsc::channel();
-        let mut jobs = 0usize;
-        for (s, (part, route)) in parts.into_iter().zip(routes).enumerate() {
-            if part.is_empty() {
-                continue;
-            }
-            jobs += 1;
-            pool.sender(s % pool.threads())
-                .send(IngestJob {
-                    shard_index: s,
-                    shard: Arc::clone(&self.shards[s]),
-                    batch: part,
-                    route,
-                    done: done_tx.clone(),
-                })
-                .expect("shard worker alive");
-        }
-        drop(done_tx);
-        let mut panics = Vec::new();
-        for _ in 0..jobs {
-            // Always drain every receipt — the completion barrier is
-            // what makes the next call's shard-ownership argument sound
-            // — then report the first panic in shard order.
-            match done_rx.recv().expect("shard ingestion worker alive") {
-                Ok(()) => {}
-                Err(p) => panics.push(p),
-            }
-        }
-        panics.sort_by_key(|p| p.shard);
-        panics.into_iter().next().map_or(Ok(()), Err)
+        // Prepare (partition + counting sort + LPT order) runs *before*
+        // waiting on the previous epoch — this is the double-buffered
+        // overlap: batch N+1's carve proceeds while batch N's tail
+        // drains on the stealers.
+        let epoch = Epoch::prepare(
+            batch,
+            nshards,
+            self.threads,
+            mask,
+            &self.shards,
+            Arc::clone(&self.exec_flags),
+            fx_hash_key,
+        )
+        .expect("batch checked non-empty");
+        pool.submit(epoch)
     }
 }
 
@@ -1026,6 +1104,7 @@ impl<K, T: Clone + 'static> MemoryWords for MultiStreamEngine<K, T> {
     /// state is excluded for single samplers — see
     /// [`MultiStreamEngine::registry_overhead_words`] for that side.
     fn memory_words(&self) -> usize {
+        self.sync();
         self.shards
             .iter()
             .map(|s| {
@@ -1387,9 +1466,13 @@ mod tests {
         engine
             .try_ingest_parallel(&[(a, 10, 1), (b, 10, 2)])
             .expect("forward clock is fine");
-        let err = engine
+        engine.flush().expect("clean epoch");
+        // Under the double-buffered pipeline the report is deferred to
+        // the next synchronization point — here, an explicit flush.
+        engine
             .try_ingest_parallel(&[(a, 5, 3), (b, 11, 4)])
-            .expect_err("key a's clock ran backwards");
+            .expect("own-batch panics surface at the next sync point");
+        let err = engine.flush().expect_err("key a's clock ran backwards");
         assert_eq!(err.shard, shard_of(a), "panic names the wrong shard");
         assert!(
             err.message.contains("backwards"),
@@ -1404,16 +1487,20 @@ mod tests {
         engine
             .try_ingest_parallel(&[(a, 12, 5), (b, 12, 6)])
             .expect("fleet recovered");
-        // The panicking wrapper carries the same structure.
+        engine.flush().expect("recovered epoch is clean");
+        // The deferred report also arrives through the *next* ingest
+        // call, and the panicking wrapper re-raises it structured.
+        engine.ingest_parallel(&[(a, 3, 7)]); // backwards again; deferred
         let msg = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            engine.ingest_parallel(&[(a, 3, 7)])
+            engine.ingest_parallel(&[(b, 13, 8)])
         }))
-        .expect_err("must re-raise");
+        .expect_err("must re-raise at the next call");
         let msg = msg.downcast_ref::<String>().expect("string payload");
         assert!(
             msg.contains(&format!("shard {}", shard_of(a))),
             "unstructured message: {msg}"
         );
+        engine.flush().expect("nothing further pending");
     }
 
     #[test]

@@ -32,7 +32,9 @@ pub mod graph;
 pub mod values;
 
 pub use arrivals::{AdversarialStream, BurstyArrivals, SteadyArrivals, TimedEvent};
-pub use engine::{FxBuildHasher, FxHasher, MultiStreamEngine, WorkerPanic};
+pub use engine::{
+    FxBuildHasher, FxHasher, MultiStreamEngine, ParallelStats, WorkerPanic, WorkerStats,
+};
 pub use event::{Timestamp, WindowSpec};
 pub use graph::{count_triangles, Edge, EdgeStreamGen};
 pub use values::{ConstantGen, RoundRobinGen, UniformGen, ValueGen, ZipfGen};
